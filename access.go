@@ -1,0 +1,108 @@
+package rfly
+
+import (
+	"fmt"
+
+	"rfly/internal/epc"
+	"rfly/internal/reader"
+	"rfly/internal/tag"
+)
+
+// MemoryBank selects tag memory for ReadItemMemory.
+type MemoryBank = epc.MemBank
+
+// Tag memory banks.
+const (
+	BankEPC  = epc.BankEPC
+	BankTID  = epc.BankTID
+	BankUser = epc.BankUser
+)
+
+// ReadItemMemory singulates the item's tag over the Gen2 protocol
+// (through the relay, at the current relay position) and reads words from
+// one of its memory banks: Query → ACK → ReqRN (handle) → Read. It is the
+// "pull the item's metadata once you've found it" workflow.
+func (s *System) ReadItemMemory(e EPC, bank MemoryBank, wordPtr uint32, words int) ([]uint16, error) {
+	obs, err := s.singulate(e)
+	if err != nil {
+		return nil, err
+	}
+	tg := obs.Tag
+	rep := tg.Handle(epc.Read{MemBank: bank, WordPtr: wordPtr, WordCount: uint8(words), RN16: tg.RN16()})
+	if rep == nil {
+		return nil, fmt.Errorf("rfly: tag refused the read (bank %v, ptr %d, %d words)", bank, wordPtr, words)
+	}
+	got, _, err := epc.ParseReadReply(rep.Bits, words)
+	if err != nil {
+		return nil, fmt.Errorf("rfly: read reply invalid: %w", err)
+	}
+	return got, nil
+}
+
+// WriteItemMemory writes one word into the item's user memory with Gen2
+// cover-coding: a fresh ReqRN supplies the cover RN16 and the word travels
+// XOR-masked.
+func (s *System) WriteItemMemory(e EPC, wordPtr uint32, word uint16) error {
+	obs, err := s.singulate(e)
+	if err != nil {
+		return err
+	}
+	tg := obs.Tag
+	// Fetch a cover RN16.
+	cov := tg.Handle(epc.ReqRN{RN16: tg.RN16()})
+	if cov == nil {
+		return fmt.Errorf("rfly: tag refused the cover ReqRN")
+	}
+	cover := uint16(cov.Bits[:16].Uint())
+	rep := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: wordPtr, Data: word ^ cover, RN16: tg.RN16()})
+	if rep == nil {
+		return fmt.Errorf("rfly: tag refused the write (ptr %d)", wordPtr)
+	}
+	if !epc.CheckCRC16(rep.Bits) {
+		return fmt.Errorf("rfly: write reply corrupt")
+	}
+	return nil
+}
+
+// singulate isolates one tag over the protocol: Select narrows the
+// population to the target EPC, a Q=0 query elicits its RN16, ACK and
+// ReqRN establish the handle. The returned observation's tag holds the
+// handled state.
+func (s *System) singulate(e EPC) (*reader.Observation, error) {
+	item, ok := s.lookup(e)
+	if !ok {
+		return nil, fmt.Errorf("rfly: EPC %s not registered", e)
+	}
+	s.resetTags()
+	// Select: match the full EPC so only the target participates
+	// (mismatching tags get their inventoried flag set to B).
+	s.dep.Send(epc.Select{
+		Target: 0, Action: 0, MemBank: epc.BankEPC, Pointer: 0, Mask: item.EPC.Bits(),
+	})
+	// The relay's embedded tag also matched nothing and sits at B; only
+	// the target answers an A-target query.
+	obs := s.dep.Send(epc.Query{Q: 0, Session: epc.S0, Target: epc.TargetA})
+	var target *reader.Observation
+	for i := range obs {
+		if obs[i].Tag.EPC.Equal(item.EPC) {
+			target = &obs[i]
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("rfly: tag %s not reachable from the current relay position", e)
+	}
+	if !s.dep.Reader.DrawDecodeSuccess(target.SNRdB, 16) {
+		return nil, fmt.Errorf("rfly: RN16 decode failed (SNR %.1f dB)", target.SNRdB)
+	}
+	tg := target.Tag
+	if rep := tg.Handle(epc.ACK{RN16: tg.RN16()}); rep == nil {
+		return nil, fmt.Errorf("rfly: ACK not answered")
+	}
+	if rep := tg.Handle(epc.ReqRN{RN16: tg.RN16()}); rep == nil {
+		return nil, fmt.Errorf("rfly: handle not granted")
+	}
+	if tg.State() != tag.StateAcknowledged {
+		return nil, fmt.Errorf("rfly: tag in state %v after handshake", tg.State())
+	}
+	return target, nil
+}

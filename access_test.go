@@ -1,0 +1,86 @@
+package rfly
+
+import "testing"
+
+func TestReadItemMemoryTID(t *testing.T) {
+	sys := New(Options{ReaderPos: At(0, 0, 1.5), Seed: 31})
+	e := NewEPC96(0xE280, 7, 7, 7, 7, 7)
+	if err := sys.RegisterItem("crate", e, At(20, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sys.MoveRelay(At(19, 0, 1.2))
+	words, err := sys.ReadItemMemory(e, BankTID, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 4 || words[0] != 0xE200 {
+		t.Fatalf("TID = %04X...", words[0])
+	}
+}
+
+func TestWriteThenReadUserMemory(t *testing.T) {
+	sys := New(Options{ReaderPos: At(0, 0, 1.5), Seed: 32})
+	e := NewEPC96(0xE280, 8, 8, 8, 8, 8)
+	if err := sys.RegisterItem("crate", e, At(15, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sys.MoveRelay(At(14, 0, 1.2))
+	if err := sys.WriteItemMemory(e, 3, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	words, err := sys.ReadItemMemory(e, BankUser, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 0xBEEF {
+		t.Fatalf("read back %04X (cover-coding through the facade broken)", words[0])
+	}
+}
+
+func TestAccessWithMultipleTagsSelects(t *testing.T) {
+	// Several tags in range: Select must single out the right one.
+	sys := New(Options{ReaderPos: At(0, 0, 1.5), Seed: 33})
+	var epcs []EPC
+	for i := 0; i < 5; i++ {
+		e := NewEPC96(0xE280, uint16(i), 1, 2, 3, 4)
+		epcs = append(epcs, e)
+		if err := sys.RegisterItem("crate", e, At(18+float64(i)*0.3, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.MoveRelay(At(18.5, 0, 1.2))
+	for i, e := range epcs {
+		words, err := sys.ReadItemMemory(e, BankEPC, 1, 1)
+		if err != nil {
+			t.Fatalf("tag %d: %v", i, err)
+		}
+		if words[0] != uint16(i) {
+			t.Fatalf("tag %d read wrong tag's EPC word: %04X", i, words[0])
+		}
+	}
+}
+
+func TestAccessErrors(t *testing.T) {
+	sys := New(Options{ReaderPos: At(0, 0, 1.5), Seed: 34})
+	unknown := NewEPC96(1, 1, 1, 1, 1, 1)
+	if _, err := sys.ReadItemMemory(unknown, BankTID, 0, 1); err == nil {
+		t.Fatal("unknown EPC accepted")
+	}
+	e := NewEPC96(0xE280, 9, 9, 9, 9, 9)
+	if err := sys.RegisterItem("far", e, At(300, 300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Unreachable tag (way out of range).
+	if _, err := sys.ReadItemMemory(e, BankTID, 0, 1); err == nil {
+		t.Fatal("unreachable tag read")
+	}
+	// Out-of-range pointer on a reachable tag.
+	near := NewEPC96(0xE280, 10, 10, 10, 10, 10)
+	if err := sys.RegisterItem("near", near, At(10, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sys.MoveRelay(At(9.5, 0, 1.2))
+	if _, err := sys.ReadItemMemory(near, BankUser, 99, 1); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}

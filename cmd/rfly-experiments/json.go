@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rfly/internal/experiments"
+	"rfly/internal/stats"
+)
+
+// jsonReport is the machine-readable form of the full experiment suite,
+// written by the -json flag for downstream analysis/plotting.
+type jsonReport struct {
+	Seed uint64 `json:"seed"`
+
+	Figure9 struct {
+		RFlyMedianDB   map[string]float64 `json:"rfly_median_db"`
+		AnalogMedianDB map[string]float64 `json:"analog_median_db"`
+	} `json:"figure9"`
+
+	Figure10 struct {
+		MirroredMedianDeg float64 `json:"mirrored_median_deg"`
+		MirroredP99Deg    float64 `json:"mirrored_p99_deg"`
+		NoMirrorMedianDeg float64 `json:"nomirror_median_deg"`
+	} `json:"figure10"`
+
+	Figure11 struct {
+		DistancesM []float64 `json:"distances_m"`
+		NoRelayLoS []float64 `json:"no_relay_los_pct"`
+		RelayLoS   []float64 `json:"relay_los_pct"`
+		RelayNLoS  []float64 `json:"relay_nlos_pct"`
+	} `json:"figure11"`
+
+	Figure12 struct {
+		MedianM float64 `json:"median_m"`
+		P90M    float64 `json:"p90_m"`
+		N       int     `json:"n"`
+		Failed  int     `json:"failed"`
+	} `json:"figure12"`
+
+	Figure13 struct {
+		AperturesM []float64 `json:"apertures_m"`
+		SARMedianM []float64 `json:"sar_median_m"`
+		RSSIMedM   []float64 `json:"rssi_median_m"`
+	} `json:"figure13"`
+
+	Figure14 struct {
+		DistancesM []float64 `json:"distances_m"`
+		SARMedianM []float64 `json:"sar_median_m"`
+		RSSIMedM   []float64 `json:"rssi_median_m"`
+	} `json:"figure14"`
+
+	IsolationRange []experiments.IsolationRangeRow  `json:"isolation_range"`
+	PowerBudget    experiments.PowerBudgetRow       `json:"power_budget"`
+	AntiCollision  []experiments.AntiCollisionPoint `json:"anti_collision"`
+	DaisyChain     []experiments.DaisyChainRow      `json:"daisy_chain"`
+
+	SelfLocalization struct {
+		MedianM float64 `json:"median_m"`
+		P90M    float64 `json:"p90_m"`
+	} `json:"self_localization"`
+
+	CrossFloor experiments.CrossFloorResult `json:"cross_floor"`
+
+	Coverage []struct {
+		Scenario     string  `json:"scenario"`
+		AreaM2       float64 `json:"area_m2"`
+		Tags         int     `json:"tags"`
+		DroneMinutes float64 `json:"drone_minutes"`
+		ManualHours  float64 `json:"manual_hours"`
+		Speedup      float64 `json:"speedup"`
+	} `json:"coverage"`
+}
+
+// writeJSON regenerates the full suite at reduced-but-meaningful trial
+// counts and writes one JSON document.
+func writeJSON(path string, seed uint64) error {
+	var rep jsonReport
+	rep.Seed = seed
+
+	f9 := experiments.Figure9(60, seed)
+	med, amed := f9.Medians()
+	rep.Figure9.RFlyMedianDB = map[string]float64{}
+	rep.Figure9.AnalogMedianDB = map[string]float64{}
+	for _, l := range experiments.Links {
+		rep.Figure9.RFlyMedianDB[l.String()] = med[l]
+		rep.Figure9.AnalogMedianDB[l.String()] = amed[l]
+	}
+
+	f10 := experiments.Figure10(50, seed)
+	m := stats.Summarize(f10.MirroredDeg)
+	rep.Figure10.MirroredMedianDeg = m.Median
+	rep.Figure10.MirroredP99Deg = m.P99
+	rep.Figure10.NoMirrorMedianDeg = stats.Quantile(f10.NoMirrorDeg, 0.5)
+
+	cfg := experiments.DefaultFigure11Config()
+	cfg.TrialsPerPoint = 40
+	f11 := experiments.Figure11(cfg, seed)
+	rep.Figure11.DistancesM = f11.DistancesM
+	rep.Figure11.NoRelayLoS = f11.NoRelayLoS
+	rep.Figure11.RelayLoS = f11.RelayLoS
+	rep.Figure11.RelayNLoS = f11.RelayNLoS
+
+	f12 := experiments.Figure12(60, seed)
+	s12 := stats.Summarize(f12.ErrorsM)
+	rep.Figure12.MedianM = s12.Median
+	rep.Figure12.P90M = s12.P90
+	rep.Figure12.N = s12.N
+	rep.Figure12.Failed = f12.Failed
+
+	f13 := experiments.Figure13(12, seed)
+	rep.Figure13.AperturesM = f13.SAR.X
+	rep.Figure13.SARMedianM = f13.SAR.Med
+	rep.Figure13.RSSIMedM = f13.RSSI.Med
+
+	f14 := experiments.Figure14(15, seed)
+	rep.Figure14.DistancesM = f14.SAR.X
+	rep.Figure14.SARMedianM = f14.SAR.Med
+	rep.Figure14.RSSIMedM = f14.RSSI.Med
+
+	rep.IsolationRange = experiments.IsolationRangeTable()
+	rep.PowerBudget = experiments.PowerBudgetTable()
+	rep.AntiCollision = experiments.AntiCollision([]int{1, 8, 32}, seed)
+	rep.DaisyChain = experiments.DaisyChainRange(3, seed)
+
+	sl := experiments.SelfLocalization(20, seed)
+	rep.SelfLocalization.MedianM = stats.Quantile(sl.ErrorsM, 0.5)
+	rep.SelfLocalization.P90M = stats.Quantile(sl.ErrorsM, 0.9)
+
+	rep.CrossFloor = experiments.CrossFloor(30, seed)
+
+	for _, r := range experiments.CoverageTable(seed) {
+		rep.Coverage = append(rep.Coverage, struct {
+			Scenario     string  `json:"scenario"`
+			AreaM2       float64 `json:"area_m2"`
+			Tags         int     `json:"tags"`
+			DroneMinutes float64 `json:"drone_minutes"`
+			ManualHours  float64 `json:"manual_hours"`
+			Speedup      float64 `json:"speedup"`
+		}{r.Scenario, r.AreaM2, r.Tags, r.Cycle.Total.Minutes(), r.Manual.Hours(), r.Speedup})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	return nil
+}

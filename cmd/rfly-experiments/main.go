@@ -1,0 +1,381 @@
+// Command rfly-experiments regenerates every table and figure of the RFly
+// paper's evaluation (§7) and prints the same rows/series the paper
+// reports, plus the paper's reference values for side-by-side comparison.
+//
+// Usage:
+//
+//	rfly-experiments [-fig all|6|9|10|11|12|13|14|range|power] [-seed N]
+//	                 [-trials N] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rfly/internal/experiments"
+	"rfly/internal/relay"
+	"rfly/internal/rng"
+	"rfly/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	trials := flag.Int("trials", 0, "override trial count (0 = paper's count)")
+	csvDir := flag.String("csv", "", "directory to write CSV series into")
+	jsonPath := flag.String("json", "", "write the full suite as JSON to this path ('-' = stdout)")
+	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	wrote := false
+	if run("9") {
+		figure9(*trials, *seed)
+		wrote = true
+	}
+	if run("10") {
+		figure10(*trials, *seed)
+		wrote = true
+	}
+	if run("range") {
+		rangeTable()
+		wrote = true
+	}
+	if run("power") {
+		powerTable()
+		wrote = true
+	}
+	if run("11") {
+		figure11(*trials, *seed, *csvDir)
+		wrote = true
+	}
+	if run("12") {
+		figure12(*trials, *seed)
+		wrote = true
+	}
+	if run("13") {
+		figure13(*trials, *seed, *csvDir)
+		wrote = true
+	}
+	if run("14") {
+		figure14(*trials, *seed, *csvDir)
+		wrote = true
+	}
+	if run("6") {
+		figure6(*seed, *csvDir)
+		wrote = true
+	}
+	if run("aloha") {
+		antiCollision(*seed)
+		wrote = true
+	}
+	if run("selfloc") {
+		selfLoc(*trials, *seed)
+		wrote = true
+	}
+	if run("chain") {
+		daisyChain(*seed)
+		wrote = true
+	}
+	if run("3d") {
+		threeD(*trials, *seed)
+		wrote = true
+	}
+	if run("ablation") {
+		ablations(*seed)
+		wrote = true
+	}
+	if run("floor") {
+		crossFloor(*trials, *seed)
+		wrote = true
+	}
+	if run("coverage") {
+		coverage(*seed)
+		wrote = true
+	}
+	if run("miller") {
+		miller(*trials, *seed)
+		wrote = true
+	}
+	if !wrote {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func count(n, def int) int {
+	if n > 0 {
+		return n
+	}
+	return def
+}
+
+func figure9(trials int, seed uint64) {
+	header("Figure 9 — Self-interference isolation CDFs (100 trials)")
+	res := experiments.Figure9(count(trials, 100), seed)
+	med, amed := res.Medians()
+	paper := map[relay.Link]float64{
+		relay.InterDownlink: 110, relay.InterUplink: 92,
+		relay.IntraDownlink: 77, relay.IntraUplink: 64,
+	}
+	fmt.Printf("%-16s %-14s %-14s %-14s\n", "link", "RFly median", "paper", "analog median")
+	for _, l := range experiments.Links {
+		fmt.Printf("%-16s %-14.1f %-14.0f %-14.1f\n", l, med[l], paper[l], amed[l])
+	}
+	for _, l := range experiments.Links {
+		fmt.Println(stats.NewCDF(res.RFly[l]).RenderASCII("RFly "+l.String()+" isolation (dB)", 60, 8))
+	}
+}
+
+func figure10(trials int, seed uint64) {
+	header("Figure 10 — Phase error, mirrored vs no-mirror (50 trials)")
+	res := experiments.Figure10(count(trials, 50), seed)
+	m := stats.Summarize(res.MirroredDeg)
+	n := stats.Summarize(res.NoMirrorDeg)
+	fmt.Printf("mirrored: median %.2f° p99 %.2f°   (paper: 0.34°, 1.2°)\n", m.Median, m.P99)
+	fmt.Printf("no-mirror: median %.1f° p90 %.1f°  (paper: ~uniform random)\n", n.Median, n.P90)
+	fmt.Println(stats.NewCDF(res.MirroredDeg).RenderASCII("mirrored phase error (deg)", 60, 8))
+}
+
+func rangeTable() {
+	header("Eq. 3/4 — Isolation vs maximum stable range")
+	fmt.Printf("%-14s %-12s\n", "isolation dB", "range m")
+	for _, row := range experiments.IsolationRangeTable() {
+		fmt.Printf("%-14.0f %-12.2f\n", row.IsolationDB, row.RangeM)
+	}
+	fmt.Println("paper checkpoints: 30 dB → 0.75 m, 80 dB → 238 m, 70 dB → ~83 m")
+}
+
+func powerTable() {
+	header("§6.2 — Relay power budget on the drone battery")
+	row := experiments.PowerBudgetTable()
+	fmt.Printf("power %.1f W, battery draw %.2f A, %.1f%% of battery capability (paper: 5.8 W, 0.49 A, <3%%)\n",
+		row.PowerWatts, row.BatteryAmps, 100*row.BatteryFraction)
+}
+
+func figure11(trials int, seed uint64, csvDir string) {
+	header("Figure 11 — Reading rate vs distance")
+	cfg := experiments.DefaultFigure11Config()
+	if trials > 0 {
+		cfg.TrialsPerPoint = trials
+	}
+	res := experiments.Figure11(cfg, seed)
+	fmt.Printf("%-10s %-20s %-20s %-20s\n", "dist m", "no-relay LoS%", "relay LoS%", "relay NLoS%")
+	n := cfg.TrialsPerPoint
+	ci := func(pct float64) string {
+		lo, hi := stats.WilsonInterval(int(pct/100*float64(n)+0.5), n)
+		return fmt.Sprintf("%3.0f [%3.0f,%3.0f]", pct, 100*lo, 100*hi)
+	}
+	for i, d := range res.DistancesM {
+		fmt.Printf("%-10.1f %-20s %-20s %-20s\n", d, ci(res.NoRelayLoS[i]), ci(res.RelayLoS[i]), ci(res.RelayNLoS[i]))
+	}
+	fmt.Println("paper shape: no-relay → 0 by 10 m; relay LoS 100% past 50 m; relay NLoS ~75% at 55 m")
+	if csvDir != "" {
+		var b strings.Builder
+		b.WriteString("dist,no_relay_los,relay_los,relay_nlos\n")
+		for i, d := range res.DistancesM {
+			fmt.Fprintf(&b, "%g,%g,%g,%g\n", d, res.NoRelayLoS[i], res.RelayLoS[i], res.RelayNLoS[i])
+		}
+		writeCSV(csvDir, "figure11.csv", b.String())
+	}
+}
+
+func figure12(trials int, seed uint64) {
+	header("Figure 12 — Localization error CDF across the facility")
+	res := experiments.Figure12(count(trials, 100), seed)
+	s := stats.Summarize(res.ErrorsM)
+	fmt.Printf("N=%d (failed captures: %d) median %.0f cm, p90 %.0f cm  (paper: 19 cm, 53 cm)\n",
+		s.N, res.Failed, 100*s.Median, 100*s.P90)
+	fmt.Println(stats.NewCDF(res.ErrorsM).RenderASCII("localization error (m)", 60, 8))
+}
+
+func figure13(trials int, seed uint64, csvDir string) {
+	header("Figure 13 — Localization error vs aperture (SAR vs RSSI)")
+	res := experiments.Figure13(count(trials, 20), seed)
+	fmt.Print(res.SAR.Rows("aperture_m", "err_m"))
+	fmt.Print(res.RSSI.Rows("aperture_m", "err_m"))
+	fmt.Println("paper shape: SAR 22 cm → <5 cm by 1 m aperture; RSSI ~1 m (≈20× worse)")
+	if csvDir != "" {
+		writeCSV(csvDir, "figure13_sar.csv", res.SAR.CSV())
+		writeCSV(csvDir, "figure13_rssi.csv", res.RSSI.CSV())
+	}
+}
+
+func figure14(trials int, seed uint64, csvDir string) {
+	header("Figure 14 — Localization error vs projected distance")
+	res := experiments.Figure14(count(trials, 50), seed)
+	fmt.Print(res.SAR.Rows("dist_m", "err_m"))
+	fmt.Print(res.RSSI.Rows("dist_m", "err_m"))
+	fmt.Println("paper shape: SAR <18 cm median at 40 m; p90 blows up past 50 m as SNR < 3 dB; RSSI much worse")
+	if csvDir != "" {
+		writeCSV(csvDir, "figure14_sar.csv", res.SAR.CSV())
+		writeCSV(csvDir, "figure14_rssi.csv", res.RSSI.CSV())
+	}
+}
+
+func figure6(seed uint64, csvDir string) {
+	header("Figure 6 — P(x,y) heatmaps (LoS and strong multipath)")
+	los, mp, err := experiments.Figure6(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range []experiments.Figure6Result{los, mp} {
+		fmt.Printf("\n[%s] tag at (%.2f, %.2f), estimate (%.2f, %.2f), error %.0f cm, %d candidate peaks\n",
+			r.Name, r.TagPos.X, r.TagPos.Y, r.Estimate.X, r.Estimate.Y, 100*r.ErrorM, len(r.Candidates))
+		fmt.Print(r.Heatmap.RenderASCII())
+	}
+	fmt.Println("paper: LoS error < 7 cm; multipath scene shows ghost peaks farther from the trajectory")
+	if csvDir != "" {
+		writeCSV(csvDir, "figure6_los_heatmap.csv", los.Heatmap.CSV())
+		writeCSV(csvDir, "figure6_multipath_heatmap.csv", mp.Heatmap.CSV())
+	}
+}
+
+func antiCollision(seed uint64) {
+	header("Substrate — Gen2 anti-collision through the relay")
+	points := experiments.AntiCollision([]int{1, 4, 8, 16, 32, 64}, seed)
+	fmt.Printf("%-8s %-8s %-8s %-12s %-12s %-8s %-10s %-10s\n",
+		"tags", "rounds", "slots", "collisions", "efficiency", "finalQ", "airtime", "tags/s")
+	for _, p := range points {
+		fmt.Printf("%-8d %-8d %-8d %-12d %-12.2f %-8d %-10s %-10.0f\n",
+			p.Tags, p.Rounds, p.Slots, p.Collisions, p.Efficiency, p.FinalQ,
+			p.Airtime.Round(time.Millisecond/10), p.TagsPerSecond)
+	}
+	fmt.Println("framed-ALOHA optimum efficiency ≈ 0.37; at these rates a drone pass")
+	fmt.Println("inventories hundreds of tags per second of airtime — the paper's")
+	fmt.Println("month→day cycle-count speedup is protocol-feasible")
+}
+
+func selfLoc(trials int, seed uint64) {
+	header("Extension — drone self-localization from the reader–relay half-link (§5.1/§9)")
+	res := experiments.SelfLocalization(count(trials, 30), seed)
+	s := stats.Summarize(res.ErrorsM)
+	fmt.Printf("N=%d (failed %d): median %.0f cm, p90 %.0f cm\n",
+		s.N, res.Failed, 100*s.Median, 100*s.P90)
+	fmt.Println("the embedded tag's phases alone pin the drone trajectory's absolute placement")
+}
+
+func daisyChain(seed uint64) {
+	header("Extension — daisy-chained relay range (§4.3/§9)")
+	rows := experiments.DaisyChainRange(4, seed)
+	fmt.Printf("%-6s %-14s %-12s %-16s\n", "hops", "total range m", "tag dBm", "per-leg cap m")
+	for _, r := range rows {
+		fmt.Printf("%-6d %-14.1f %-12.1f %-16.1f\n", r.Hops, r.TotalRangeM, r.TagRxDBm, r.StabilityCapM)
+	}
+	fmt.Println("each hop restarts the Eq. 3/4 stability budget → range grows linearly in hops")
+}
+
+func threeD(trials int, seed uint64) {
+	header("Extension — 3D localization from a planar trajectory (§5.2)")
+	res := experiments.Localization3D(count(trials, 20), seed)
+	xy := stats.Summarize(res.ErrorsXY)
+	z := stats.Summarize(res.ErrorsZ)
+	fmt.Printf("N=%d (failed %d): horizontal median %.0f cm, height median %.0f cm\n",
+		xy.N, res.Failed, 100*xy.Median, 100*z.Median)
+	fmt.Println("a lawnmower flight resolves which shelf LEVEL an item sits on")
+}
+
+func ablations(seed uint64) {
+	header("Ablations — what each design choice buys")
+	// 1. Mirrored architecture.
+	ph := experiments.Figure10(20, seed)
+	fmt.Printf("mirrored synthesizers : phase error %6.2f° median → %6.1f° without (random)\n",
+		stats.Quantile(ph.MirroredDeg, 0.5), stats.Quantile(ph.NoMirrorDeg, 0.5))
+	// 2. Downlink filter order vs inter-link isolation.
+	fmt.Printf("LPF order             : ")
+	for _, taps := range []int{31, 63, 127} {
+		cfg := relay.DefaultConfig()
+		cfg.LPFTaps = taps
+		r := relay.New(cfg, rng.New(seed+uint64(taps)))
+		r.Lock(0)
+		iso := r.MeasureIsolation(relay.InterDownlink, rng.New(seed+99))
+		fmt.Printf("%d taps → %.0f dB   ", taps, iso)
+	}
+	fmt.Println()
+	// 3. Analog-relay baseline.
+	a := relay.NewAnalogRelay(rng.New(seed))
+	fmt.Printf("analog A&F baseline   : %.0f dB isolation (all four links)\n",
+		a.MeasureIsolation(relay.InterDownlink, rng.New(seed+7)))
+	fmt.Println("(SAR grid resolution and phase-only weighting: see the Benchmark* ablations)")
+}
+
+func crossFloor(trials int, seed uint64) {
+	header("Extension — cross-floor coverage (§7.2 spans floors)")
+	res := experiments.CrossFloor(count(trials, 40), seed)
+	fmt.Printf("same floor, direct reader : %3.0f%%\n", res.SameFloorPct)
+	fmt.Printf("cross floor, direct       : %3.0f%%\n", res.CrossDirect)
+	fmt.Printf("cross floor, via relay    : %3.0f%%\n", res.CrossRelayPct)
+	fmt.Println("the relay's powered reader↔relay half-link punches through the slab")
+}
+
+func coverage(seed uint64) {
+	header("Motivation — §1 month→day inventory cycles, derived end to end")
+	rows := experiments.CoverageTable(seed)
+	fmt.Printf("%-22s %-9s %-9s %-8s %-12s %-12s %-9s\n",
+		"scenario", "area m²", "tags", "sorties", "drone cycle", "manual(4p)", "speedup")
+	for _, r := range rows {
+		limited := ""
+		if r.ReadLimited {
+			limited = "*"
+		}
+		fmt.Printf("%-22s %-9.0f %-9d %-8d %-12s %-12s %-8.0f×%s\n",
+			r.Scenario, r.AreaM2, r.Tags, r.Plan.Sorties,
+			r.Cycle.Total.Round(time.Minute), r.Manual.Round(time.Hour),
+			r.Speedup, limited)
+	}
+	fmt.Println("* read-throughput limited (flight stretched to give every tag a slot)")
+	fmt.Println("throughput is derived from the Gen2 framed-ALOHA substrate, flight time")
+	fmt.Println("from the Bebop 2's endurance — the month→day claim falls out, unasserted")
+}
+
+func miller(trials int, seed uint64) {
+	header("Substrate — FM0 vs Miller robustness (waveform decode)")
+	res := experiments.MillerRobustness(count(trials, 40), seed)
+	fmt.Printf("%-10s", "chip SNR")
+	modes := []string{"FM0", "Miller-2", "Miller-4", "Miller-8"}
+	for _, m := range modes {
+		fmt.Printf(" %-10s", m)
+	}
+	fmt.Println()
+	for _, snr := range res.SNRsdB {
+		fmt.Printf("%+-10.0f", snr)
+		for _, p := range res.Points {
+			if p.ChipSNRdB == snr {
+				fmt.Printf(" %-10.0f", p.SuccessPct)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("Miller-2 buys ~6 dB over FM0 at 2.3× the airtime; below that,")
+	fmt.Println("preamble sync detection (not bit energy) binds, so M=4/8 add")
+	fmt.Println("airtime without further detection margin")
+}
+
+func writeCSV(dir, name, content string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}

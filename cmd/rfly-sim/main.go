@@ -1,0 +1,161 @@
+// Command rfly-sim runs a configurable RFly scenario end to end: it builds
+// a scene, scatters tagged items, flies the relay drone along a survey
+// plan, and prints the inventory/localization report.
+//
+// Usage:
+//
+//	rfly-sim [-scene open|corridor|warehouse|facility] [-tags N]
+//	         [-seed N] [-norelay] [-mission] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rfly"
+	"rfly/internal/rng"
+	"rfly/internal/world"
+)
+
+func main() {
+	sceneName := flag.String("scene", "warehouse", "scene: open, corridor, warehouse, facility")
+	tags := flag.Int("tags", 10, "number of tagged items to scatter")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	noRelay := flag.Bool("norelay", false, "disable the relay (direct-reader baseline)")
+	verbose := flag.Bool("v", false, "print per-item detail")
+	showMap := flag.Bool("map", false, "print a plan-view map of the scenario")
+	mission := flag.Bool("mission", false, "print the coverage/battery plan for the scene before flying")
+	flag.Parse()
+
+	var scene *rfly.Scene
+	var readerPos rfly.Point
+	var aisles []float64
+	var xRange [2]float64
+	switch *sceneName {
+	case "open":
+		scene = rfly.OpenSpace()
+		readerPos = rfly.At(-10, 1, 1.5)
+		aisles = []float64{0}
+		xRange = [2]float64{0, 10}
+	case "corridor":
+		scene = rfly.Corridor(40, 3)
+		readerPos = rfly.At(0.5, 1.5, 1.5)
+		aisles = []float64{1.2}
+		xRange = [2]float64{3, 38}
+	case "warehouse":
+		scene = rfly.Warehouse(30, 20, 3)
+		readerPos = rfly.At(1.5, 1.0, 2.0)
+		aisles = []float64{3.6, 8.6, 13.6}
+		xRange = [2]float64{4, 26}
+	case "facility":
+		scene = rfly.ResearchFacility()
+		readerPos = rfly.At(2, 2, 1.5)
+		aisles = []float64{4, 8}
+		xRange = [2]float64{4, 28}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scene %q\n", *sceneName)
+		os.Exit(2)
+	}
+
+	sys := rfly.New(rfly.Options{
+		Scene:              scene,
+		ReaderPos:          readerPos,
+		NoRelay:            *noRelay,
+		ShadowSigmaDB:      3,
+		GroundReflectivity: 0.3,
+		Seed:               *seed,
+	})
+
+	// Scatter items along the aisles' +Y faces.
+	src := rng.New(*seed)
+	for i := 0; i < *tags; i++ {
+		aisle := aisles[i%len(aisles)]
+		x := src.Uniform(xRange[0]+1, xRange[1]-1)
+		y := aisle + src.Uniform(0.6, 1.4)
+		name := fmt.Sprintf("item-%02d", i+1)
+		if err := sys.RegisterItem(name, rfly.NewEPC96(0xE280, 0xCAFE, uint16(i), 0, 0, 0),
+			rfly.At(x, y, 0.2)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *mission {
+		m := rfly.Mission{
+			X0: xRange[0], Y0: aisles[0],
+			X1: xRange[1], Y1: aisles[len(aisles)-1] + 2,
+			AltitudeM:   1.2,
+			ReadRadiusM: 6,
+			Overlap:     0.15,
+		}
+		plan, err := m.PlanCoverage(rfly.Bebop2(), rfly.Bebop2Endurance())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("mission: %v\n", plan)
+		cycle := plan.Inventory(*tags, 760)
+		fmt.Printf("inventory cycle for %d tags: %v (read budget %d)\n\n",
+			*tags, cycle.Total.Round(time.Second), cycle.ReadBudget)
+	}
+
+	if *showMap {
+		markers := []world.Marker{{Pos: readerPos, Glyph: 'R'}}
+		for _, it := range sys.Items() {
+			markers = append(markers, world.Marker{Pos: it.TruePos, Glyph: 't'})
+		}
+		fmt.Println("plan view (R = reader, t = tags; # concrete, = steel, - drywall):")
+		fmt.Print(scene.RenderASCII(markers, 2))
+		fmt.Println()
+	}
+
+	if *noRelay {
+		fmt.Printf("scene %s, %d items, DIRECT READER at %v\n", *sceneName, *tags, readerPos)
+		read := 0
+		for _, it := range sys.Items() {
+			rate, err := sys.ReadRate(it.EPC, 20)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if rate > 0.5 {
+				read++
+			}
+			if *verbose {
+				fmt.Printf("  %-10s at (%.1f, %.1f): %3.0f%%\n", it.Name, it.TruePos.X, it.TruePos.Y, 100*rate)
+			}
+		}
+		fmt.Printf("readable items: %d/%d\n", read, *tags)
+		return
+	}
+
+	fmt.Printf("scene %s, %d items, relay survey from reader at %v\n", *sceneName, *tags, readerPos)
+	located, detected := 0, 0
+	var errSum float64
+	for _, aisle := range aisles {
+		plan := rfly.Line(rfly.At(xRange[0], aisle, 1.2), rfly.At(xRange[1], aisle, 1.2), 140)
+		report, err := sys.Survey(plan, rfly.SurveyOptions{
+			SearchRegion:   &rfly.Region{X0: xRange[0] - 1, Y0: aisle + 0.2, X1: xRange[1] + 1, Y1: aisle + 1.8},
+			RoundsPerPoint: 2,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, li := range report.Located {
+			located++
+			errSum += li.ErrorM
+			if *verbose {
+				fmt.Printf("  %-10s located (%5.2f, %5.2f) err %4.0f cm, %d reads, SNR %.0f dB\n",
+					li.Name, li.Location.X, li.Location.Y, 100*li.ErrorM, li.Reads, li.MeanSNRdB)
+			}
+		}
+		detected += len(report.DetectedOnly)
+	}
+	fmt.Printf("located %d/%d items (plus %d detected-only)\n", located, *tags, detected)
+	if located > 0 {
+		fmt.Printf("mean localization error: %.0f cm\n", 100*errSum/float64(located))
+	}
+}

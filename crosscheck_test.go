@@ -1,0 +1,84 @@
+package rfly_test
+
+// Cross-check between the two fidelity levels: the link-budget engine
+// (internal/sim) predicts the reader's post-integration SNR analytically;
+// the waveform rig measures it from actual samples through the same relay
+// hardware. The two must agree to within a handful of dB — this is the
+// test that licenses running the paper's big sweeps on the budget level.
+
+import (
+	"math"
+	"testing"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/signal"
+	"rfly/internal/sim"
+	"rfly/internal/world"
+)
+
+// budgetSNR predicts the reader SNR for the rig's geometry with the sim
+// engine, aligned to the rig's hardware: 0 dBm reader, no antenna gains,
+// and the rig relay's fixed (minimum-VGA) gains.
+func budgetSNR(t *testing.T, w *waveformRig) float64 {
+	t.Helper()
+	d := sim.New(sim.Config{
+		Scene:     world.OpenSpace(),
+		ReaderPos: geom.P2(0, 0),
+		UseRelay:  true,
+		RelayPos:  geom.P2(w.dRR, 0),
+	}, 9000)
+	d.Reader.Cfg.TxPowerDBm = w.rd.Cfg.TxPowerDBm
+	d.Reader.Cfg.AntennaGainDB = 0
+	// Align the budget's gains with the rig relay's actual settings.
+	d.Gains.DownlinkGainDB = w.rl.DownlinkGainDB()
+	d.Gains.UplinkGainDB = w.rl.UplinkGainDB()
+	tg := d.AddTag(epc.NewEPC96(0xC4, 0, 0, 0, 0, 0), geom.P2(w.dRR+w.dRT, 0))
+	b := d.LinkBudget(tg)
+	if !b.Powered && b.TagRxDBm > -15 {
+		t.Fatalf("budget inconsistency: %+v", b)
+	}
+	// The budget path includes 2 dBi relay antennas on four traversals
+	// and ignores them at the reader; the rig has no antenna gains at
+	// all. Remove the 4 × 2 dBi to compare like with like.
+	return b.SNRdB - 8
+}
+
+func TestBudgetMatchesWaveformSNR(t *testing.T) {
+	w := newWaveformRig(t, 6, 1.0, 90)
+	// Thermal noise at the reader input, as the budget assumes.
+	w.noise = signal.ThermalNoiseWatts(w.fs, w.rd.Cfg.NoiseFigureDB)
+	_, dec := w.runQuery(t, epc.Query{Q: 0})
+	if dec == nil {
+		t.Fatal("no reply")
+	}
+	measured := dec.SNRdB
+	predicted := budgetSNR(t, w)
+	if math.Abs(measured-predicted) > 8 {
+		t.Fatalf("waveform SNR %.1f dB vs budget %.1f dB: fidelity levels diverge", measured, predicted)
+	}
+}
+
+func TestBudgetAndWaveformAgreeOnTrend(t *testing.T) {
+	// Doubling the relay→tag distance costs ~12 dB round trip on both
+	// levels.
+	snrAt := func(dRT float64, seed uint64) (float64, float64) {
+		w := newWaveformRig(t, 6, dRT, seed)
+		w.noise = signal.ThermalNoiseWatts(w.fs, w.rd.Cfg.NoiseFigureDB)
+		_, dec := w.runQuery(t, epc.Query{Q: 0})
+		if dec == nil {
+			t.Fatal("no reply")
+		}
+		return dec.SNRdB, budgetSNR(t, w)
+	}
+	m1, p1 := snrAt(0.6, 91)
+	m2, p2 := snrAt(1.2, 92)
+	mDrop := m1 - m2
+	pDrop := p1 - p2
+	if mDrop < 6 || mDrop > 18 {
+		t.Fatalf("waveform distance penalty %.1f dB, expected ≈12", mDrop)
+	}
+	if math.Abs(mDrop-pDrop) > 5 {
+		t.Fatalf("distance trends diverge: waveform %.1f dB vs budget %.1f dB", mDrop, pDrop)
+	}
+}

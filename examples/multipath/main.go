@@ -1,0 +1,47 @@
+// Multipath localization: the Fig. 6 experiment as a runnable demo.
+//
+// A tag sits in an aisle flanked by a steel shelf row. The shelf's
+// specular image of the tag produces a ghost peak in the localization
+// likelihood P(x,y) — farther from the robot's trajectory than the true
+// tag, which is exactly the structure §5.2's peak-selection rule exploits.
+// The example renders both heatmaps (clean line-of-sight and strong
+// multipath) and prints the candidate peaks with their
+// distance-to-trajectory discriminator.
+//
+//	go run ./examples/multipath
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfly/internal/experiments"
+)
+
+func main() {
+	los, multipath, err := experiments.Figure6(2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range []experiments.Figure6Result{los, multipath} {
+		fmt.Printf("=== %s ===\n", r.Name)
+		fmt.Printf("true tag (%.2f, %.2f)  estimate (%.2f, %.2f)  error %.0f cm\n",
+			r.TagPos.X, r.TagPos.Y, r.Estimate.X, r.Estimate.Y, 100*r.ErrorM)
+		fmt.Printf("candidate peaks (value, distance to trajectory):\n")
+		for i, c := range r.Candidates {
+			marker := " "
+			if c.Location.Dist2D(r.Estimate) < 0.05 {
+				marker = "*" // the chosen peak
+			}
+			fmt.Printf("  %s peak %d at (%5.2f, %5.2f)  value %.3g  trajDist %.2f m\n",
+				marker, i+1, c.Location.X, c.Location.Y, c.Value, c.TrajectoryDist)
+		}
+		fmt.Println("\nP(x,y) heatmap (top = +y, drone flies along the bottom edge):")
+		fmt.Print(r.Heatmap.RenderASCII())
+		fmt.Println()
+	}
+	fmt.Println("Note how the multipath scene grows extra peaks beyond the shelf")
+	fmt.Println("line; they sit farther from the trajectory than the true tag, so")
+	fmt.Println("the nearest-peak rule (§5.2) still reports the right location.")
+}

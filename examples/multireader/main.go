@@ -1,0 +1,64 @@
+// Multi-reader interference management (§4.3), at the waveform level.
+//
+// Two readers transmit simultaneously on different ISM channels. The relay
+// runs its Eq. 5 energy-detection sweep over the combined capture, locks
+// onto the stronger reader's carrier, and — because its baseband filters
+// are now centered on that carrier — naturally rejects the other reader's
+// signal on the forwarded downlink. The example measures the rejection
+// directly from the forwarded waveform.
+//
+//	go run ./examples/multireader
+package main
+
+import (
+	"fmt"
+
+	"rfly/internal/relay"
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+)
+
+func main() {
+	src := rng.New(99)
+	r := relay.New(relay.DefaultConfig(), src)
+	fs := r.Cfg.Fs
+
+	// Reader A: strong, at +500 kHz from band center (e.g. 915.5 MHz).
+	// Reader B: 12 dB weaker, at −1 MHz (e.g. 914 MHz).
+	const (
+		freqA = 500e3
+		freqB = -1e6
+	)
+	n := 16384
+	capture := signal.Tone(n, freqA, fs, 0.2, 1e-2)
+	signal.Add(capture, signal.Tone(n, freqB, fs, 1.1, 1e-2*signal.AmpFromDB(-12)))
+
+	locked, err := r.LockToReader(capture)
+	if err != nil {
+		fmt.Println("lock failed:", err)
+		return
+	}
+	fmt.Printf("relay swept the ISM band and locked to %+.1f kHz (reader A at %+.1f kHz, reader B at %+.1f kHz)\n",
+		locked/1e3, freqA/1e3, freqB/1e3)
+
+	// Forward the combined downlink. Reader A's query band passes; reader
+	// B, now 1.5 MHz away from the relay's baseband filters, is rejected.
+	out := r.ForwardDownlink(capture, 0)
+	skip := n / 4
+	pA := signal.GoertzelPower(out[skip:], locked+r.Cfg.ShiftHz, fs)
+	pB := signal.GoertzelPower(out[skip:], freqB+r.Cfg.ShiftHz, fs)
+	fmt.Printf("forwarded power at reader A's (shifted) carrier: %s\n", signal.FormatDBm(pA))
+	fmt.Printf("forwarded power at reader B's (shifted) carrier: %s\n", signal.FormatDBm(pB))
+	fmt.Printf("interference rejection: %.1f dB\n", signal.DB(pA/pB))
+
+	// Re-locking after the stronger reader goes quiet: the relay adapts.
+	captureB := signal.Tone(n, freqB, fs, 0.4, 1e-2*signal.AmpFromDB(-12))
+	locked2, err := r.LockToReader(captureB)
+	if err != nil {
+		fmt.Println("re-lock failed:", err)
+		return
+	}
+	fmt.Printf("\nreader A silent → relay re-swept and locked to %+.1f kHz (reader B)\n", locked2/1e3)
+	fmt.Println("\nWith the lock in place the baseband filters manage multi-reader")
+	fmt.Println("interference without any change to the Gen2 protocol (§4.3).")
+}

@@ -1,0 +1,3 @@
+module rfly
+
+go 1.22

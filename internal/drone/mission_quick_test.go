@@ -1,0 +1,77 @@
+package drone
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any sane mission rectangle, the planned trajectory stays
+// inside the area, flies at the survey altitude, and is long enough to
+// touch every swath.
+func TestPlanCoverageProperties(t *testing.T) {
+	prop := func(w8, h8 uint8, r8, ov8 uint8) bool {
+		w := 5 + float64(w8%140)  // 5–145 m
+		h := 5 + float64(h8%140)  // 5–145 m
+		r := 2 + float64(r8%12)   // 2–13 m read radius
+		ov := float64(ov8%9) / 10 // 0–0.8 overlap
+		m := Mission{X0: 0, Y0: 0, X1: w, Y1: h, AltitudeM: 1.4, ReadRadiusM: r, Overlap: ov}
+		plan, err := m.PlanCoverage(Bebop2(), Bebop2Endurance())
+		if err != nil {
+			return false
+		}
+		long := math.Max(w, h)
+		if plan.PathLengthM < long-1e-9 {
+			return false
+		}
+		if plan.Sorties < 1 || plan.TotalTime < plan.FlightTime {
+			return false
+		}
+		for _, p := range plan.Trajectory.Points {
+			if p.X < -1e-9 || p.X > w+1e-9 || p.Y < -1e-9 || p.Y > h+1e-9 || p.Z != 1.4 {
+				return false
+			}
+		}
+		// Tighter overlap (narrower swaths) can never need fewer swaths.
+		// (Path length itself is not strictly monotone: the last lane is
+		// clamped to the area edge, which quantizes distance.)
+		m2 := m
+		m2.Overlap = math.Min(0.9, ov+0.3)
+		plan2, err := m2.PlanCoverage(Bebop2(), Bebop2Endurance())
+		if err != nil {
+			return false
+		}
+		return plan2.Swaths >= plan.Swaths
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the inventory cycle never undercounts — the stretched total
+// always hosts at least the tag population at the given throughput, and
+// zero/negative throughput disables the read-budget logic.
+func TestInventoryProperties(t *testing.T) {
+	plan, err := testMission().PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(tags32 uint32, tput16 uint16) bool {
+		tags := int(tags32 % 5_000_000)
+		tput := 50 + float64(tput16%2000)
+		c := plan.Inventory(tags, tput)
+		if c.Total < plan.TotalTime {
+			return false
+		}
+		// Airtime in the final cycle must cover tags/throughput.
+		air := c.Total - plan.GroundTime
+		return air.Seconds()*tput >= float64(tags)-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	c := plan.Inventory(1000, 0)
+	if c.ReadLimited || c.Total != plan.TotalTime {
+		t.Fatal("zero throughput must disable the read budget")
+	}
+}

@@ -1,0 +1,181 @@
+package drone
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testMission() Mission {
+	return Mission{
+		X0: 0, Y0: 0, X1: 60, Y1: 30,
+		AltitudeM:   1.2,
+		ReadRadiusM: 8,
+		Overlap:     0.2,
+	}
+}
+
+func TestPlanCoverageGeometry(t *testing.T) {
+	plan, err := testMission().PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AreaM2 != 1800 {
+		t.Fatalf("area = %g, want 1800", plan.AreaM2)
+	}
+	// Swath spacing 2·8·0.8 = 12.8 m over a 30 m depth → 3–4 swaths.
+	if plan.Swaths < 3 || plan.Swaths > 4 {
+		t.Fatalf("swaths = %d, want 3–4", plan.Swaths)
+	}
+	// The path must at least cross the long dimension once per swath.
+	if plan.PathLengthM < 60*float64(plan.Swaths-1) {
+		t.Fatalf("path %.0f m too short for %d swaths of 60 m", plan.PathLengthM, plan.Swaths)
+	}
+	// All points inside the area and at altitude.
+	for _, p := range plan.Trajectory.Points {
+		if p.X < -1e-9 || p.X > 60+1e-9 || p.Y < -1e-9 || p.Y > 30+1e-9 {
+			t.Fatalf("point %v escapes the mission area", p)
+		}
+		if p.Z != 1.2 {
+			t.Fatalf("point %v not at survey altitude", p)
+		}
+	}
+	if plan.FlightTime <= 0 || plan.TotalTime < plan.FlightTime {
+		t.Fatalf("times inconsistent: flight %v total %v", plan.FlightTime, plan.TotalTime)
+	}
+}
+
+func TestPlanCoverageSorties(t *testing.T) {
+	// A large warehouse at Bebop speed must need several batteries, and the
+	// swap overhead must grow accordingly.
+	m := Mission{X0: 0, Y0: 0, X1: 120, Y1: 80, AltitudeM: 1.5, ReadRadiusM: 6, Overlap: 0.1}
+	plan, err := m.PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sorties < 2 {
+		t.Fatalf("sorties = %d, want ≥ 2 for %.0f m at 0.5 m/s vs 20 min endurance",
+			plan.Sorties, plan.PathLengthM)
+	}
+	wantGround := time.Duration(plan.Sorties-1) * (3 * time.Minute)
+	if plan.GroundTime != wantGround {
+		t.Fatalf("ground time %v, want %v", plan.GroundTime, wantGround)
+	}
+	if plan.CoverageRate <= 0 {
+		t.Fatalf("coverage rate %g must be positive", plan.CoverageRate)
+	}
+}
+
+func TestPlanCoverageRotatedArea(t *testing.T) {
+	// A tall-thin area sweeps along Y; coverage properties must match the
+	// transposed wide-flat area.
+	tall := Mission{X0: 0, Y0: 0, X1: 20, Y1: 70, AltitudeM: 1, ReadRadiusM: 7, Overlap: 0}
+	wide := Mission{X0: 0, Y0: 0, X1: 70, Y1: 20, AltitudeM: 1, ReadRadiusM: 7, Overlap: 0}
+	pt, err := tall.PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := wide.PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Swaths != pw.Swaths {
+		t.Fatalf("swaths differ after rotation: %d vs %d", pt.Swaths, pw.Swaths)
+	}
+	if math.Abs(pt.PathLengthM-pw.PathLengthM) > 1 {
+		t.Fatalf("path lengths differ after rotation: %.1f vs %.1f", pt.PathLengthM, pw.PathLengthM)
+	}
+	for _, p := range pt.Trajectory.Points {
+		if p.X < -1e-9 || p.X > 20+1e-9 || p.Y < -1e-9 || p.Y > 70+1e-9 {
+			t.Fatalf("rotated point %v escapes area", p)
+		}
+	}
+}
+
+func TestPlanCoverageValidation(t *testing.T) {
+	cases := []Mission{
+		{X0: 0, Y0: 0, X1: 0, Y1: 10, ReadRadiusM: 5},              // empty width
+		{X0: 0, Y0: 0, X1: 10, Y1: 10, ReadRadiusM: 0},             // no radius
+		{X0: 0, Y0: 0, X1: 10, Y1: 10, ReadRadiusM: 5, Overlap: 1}, // overlap too big
+	}
+	for i, m := range cases {
+		if _, err := m.PlanCoverage(Bebop2(), Bebop2Endurance()); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := testMission().PlanCoverage(Platform{SpeedMS: 0}, Bebop2Endurance()); err == nil {
+		t.Error("zero-speed platform: expected error")
+	}
+}
+
+func TestInventoryThroughputBinding(t *testing.T) {
+	plan, err := testMission().PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A modest population fits the flight's read budget.
+	small := plan.Inventory(10_000, 800)
+	if small.ReadLimited {
+		t.Fatalf("10k tags should not be read-limited (budget %d)", small.ReadBudget)
+	}
+	if small.Total != plan.TotalTime {
+		t.Fatalf("unstretched cycle %v, want %v", small.Total, plan.TotalTime)
+	}
+	// An extreme population forces the flight to stretch.
+	big := plan.Inventory(20_000_000, 800)
+	if !big.ReadLimited {
+		t.Fatalf("20M tags must be read-limited (budget %d)", big.ReadBudget)
+	}
+	if big.Total <= small.Total {
+		t.Fatalf("stretched cycle %v must exceed %v", big.Total, small.Total)
+	}
+	wantAir := time.Duration(20_000_000.0 / 800 * float64(time.Second))
+	if got := big.Total - plan.GroundTime; got < wantAir {
+		t.Fatalf("stretched airtime %v, want ≥ %v", got, wantAir)
+	}
+}
+
+func TestMonthToDayClaim(t *testing.T) {
+	// The paper's motivating comparison (§1): a retail floor that takes
+	// weeks to count by hand is covered by the drone within a working day.
+	m := Mission{X0: 0, Y0: 0, X1: 100, Y1: 50, AltitudeM: 1.5, ReadRadiusM: 8, Overlap: 0.15}
+	plan, err := m.PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tags = 200_000
+	cycle := plan.Inventory(tags, 800)
+	manual := ManualCycle(tags, 4, 8)
+	if manual < 14*24*time.Hour {
+		t.Fatalf("manual cycle %v should be weeks for 200k items and 4 workers", manual)
+	}
+	if cycle.Total > 24*time.Hour {
+		t.Fatalf("drone cycle %v should fit within a day", cycle.Total)
+	}
+	if float64(manual)/float64(cycle.Total) < 20 {
+		t.Fatalf("speedup %.0f× too small", float64(manual)/float64(cycle.Total))
+	}
+}
+
+func TestManualCycleWorkers(t *testing.T) {
+	one := ManualCycle(10_000, 1, 8)
+	four := ManualCycle(10_000, 4, 8)
+	if math.Abs(float64(one)/float64(four)-4) > 0.01 {
+		t.Fatalf("4 workers should be 4× faster: %v vs %v", one, four)
+	}
+	if got := ManualCycle(10_000, 0, 8); got != one {
+		t.Fatalf("worker floor of 1 not applied: %v vs %v", got, one)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan, err := testMission().PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "sorties") || !strings.Contains(s, "m²") {
+		t.Fatalf("summary missing fields: %q", s)
+	}
+}

@@ -1,0 +1,243 @@
+package epc
+
+import "fmt"
+
+// Access-layer commands (Gen2 §6.3.2.12.3): once a tag is acknowledged and
+// handled (ReqRN), the reader can read and write its memory banks. The
+// warehouse workflows the paper motivates use these to pull item metadata
+// (TID, user memory) once a tag has been localized.
+
+// EBV encodes a value as an Extensible Bit Vector: 8-bit blocks, high bit
+// set on every block except the last, 7 payload bits per block, big-endian.
+func EBV(v uint32) Bits {
+	// Collect 7-bit groups, most significant first.
+	var groups []byte
+	for {
+		groups = append([]byte{byte(v & 0x7F)}, groups...)
+		v >>= 7
+		if v == 0 {
+			break
+		}
+	}
+	var b Bits
+	for i, g := range groups {
+		if i < len(groups)-1 {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = b.Append(BitsFromUint(uint64(g), 7))
+	}
+	return b
+}
+
+// ParseEBV decodes an EBV starting at the beginning of b, returning the
+// value and the number of bits consumed.
+func ParseEBV(b Bits) (uint32, int, error) {
+	var v uint32
+	used := 0
+	for {
+		if len(b) < used+8 {
+			return 0, 0, fmt.Errorf("epc: truncated EBV")
+		}
+		ext := b[used]
+		group := uint32(b[used+1 : used+8].Uint())
+		v = v<<7 | group
+		used += 8
+		if ext == 0 {
+			return v, used, nil
+		}
+		if used > 32 {
+			return 0, 0, fmt.Errorf("epc: EBV too long")
+		}
+	}
+}
+
+// Read (11000010₂) reads WordCount 16-bit words from a memory bank,
+// starting at WordPtr. WordCount 0 means "read to the end of the bank".
+type Read struct {
+	MemBank   MemBank
+	WordPtr   uint32
+	WordCount uint8
+	RN16      uint16 // the tag's current handle
+}
+
+// Bits serializes the Read with its CRC-16.
+func (r Read) Bits() Bits {
+	b := Bits{1, 1, 0, 0, 0, 0, 1, 0}
+	b = b.Append(BitsFromUint(uint64(r.MemBank&3), 2))
+	b = b.Append(EBV(r.WordPtr))
+	b = b.Append(BitsFromUint(uint64(r.WordCount), 8))
+	b = b.Append(BitsFromUint(uint64(r.RN16), 16))
+	return b.Append(CRC16(b))
+}
+
+// Write (11000011₂) writes one cover-coded word: the data field is the
+// plaintext word XOR the RN16 obtained from a fresh ReqRN, so the word
+// never travels in the clear on the strong downlink.
+type Write struct {
+	MemBank MemBank
+	WordPtr uint32
+	// Data is the cover-coded word (plaintext ^ cover RN16).
+	Data uint16
+	RN16 uint16 // the tag's handle
+}
+
+// Bits serializes the Write with its CRC-16.
+func (w Write) Bits() Bits {
+	b := Bits{1, 1, 0, 0, 0, 0, 1, 1}
+	b = b.Append(BitsFromUint(uint64(w.MemBank&3), 2))
+	b = b.Append(EBV(w.WordPtr))
+	b = b.Append(BitsFromUint(uint64(w.Data), 16))
+	b = b.Append(BitsFromUint(uint64(w.RN16), 16))
+	return b.Append(CRC16(b))
+}
+
+// decodeAccess parses Read/Write frames (called from Decode).
+func decodeAccess(b Bits) (Command, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("epc: access frame too short")
+	}
+	if !CheckCRC16(b) {
+		return nil, fmt.Errorf("epc: access command CRC-16 mismatch")
+	}
+	code := b[:8].Uint()
+	bank := MemBank(b[8:10].Uint())
+	ptr, used, err := ParseEBV(b[10:])
+	if err != nil {
+		return nil, err
+	}
+	rest := b[10+used:]
+	switch code {
+	case 0b11000010: // Read
+		if len(rest) != 8+16+16 {
+			return nil, fmt.Errorf("epc: Read frame length %d invalid", len(b))
+		}
+		return Read{
+			MemBank:   bank,
+			WordPtr:   ptr,
+			WordCount: uint8(rest[:8].Uint()),
+			RN16:      uint16(rest[8:24].Uint()),
+		}, nil
+	case 0b11000011: // Write
+		if len(rest) != 16+16+16 {
+			return nil, fmt.Errorf("epc: Write frame length %d invalid", len(b))
+		}
+		return Write{
+			MemBank: bank,
+			WordPtr: ptr,
+			Data:    uint16(rest[:16].Uint()),
+			RN16:    uint16(rest[16:32].Uint()),
+		}, nil
+	}
+	return nil, fmt.Errorf("epc: unknown access command %08b", code)
+}
+
+// ReadReply builds the tag's response to a Read: header 0, the words, the
+// handle, and CRC-16.
+func ReadReply(words []uint16, rn16 uint16) Bits {
+	b := Bits{0}
+	for _, w := range words {
+		b = b.Append(BitsFromUint(uint64(w), 16))
+	}
+	b = b.Append(BitsFromUint(uint64(rn16), 16))
+	return b.Append(CRC16(b))
+}
+
+// ParseReadReply validates a Read response and extracts the words.
+func ParseReadReply(b Bits, wantWords int) ([]uint16, uint16, error) {
+	want := 1 + wantWords*16 + 16 + 16
+	if len(b) != want {
+		return nil, 0, fmt.Errorf("epc: Read reply length %d, want %d", len(b), want)
+	}
+	if b[0] != 0 {
+		return nil, 0, fmt.Errorf("epc: Read reply error header")
+	}
+	if !CheckCRC16(b) {
+		return nil, 0, fmt.Errorf("epc: Read reply CRC-16 mismatch")
+	}
+	words := make([]uint16, wantWords)
+	for i := range words {
+		words[i] = uint16(b[1+i*16 : 1+(i+1)*16].Uint())
+	}
+	rn := uint16(b[1+wantWords*16 : 1+wantWords*16+16].Uint())
+	return words, rn, nil
+}
+
+// WriteReply builds the tag's success response to a Write: header 0, the
+// handle, and CRC-16 (delayed-reply form, simplified).
+func WriteReply(rn16 uint16) Bits {
+	b := Bits{0}
+	b = b.Append(BitsFromUint(uint64(rn16), 16))
+	return b.Append(CRC16(b))
+}
+
+// Kill (11000100₂) permanently silences a tag. The 32-bit kill password
+// travels as two cover-coded halves in two consecutive Kill commands
+// (§6.3.2.12.3.5, simplified to a half index + payload here).
+type Kill struct {
+	// Half selects which password half this command carries (0 = upper
+	// 16 bits, 1 = lower).
+	Half uint8
+	// Password is the cover-coded half (plaintext ^ cover RN16).
+	Password uint16
+	RN16     uint16
+}
+
+// Bits serializes the Kill with its CRC-16.
+func (k Kill) Bits() Bits {
+	b := Bits{1, 1, 0, 0, 0, 1, 0, 0}
+	b = append(b, k.Half&1)
+	b = b.Append(BitsFromUint(uint64(k.Password), 16))
+	b = b.Append(BitsFromUint(uint64(k.RN16), 16))
+	return b.Append(CRC16(b))
+}
+
+// Lock (11000101₂) sets write-protection on a memory bank (payload
+// simplified to a bank selector + lock bit).
+type Lock struct {
+	MemBank MemBank
+	Locked  bool
+	RN16    uint16
+}
+
+// Bits serializes the Lock with its CRC-16.
+func (l Lock) Bits() Bits {
+	b := Bits{1, 1, 0, 0, 0, 1, 0, 1}
+	b = b.Append(BitsFromUint(uint64(l.MemBank&3), 2))
+	if l.Locked {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = b.Append(BitsFromUint(uint64(l.RN16), 16))
+	return b.Append(CRC16(b))
+}
+
+// decodeSecurity parses Kill/Lock frames.
+func decodeSecurity(b Bits) (Command, error) {
+	if !CheckCRC16(b) {
+		return nil, fmt.Errorf("epc: security command CRC-16 mismatch")
+	}
+	switch b[:8].Uint() {
+	case 0b11000100:
+		if len(b) != 8+1+16+16+16 {
+			return nil, fmt.Errorf("epc: Kill frame length %d", len(b))
+		}
+		return Kill{
+			Half:     b[8],
+			Password: uint16(b[9:25].Uint()),
+			RN16:     uint16(b[25:41].Uint()),
+		}, nil
+	case 0b11000101:
+		if len(b) != 8+2+1+16+16 {
+			return nil, fmt.Errorf("epc: Lock frame length %d", len(b))
+		}
+		return Lock{
+			MemBank: MemBank(b[8:10].Uint()),
+			Locked:  b[10] == 1,
+			RN16:    uint16(b[11:27].Uint()),
+		}, nil
+	}
+	return nil, fmt.Errorf("epc: unknown security command")
+}

@@ -1,0 +1,114 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEBVRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		b := EBV(v)
+		got, used, err := ParseEBV(b)
+		return err == nil && got == v && used == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEBVKnownValues(t *testing.T) {
+	// Values < 128 fit one block with a 0 extension bit.
+	if b := EBV(5); len(b) != 8 || b[0] != 0 {
+		t.Fatalf("EBV(5) = %s", b)
+	}
+	// 128 needs two blocks: 1_0000001 0_0000000.
+	b := EBV(128)
+	if len(b) != 16 || b[0] != 1 || b[8] != 0 {
+		t.Fatalf("EBV(128) = %s", b)
+	}
+	if got, _, _ := ParseEBV(b); got != 128 {
+		t.Fatalf("ParseEBV = %d", got)
+	}
+}
+
+func TestEBVErrors(t *testing.T) {
+	if _, _, err := ParseEBV(Bits{1, 0, 0}); err == nil {
+		t.Fatal("truncated EBV parsed")
+	}
+	// All-extension blocks never terminate.
+	long := Bits{}
+	for i := 0; i < 6; i++ {
+		long = long.Append(Bits{1, 0, 0, 0, 0, 0, 0, 1})
+	}
+	if _, _, err := ParseEBV(long); err == nil {
+		t.Fatal("runaway EBV parsed")
+	}
+}
+
+func TestReadCommandRoundTrip(t *testing.T) {
+	r := Read{MemBank: BankUser, WordPtr: 200, WordCount: 4, RN16: 0xBEEF}
+	cmd, err := Decode(r.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cmd.(Read)
+	if !ok || got != r {
+		t.Fatalf("round trip: %+v", cmd)
+	}
+}
+
+func TestWriteCommandRoundTrip(t *testing.T) {
+	w := Write{MemBank: BankUser, WordPtr: 3, Data: 0xA5A5, RN16: 0x1234}
+	cmd, err := Decode(w.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cmd.(Write)
+	if !ok || got != w {
+		t.Fatalf("round trip: %+v", cmd)
+	}
+}
+
+func TestAccessCRCDetection(t *testing.T) {
+	b := Read{MemBank: BankTID, WordPtr: 1, WordCount: 2, RN16: 7}.Bits()
+	b[12] ^= 1
+	if _, err := Decode(b); err == nil {
+		t.Fatal("corrupted Read decoded")
+	}
+}
+
+func TestReadReplyRoundTrip(t *testing.T) {
+	words := []uint16{0xDEAD, 0xBEEF, 0x0042}
+	rep := ReadReply(words, 0xCAFE)
+	got, rn, err := ParseReadReply(rep, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != 0xCAFE {
+		t.Fatalf("rn = %04X", rn)
+	}
+	for i, w := range words {
+		if got[i] != w {
+			t.Fatalf("word %d = %04X", i, got[i])
+		}
+	}
+	// Wrong expected count fails.
+	if _, _, err := ParseReadReply(rep, 2); err == nil {
+		t.Fatal("wrong word count accepted")
+	}
+	// Corruption fails.
+	rep[5] ^= 1
+	if _, _, err := ParseReadReply(rep, 3); err == nil {
+		t.Fatal("corrupted reply accepted")
+	}
+}
+
+func TestWriteReply(t *testing.T) {
+	rep := WriteReply(0x5678)
+	if !CheckCRC16(rep) {
+		t.Fatal("write reply CRC invalid")
+	}
+	if rep[0] != 0 {
+		t.Fatal("write reply header not success")
+	}
+}

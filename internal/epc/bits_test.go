@@ -1,0 +1,110 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFromUintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		n := 64
+		b := BitsFromUint(v, n)
+		return b.Uint() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsFromUintWidth(t *testing.T) {
+	b := BitsFromUint(0b1011, 4)
+	if b.String() != "1011" {
+		t.Fatalf("bits = %s", b)
+	}
+	b = BitsFromUint(0b1011, 6)
+	if b.String() != "001011" {
+		t.Fatalf("bits = %s", b)
+	}
+	// Truncation keeps low bits.
+	b = BitsFromUint(0b1011, 2)
+	if b.String() != "11" {
+		t.Fatalf("bits = %s", b)
+	}
+}
+
+func TestBitsUintPanicsOver64(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	make(Bits, 65).Uint()
+}
+
+func TestBitsAppendEqual(t *testing.T) {
+	a := Bits{1, 0}.Append(Bits{1}, Bits{0, 1})
+	if a.String() != "10101" {
+		t.Fatalf("append = %s", a)
+	}
+	if !a.Equal(Bits{1, 0, 1, 0, 1}) {
+		t.Fatal("Equal false negative")
+	}
+	if a.Equal(Bits{1, 0, 1, 0}) {
+		t.Fatal("Equal ignores length")
+	}
+	if a.Equal(Bits{1, 0, 1, 0, 0}) {
+		t.Fatal("Equal false positive")
+	}
+}
+
+func TestParseBits(t *testing.T) {
+	b, err := ParseBits("10 1_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "1011" {
+		t.Fatalf("parsed = %s", b)
+	}
+	if _, err := ParseBits("102"); err == nil {
+		t.Fatal("expected error for invalid character")
+	}
+}
+
+func TestEPCRoundTrip(t *testing.T) {
+	e := NewEPC96(0x3008, 0x33B2, 0xDDD9, 0x0140, 0x0000, 0x1234)
+	b := e.Bits()
+	if len(b) != 96 {
+		t.Fatalf("EPC bits = %d", len(b))
+	}
+	got, err := EPCFromBits(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(e) {
+		t.Fatalf("round trip: %v != %v", got, e)
+	}
+}
+
+func TestEPCFromBitsRejectsOddLength(t *testing.T) {
+	if _, err := EPCFromBits(make(Bits, 17)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEPCString(t *testing.T) {
+	e := EPC{Words: []uint16{0xABCD, 0x0001}}
+	if got := e.String(); got != "ABCD-0001" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEPCEqual(t *testing.T) {
+	a := NewEPC96(1, 2, 3, 4, 5, 6)
+	b := NewEPC96(1, 2, 3, 4, 5, 7)
+	if a.Equal(b) {
+		t.Fatal("different EPCs compare equal")
+	}
+	if a.Equal(EPC{Words: []uint16{1}}) {
+		t.Fatal("different lengths compare equal")
+	}
+}

@@ -1,0 +1,316 @@
+package epc
+
+import "fmt"
+
+// Session identifies one of the four Gen2 inventory sessions S0–S3.
+type Session uint8
+
+// Gen2 sessions.
+const (
+	S0 Session = iota
+	S1
+	S2
+	S3
+)
+
+// DivideRatio is the Query DR bit selecting TRcal divide ratio.
+type DivideRatio uint8
+
+// Divide ratios: DR8 = 8, DR64 = 64/3.
+const (
+	DR8 DivideRatio = iota
+	DR64
+)
+
+// Value returns the numeric divide ratio.
+func (d DivideRatio) Value() float64 {
+	if d == DR64 {
+		return 64.0 / 3.0
+	}
+	return 8.0
+}
+
+// Miller is the tag backscatter modulation selected by a Query's M field.
+type Miller uint8
+
+// Backscatter encodings: FM0 baseband or Miller with 2/4/8 subcarrier
+// cycles per symbol.
+const (
+	FM0Mod Miller = iota
+	Miller2
+	Miller4
+	Miller8
+)
+
+// CyclesPerSymbol returns subcarrier cycles per symbol (1 for FM0, meaning
+// one symbol period per bit with no subcarrier).
+func (m Miller) CyclesPerSymbol() int {
+	switch m {
+	case Miller2:
+		return 2
+	case Miller4:
+		return 4
+	case Miller8:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// String names the encoding ("FM0", "Miller-2", ...).
+func (m Miller) String() string {
+	switch m {
+	case Miller2:
+		return "Miller-2"
+	case Miller4:
+		return "Miller-4"
+	case Miller8:
+		return "Miller-8"
+	default:
+		return "FM0"
+	}
+}
+
+// Target selects which inventoried-flag population a Query addresses.
+type Target uint8
+
+// Query targets.
+const (
+	TargetA Target = iota
+	TargetB
+)
+
+// Query is the Gen2 Query command (command code 1000₂): it starts an
+// inventory round with 2^Q slots and carries the link-timing parameters.
+type Query struct {
+	DR      DivideRatio
+	M       Miller
+	TRext   bool // request extended tag preamble
+	Sel     uint8
+	Session Session
+	Target  Target
+	Q       uint8 // 0..15
+}
+
+// Bits serializes the Query with its CRC-5 (22 bits total).
+func (q Query) Bits() Bits {
+	b := Bits{1, 0, 0, 0}
+	b = append(b, byte(q.DR&1))
+	b = b.Append(BitsFromUint(uint64(q.M&3), 2))
+	if q.TRext {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = b.Append(BitsFromUint(uint64(q.Sel&3), 2))
+	b = b.Append(BitsFromUint(uint64(q.Session&3), 2))
+	b = append(b, byte(q.Target&1))
+	b = b.Append(BitsFromUint(uint64(q.Q&0xF), 4))
+	return b.Append(CRC5(b))
+}
+
+// QueryRep (00₂) advances to the next slot of the current round.
+type QueryRep struct {
+	Session Session
+}
+
+// Bits serializes the QueryRep (4 bits).
+func (q QueryRep) Bits() Bits {
+	return Bits{0, 0}.Append(BitsFromUint(uint64(q.Session&3), 2))
+}
+
+// QueryAdjust (1001₂) adjusts Q and starts a new round.
+type QueryAdjust struct {
+	Session Session
+	UpDn    int // +1, 0, or −1
+}
+
+// Bits serializes the QueryAdjust (9 bits).
+func (q QueryAdjust) Bits() Bits {
+	b := Bits{1, 0, 0, 1}
+	b = b.Append(BitsFromUint(uint64(q.Session&3), 2))
+	switch {
+	case q.UpDn > 0:
+		b = b.Append(Bits{1, 1, 0})
+	case q.UpDn < 0:
+		b = b.Append(Bits{0, 1, 1})
+	default:
+		b = b.Append(Bits{0, 0, 0})
+	}
+	return b
+}
+
+// ACK (01₂) acknowledges a tag's RN16; the tag answers with PC+EPC+CRC16.
+type ACK struct {
+	RN16 uint16
+}
+
+// Bits serializes the ACK (18 bits).
+func (a ACK) Bits() Bits {
+	return Bits{0, 1}.Append(BitsFromUint(uint64(a.RN16), 16))
+}
+
+// NAK (11000000₂) returns tags to arbitrate.
+type NAK struct{}
+
+// Bits serializes the NAK (8 bits).
+func (NAK) Bits() Bits { return Bits{1, 1, 0, 0, 0, 0, 0, 0} }
+
+// ReqRN (11000001₂) requests a new RN16 handle; protected by CRC-16.
+type ReqRN struct {
+	RN16 uint16
+}
+
+// Bits serializes the ReqRN (40 bits).
+func (r ReqRN) Bits() Bits {
+	b := Bits{1, 1, 0, 0, 0, 0, 0, 1}.Append(BitsFromUint(uint64(r.RN16), 16))
+	return b.Append(CRC16(b))
+}
+
+// MemBank selects tag memory for Select masks.
+type MemBank uint8
+
+// Gen2 memory banks.
+const (
+	BankRFU MemBank = iota
+	BankEPC
+	BankTID
+	BankUser
+)
+
+// Select (1010₂) asserts or deasserts tags' SL/inventoried flags by mask.
+// The reproduction uses it to single out the relay-embedded reference tag.
+type Select struct {
+	Target   uint8 // 3 bits: which flag to modify
+	Action   uint8 // 3 bits
+	MemBank  MemBank
+	Pointer  uint8 // simplified single-byte EBV
+	Mask     Bits
+	Truncate bool
+}
+
+// Bits serializes the Select with its CRC-16.
+func (s Select) Bits() Bits {
+	b := Bits{1, 0, 1, 0}
+	b = b.Append(BitsFromUint(uint64(s.Target&7), 3))
+	b = b.Append(BitsFromUint(uint64(s.Action&7), 3))
+	b = b.Append(BitsFromUint(uint64(s.MemBank&3), 2))
+	b = b.Append(BitsFromUint(uint64(s.Pointer), 8))
+	b = b.Append(BitsFromUint(uint64(len(s.Mask)), 8))
+	b = b.Append(s.Mask)
+	if s.Truncate {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b.Append(CRC16(b))
+}
+
+// Command is any reader command that serializes to bits.
+type Command interface {
+	Bits() Bits
+}
+
+// Decode parses a reader command frame back into its typed form, verifying
+// CRCs where the command carries one. It is used by the tag model and by
+// tests to confirm the PIE round trip is faithful.
+func Decode(b Bits) (Command, error) {
+	switch {
+	case len(b) == 4 && b[0] == 0 && b[1] == 0:
+		return QueryRep{Session: Session(b[2:4].Uint())}, nil
+	case len(b) == 18 && b[0] == 0 && b[1] == 1:
+		return ACK{RN16: uint16(b[2:18].Uint())}, nil
+	case len(b) == 22 && b.hasPrefix(1, 0, 0, 0):
+		if !CheckCRC5(b) {
+			return nil, fmt.Errorf("epc: Query CRC-5 mismatch on %v", b)
+		}
+		q := Query{
+			DR:      DivideRatio(b[4]),
+			M:       Miller(b[5:7].Uint()),
+			TRext:   b[7] == 1,
+			Sel:     uint8(b[8:10].Uint()),
+			Session: Session(b[10:12].Uint()),
+			Target:  Target(b[12]),
+			Q:       uint8(b[13:17].Uint()),
+		}
+		return q, nil
+	case len(b) == 9 && b.hasPrefix(1, 0, 0, 1):
+		qa := QueryAdjust{Session: Session(b[4:6].Uint())}
+		switch b[6:9].Uint() {
+		case 0b110:
+			qa.UpDn = 1
+		case 0b011:
+			qa.UpDn = -1
+		case 0b000:
+			qa.UpDn = 0
+		default:
+			return nil, fmt.Errorf("epc: QueryAdjust invalid UpDn %v", b[6:9])
+		}
+		return qa, nil
+	case len(b) == 8 && b.Equal(NAK{}.Bits()):
+		return NAK{}, nil
+	case len(b) == 40 && b.hasPrefix(1, 1, 0, 0, 0, 0, 0, 1):
+		if !CheckCRC16(b) {
+			return nil, fmt.Errorf("epc: ReqRN CRC-16 mismatch")
+		}
+		return ReqRN{RN16: uint16(b[8:24].Uint())}, nil
+	case len(b) >= 40 && (b.hasPrefix(1, 1, 0, 0, 0, 0, 1, 0) || b.hasPrefix(1, 1, 0, 0, 0, 0, 1, 1)):
+		return decodeAccess(b)
+	case len(b) >= 40 && (b.hasPrefix(1, 1, 0, 0, 0, 1, 0, 0) || b.hasPrefix(1, 1, 0, 0, 0, 1, 0, 1)):
+		return decodeSecurity(b)
+	case len(b) >= 45 && b.hasPrefix(1, 0, 1, 0):
+		if !CheckCRC16(b) {
+			return nil, fmt.Errorf("epc: Select CRC-16 mismatch")
+		}
+		maskLen := int(b[20:28].Uint())
+		if len(b) != 4+3+3+2+8+8+maskLen+1+16 {
+			return nil, fmt.Errorf("epc: Select length %d inconsistent with mask length %d", len(b), maskLen)
+		}
+		s := Select{
+			Target:   uint8(b[4:7].Uint()),
+			Action:   uint8(b[7:10].Uint()),
+			MemBank:  MemBank(b[10:12].Uint()),
+			Pointer:  uint8(b[12:20].Uint()),
+			Mask:     append(Bits(nil), b[28:28+maskLen]...),
+			Truncate: b[28+maskLen] == 1,
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("epc: unrecognized command frame (%d bits)", len(b))
+}
+
+func (b Bits) hasPrefix(p ...byte) bool {
+	if len(b) < len(p) {
+		return false
+	}
+	for i, v := range p {
+		if b[i]&1 != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TagReply builds the PC + EPC + CRC-16 reply a tag backscatters after an
+// ACK. The 16-bit protocol control word encodes the EPC length in words.
+func TagReply(e EPC) Bits {
+	pc := uint64(len(e.Words)) << 11 // length field in the PC word's top 5 bits
+	b := BitsFromUint(pc, 16).Append(e.Bits())
+	return b.Append(CRC16(b))
+}
+
+// ParseTagReply validates and extracts the EPC from a PC+EPC+CRC16 reply.
+func ParseTagReply(b Bits) (EPC, error) {
+	if len(b) < 32 {
+		return EPC{}, fmt.Errorf("epc: tag reply too short (%d bits)", len(b))
+	}
+	if !CheckCRC16(b) {
+		return EPC{}, fmt.Errorf("epc: tag reply CRC-16 mismatch")
+	}
+	words := int(b[:5].Uint())
+	want := 16 + words*16 + 16
+	if len(b) != want {
+		return EPC{}, fmt.Errorf("epc: tag reply length %d, PC says %d", len(b), want)
+	}
+	return EPCFromBits(b[16 : 16+words*16])
+}

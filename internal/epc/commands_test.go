@@ -1,0 +1,194 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryBitsLayout(t *testing.T) {
+	q := Query{DR: DR64, M: Miller4, TRext: true, Sel: 2, Session: S2, Target: TargetB, Q: 9}
+	b := q.Bits()
+	if len(b) != 22 {
+		t.Fatalf("Query length = %d", len(b))
+	}
+	if !b.hasPrefix(1, 0, 0, 0) {
+		t.Fatalf("Query prefix = %s", b[:4])
+	}
+	if !CheckCRC5(b) {
+		t.Fatal("Query CRC-5 invalid")
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	f := func(dr, m, sel, sess, tgt, qv uint8, trext bool) bool {
+		q := Query{
+			DR:      DivideRatio(dr % 2),
+			M:       Miller(m % 4),
+			TRext:   trext,
+			Sel:     sel % 4,
+			Session: Session(sess % 4),
+			Target:  Target(tgt % 2),
+			Q:       qv % 16,
+		}
+		cmd, err := Decode(q.Bits())
+		if err != nil {
+			return false
+		}
+		got, ok := cmd.(Query)
+		return ok && got == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryRepRoundTrip(t *testing.T) {
+	for s := S0; s <= S3; s++ {
+		cmd, err := Decode(QueryRep{Session: s}.Bits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cmd.(QueryRep); got.Session != s {
+			t.Fatalf("session = %v", got.Session)
+		}
+	}
+}
+
+func TestQueryAdjustRoundTrip(t *testing.T) {
+	for _, ud := range []int{-1, 0, 1} {
+		qa := QueryAdjust{Session: S1, UpDn: ud}
+		cmd, err := Decode(qa.Bits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cmd.(QueryAdjust); got != qa {
+			t.Fatalf("round trip %+v != %+v", got, qa)
+		}
+	}
+}
+
+func TestACKRoundTrip(t *testing.T) {
+	f := func(rn uint16) bool {
+		cmd, err := Decode(ACK{RN16: rn}.Bits())
+		if err != nil {
+			return false
+		}
+		got, ok := cmd.(ACK)
+		return ok && got.RN16 == rn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNAKRoundTrip(t *testing.T) {
+	cmd, err := Decode(NAK{}.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cmd.(NAK); !ok {
+		t.Fatalf("decoded %T", cmd)
+	}
+}
+
+func TestReqRNRoundTrip(t *testing.T) {
+	cmd, err := Decode(ReqRN{RN16: 0xBEEF}.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmd.(ReqRN); got.RN16 != 0xBEEF {
+		t.Fatalf("RN16 = %04X", got.RN16)
+	}
+}
+
+func TestReqRNCRCCorruption(t *testing.T) {
+	b := ReqRN{RN16: 0x1234}.Bits()
+	b[10] ^= 1
+	if _, err := Decode(b); err == nil {
+		t.Fatal("corrupted ReqRN decoded")
+	}
+}
+
+func TestSelectRoundTrip(t *testing.T) {
+	s := Select{
+		Target: 4, Action: 2, MemBank: BankEPC, Pointer: 32,
+		Mask:     Bits{1, 0, 1, 1, 0, 0, 1, 0},
+		Truncate: true,
+	}
+	cmd, err := Decode(s.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmd.(Select)
+	if got.Target != 4 || got.Action != 2 || got.MemBank != BankEPC ||
+		got.Pointer != 32 || !got.Mask.Equal(s.Mask) || !got.Truncate {
+		t.Fatalf("Select round trip: %+v", got)
+	}
+}
+
+func TestSelectEmptyMask(t *testing.T) {
+	s := Select{MemBank: BankTID}
+	cmd, err := Decode(s.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmd.(Select); len(got.Mask) != 0 {
+		t.Fatalf("mask = %v", got.Mask)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(Bits{1, 1, 1}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	// Query-length frame with broken CRC.
+	q := Query{Q: 3}.Bits()
+	q[20] ^= 1
+	if _, err := Decode(q); err == nil {
+		t.Fatal("bad-CRC Query decoded")
+	}
+}
+
+func TestTagReplyRoundTrip(t *testing.T) {
+	e := NewEPC96(0xE280, 0x1160, 0x6000, 0x0207, 0x1A2B, 0x3C4D)
+	r := TagReply(e)
+	if len(r) != 16+96+16 {
+		t.Fatalf("reply length = %d", len(r))
+	}
+	got, err := ParseTagReply(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(e) {
+		t.Fatalf("EPC round trip: %v != %v", got, e)
+	}
+}
+
+func TestParseTagReplyCorruption(t *testing.T) {
+	r := TagReply(NewEPC96(1, 2, 3, 4, 5, 6))
+	r[40] ^= 1
+	if _, err := ParseTagReply(r); err == nil {
+		t.Fatal("corrupted reply parsed")
+	}
+	if _, err := ParseTagReply(Bits{1, 0}); err == nil {
+		t.Fatal("short reply parsed")
+	}
+}
+
+func TestDivideRatioValue(t *testing.T) {
+	if DR8.Value() != 8 {
+		t.Fatal("DR8")
+	}
+	if v := DR64.Value(); v < 21.3 || v > 21.4 {
+		t.Fatalf("DR64 = %v", v)
+	}
+}
+
+func TestMillerCycles(t *testing.T) {
+	cases := map[Miller]int{FM0Mod: 1, Miller2: 2, Miller4: 4, Miller8: 8}
+	for m, want := range cases {
+		if got := m.CyclesPerSymbol(); got != want {
+			t.Fatalf("M=%v cycles = %d", m, got)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package epc
+
+// CRC5 computes the EPC Gen2 CRC-5 over the given bits: polynomial
+// x⁵+x³+1 (0b101001) with preset 0b01001. It protects the Query command.
+func CRC5(bits Bits) Bits {
+	reg := byte(0x09) // preset 01001
+	for _, b := range bits {
+		fb := (reg>>4)&1 ^ (b & 1)
+		reg = (reg << 1) & 0x1F
+		if fb == 1 {
+			reg ^= 0x09 // x^3 + 1 taps
+		}
+	}
+	return BitsFromUint(uint64(reg), 5)
+}
+
+// CheckCRC5 reports whether bits (payload ++ 5-bit CRC) verifies.
+func CheckCRC5(bits Bits) bool {
+	if len(bits) < 5 {
+		return false
+	}
+	want := bits[len(bits)-5:]
+	got := CRC5(bits[:len(bits)-5])
+	return got.Equal(want)
+}
+
+// CRC16 computes the EPC Gen2 / ISO 13239 CRC-16 over the given bits:
+// polynomial x¹⁶+x¹²+x⁵+1 (0x1021), preset 0xFFFF, final complement.
+// It protects ReqRN, Select, and tag replies carrying PC+EPC.
+func CRC16(bits Bits) Bits {
+	reg := uint16(0xFFFF)
+	for _, b := range bits {
+		fb := (reg>>15)&1 ^ uint16(b&1)
+		reg <<= 1
+		if fb == 1 {
+			reg ^= 0x1021
+		}
+	}
+	return BitsFromUint(uint64(^reg), 16)
+}
+
+// CheckCRC16 reports whether bits (payload ++ 16-bit CRC) verifies. Per the
+// standard, running the CRC over payload++CRC of a valid frame leaves the
+// register at the residue 0x1D0F.
+func CheckCRC16(bits Bits) bool {
+	if len(bits) < 16 {
+		return false
+	}
+	reg := uint16(0xFFFF)
+	for i, b := range bits {
+		v := b & 1
+		if i >= len(bits)-16 {
+			v ^= 1 // transmitted CRC is complemented; undo
+		}
+		fb := (reg>>15)&1 ^ uint16(v)
+		reg <<= 1
+		if fb == 1 {
+			reg ^= 0x1021
+		}
+	}
+	return reg == 0
+}

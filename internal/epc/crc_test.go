@@ -1,0 +1,81 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC5KnownVector(t *testing.T) {
+	// A Query command's CRC-5 must verify over the whole 22-bit frame.
+	q := Query{DR: DR64, M: FM0Mod, TRext: true, Session: S0, Target: TargetA, Q: 4}
+	if !CheckCRC5(q.Bits()) {
+		t.Fatal("Query CRC-5 does not verify")
+	}
+}
+
+func TestCRC5DetectsCorruption(t *testing.T) {
+	q := Query{Q: 7}.Bits()
+	for i := range q {
+		c := append(Bits(nil), q...)
+		c[i] ^= 1
+		if CheckCRC5(c) {
+			t.Fatalf("CRC-5 missed single-bit flip at %d", i)
+		}
+	}
+}
+
+func TestCRC5Short(t *testing.T) {
+	if CheckCRC5(Bits{1, 0}) {
+		t.Fatal("short frame should not verify")
+	}
+}
+
+func TestCRC16KnownResidue(t *testing.T) {
+	// CheckCRC16 and CRC16 must agree: payload ++ CRC16(payload) verifies.
+	payload, _ := ParseBits("0011000000001000" + "0011000000000000")
+	framed := payload.Append(CRC16(payload))
+	if !CheckCRC16(framed) {
+		t.Fatal("self-framed CRC-16 does not verify")
+	}
+}
+
+func TestCRC16DetectsCorruption(t *testing.T) {
+	payload := BitsFromUint(0xDEADBEEF, 32)
+	framed := payload.Append(CRC16(payload))
+	for i := range framed {
+		c := append(Bits(nil), framed...)
+		c[i] ^= 1
+		if CheckCRC16(c) {
+			t.Fatalf("CRC-16 missed single-bit flip at %d", i)
+		}
+	}
+}
+
+func TestCRC16Property(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		bits := BitsFromUint(v, int(n%48)+8)
+		return CheckCRC16(bits.Append(CRC16(bits)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16Short(t *testing.T) {
+	if CheckCRC16(Bits{1}) {
+		t.Fatal("short frame should not verify")
+	}
+}
+
+func TestCRC16Complemented(t *testing.T) {
+	// The transmitted CRC is the complement of the register; flipping all
+	// 16 CRC bits must therefore break verification.
+	payload := BitsFromUint(0x1234, 16)
+	framed := payload.Append(CRC16(payload))
+	for i := len(framed) - 16; i < len(framed); i++ {
+		framed[i] ^= 1
+	}
+	if CheckCRC16(framed) {
+		t.Fatal("un-complemented CRC verified")
+	}
+}

@@ -1,0 +1,266 @@
+package epc
+
+import (
+	"fmt"
+	"math"
+)
+
+// FM0 and Miller backscatter encodings (Gen2 §6.3.1.3). A tag signals bits
+// by switching its reflection coefficient between two states; this file
+// works in the abstract ±1 chip domain. The tag model maps chips onto
+// complex reflection coefficients, and the reader model demodulates the
+// resulting waveform back to chips before calling the decoders here.
+
+// FM0Preamble returns the FM0 start-of-reply chip pattern for the standard
+// 6-symbol preamble "1010v1" (v = violation, no boundary inversion),
+// starting from a high idle level. Each bit contributes two chips
+// (half-symbols).
+func FM0Preamble() []int8 {
+	// Derived per Gen2 Figure 6.11: chips for 1 0 1 0 v 1. The "v" symbol
+	// lacks the boundary inversion every legal FM0 symbol has, which makes
+	// the preamble impossible to mistake for data.
+	return []int8{
+		+1, +1, // 1
+		-1, +1, // 0
+		-1, -1, // 1
+		+1, -1, // 0
+		-1, -1, // v: no boundary inversion (violation)
+		+1, +1, // 1
+	}
+}
+
+// FM0PreambleExt returns the extended (TRext = 1) start-of-reply pattern:
+// a 12-zero pilot tone prepended to the standard preamble (Gen2 §6.3.1.3.2).
+// Readers request it at low SNR — the pilot nearly triples the sync
+// template's energy.
+func FM0PreambleExt() []int8 {
+	// Twelve data-0 symbols starting from a high idle level, each with a
+	// boundary and a mid-symbol inversion, followed by the base preamble.
+	pilot := make([]int8, 0, 24)
+	state := int8(+1)
+	for i := 0; i < 12; i++ {
+		first := -state
+		second := -first
+		pilot = append(pilot, first, second)
+		state = second
+	}
+	return append(pilot, FM0Preamble()...)
+}
+
+// FM0Encode converts data bits to ±1 chips (two per bit), continuing from
+// the chip state at the end of the preamble, and appends the dummy-1
+// terminator. FM0 inverts phase at every symbol boundary; data-0 adds a
+// mid-symbol inversion.
+func FM0Encode(bits Bits) []int8 {
+	return fm0Encode(bits, FM0Preamble())
+}
+
+// FM0EncodeExt is FM0Encode with the TRext pilot preamble.
+func FM0EncodeExt(bits Bits) []int8 {
+	return fm0Encode(bits, FM0PreambleExt())
+}
+
+func fm0Encode(bits Bits, pre []int8) []int8 {
+	chips := append([]int8(nil), pre...)
+	state := chips[len(chips)-1]
+	emit := func(b byte) {
+		first := -state // boundary inversion
+		var second int8
+		if b&1 == 0 {
+			second = -first // mid-symbol inversion
+		} else {
+			second = first
+		}
+		chips = append(chips, first, second)
+		state = second
+	}
+	for _, b := range bits {
+		emit(b)
+	}
+	emit(1) // dummy-1 terminator
+	return chips
+}
+
+// FM0Decode recovers data bits from a chip sequence produced by FM0Encode
+// (preamble + data + dummy 1). It verifies the preamble, then classifies
+// each symbol by whether a mid-symbol inversion occurred. Chip values may
+// be soft (any negative/positive magnitude); only the sign is used.
+func FM0Decode(chips []float64) (Bits, error) {
+	return fm0Decode(chips, FM0Preamble())
+}
+
+// FM0DecodeExt decodes a TRext (pilot-extended) reply.
+func FM0DecodeExt(chips []float64) (Bits, error) {
+	return fm0Decode(chips, FM0PreambleExt())
+}
+
+func fm0Decode(chips []float64, pre []int8) (Bits, error) {
+	if len(chips) < len(pre)+2 {
+		return nil, fmt.Errorf("epc: FM0 sequence too short (%d chips)", len(chips))
+	}
+	// The whole backscatter waveform may be inverted (unknown channel
+	// sign); try both polarities against the preamble.
+	score := func(sign float64) int {
+		n := 0
+		for i, p := range pre {
+			if sign*chips[i]*float64(p) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	sign := 1.0
+	if score(-1) > score(1) {
+		sign = -1
+	}
+	// Allow a noise-proportional number of chip-sign mismatches: 1/6 of
+	// the template, at least 2. Longer (TRext) templates tolerate more
+	// absolute errors, which is exactly why readers request them at low
+	// SNR.
+	allow := len(pre) / 6
+	if allow < 2 {
+		allow = 2
+	}
+	if s := score(sign); s < len(pre)-allow {
+		return nil, fmt.Errorf("epc: FM0 preamble not found (%d/%d chips match)", s, len(pre))
+	}
+	data := chips[len(pre):]
+	if len(data)%2 != 0 {
+		data = data[:len(data)-1]
+	}
+	nsym := len(data) / 2
+	if nsym < 1 {
+		return nil, fmt.Errorf("epc: no FM0 symbols after preamble")
+	}
+	bits := make(Bits, 0, nsym-1)
+	for i := 0; i < nsym; i++ {
+		first := sign * data[2*i]
+		second := sign * data[2*i+1]
+		if first*second < 0 {
+			bits = append(bits, 0)
+		} else {
+			bits = append(bits, 1)
+		}
+	}
+	// Strip the dummy-1 terminator.
+	if bits[len(bits)-1] != 1 {
+		return nil, fmt.Errorf("epc: FM0 dummy-1 terminator missing")
+	}
+	return bits[:len(bits)-1], nil
+}
+
+// MillerEncode converts data bits to ±1 chips using Miller-modulated
+// subcarrier with m cycles per symbol (m ∈ {2,4,8}). Each bit produces
+// 2·m chips. A 4-symbol preamble of zeros plus "010111" start pattern is
+// prepended per the standard's TRext=0 sequence (simplified: 4 zeros + the
+// pattern is folded into the baseband state machine).
+func MillerEncode(bits Bits, m Miller) ([]int8, error) {
+	cyc := m.CyclesPerSymbol()
+	if cyc != 2 && cyc != 4 && cyc != 8 {
+		return nil, fmt.Errorf("epc: Miller encode requires M ∈ {2,4,8}, got %v", m)
+	}
+	// Baseband Miller: data-1 inverts mid-symbol; data-0 holds, except a 0
+	// following a 0 inverts at the boundary.
+	full := append(Bits{0, 0, 0, 0, 0, 1, 0, 1, 1, 1}, bits...) // pilot + start
+	level := int8(1)
+	var base []int8 // two half-symbol levels per bit
+	prev := byte(1)
+	for _, b := range full {
+		if b&1 == 0 && prev == 0 {
+			level = -level // boundary inversion between consecutive zeros
+		}
+		first := level
+		second := level
+		if b&1 == 1 {
+			second = -level
+		}
+		base = append(base, first, second)
+		level = second
+		prev = b & 1
+	}
+	// Multiply by square subcarrier: each half-symbol carries m cycles →
+	// m half-cycles of +,− alternation... each full symbol has m cycles =
+	// 2m chips; each half-symbol has m chips alternating.
+	chips := make([]int8, 0, len(base)*cyc)
+	for _, lv := range base {
+		s := int8(1)
+		for k := 0; k < cyc; k++ {
+			chips = append(chips, lv*s)
+			s = -s
+		}
+	}
+	return chips, nil
+}
+
+// MillerDecode recovers data bits from Miller chips produced by
+// MillerEncode with the same m. Soft chips are accepted.
+func MillerDecode(chips []float64, m Miller) (Bits, error) {
+	cyc := m.CyclesPerSymbol()
+	if cyc != 2 && cyc != 4 && cyc != 8 {
+		return nil, fmt.Errorf("epc: Miller decode requires M ∈ {2,4,8}, got %v", m)
+	}
+	per := 2 * cyc // chips per half-symbol pair = 2 halves × cyc
+	if len(chips)%per != 0 {
+		chips = chips[:len(chips)/per*per]
+	}
+	nsym := len(chips) / per
+	const overhead = 10 // pilot + start pattern symbols
+	if nsym <= overhead {
+		return nil, fmt.Errorf("epc: Miller sequence too short (%d symbols)", nsym)
+	}
+	// Demodulate the subcarrier: correlate each half-symbol with the
+	// alternating pattern to recover the baseband level.
+	half := make([]float64, 0, nsym*2)
+	for h := 0; h < nsym*2; h++ {
+		var acc float64
+		s := 1.0
+		for k := 0; k < cyc; k++ {
+			acc += chips[h*cyc+k] * s
+			s = -s
+		}
+		half = append(half, acc)
+	}
+	// Overall waveform sign is irrelevant: data-1 is detected by a
+	// mid-symbol sign flip, which survives inversion.
+	bits := make(Bits, 0, nsym-overhead)
+	for i := overhead; i < nsym; i++ {
+		a, b := half[2*i], half[2*i+1]
+		if a*b < 0 {
+			bits = append(bits, 1) // mid-symbol inversion = data-1
+		} else {
+			bits = append(bits, 0)
+		}
+	}
+	return bits, nil
+}
+
+// ChipsToFloat converts hard chips to soft values for the decoders.
+func ChipsToFloat(chips []int8) []float64 {
+	out := make([]float64, len(chips))
+	for i, c := range chips {
+		out[i] = float64(c)
+	}
+	return out
+}
+
+// ChipRate returns the chip rate (chips/second) for an encoding at the
+// given backscatter link frequency: FM0 sends 2 chips per bit at BLF bits/s;
+// Miller-M sends 2·M chips per bit at BLF/M bits/s, i.e. 2·BLF chips/s for
+// every encoding.
+func ChipRate(blf float64) float64 { return 2 * blf }
+
+// BitDuration returns the duration of one data bit for encoding m at the
+// given BLF: FM0 bits last 1/BLF; Miller-M bits last M/BLF.
+func BitDuration(m Miller, blf float64) float64 {
+	return float64(m.CyclesPerSymbol()) / blf
+}
+
+// SamplesPerChip returns how many waveform samples represent one chip at
+// sample rate fs and link frequency blf, guaranteeing at least 1.
+func SamplesPerChip(fs, blf float64) int {
+	n := int(math.Round(fs / ChipRate(blf)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

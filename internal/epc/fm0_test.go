@@ -1,0 +1,288 @@
+package epc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rfly/internal/rng"
+)
+
+func TestFM0PreambleShape(t *testing.T) {
+	pre := FM0Preamble()
+	if len(pre) != 12 {
+		t.Fatalf("preamble chips = %d", len(pre))
+	}
+	// The violation: symbol 5 must NOT invert at its boundary.
+	if pre[8] != pre[7] {
+		t.Fatal("violation symbol inverts at boundary; preamble is not a violation")
+	}
+	// All other boundaries invert.
+	for _, b := range []int{2, 4, 6, 10} {
+		if pre[b] == pre[b-1] {
+			t.Fatalf("legal symbol at chip %d lacks boundary inversion", b)
+		}
+	}
+}
+
+func TestFM0EncodeStructure(t *testing.T) {
+	bits := Bits{1, 0, 1}
+	chips := FM0Encode(bits)
+	// preamble(12) + 3 data symbols + dummy-1, 2 chips each.
+	if len(chips) != 12+8 {
+		t.Fatalf("chips = %d", len(chips))
+	}
+	// Every data symbol must invert at its boundary.
+	for i := 12; i < len(chips); i += 2 {
+		if chips[i] == chips[i-1] {
+			t.Fatalf("missing boundary inversion at chip %d", i)
+		}
+	}
+}
+
+func TestFM0RoundTrip(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		nb := int(n%32) + 1
+		bits := BitsFromUint(v, nb)
+		chips := FM0Encode(bits)
+		got, err := FM0Decode(ChipsToFloat(chips))
+		return err == nil && got.Equal(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFM0InvertedChannel(t *testing.T) {
+	bits := Bits{1, 1, 0, 0, 1, 0}
+	chips := ChipsToFloat(FM0Encode(bits))
+	for i := range chips {
+		chips[i] = -chips[i]
+	}
+	got, err := FM0Decode(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(bits) {
+		t.Fatalf("inverted decode = %s", got)
+	}
+}
+
+func TestFM0NoisyChips(t *testing.T) {
+	src := rng.New(33)
+	bits := BitsFromUint(0xACE1, 16)
+	chips := ChipsToFloat(FM0Encode(bits))
+	for i := range chips {
+		chips[i] += src.Gaussian(0, 0.3)
+	}
+	got, err := FM0Decode(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(bits) {
+		t.Fatalf("noisy decode = %s, want %s", got, bits)
+	}
+}
+
+func TestFM0DecodeErrors(t *testing.T) {
+	if _, err := FM0Decode(nil); err == nil {
+		t.Fatal("empty decoded")
+	}
+	// Random chips shouldn't look like a preamble.
+	junk := make([]float64, 40)
+	for i := range junk {
+		if i%3 == 0 {
+			junk[i] = 1
+		} else {
+			junk[i] = -1
+		}
+	}
+	if _, err := FM0Decode(junk); err == nil {
+		t.Fatal("junk decoded")
+	}
+}
+
+func TestMillerRoundTrip(t *testing.T) {
+	for _, m := range []Miller{Miller2, Miller4, Miller8} {
+		bits := BitsFromUint(0xBEEF, 16)
+		chips, err := MillerEncode(bits, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := (16 + 10) * 2 * m.CyclesPerSymbol()
+		if len(chips) != wantLen {
+			t.Fatalf("M=%v chips = %d, want %d", m, len(chips), wantLen)
+		}
+		got, err := MillerDecode(ChipsToFloat(chips), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(bits) {
+			t.Fatalf("M=%v decode = %s", m, got)
+		}
+	}
+}
+
+func TestMillerRejectsFM0(t *testing.T) {
+	if _, err := MillerEncode(Bits{1}, FM0Mod); err == nil {
+		t.Fatal("MillerEncode accepted FM0")
+	}
+	if _, err := MillerDecode(make([]float64, 100), FM0Mod); err == nil {
+		t.Fatal("MillerDecode accepted FM0")
+	}
+}
+
+func TestMillerNoisy(t *testing.T) {
+	src := rng.New(44)
+	bits := BitsFromUint(0x5A5A, 16)
+	chips, err := MillerEncode(bits, Miller4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := ChipsToFloat(chips)
+	for i := range soft {
+		soft[i] += src.Gaussian(0, 0.5)
+	}
+	got, err := MillerDecode(soft, Miller4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(bits) {
+		t.Fatalf("noisy Miller decode = %s", got)
+	}
+}
+
+func TestMillerTooShort(t *testing.T) {
+	if _, err := MillerDecode(make([]float64, 8), Miller2); err == nil {
+		t.Fatal("short Miller decoded")
+	}
+}
+
+func TestChipRateAndDurations(t *testing.T) {
+	if ChipRate(500e3) != 1e6 {
+		t.Fatalf("ChipRate = %v", ChipRate(500e3))
+	}
+	if BitDuration(FM0Mod, 500e3) != 2e-6 {
+		t.Fatalf("FM0 bit = %v", BitDuration(FM0Mod, 500e3))
+	}
+	if BitDuration(Miller4, 500e3) != 8e-6 {
+		t.Fatalf("Miller4 bit = %v", BitDuration(Miller4, 500e3))
+	}
+	if SamplesPerChip(4e6, 500e3) != 4 {
+		t.Fatalf("SamplesPerChip = %d", SamplesPerChip(4e6, 500e3))
+	}
+	if SamplesPerChip(1e3, 500e3) != 1 {
+		t.Fatal("SamplesPerChip must floor at 1")
+	}
+}
+
+func TestQAlgorithm(t *testing.T) {
+	q := NewQAlgorithm(4, 0.5)
+	if q.Q() != 4 || q.Slots() != 16 {
+		t.Fatalf("initial Q = %d", q.Q())
+	}
+	for i := 0; i < 4; i++ {
+		q.OnCollision()
+	}
+	if q.Q() != 6 {
+		t.Fatalf("after 4 collisions Q = %d", q.Q())
+	}
+	for i := 0; i < 20; i++ {
+		q.OnEmpty()
+	}
+	if q.Q() != 0 {
+		t.Fatalf("after many empties Q = %d", q.Q())
+	}
+	q.OnEmpty() // clamps at MinQ
+	if q.Qfp < 0 {
+		t.Fatal("Qfp went negative")
+	}
+	before := q.Q()
+	q.OnSingle()
+	if q.Q() != before {
+		t.Fatal("OnSingle changed Q")
+	}
+	// Clamp at MaxQ.
+	for i := 0; i < 100; i++ {
+		q.OnCollision()
+	}
+	if q.Q() != 15 {
+		t.Fatalf("Q exceeded max: %d", q.Q())
+	}
+	// Zero step coerced to a sane default.
+	if q2 := NewQAlgorithm(2, 0); q2.C != 0.3 {
+		t.Fatalf("default C = %v", q2.C)
+	}
+}
+
+func TestFM0ExtPilotShape(t *testing.T) {
+	pre := FM0PreambleExt()
+	if len(pre) != 24+12 {
+		t.Fatalf("extended preamble chips = %d", len(pre))
+	}
+	// The pilot is 12 data-0 symbols: every symbol has a mid-symbol
+	// inversion.
+	for i := 0; i < 24; i += 2 {
+		if pre[i] == pre[i+1] {
+			t.Fatalf("pilot symbol %d lacks mid inversion", i/2)
+		}
+	}
+	// The tail is the standard preamble.
+	base := FM0Preamble()
+	for i, c := range base {
+		if pre[24+i] != c {
+			t.Fatalf("base preamble not preserved at %d", i)
+		}
+	}
+}
+
+func TestFM0ExtRoundTrip(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		nb := int(n%32) + 1
+		bits := BitsFromUint(v, nb)
+		chips := FM0EncodeExt(bits)
+		got, err := FM0DecodeExt(ChipsToFloat(chips))
+		return err == nil && got.Equal(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFM0ExtLowSNRSyncBeatsBase(t *testing.T) {
+	// The pilot's purpose is SYNC robustness: at an SNR where the 12-chip
+	// preamble's sign vote starts failing, the 36-chip extended template
+	// (with its proportional mismatch allowance) keeps detecting. Compare
+	// preamble-detection failures specifically — data errors affect both
+	// equally and are not the pilot's job.
+	src := rng.New(77)
+	bits := BitsFromUint(0x3C5A, 16)
+	baseSyncFail, extSyncFail := 0, 0
+	const trials = 150
+	const sigma = 0.8
+	syncFailed := func(err error) bool {
+		return err != nil && strings.Contains(err.Error(), "preamble not found")
+	}
+	for i := 0; i < trials; i++ {
+		b := ChipsToFloat(FM0Encode(bits))
+		for j := range b {
+			b[j] += src.Gaussian(0, sigma)
+		}
+		if _, err := FM0Decode(b); syncFailed(err) {
+			baseSyncFail++
+		}
+		e := ChipsToFloat(FM0EncodeExt(bits))
+		for j := range e {
+			e[j] += src.Gaussian(0, sigma)
+		}
+		if _, err := FM0DecodeExt(e); syncFailed(err) {
+			extSyncFail++
+		}
+	}
+	if baseSyncFail == 0 {
+		t.Skip("noise too benign to stress the base preamble")
+	}
+	if extSyncFail >= baseSyncFail {
+		t.Fatalf("extended preamble sync failures %d ≥ base %d", extSyncFail, baseSyncFail)
+	}
+}

@@ -1,0 +1,137 @@
+package epc
+
+import (
+	"testing"
+)
+
+// Fuzz targets: the decoders face arbitrary bit patterns and sample
+// streams (a hostile RF environment IS an adversarial input source), so
+// they must never panic and must uphold their round-trip contracts.
+
+func FuzzDecodeCommand(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 1, 1, 0, 0})
+	f.Add([]byte(Query{Q: 5}.Bits()))
+	f.Add([]byte(ACK{RN16: 0xBEEF}.Bits()))
+	f.Add([]byte(Select{MemBank: BankEPC, Mask: Bits{1, 0, 1}}.Bits()))
+	f.Add([]byte(Read{MemBank: BankTID, WordPtr: 300, WordCount: 2, RN16: 7}.Bits()))
+	f.Add([]byte(Kill{Half: 1, Password: 0x1234, RN16: 0x5678}.Bits()))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := make(Bits, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		cmd, err := Decode(bits)
+		if err != nil {
+			return
+		}
+		// Contract: whatever decodes must re-encode to the same frame
+		// (QueryAdjust/NAK/QueryRep included).
+		if !cmd.Bits().Equal(bits) {
+			t.Fatalf("decode/encode mismatch: %T from %s gives %s", cmd, bits, cmd.Bits())
+		}
+	})
+}
+
+func FuzzFM0Decode(f *testing.F) {
+	f.Add([]byte{1, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 1, 0, 1, 1, 0})
+	chips := FM0Encode(BitsFromUint(0xACE1, 16))
+	seed := make([]byte, len(chips))
+	for i, c := range chips {
+		seed[i] = byte(c + 1) // 0 or 2
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		soft := make([]float64, len(raw))
+		for i, b := range raw {
+			soft[i] = float64(int(b)-128) / 64
+		}
+		bits, err := FM0Decode(soft)
+		if err != nil {
+			return
+		}
+		// Contract: a successful decode re-encodes to a chip stream whose
+		// signs match the accepted soft prefix wherever the soft value is
+		// decisive... at minimum the bit count must fit the chip count.
+		if len(FM0Encode(bits)) > len(soft)+2 {
+			t.Fatalf("decoded %d bits from %d chips", len(bits), len(soft))
+		}
+	})
+}
+
+func FuzzDecodeEnvelope(f *testing.F) {
+	cfg := DefaultPIE()
+	env := cfg.EncodeEnvelope(Query{Q: 1}.Bits(), true, 1e6)
+	quant := make([]byte, len(env))
+	for i, v := range env {
+		quant[i] = byte(v * 200)
+	}
+	f.Add(quant)
+	f.Add([]byte{0, 200, 0, 200, 200, 200, 0, 0, 200})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		env := make([]float64, len(raw))
+		for i, b := range raw {
+			env[i] = float64(b) / 200
+		}
+		// Must never panic; errors are fine.
+		dec, err := DecodeEnvelope(env, 1e6)
+		if err == nil && len(dec.Bits) > len(raw) {
+			t.Fatal("more bits than samples")
+		}
+	})
+}
+
+func FuzzParseEBV(f *testing.F) {
+	f.Add([]byte(EBV(300)))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := make(Bits, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		v, used, err := ParseEBV(bits)
+		if err != nil {
+			return
+		}
+		if used > len(bits) || used%8 != 0 {
+			t.Fatalf("used %d of %d", used, len(bits))
+		}
+		// Round trip within the consumed prefix.
+		if !EBV(v).Equal(bits[:used]) {
+			// EBV canonical form may differ from a padded encoding (e.g.
+			// leading zero groups); re-parse instead.
+			v2, _, err2 := ParseEBV(EBV(v))
+			if err2 != nil || v2 != v {
+				t.Fatalf("EBV value unstable: %d vs %d", v, v2)
+			}
+		}
+	})
+}
+
+func FuzzParseSGTIN96(f *testing.F) {
+	if e, err := (SGTIN96{Filter: 1, Partition: 5, CompanyPrefix: 123456,
+		ItemReference: 789, Serial: 42}).Encode(); err == nil {
+		w := e.Words
+		f.Add(w[0], w[1], w[2], w[3], w[4], w[5])
+	}
+	f.Add(uint16(0x3000), uint16(0), uint16(0), uint16(0), uint16(0), uint16(0))
+	f.Add(uint16(0xFFFF), uint16(0xFFFF), uint16(0xFFFF), uint16(0xFFFF),
+		uint16(0xFFFF), uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, w4, w5 uint16) {
+		e := NewEPC96(w0, w1, w2, w3, w4, w5)
+		s, err := ParseSGTIN96(e)
+		if err != nil {
+			return // non-SGTIN headers and bad partitions are rejected
+		}
+		// Anything that parses must survive a lossless round trip.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("parsed SGTIN fails validation: %v", err)
+		}
+		back, err := s.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if back.String() != e.String() {
+			t.Fatalf("round trip changed the EPC: %v → %v", e, back)
+		}
+	})
+}

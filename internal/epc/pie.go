@@ -1,0 +1,223 @@
+package epc
+
+import (
+	"fmt"
+	"math"
+)
+
+// PIEConfig holds the pulse-interval-encoding timing parameters of the
+// reader's downlink (Gen2 §6.3.1.2). The defaults model the paper's USRP
+// reader: Tari 12.5 µs keeps the query spectrum within the 125 kHz the
+// paper quotes for reader commands.
+type PIEConfig struct {
+	Tari   float64     // data-0 duration, seconds
+	PWFrac float64     // low-pulse fraction of Tari (0.265..0.525)
+	OneLen float64     // data-1 duration as a multiple of Tari (1.5..2.0)
+	Delim  float64     // preamble delimiter duration, seconds (~12.5 µs)
+	TRcal  float64     // TRcal duration, seconds; sets the BLF with DR
+	DR     DivideRatio // divide ratio signalled in the Query
+	Depth  float64     // ASK modulation depth, 0..1 (1 = full OOK)
+}
+
+// DefaultPIE returns the timing used throughout the reproduction:
+// Tari 12.5 µs, data-1 = 2 Tari, TRcal tuned so BLF = 500 kHz at DR64/3
+// — the backscatter link frequency the relay's 500 kHz band-pass filter
+// is centered on (§6.1).
+func DefaultPIE() PIEConfig {
+	cfg := PIEConfig{
+		Tari:   12.5e-6,
+		PWFrac: 0.5,
+		OneLen: 2.0,
+		Delim:  12.5e-6,
+		DR:     DR64,
+		Depth:  0.9,
+	}
+	cfg.TRcal = cfg.DR.Value() / 500e3 // BLF = DR/TRcal = 500 kHz
+	return cfg
+}
+
+// BLF returns the backscatter link frequency commanded by this timing.
+func (c PIEConfig) BLF() float64 { return c.DR.Value() / c.TRcal }
+
+// RTcal returns the reader-to-tag calibration interval: data-0 + data-1.
+func (c PIEConfig) RTcal() float64 { return c.Tari + c.OneLen*c.Tari }
+
+// Validate checks the configuration against Gen2 limits.
+func (c PIEConfig) Validate() error {
+	if c.Tari < 6.25e-6 || c.Tari > 25e-6 {
+		return fmt.Errorf("epc: Tari %v out of range [6.25µs, 25µs]", c.Tari)
+	}
+	if c.PWFrac < 0.265 || c.PWFrac > 0.525 {
+		return fmt.Errorf("epc: PW fraction %v out of range", c.PWFrac)
+	}
+	if c.OneLen < 1.5 || c.OneLen > 2.0 {
+		return fmt.Errorf("epc: data-1 length %v Tari out of [1.5, 2]", c.OneLen)
+	}
+	if c.TRcal < 1.1*c.RTcal() || c.TRcal > 3*c.RTcal() {
+		return fmt.Errorf("epc: TRcal %v out of [1.1, 3]×RTcal (%v)", c.TRcal, c.RTcal())
+	}
+	if c.Depth <= 0 || c.Depth > 1 {
+		return fmt.Errorf("epc: modulation depth %v out of (0, 1]", c.Depth)
+	}
+	return nil
+}
+
+// symbol appends one PIE symbol (high for total−pw, then low for pw).
+func appendSymbol(env []float64, total, pw float64, fs, lowLevel float64) []float64 {
+	nTotal := int(math.Round(total * fs))
+	nPW := int(math.Round(pw * fs))
+	if nPW >= nTotal {
+		nPW = nTotal - 1
+	}
+	for i := 0; i < nTotal-nPW; i++ {
+		env = append(env, 1)
+	}
+	for i := 0; i < nPW; i++ {
+		env = append(env, lowLevel)
+	}
+	return env
+}
+
+// EncodeEnvelope renders a command frame as an amplitude envelope at sample
+// rate fs. withTRcal selects the full preamble (Query frames) versus the
+// frame-sync (all other commands). The envelope starts with a stretch of
+// carrier (1.0) so the tag has power before the delimiter, and ends with
+// carrier restored (the reader transmits CW afterwards to power the tag
+// during its reply).
+func (c PIEConfig) EncodeEnvelope(frame Bits, withTRcal bool, fs float64) []float64 {
+	low := 1 - c.Depth
+	pw := c.PWFrac * c.Tari
+	var env []float64
+	// Leading CW so the tag charges and the decoder has an amplitude
+	// reference.
+	for i := 0; i < int(math.Round(8*c.Tari*fs)); i++ {
+		env = append(env, 1)
+	}
+	// Delimiter: fixed low period.
+	for i := 0; i < int(math.Round(c.Delim*fs)); i++ {
+		env = append(env, low)
+	}
+	// data-0, RTcal, then TRcal for a preamble.
+	env = appendSymbol(env, c.Tari, pw, fs, low)
+	env = appendSymbol(env, c.RTcal(), pw, fs, low)
+	if withTRcal {
+		env = appendSymbol(env, c.TRcal, pw, fs, low)
+	}
+	for _, b := range frame {
+		if b&1 == 1 {
+			env = appendSymbol(env, c.OneLen*c.Tari, pw, fs, low)
+		} else {
+			env = appendSymbol(env, c.Tari, pw, fs, low)
+		}
+	}
+	// Trailing CW: the T1 window plus enough carrier to illuminate the
+	// longest tag reply (a PC+EPC+CRC frame at the slowest legal BLF).
+	for i := 0; i < int(math.Round(40*c.Tari*fs)); i++ {
+		env = append(env, 1)
+	}
+	return env
+}
+
+// DecodedFrame is the result of demodulating a PIE envelope.
+type DecodedFrame struct {
+	Bits     Bits
+	HasTRcal bool
+	RTcal    float64 // measured, seconds
+	TRcal    float64 // measured, seconds (0 when absent)
+}
+
+// DecodeEnvelope demodulates a PIE amplitude envelope back into bits. It
+// finds the delimiter, measures RTcal to derive the 0/1 pivot, detects an
+// optional TRcal, and classifies each subsequent symbol by duration. This
+// is the tag model's downlink receiver.
+func DecodeEnvelope(env []float64, fs float64) (DecodedFrame, error) {
+	var out DecodedFrame
+	if len(env) == 0 {
+		return out, fmt.Errorf("epc: empty envelope")
+	}
+	hi, lo := env[0], env[0]
+	for _, v := range env {
+		hi = math.Max(hi, v)
+		lo = math.Min(lo, v)
+	}
+	// The tag slices on relative depth: the absolute level depends on the
+	// link budget, but the modulation depth survives any linear channel.
+	if hi <= 0 || (hi-lo)/hi < 0.05 {
+		return out, fmt.Errorf("epc: envelope has no modulation (depth %.3f)", (hi-lo)/math.Max(hi, 1e-300))
+	}
+	thr := (hi + lo) / 2
+	// Find low-pulse runs: (start, end) sample indices. Runs shorter than
+	// a microsecond are filter ringing (the relay's low-pass smooths the
+	// PIE edges), not PIE pulses — the narrowest legal PW is 3.3 µs.
+	minRun := int(1e-6 * fs)
+	if minRun < 1 {
+		minRun = 1
+	}
+	type run struct{ start, end int }
+	var runs []run
+	inLow := false
+	s := 0
+	for i, v := range env {
+		if v < thr && !inLow {
+			inLow, s = true, i
+		} else if v >= thr && inLow {
+			inLow = false
+			if i-s >= minRun {
+				runs = append(runs, run{s, i})
+			}
+		}
+	}
+	if inLow && len(env)-s >= minRun {
+		runs = append(runs, run{s, len(env)})
+	}
+	// The delimiter is the first low run preceded by a sustained carrier
+	// (the reader transmits CW before every frame). Anything earlier —
+	// receiver filter warm-up, junk before the carrier — is discarded.
+	minCW := int(25e-6 * fs) // two Tari of carrier minimum
+	delim := -1
+	prevEnd := 0
+	for i, r := range runs {
+		if r.start-prevEnd >= minCW {
+			delim = i
+			break
+		}
+		prevEnd = r.end
+	}
+	if delim < 0 {
+		return out, fmt.Errorf("epc: no delimiter found (%d low runs)", len(runs))
+	}
+	runs = runs[delim:]
+	if len(runs) < 3 {
+		return out, fmt.Errorf("epc: too few pulses (%d) for a frame", len(runs))
+	}
+	// Symbols end at each low-pulse end after the delimiter, so symbol
+	// k's duration = pulseEnd[k+1] − pulseEnd[k].
+	durs := make([]float64, 0, len(runs)-1)
+	for i := 1; i < len(runs); i++ {
+		durs = append(durs, float64(runs[i].end-runs[i-1].end)/fs)
+	}
+	// durs[0] = data-0 (Tari), durs[1] = RTcal, optional durs[2] = TRcal.
+	if len(durs) < 2 {
+		return out, fmt.Errorf("epc: missing calibration symbols")
+	}
+	out.RTcal = durs[1]
+	pivot := out.RTcal / 2
+	idx := 2
+	if len(durs) > 2 && durs[2] > 1.1*out.RTcal && durs[2] <= 3.2*out.RTcal {
+		out.HasTRcal = true
+		out.TRcal = durs[2]
+		idx = 3
+	}
+	for ; idx < len(durs); idx++ {
+		d := durs[idx]
+		if d > 2.5*out.RTcal {
+			return out, fmt.Errorf("epc: symbol %d duration %v implausible", idx, d)
+		}
+		if d > pivot {
+			out.Bits = append(out.Bits, 1)
+		} else {
+			out.Bits = append(out.Bits, 0)
+		}
+	}
+	return out, nil
+}

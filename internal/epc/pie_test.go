@@ -1,0 +1,196 @@
+package epc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const testFS = 4e6
+
+func TestDefaultPIEValid(t *testing.T) {
+	cfg := DefaultPIE()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if blf := cfg.BLF(); math.Abs(blf-500e3) > 1 {
+		t.Fatalf("BLF = %v, want 500 kHz", blf)
+	}
+	if rt := cfg.RTcal(); math.Abs(rt-37.5e-6) > 1e-9 {
+		t.Fatalf("RTcal = %v", rt)
+	}
+}
+
+func TestPIEValidation(t *testing.T) {
+	bad := DefaultPIE()
+	bad.Tari = 1e-6
+	if bad.Validate() == nil {
+		t.Fatal("tiny Tari accepted")
+	}
+	bad = DefaultPIE()
+	bad.OneLen = 3
+	if bad.Validate() == nil {
+		t.Fatal("long data-1 accepted")
+	}
+	bad = DefaultPIE()
+	bad.TRcal = bad.RTcal() // must exceed 1.1×RTcal
+	if bad.Validate() == nil {
+		t.Fatal("short TRcal accepted")
+	}
+	bad = DefaultPIE()
+	bad.Depth = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero depth accepted")
+	}
+	bad = DefaultPIE()
+	bad.PWFrac = 0.1
+	if bad.Validate() == nil {
+		t.Fatal("narrow PW accepted")
+	}
+}
+
+func TestPIEQueryRoundTrip(t *testing.T) {
+	cfg := DefaultPIE()
+	frame := Query{DR: DR64, M: FM0Mod, Session: S0, Q: 4}.Bits()
+	env := cfg.EncodeEnvelope(frame, true, testFS)
+	dec, err := DecodeEnvelope(env, testFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.HasTRcal {
+		t.Fatal("TRcal not detected on a Query preamble")
+	}
+	if !dec.Bits.Equal(frame) {
+		t.Fatalf("bits: got %s want %s", dec.Bits, frame)
+	}
+	if math.Abs(dec.RTcal-cfg.RTcal()) > 1e-6 {
+		t.Fatalf("measured RTcal = %v", dec.RTcal)
+	}
+	if math.Abs(dec.TRcal-cfg.TRcal) > 1e-6 {
+		t.Fatalf("measured TRcal = %v", dec.TRcal)
+	}
+}
+
+func TestPIEFrameSyncRoundTrip(t *testing.T) {
+	cfg := DefaultPIE()
+	frame := ACK{RN16: 0xA5C3}.Bits()
+	env := cfg.EncodeEnvelope(frame, false, testFS)
+	dec, err := DecodeEnvelope(env, testFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.HasTRcal {
+		t.Fatal("phantom TRcal on frame-sync")
+	}
+	if !dec.Bits.Equal(frame) {
+		t.Fatalf("bits: got %s want %s", dec.Bits, frame)
+	}
+}
+
+func TestPIEArbitraryBitsProperty(t *testing.T) {
+	cfg := DefaultPIE()
+	f := func(v uint64, n uint8) bool {
+		nb := int(n%30) + 4
+		frame := BitsFromUint(v, nb)
+		env := cfg.EncodeEnvelope(frame, false, testFS)
+		dec, err := DecodeEnvelope(env, testFS)
+		return err == nil && dec.Bits.Equal(frame)
+	}
+	cfgq := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfgq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPIEShallowDepth(t *testing.T) {
+	// A 30% modulation depth (weak relay forwarding) must still decode.
+	cfg := DefaultPIE()
+	cfg.Depth = 0.3
+	frame := QueryRep{Session: S1}.Bits()
+	env := cfg.EncodeEnvelope(frame, false, testFS)
+	dec, err := DecodeEnvelope(env, testFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Bits.Equal(frame) {
+		t.Fatalf("bits = %s", dec.Bits)
+	}
+}
+
+func TestDecodeEnvelopeErrors(t *testing.T) {
+	if _, err := DecodeEnvelope(nil, testFS); err == nil {
+		t.Fatal("empty envelope decoded")
+	}
+	flat := make([]float64, 1000)
+	for i := range flat {
+		flat[i] = 1
+	}
+	if _, err := DecodeEnvelope(flat, testFS); err == nil {
+		t.Fatal("unmodulated envelope decoded")
+	}
+}
+
+func TestEncodeEnvelopeLevels(t *testing.T) {
+	cfg := DefaultPIE()
+	env := cfg.EncodeEnvelope(Bits{1, 0}, false, testFS)
+	for i, v := range env {
+		if v != 1 && math.Abs(v-(1-cfg.Depth)) > 1e-12 {
+			t.Fatalf("unexpected level %v at %d", v, i)
+		}
+	}
+	// Leading CW present.
+	if env[0] != 1 {
+		t.Fatal("no leading carrier")
+	}
+}
+
+func TestPIETariSweep(t *testing.T) {
+	// Gen2 permits Tari from 6.25 to 25 µs; the codec must round-trip at
+	// the extremes and mid values, with the BLF following the TRcal.
+	for _, tari := range []float64{6.25e-6, 12.5e-6, 18e-6, 25e-6} {
+		cfg := DefaultPIE()
+		cfg.Tari = tari
+		cfg.Delim = 12.5e-6
+		// Keep TRcal legal relative to the new RTcal.
+		cfg.TRcal = 1.5 * cfg.RTcal()
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Tari %v: %v", tari, err)
+		}
+		frame := Query{DR: DR64, Q: 6}.Bits()
+		env := cfg.EncodeEnvelope(frame, true, testFS)
+		dec, err := DecodeEnvelope(env, testFS)
+		if err != nil {
+			t.Fatalf("Tari %v: %v", tari, err)
+		}
+		if !dec.Bits.Equal(frame) {
+			t.Fatalf("Tari %v: bits %s", tari, dec.Bits)
+		}
+		if math.Abs(dec.TRcal-cfg.TRcal) > 2e-6 {
+			t.Fatalf("Tari %v: measured TRcal %v", tari, dec.TRcal)
+		}
+	}
+}
+
+func TestPIEDR8(t *testing.T) {
+	// DR8 with a long TRcal gives low BLFs (~40-160 kHz range tags use in
+	// dense-reader mode).
+	cfg := DefaultPIE()
+	cfg.DR = DR8
+	cfg.TRcal = 3 * cfg.RTcal()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	blf := cfg.BLF()
+	if blf < 40e3 || blf > 200e3 {
+		t.Fatalf("DR8 BLF = %v", blf)
+	}
+	frame := QueryRep{Session: S3}.Bits()
+	env := cfg.EncodeEnvelope(frame, false, testFS)
+	dec, err := DecodeEnvelope(env, testFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Bits.Equal(frame) {
+		t.Fatalf("bits = %s", dec.Bits)
+	}
+}

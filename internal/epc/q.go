@@ -1,0 +1,49 @@
+package epc
+
+import "math"
+
+// QAlgorithm implements the Gen2 Annex D.2 adaptive Q algorithm the reader
+// uses to size inventory rounds: Q floats up on collisions and down on
+// empty slots so that roughly one tag answers per slot.
+type QAlgorithm struct {
+	Qfp  float64 // floating-point Q
+	C    float64 // adjustment step, typically 0.1 ≤ C ≤ 0.5
+	MinQ int
+	MaxQ int
+}
+
+// NewQAlgorithm returns the algorithm initialized at q0 with step c.
+func NewQAlgorithm(q0 int, c float64) *QAlgorithm {
+	if c <= 0 {
+		c = 0.3
+	}
+	return &QAlgorithm{Qfp: float64(q0), C: c, MinQ: 0, MaxQ: 15}
+}
+
+// Q returns the current integer Q (rounded, clamped to [MinQ, MaxQ]).
+func (q *QAlgorithm) Q() int {
+	v := int(math.Round(q.Qfp))
+	if v < q.MinQ {
+		v = q.MinQ
+	}
+	if v > q.MaxQ {
+		v = q.MaxQ
+	}
+	return v
+}
+
+// Slots returns the current round size 2^Q.
+func (q *QAlgorithm) Slots() int { return 1 << q.Q() }
+
+// OnEmpty records an empty slot (no reply): Q drifts down.
+func (q *QAlgorithm) OnEmpty() {
+	q.Qfp = math.Max(float64(q.MinQ), q.Qfp-q.C)
+}
+
+// OnSingle records a successful singleton reply: Q holds.
+func (q *QAlgorithm) OnSingle() {}
+
+// OnCollision records a collided slot: Q drifts up.
+func (q *QAlgorithm) OnCollision() {
+	q.Qfp = math.Min(float64(q.MaxQ), q.Qfp+q.C)
+}

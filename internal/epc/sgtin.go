@@ -1,0 +1,99 @@
+package epc
+
+import "fmt"
+
+// SGTIN-96 is the dominant real-world EPC scheme (GS1 Tag Data Standard):
+// a serialized GTIN identifying company, product, and item serial. The
+// paper's deployment story (§3) assumes a database mapping EPCs to
+// objects; with SGTIN the mapping is structural — the EPC itself names
+// the product.
+type SGTIN96 struct {
+	// Filter is the 3-bit filter value (0 = all, 1 = POS item, ...).
+	Filter uint8
+	// Partition selects the company-prefix/item-reference split (0–6).
+	Partition uint8
+	// CompanyPrefix is the GS1 company prefix (width set by Partition).
+	CompanyPrefix uint64
+	// ItemReference identifies the product (width set by Partition).
+	ItemReference uint64
+	// Serial is the 38-bit item serial number.
+	Serial uint64
+}
+
+// sgtinHeader is the 8-bit EPC header value for SGTIN-96.
+const sgtinHeader = 0x30
+
+// sgtinPartitions maps Partition → (company bits, item bits).
+var sgtinPartitions = [7][2]uint{
+	{40, 4}, {37, 7}, {34, 10}, {30, 14}, {27, 17}, {24, 20}, {20, 24},
+}
+
+// Validate checks field widths against the partition.
+func (s SGTIN96) Validate() error {
+	if s.Filter > 7 {
+		return fmt.Errorf("epc: SGTIN filter %d out of range", s.Filter)
+	}
+	if int(s.Partition) >= len(sgtinPartitions) {
+		return fmt.Errorf("epc: SGTIN partition %d out of range", s.Partition)
+	}
+	p := sgtinPartitions[s.Partition]
+	if s.CompanyPrefix >= 1<<p[0] {
+		return fmt.Errorf("epc: company prefix %d exceeds %d bits", s.CompanyPrefix, p[0])
+	}
+	if s.ItemReference >= 1<<p[1] {
+		return fmt.Errorf("epc: item reference %d exceeds %d bits", s.ItemReference, p[1])
+	}
+	if s.Serial >= 1<<38 {
+		return fmt.Errorf("epc: serial %d exceeds 38 bits", s.Serial)
+	}
+	return nil
+}
+
+// Encode packs the SGTIN-96 into a 96-bit EPC.
+func (s SGTIN96) Encode() (EPC, error) {
+	if err := s.Validate(); err != nil {
+		return EPC{}, err
+	}
+	p := sgtinPartitions[s.Partition]
+	bits := BitsFromUint(uint64(sgtinHeader), 8)
+	bits = bits.Append(BitsFromUint(uint64(s.Filter), 3))
+	bits = bits.Append(BitsFromUint(uint64(s.Partition), 3))
+	bits = bits.Append(BitsFromUint(s.CompanyPrefix, int(p[0])))
+	bits = bits.Append(BitsFromUint(s.ItemReference, int(p[1])))
+	bits = bits.Append(BitsFromUint(s.Serial, 38))
+	if len(bits) != 96 {
+		return EPC{}, fmt.Errorf("epc: SGTIN packing error (%d bits)", len(bits))
+	}
+	return EPCFromBits(bits)
+}
+
+// ParseSGTIN96 unpacks a 96-bit EPC carrying the SGTIN-96 header.
+func ParseSGTIN96(e EPC) (SGTIN96, error) {
+	bits := e.Bits()
+	if len(bits) != 96 {
+		return SGTIN96{}, fmt.Errorf("epc: SGTIN requires 96 bits, have %d", len(bits))
+	}
+	if bits[:8].Uint() != sgtinHeader {
+		return SGTIN96{}, fmt.Errorf("epc: header %02X is not SGTIN-96", bits[:8].Uint())
+	}
+	s := SGTIN96{
+		Filter:    uint8(bits[8:11].Uint()),
+		Partition: uint8(bits[11:14].Uint()),
+	}
+	if int(s.Partition) >= len(sgtinPartitions) {
+		return SGTIN96{}, fmt.Errorf("epc: SGTIN partition %d invalid", s.Partition)
+	}
+	p := sgtinPartitions[s.Partition]
+	off := 14
+	s.CompanyPrefix = bits[off : off+int(p[0])].Uint()
+	off += int(p[0])
+	s.ItemReference = bits[off : off+int(p[1])].Uint()
+	off += int(p[1])
+	s.Serial = bits[off : off+38].Uint()
+	return s, nil
+}
+
+// String renders the SGTIN in GS1 pure-identity style.
+func (s SGTIN96) String() string {
+	return fmt.Sprintf("urn:epc:id:sgtin:%d.%d.%d", s.CompanyPrefix, s.ItemReference, s.Serial)
+}

@@ -1,0 +1,182 @@
+package epc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSGTINRoundTrip(t *testing.T) {
+	s := SGTIN96{Filter: 1, Partition: 5, CompanyPrefix: 614141, ItemReference: 812345, Serial: 6789}
+	e, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSGTIN96(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !strings.Contains(s.String(), "sgtin:614141.812345.6789") {
+		t.Fatalf("String = %s", s)
+	}
+}
+
+func TestSGTINRoundTripProperty(t *testing.T) {
+	f := func(filter, part uint8, cp, ir, serial uint64) bool {
+		p := part % 7
+		widths := sgtinPartitions[p]
+		s := SGTIN96{
+			Filter:        filter % 8,
+			Partition:     p,
+			CompanyPrefix: cp % (1 << widths[0]),
+			ItemReference: ir % (1 << widths[1]),
+			Serial:        serial % (1 << 38),
+		}
+		e, err := s.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := ParseSGTIN96(e)
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGTINValidation(t *testing.T) {
+	if _, err := (SGTIN96{Partition: 9}).Encode(); err == nil {
+		t.Fatal("bad partition accepted")
+	}
+	if _, err := (SGTIN96{Partition: 6, CompanyPrefix: 1 << 21}).Encode(); err == nil {
+		t.Fatal("oversized company prefix accepted")
+	}
+	if _, err := (SGTIN96{Serial: 1 << 39}).Encode(); err == nil {
+		t.Fatal("oversized serial accepted")
+	}
+	// Non-SGTIN header rejected on parse.
+	if _, err := ParseSGTIN96(NewEPC96(0xE280, 1, 2, 3, 4, 5)); err == nil {
+		t.Fatal("non-SGTIN parsed")
+	}
+}
+
+func TestTimingBasics(t *testing.T) {
+	tm := NewTiming(DefaultPIE())
+	// T1 ≥ RTcal (37.5 µs here) and ≥ 10/BLF (20 µs).
+	if tm.T1() < 37*time.Microsecond || tm.T1() > 40*time.Microsecond {
+		t.Fatalf("T1 = %v", tm.T1())
+	}
+	if tm.T2() != seconds(8/500e3) {
+		t.Fatalf("T2 = %v", tm.T2())
+	}
+	if tm.T4() != seconds(75e-6) {
+		t.Fatalf("T4 = %v", tm.T4())
+	}
+	// A Query (22 bits) takes longer than a QueryRep (4 bits).
+	q := tm.CommandAirtime(Query{}.Bits(), true)
+	qr := tm.CommandAirtime(QueryRep{}.Bits(), false)
+	if q <= qr {
+		t.Fatalf("Query %v vs QueryRep %v", q, qr)
+	}
+	// RN16 at 500 kHz FM0: (6+16+1) symbols × 2 µs = 46 µs.
+	if got := tm.ReplyAirtime(16, FM0Mod, false); got != 46*time.Microsecond {
+		t.Fatalf("RN16 airtime = %v", got)
+	}
+	// TRext adds 12 symbols; Miller-4 quadruples the per-bit time.
+	if tm.ReplyAirtime(16, FM0Mod, true) <= tm.ReplyAirtime(16, FM0Mod, false) {
+		t.Fatal("TRext did not lengthen the reply")
+	}
+	if tm.ReplyAirtime(16, Miller4, false) <= 3*tm.ReplyAirtime(16, FM0Mod, false) {
+		t.Fatal("Miller-4 should be ~4× slower")
+	}
+}
+
+func TestSlotAndRoundDuration(t *testing.T) {
+	tm := NewTiming(DefaultPIE())
+	empty := tm.SlotDuration(SlotEmpty, 128)
+	coll := tm.SlotDuration(SlotCollision, 128)
+	single := tm.SlotDuration(SlotSingle, 128)
+	if !(empty < coll && coll < single) {
+		t.Fatalf("slot ordering: empty %v coll %v single %v", empty, coll, single)
+	}
+	// A 16-slot round with 10 empties, 2 collisions, 4 singles lands in
+	// the single-digit millisecond range — which is what makes thousands
+	// of tags per minute feasible.
+	round := tm.RoundDuration(16, 10, 2, 4, 128)
+	if round < 2*time.Millisecond || round > 20*time.Millisecond {
+		t.Fatalf("round duration = %v", round)
+	}
+}
+
+// Properties of the link-timing model, over randomized PIE profiles.
+func TestTimingProperties(t *testing.T) {
+	mkCfg := func(tari8, one8, tr8 uint8) PIEConfig {
+		cfg := DefaultPIE()
+		cfg.Tari = (6.25 + float64(tari8%19)) * 1e-6 // 6.25–25 µs
+		cfg.OneLen = 1.5 + float64(one8%6)*0.1       // 1.5–2.0 Tari
+		cfg.TRcal = (1.1 + float64(tr8%19)*0.1) * cfg.RTcal()
+		return cfg
+	}
+	prop := func(tari8, one8, tr8 uint8, nBits8 uint8) bool {
+		cfg := mkCfg(tari8, one8, tr8)
+		if cfg.Validate() != nil {
+			return true // out-of-spec profiles are rejected elsewhere
+		}
+		tm := NewTiming(cfg)
+		// T1 respects both floors.
+		if tm.T1() < seconds(cfg.RTcal()) || tm.T1() < seconds(10/cfg.BLF()) {
+			return false
+		}
+		// Longer frames cost more air, bit by bit.
+		n := 8 + int(nBits8)
+		shorter := tm.ReplyAirtime(n, FM0Mod, false)
+		longer := tm.ReplyAirtime(n+1, FM0Mod, false)
+		if longer <= shorter {
+			return false
+		}
+		// Miller trades airtime for robustness: M>1 is always slower.
+		if tm.ReplyAirtime(n, Miller4, false) <= tm.ReplyAirtime(n, FM0Mod, false) {
+			return false
+		}
+		// The TRext pilot adds a fixed positive cost.
+		if tm.ReplyAirtime(n, FM0Mod, true) <= tm.ReplyAirtime(n, FM0Mod, false) {
+			return false
+		}
+		// A command with a 1-bit costs more than with a 0-bit.
+		c1 := tm.CommandAirtime(Bits{1, 1, 1, 1}, false)
+		c0 := tm.CommandAirtime(Bits{0, 0, 0, 0}, false)
+		return c1 > c0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a round's duration decomposes monotonically — more slots of
+// any outcome cost more airtime, and a success always costs at least a
+// collision, which costs at least an empty slot.
+func TestRoundDurationMonotone(t *testing.T) {
+	tm := NewTiming(DefaultPIE())
+	if !(tm.SlotDuration(SlotSingle, 96) > tm.SlotDuration(SlotCollision, 96) &&
+		tm.SlotDuration(SlotCollision, 96) > tm.SlotDuration(SlotEmpty, 96)) {
+		t.Fatal("slot outcome ordering violated")
+	}
+	prop := func(e8, c8, s8 uint8) bool {
+		e, c, s := int(e8%50), int(c8%50), int(s8%50)
+		base := tm.RoundDuration(e+c+s, e, c, s, 96)
+		if tm.RoundDuration(e+c+s+1, e+1, c, s, 96) <= base {
+			return false
+		}
+		if tm.RoundDuration(e+c+s+1, e, c+1, s, 96) <= base {
+			return false
+		}
+		return tm.RoundDuration(e+c+s+1, e, c, s+1, 96) > base
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package epc
+
+import "time"
+
+// Gen2 link timing (§6.3.1.6): the T1–T4 intervals plus command/reply
+// airtimes determine how fast an inventory round runs — the quantity
+// behind the paper's month→day cycle-counting motivation.
+
+// Timing derives the protocol's time budget from the PIE configuration.
+type Timing struct {
+	cfg PIEConfig
+}
+
+// NewTiming wraps a PIE configuration.
+func NewTiming(cfg PIEConfig) Timing { return Timing{cfg: cfg} }
+
+// T1 is the reader-command to tag-response turnaround: max(RTcal, 10/BLF).
+func (t Timing) T1() time.Duration {
+	rt := t.cfg.RTcal()
+	alt := 10 / t.cfg.BLF()
+	if alt > rt {
+		rt = alt
+	}
+	return seconds(rt)
+}
+
+// T2 is the tag-response to next-reader-command gap (3/BLF minimum;
+// readers typically use ~8/BLF).
+func (t Timing) T2() time.Duration { return seconds(8 / t.cfg.BLF()) }
+
+// T4 is the minimum gap between reader commands (2·RTcal).
+func (t Timing) T4() time.Duration { return seconds(2 * t.cfg.RTcal()) }
+
+// CommandAirtime returns how long a command frame occupies the channel:
+// preamble/frame-sync plus the PIE symbols.
+func (t Timing) CommandAirtime(frame Bits, withTRcal bool) time.Duration {
+	pie := t.cfg
+	dur := pie.Delim + pie.Tari + pie.RTcal()
+	if withTRcal {
+		dur += pie.TRcal
+	}
+	for _, b := range frame {
+		if b&1 == 1 {
+			dur += pie.OneLen * pie.Tari
+		} else {
+			dur += pie.Tari
+		}
+	}
+	return seconds(dur)
+}
+
+// ReplyAirtime returns a tag reply's duration: (preamble + bits + dummy)
+// at the backscatter link frequency, honoring TRext and the Miller mode.
+func (t Timing) ReplyAirtime(nBits int, m Miller, trext bool) time.Duration {
+	pre := 6 // FM0 preamble symbols
+	if m != FM0Mod {
+		pre = 10
+	}
+	if trext {
+		pre += 12
+	}
+	symbols := float64(pre + nBits + 1)
+	return seconds(symbols * BitDuration(m, t.cfg.BLF()))
+}
+
+// SlotDuration estimates one slot's cost by outcome.
+type SlotOutcome int
+
+// Slot outcomes for timing purposes.
+const (
+	SlotEmpty SlotOutcome = iota
+	SlotSingle
+	SlotCollision
+)
+
+// SlotDuration returns the airtime one slot consumes: the QueryRep, plus
+// (for responding slots) T1 + RN16 + T2, plus (for successful singles)
+// the ACK exchange with the EPC reply.
+func (t Timing) SlotDuration(outcome SlotOutcome, epcBits int) time.Duration {
+	qrep := t.CommandAirtime(QueryRep{}.Bits(), false)
+	switch outcome {
+	case SlotEmpty:
+		// The reader times out after T1 plus a small sense window.
+		return qrep + t.T1() + t.T2()
+	case SlotCollision:
+		return qrep + t.T1() + t.ReplyAirtime(16, FM0Mod, false) + t.T2()
+	default:
+		ack := t.CommandAirtime(ACK{}.Bits(), false)
+		return qrep + t.T1() + t.ReplyAirtime(16, FM0Mod, false) + t.T2() +
+			ack + t.T1() + t.ReplyAirtime(epcBits, FM0Mod, false) + t.T2()
+	}
+}
+
+// RoundDuration estimates a full inventory round's airtime from its slot
+// statistics (Query itself included).
+func (t Timing) RoundDuration(slots, empty, collisions, singles, epcBits int) time.Duration {
+	d := t.CommandAirtime(Query{}.Bits(), true) + t.T1()
+	d += time.Duration(empty) * t.SlotDuration(SlotEmpty, epcBits)
+	d += time.Duration(collisions) * t.SlotDuration(SlotCollision, epcBits)
+	d += time.Duration(singles) * t.SlotDuration(SlotSingle, epcBits)
+	_ = slots
+	return d
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"time"
+
+	"rfly/internal/drone"
+)
+
+// CoverageRow is one scenario of the §1 month→day inventory-cycle
+// comparison: the same floor counted manually versus by the relay drone.
+type CoverageRow struct {
+	Scenario string
+	AreaM2   float64
+	Tags     int
+
+	// Drone side.
+	Plan        drone.Plan
+	Cycle       drone.InventoryCycle
+	ReadLimited bool
+
+	// Manual side (4 workers, 8 h shifts at drone.ManualRate).
+	Manual  time.Duration
+	Speedup float64
+}
+
+// CoverageScenarios are the floor plans the comparison runs over, sized
+// after the paper's motivating settings: a retail backroom, a full retail
+// floor, and a distribution-center zone.
+func CoverageScenarios() []struct {
+	Name   string
+	W, H   float64
+	Tags   int
+	Radius float64
+} {
+	return []struct {
+		Name   string
+		W, H   float64
+		Tags   int
+		Radius float64
+	}{
+		{"retail backroom", 30, 20, 15_000, 8},
+		{"retail floor", 100, 50, 200_000, 8},
+		{"DC zone (dense racks)", 120, 80, 500_000, 5},
+	}
+}
+
+// CoverageTable runs the month→day comparison. The Gen2 singulation
+// throughput comes from the anti-collision substrate (the 32-tag framed-
+// ALOHA operating point), so the whole chain — protocol timing → read
+// rate → flight plan → cycle time — is derived, not asserted.
+func CoverageTable(seed uint64) []CoverageRow {
+	pts := AntiCollision([]int{32}, seed)
+	tput := pts[0].TagsPerSecond
+	var rows []CoverageRow
+	for _, sc := range CoverageScenarios() {
+		m := drone.Mission{
+			X0: 0, Y0: 0, X1: sc.W, Y1: sc.H,
+			AltitudeM:   1.5,
+			ReadRadiusM: sc.Radius,
+			Overlap:     0.15,
+		}
+		plan, err := m.PlanCoverage(drone.Bebop2(), drone.Bebop2Endurance())
+		if err != nil {
+			continue
+		}
+		cycle := plan.Inventory(sc.Tags, tput)
+		manual := drone.ManualCycle(sc.Tags, 4, 8)
+		rows = append(rows, CoverageRow{
+			Scenario:    sc.Name,
+			AreaM2:      plan.AreaM2,
+			Tags:        sc.Tags,
+			Plan:        plan,
+			Cycle:       cycle,
+			ReadLimited: cycle.ReadLimited,
+			Manual:      manual,
+			Speedup:     float64(manual) / float64(cycle.Total),
+		})
+	}
+	return rows
+}

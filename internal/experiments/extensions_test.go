@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCoverageTable(t *testing.T) {
+	rows := CoverageTable(5)
+	if len(rows) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 10 {
+			t.Errorf("%s: speedup %.0f× too small for the month→day claim", r.Scenario, r.Speedup)
+		}
+		if r.Cycle.Total > 30*time.Hour {
+			t.Errorf("%s: drone cycle %v should be about a day or less", r.Scenario, r.Cycle.Total)
+		}
+		if r.Manual < 24*time.Hour {
+			t.Errorf("%s: manual cycle %v should be at least a day", r.Scenario, r.Manual)
+		}
+	}
+	// The dense-rack DC zone carries half a million tags: if the Gen2
+	// budget binds, the flight stretches; either way every tag must get a
+	// read opportunity.
+	dc := rows[2]
+	if dc.ReadLimited {
+		need := time.Duration(float64(dc.Tags) / 700 * float64(time.Second))
+		if dc.Cycle.Total < need/2 {
+			t.Errorf("DC zone: stretched cycle %v below the read-budget floor", dc.Cycle.Total)
+		}
+	} else if dc.Cycle.ReadBudget < dc.Tags {
+		t.Errorf("DC zone: not read-limited yet budget %d < tags %d", dc.Cycle.ReadBudget, dc.Tags)
+	}
+}

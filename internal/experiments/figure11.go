@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/sim"
+	"rfly/internal/world"
+)
+
+// Figure11Result holds the reading rate (percent) versus reader–tag
+// distance for the three curves of Fig. 11.
+type Figure11Result struct {
+	DistancesM []float64
+	NoRelayLoS []float64
+	RelayLoS   []float64
+	RelayNLoS  []float64
+}
+
+// Figure11Config exposes the sweep's tunables.
+type Figure11Config struct {
+	MinDist, MaxDist, Step float64
+	// TrialsPerPoint is the number of independent read attempts per
+	// distance (fresh shadowing each attempt; fresh relay build every
+	// AttemptsPerBuild attempts).
+	TrialsPerPoint   int
+	AttemptsPerBuild int
+	// RelayTagDist is how close the hovering relay gets to the tag; the
+	// relay–tag half-link stays at a few meters (§4.3).
+	RelayTagDist float64
+	// ShadowSigmaDB is per-link log-normal shadowing.
+	ShadowSigmaDB float64
+}
+
+// DefaultFigure11Config matches the paper's sweep: 0–60 m in 2.5 m steps.
+func DefaultFigure11Config() Figure11Config {
+	return Figure11Config{
+		MinDist: 2.5, MaxDist: 60, Step: 2.5,
+		TrialsPerPoint:   60,
+		AttemptsPerBuild: 10,
+		RelayTagDist:     1.8,
+		ShadowSigmaDB:    3,
+	}
+}
+
+// Figure11 reproduces §7.2(a): reading rate vs distance for (1) the
+// direct reader with line of sight, (2) the relay with line of sight down
+// a corridor, and (3) the relay through walls (non-line-of-sight). The
+// paper's shape: the direct read rate collapses to zero by ~10 m; with the
+// relay the rate holds at 100% past 50 m in LoS and ~75% at 55 m NLoS.
+func Figure11(cfg Figure11Config, seed uint64) Figure11Result {
+	var res Figure11Result
+	const corridorW = 3.0
+
+	for dist := cfg.MinDist; dist <= cfg.MaxDist+1e-9; dist += cfg.Step {
+		res.DistancesM = append(res.DistancesM, dist)
+
+		// (1) No relay, line of sight: tag straight down the corridor.
+		los := world.Corridor(cfg.MaxDist+10, corridorW)
+		res.NoRelayLoS = append(res.NoRelayLoS,
+			100*readRateAt(los, dist, false, cfg, seed^0xA0))
+
+		// (2) Relay, line of sight: the drone hovers RelayTagDist short
+		// of the tag.
+		res.RelayLoS = append(res.RelayLoS,
+			100*readRateAt(los, dist, true, cfg, seed^0xB0))
+
+		// (3) Relay, non-line-of-sight: a concrete wall and a drywall
+		// partition cross the corridor between reader and relay, when the
+		// geometry leaves room for them (at very short distances the
+		// reader and relay share a room).
+		nlos := world.Corridor(cfg.MaxDist+10, corridorW)
+		nlos.Name = "corridor-nlos"
+		relayX := dist - cfg.RelayTagDist
+		w1 := dist * 0.4
+		if w1 > 1.5 && w1 < relayX-0.5 {
+			nlos.AddWall(geom.P2(w1, 0), geom.P2(w1, corridorW), world.Concrete)
+		}
+		w2 := dist * 0.7
+		if w2 > w1+0.5 && w2 < relayX-0.3 {
+			nlos.AddWall(geom.P2(w2, 0), geom.P2(w2, corridorW), world.Drywall)
+		}
+		res.RelayNLoS = append(res.RelayNLoS,
+			100*readRateAt(nlos, dist, true, cfg, seed^0xC0))
+	}
+	return res
+}
+
+// readRateAt measures the read success fraction for a tag at x=dist with
+// the reader at the corridor entrance.
+func readRateAt(scene *world.Scene, dist float64, useRelay bool, cfg Figure11Config, seed uint64) float64 {
+	const corridorW = 3.0
+	mid := corridorW / 2
+	readerPos := geom.P(0.5, mid, 1.2)
+	tagPos := geom.P(dist, mid, 1.0)
+	relayPos := geom.P(dist-cfg.RelayTagDist, mid, 1.2)
+	if relayPos.X < 1 {
+		relayPos.X = 1
+	}
+
+	builds := cfg.TrialsPerPoint / cfg.AttemptsPerBuild
+	if builds < 1 {
+		builds = 1
+	}
+	ok, total := 0, 0
+	for b := 0; b < builds; b++ {
+		d := sim.New(sim.Config{
+			Scene:         scene,
+			ReaderPos:     readerPos,
+			UseRelay:      useRelay,
+			RelayPos:      relayPos,
+			ShadowSigmaDB: cfg.ShadowSigmaDB,
+		}, seed+uint64(b)*7919+uint64(dist*1000))
+		tg := d.AddTag(epc.NewEPC96(uint16(b), 0x11, 0, 0, 0, 0), tagPos)
+		for a := 0; a < cfg.AttemptsPerBuild; a++ {
+			if d.ReadAttempt(tg) {
+				ok++
+			}
+			total++
+		}
+	}
+	return float64(ok) / float64(total)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math/cmplx"
+
+	"rfly/internal/epc"
+	"rfly/internal/reader"
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+	"rfly/internal/tag"
+)
+
+// Gen2 offers four backscatter encodings — FM0 and Miller-2/4/8 — trading
+// airtime for robustness: at a fixed BLF, a Miller-M symbol spans M
+// subcarrier cycles, so each bit carries M× the energy and survives
+// proportionally lower SNR (this is the protocol's "dense interrogator"
+// mode). This experiment measures that tradeoff on actual waveforms
+// through the same decoder chain the MAC uses: no formulas, just decode
+// attempts over noise.
+
+// MillerPoint is one (encoding, SNR) cell of the robustness sweep.
+type MillerPoint struct {
+	Mode       epc.Miller
+	ChipSNRdB  float64
+	SuccessPct float64
+	// AirtimeRatio is this mode's 16-bit reply duration relative to FM0
+	// (from the protocol timing model, not measured).
+	AirtimeRatio float64
+}
+
+// MillerRobustnessResult holds the full sweep.
+type MillerRobustnessResult struct {
+	SNRsdB []float64
+	Points []MillerPoint
+}
+
+// MillerRobustness decodes RN16 replies at each chip SNR for every Gen2
+// backscatter mode and reports waveform-level success rates. Success
+// requires bit-exact recovery of the 16-bit payload.
+func MillerRobustness(trialsPerPoint int, seed uint64) MillerRobustnessResult {
+	res := MillerRobustnessResult{SNRsdB: []float64{-6, -3, 0, 3, 6, 9, 12}}
+	const (
+		fs  = 8e6
+		blf = 500e3
+		amp = 1e-3
+	)
+	tm := epc.NewTiming(epc.DefaultPIE())
+	fm0Air := tm.ReplyAirtime(16, epc.FM0Mod, false).Seconds()
+	modes := []epc.Miller{epc.FM0Mod, epc.Miller2, epc.Miller4, epc.Miller8}
+	root := rng.New(seed)
+	for _, m := range modes {
+		ratio := tm.ReplyAirtime(16, m, false).Seconds() / fm0Air
+		for _, snr := range res.SNRsdB {
+			src := root.Split("miller").Split(m.String())
+			ok := 0
+			for i := 0; i < trialsPerPoint; i++ {
+				trial := rng.New(src.Uint64())
+				bits := epc.Bits(nil)
+				bits = epc.BitsFromUint(uint64(trial.Uint16()), 16)
+				var chips []int8
+				if m == epc.FM0Mod {
+					chips = epc.FM0Encode(bits)
+				} else {
+					var err error
+					chips, err = epc.MillerEncode(bits, m)
+					if err != nil {
+						continue
+					}
+				}
+				wf := tag.Waveform(chips, 2, fs, blf)
+				lead := 50 + int(trial.Uint64()%200)
+				rx := make([]complex128, lead+len(wf)+300)
+				h := cmplx.Rect(amp, trial.Phase())
+				for j, v := range wf {
+					rx[lead+j] = v * h
+				}
+				// Chip SNR is amplitude² / (noise power in one chip's
+				// bandwidth ≈ blf); AWGN takes total noise power over fs.
+				noiseW := amp * amp / signal.FromDB(snr) * (fs / blf) / 2
+				signal.AWGN(rx, noiseW, trial.Norm)
+				rd := reader.New(reader.DefaultConfig(), rng.New(trial.Uint64()))
+				var dec *reader.Decode
+				var err error
+				if m == epc.FM0Mod {
+					dec, err = rd.DecodeBackscatter(rx, blf, 0, 0, 16)
+				} else {
+					dec, err = rd.DecodeBackscatterMiller(rx, blf, m, 0, 0, 16)
+				}
+				if err == nil && dec.Bits.Equal(bits) {
+					ok++
+				}
+			}
+			res.Points = append(res.Points, MillerPoint{
+				Mode:         m,
+				ChipSNRdB:    snr,
+				SuccessPct:   100 * float64(ok) / float64(trialsPerPoint),
+				AirtimeRatio: ratio,
+			})
+		}
+	}
+	return res
+}
+
+// SuccessAt returns the success percentage for a mode at an SNR, or -1.
+func (r MillerRobustnessResult) SuccessAt(m epc.Miller, snrDB float64) float64 {
+	for _, p := range r.Points {
+		if p.Mode == m && p.ChipSNRdB == snrDB {
+			return p.SuccessPct
+		}
+	}
+	return -1
+}

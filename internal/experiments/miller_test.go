@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"rfly/internal/epc"
+)
+
+func TestMillerRobustness(t *testing.T) {
+	res := MillerRobustness(25, 3)
+	if len(res.Points) != 4*len(res.SNRsdB) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// High SNR: everything decodes.
+	for _, m := range []epc.Miller{epc.FM0Mod, epc.Miller2, epc.Miller4, epc.Miller8} {
+		if p := res.SuccessAt(m, 12); p < 90 {
+			t.Errorf("%v at +12 dB: %.0f%%", m, p)
+		}
+		if p := res.SuccessAt(m, -6); p > 10 {
+			t.Errorf("%v at −6 dB: %.0f%% (noise should kill it)", m, p)
+		}
+	}
+	// The headline tradeoff: at +6 dB chip SNR, Miller-2 is solid while
+	// FM0 is badly degraded — the protocol's robustness mode does its job.
+	if m2, f := res.SuccessAt(epc.Miller2, 6), res.SuccessAt(epc.FM0Mod, 6); m2 < 85 || f > 60 {
+		t.Errorf("at +6 dB: Miller-2 %.0f%%, FM0 %.0f%% — expected a wide gap", m2, f)
+	}
+	// Airtime ratios are the price, strictly ordered in M.
+	var prev float64
+	for _, m := range []epc.Miller{epc.FM0Mod, epc.Miller2, epc.Miller4, epc.Miller8} {
+		var ratio float64
+		for _, p := range res.Points {
+			if p.Mode == m {
+				ratio = p.AirtimeRatio
+				break
+			}
+		}
+		if ratio <= prev {
+			t.Errorf("%v airtime ratio %.2f not above previous %.2f", m, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestMillerSuccessAtUnknown(t *testing.T) {
+	res := MillerRobustnessResult{}
+	if got := res.SuccessAt(epc.Miller2, 99); got != -1 {
+		t.Fatalf("SuccessAt on empty result = %v", got)
+	}
+}

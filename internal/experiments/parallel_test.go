@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestParallelDeterminism(t *testing.T) {
+	a := Figure12(12, 5)
+	b := Figure12(12, 5)
+	if len(a.ErrorsM) != len(b.ErrorsM) || a.Failed != b.Failed {
+		t.Fatalf("shape: %d/%d vs %d/%d", len(a.ErrorsM), a.Failed, len(b.ErrorsM), b.Failed)
+	}
+	for i := range a.ErrorsM {
+		if a.ErrorsM[i] != b.ErrorsM[i] {
+			t.Fatalf("trial %d: %v != %v", i, a.ErrorsM[i], b.ErrorsM[i])
+		}
+	}
+	c := Figure14(4, 6)
+	d := Figure14(4, 6)
+	for i := range c.SAR.Med {
+		if c.SAR.Med[i] != d.SAR.Med[i] {
+			t.Fatal("Figure14 not deterministic under parallelism")
+		}
+	}
+}

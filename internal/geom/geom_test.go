@@ -1,0 +1,348 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointDist(t *testing.T) {
+	if d := P(0, 0, 0).Dist(P(3, 4, 0)); !almostEq(d, 5, 1e-12) {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d := P(0, 0, 0).Dist(P(1, 2, 2)); !almostEq(d, 3, 1e-12) {
+		t.Fatalf("Dist = %v, want 3", d)
+	}
+}
+
+func TestDist2DIgnoresZ(t *testing.T) {
+	a, b := P(0, 0, 10), P(3, 4, -7)
+	if d := a.Dist2D(b); !almostEq(d, 5, 1e-12) {
+		t.Fatalf("Dist2D = %v, want 5", d)
+	}
+}
+
+func TestVecAlgebra(t *testing.T) {
+	v := V(1, 2, 3).Add(V(4, 5, 6))
+	if v != (Vec{5, 7, 9}) {
+		t.Fatalf("Add = %v", v)
+	}
+	if got := V(2, 0, 0).Unit(); got != (Vec{1, 0, 0}) {
+		t.Fatalf("Unit = %v", got)
+	}
+	if got := V(0, 0, 0).Unit(); got != (Vec{}) {
+		t.Fatalf("Unit(zero) = %v", got)
+	}
+	if d := V(1, 2, 3).Dot(V(4, -5, 6)); !almostEq(d, 12, 1e-12) {
+		t.Fatalf("Dot = %v", d)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, u Segment
+		want bool
+	}{
+		{Segment{P2(0, 0), P2(2, 2)}, Segment{P2(0, 2), P2(2, 0)}, true},
+		{Segment{P2(0, 0), P2(1, 0)}, Segment{P2(0, 1), P2(1, 1)}, false},
+		{Segment{P2(0, 0), P2(2, 0)}, Segment{P2(1, 0), P2(1, 1)}, true},  // touching
+		{Segment{P2(0, 0), P2(1, 1)}, Segment{P2(2, 2), P2(3, 3)}, false}, // collinear disjoint
+		{Segment{P2(0, 0), P2(2, 2)}, Segment{P2(1, 1), P2(3, 3)}, true},  // collinear overlap
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.u); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.u.Intersects(c.s); got != c.want {
+			t.Errorf("case %d (swapped): Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMirror(t *testing.T) {
+	wall := Segment{P2(0, 1), P2(10, 1)} // horizontal wall at y=1
+	img := wall.Mirror(P2(3, 0))
+	if !almostEq(img.X, 3, 1e-12) || !almostEq(img.Y, 2, 1e-12) {
+		t.Fatalf("Mirror = %v, want (3,2)", img)
+	}
+	// Mirroring twice returns the original point.
+	back := wall.Mirror(img)
+	if !almostEq(back.X, 3, 1e-12) || !almostEq(back.Y, 0, 1e-12) {
+		t.Fatalf("double Mirror = %v", back)
+	}
+}
+
+func TestMirrorProperty(t *testing.T) {
+	// Property: the mirror image is equidistant from any point on the line.
+	wall := Segment{P2(-1, 3), P2(5, -2)}
+	f := func(px, py, t8 float64) bool {
+		p := P2(math.Mod(px, 50), math.Mod(py, 50))
+		img := wall.Mirror(p)
+		tt := math.Mod(math.Abs(t8), 1)
+		on := P2(wall.A.X+tt*(wall.B.X-wall.A.X), wall.A.Y+tt*(wall.B.Y-wall.A.Y))
+		return almostEq(on.Dist2D(p), on.Dist2D(img), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectionPoint(t *testing.T) {
+	wall := Segment{P2(0, 2), P2(10, 2)}
+	src, dst := P2(2, 0), P2(6, 0)
+	rp, ok := wall.ReflectionPoint(src, dst)
+	if !ok {
+		t.Fatal("expected a valid reflection")
+	}
+	// Symmetric geometry: bounce at x=4, y=2.
+	if !almostEq(rp.X, 4, 1e-9) || !almostEq(rp.Y, 2, 1e-9) {
+		t.Fatalf("ReflectionPoint = %v, want (4,2)", rp)
+	}
+	// Path length via image equals src→rp→dst.
+	img := wall.Mirror(src)
+	direct := img.Dist2D(dst)
+	bounced := src.Dist2D(rp) + rp.Dist2D(dst)
+	if !almostEq(direct, bounced, 1e-9) {
+		t.Fatalf("image path %v != bounce path %v", direct, bounced)
+	}
+}
+
+func TestReflectionPointOutsideSegment(t *testing.T) {
+	wall := Segment{P2(0, 2), P2(1, 2)} // short wall
+	if _, ok := wall.ReflectionPoint(P2(5, 0), P2(9, 0)); ok {
+		t.Fatal("reflection point should fall outside the short wall")
+	}
+}
+
+func TestLineTrajectory(t *testing.T) {
+	tr := Line(P2(0, 0), P2(3, 0), 4)
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Points[0] != P2(0, 0) || tr.Points[3] != P2(3, 0) {
+		t.Fatalf("endpoints wrong: %v %v", tr.Points[0], tr.Points[3])
+	}
+	if !almostEq(tr.Points[1].X, 1, 1e-12) {
+		t.Fatalf("interior point wrong: %v", tr.Points[1])
+	}
+	if !almostEq(tr.Aperture(), 3, 1e-12) {
+		t.Fatalf("Aperture = %v", tr.Aperture())
+	}
+	if got := Line(P2(1, 1), P2(9, 9), 1); got.Len() != 1 || got.Points[0] != P2(1, 1) {
+		t.Fatalf("single-point line = %+v", got)
+	}
+	if got := Line(P2(0, 0), P2(1, 1), 0); got.Len() != 0 {
+		t.Fatalf("zero-point line = %+v", got)
+	}
+}
+
+func TestLawnmower(t *testing.T) {
+	tr := Lawnmower(0, 0, 2, 1, 1.5, 1, 1)
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	// Second lane must run in reverse (boustrophedon).
+	if tr.Points[3].X != 2 || tr.Points[3].Y != 1 {
+		t.Fatalf("lane 2 start = %v, want (2,1)", tr.Points[3])
+	}
+	for _, p := range tr.Points {
+		if p.Z != 1.5 {
+			t.Fatalf("altitude not preserved: %v", p)
+		}
+	}
+	if got := Lawnmower(0, 0, 1, 1, 0, 0, 1); got.Len() != 0 {
+		t.Fatal("invalid spacing should give empty trajectory")
+	}
+}
+
+func TestTrajectoryDistToPoint(t *testing.T) {
+	tr := Line(P2(0, 0), P2(10, 0), 11)
+	if d := tr.DistToPoint(P2(5, 3)); !almostEq(d, 3, 1e-12) {
+		t.Fatalf("DistToPoint = %v", d)
+	}
+}
+
+func TestTrajectoryBounds(t *testing.T) {
+	tr := Trajectory{Points: []Point{P2(1, 5), P2(-2, 3), P2(4, -1)}}
+	x0, y0, x1, y1 := tr.Bounds()
+	if x0 != -2 || y0 != -1 || x1 != 4 || y1 != 5 {
+		t.Fatalf("Bounds = %v %v %v %v", x0, y0, x1, y1)
+	}
+	var empty Trajectory
+	if a, b, c, d := empty.Bounds(); a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Fatal("empty Bounds should be zeros")
+	}
+}
+
+func TestArc(t *testing.T) {
+	tr := Arc(P2(1, 1), 2, 0, math.Pi, 0.5, 19)
+	if tr.Len() != 19 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Every point is radius away from the center.
+	for _, p := range tr.Points {
+		if !almostEq(p.Dist2D(P2(1, 1)), 2, 1e-9) {
+			t.Fatalf("point off the arc: %v", p)
+		}
+		if p.Z != 0.5 {
+			t.Fatalf("altitude lost: %v", p)
+		}
+	}
+	// Endpoints at the commanded angles.
+	if !almostEq(tr.Points[0].X, 3, 1e-9) || !almostEq(tr.Points[18].X, -1, 1e-9) {
+		t.Fatalf("arc endpoints: %v %v", tr.Points[0], tr.Points[18])
+	}
+	if Arc(P2(0, 0), 0, 0, 1, 0, 5).Len() != 0 {
+		t.Fatal("zero radius accepted")
+	}
+}
+
+func TestSpiral(t *testing.T) {
+	tr := Spiral(P2(0, 0), 0.5, 2, 1, 3, 100)
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Radius grows monotonically from r0 to r1.
+	prev := -1.0
+	for _, p := range tr.Points {
+		r := p.Dist2D(P2(0, 0))
+		if r < prev-1e-9 {
+			t.Fatal("spiral radius not monotone")
+		}
+		prev = r
+	}
+	if !almostEq(prev, 2, 1e-9) {
+		t.Fatalf("final radius = %v", prev)
+	}
+	// A spiral has 2D aperture in both axes.
+	x0, y0, x1, y1 := tr.Bounds()
+	if x1-x0 < 3 || y1-y0 < 3 {
+		t.Fatalf("spiral aperture too small: %v %v", x1-x0, y1-y0)
+	}
+	if Spiral(P2(0, 0), 2, 1, 0, 1, 5).Len() != 0 {
+		t.Fatal("shrinking spiral accepted")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	tr := Line(P2(0, 0), P2(1, 0), 3).Translate(V(2, 3, 1))
+	if tr.Points[0] != P(2, 3, 1) || tr.Points[2] != P(3, 3, 1) {
+		t.Fatalf("Translate = %v", tr.Points)
+	}
+}
+
+func TestLengthAndResample(t *testing.T) {
+	tr := Trajectory{Points: []Point{P2(0, 0), P2(3, 0), P2(3, 4)}}
+	if !almostEq(tr.Length(), 7, 1e-12) {
+		t.Fatalf("Length = %v", tr.Length())
+	}
+	rs := tr.Resample(8)
+	if rs.Len() != 8 {
+		t.Fatalf("Resample len = %d", rs.Len())
+	}
+	// Uniform spacing along the path.
+	for i := 1; i < rs.Len(); i++ {
+		d := rs.Points[i].Dist(rs.Points[i-1])
+		if !almostEq(d, 1, 1e-9) {
+			t.Fatalf("spacing %d = %v", i, d)
+		}
+	}
+	// Endpoints preserved.
+	if rs.Points[0] != P2(0, 0) || !almostEq(rs.Points[7].Y, 4, 1e-9) {
+		t.Fatalf("endpoints: %v %v", rs.Points[0], rs.Points[7])
+	}
+	// Degenerate cases.
+	if got := (Trajectory{}).Resample(5); got.Len() != 0 {
+		t.Fatal("empty resample")
+	}
+	single := Trajectory{Points: []Point{P2(1, 1)}}
+	if got := single.Resample(5); got.Len() != 1 {
+		t.Fatalf("single-point resample = %d", got.Len())
+	}
+	zero := Trajectory{Points: []Point{P2(1, 1), P2(1, 1)}}
+	if got := zero.Resample(4); got.Len() != 4 {
+		t.Fatal("zero-length resample")
+	}
+}
+
+func TestIntersectsSymmetryProperty(t *testing.T) {
+	// Intersection must be symmetric in both segment order and endpoint
+	// order — the reciprocity guarantee of the propagation model leans on
+	// deterministic occlusion tests.
+	q := func(v float64) float64 { return math.Round(math.Mod(math.Abs(v), 20)*10) / 10 }
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		s1 := Segment{P2(q(ax), q(ay)), P2(q(bx), q(by))}
+		s2 := Segment{P2(q(cx), q(cy)), P2(q(dx), q(dy))}
+		r := s1.Intersects(s2)
+		if s2.Intersects(s1) != r {
+			return false
+		}
+		flip1 := Segment{s1.B, s1.A}
+		flip2 := Segment{s2.B, s2.A}
+		return flip1.Intersects(s2) == r && s1.Intersects(flip2) == r &&
+			flip1.Intersects(flip2) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArcProperties(t *testing.T) {
+	prop := func(cx8, cy8 int8, r8, n8 uint8) bool {
+		c := P(float64(cx8)/4, float64(cy8)/4, 0)
+		r := 0.5 + float64(r8%40)/4
+		n := 3 + int(n8%60)
+		tr := Arc(c, r, 0.3, 2.4, 1.1, n)
+		if tr.Len() != n {
+			return false
+		}
+		for _, p := range tr.Points {
+			if math.Abs(math.Hypot(p.X-c.X, p.Y-c.Y)-r) > 1e-9 || p.Z != 1.1 {
+				return false
+			}
+		}
+		// Chord length never exceeds arc radius × angle span.
+		return tr.Length() <= r*(2.4-0.3)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if Arc(P(0, 0, 0), -1, 0, 1, 0, 5).Len() != 0 {
+		t.Fatal("negative radius accepted")
+	}
+	if Arc(P(0, 0, 0), 1, 0, 1, 0, 0).Len() != 0 {
+		t.Fatal("zero points accepted")
+	}
+}
+
+func TestSpiralProperties(t *testing.T) {
+	prop := func(r08, r18, n8 uint8) bool {
+		r0 := 0.2 + float64(r08%20)/10
+		r1 := r0 + float64(r18%30)/10
+		n := 8 + int(n8%80)
+		tr := Spiral(P(1, -2, 0), r0, r1, 0.9, 2.5, n)
+		if tr.Len() != n {
+			return false
+		}
+		// Radius grows monotonically from r0 to r1.
+		prev := -1.0
+		for _, p := range tr.Points {
+			rad := math.Hypot(p.X-1, p.Y+2)
+			if rad < prev-1e-9 {
+				return false
+			}
+			prev = rad
+		}
+		first := math.Hypot(tr.Points[0].X-1, tr.Points[0].Y+2)
+		last := math.Hypot(tr.Points[n-1].X-1, tr.Points[n-1].Y+2)
+		return math.Abs(first-r0) < 1e-9 && math.Abs(last-r1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if Spiral(P(0, 0, 0), 2, 1, 0, 1, 5).Len() != 0 {
+		t.Fatal("shrinking spiral accepted")
+	}
+}

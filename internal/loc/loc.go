@@ -1,0 +1,396 @@
+// Package loc implements RFly's through-relay localization (§5): phase
+// disentanglement of the two half-links via the relay-embedded reference
+// RFID (Eq. 10), SAR-style non-linear projection over the drone's
+// trajectory (Eq. 12) with multi-resolution search, the
+// nearest-peak-to-trajectory multipath rule (§5.2), a 3D extension, and
+// the RSSI-based baseline of §7.3.
+package loc
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"rfly/internal/geom"
+	"rfly/internal/signal"
+	"rfly/internal/stats"
+)
+
+// Measurement is one through-relay channel capture: where the relay was
+// (OptiTrack-measured) and the complex channel the reader estimated for a
+// tag at that instant.
+type Measurement struct {
+	Pos geom.Point
+	H   complex128
+}
+
+// Disentangle implements Eq. 10: dividing the target tag's channel by the
+// relay-embedded reference tag's channel at each trajectory point cancels
+// the reader→relay half-link (including all its multipath) and the relay
+// hardware constant, leaving only the relay→tag half-link.
+//
+// target and reference must be index-aligned per trajectory point; the
+// result has the same length. Points where the reference channel is too
+// weak to divide by are zeroed (they contribute nothing to the matched
+// filter rather than exploding).
+func Disentangle(target, reference []complex128) ([]complex128, error) {
+	if len(target) != len(reference) {
+		return nil, fmt.Errorf("loc: %d target vs %d reference channels", len(target), len(reference))
+	}
+	out := make([]complex128, len(target))
+	for i := range target {
+		if cmplx.Abs(reference[i]) < 1e-15 {
+			out[i] = 0
+			continue
+		}
+		out[i] = target[i] / reference[i]
+	}
+	return out, nil
+}
+
+// Config parameterizes the SAR localizer.
+type Config struct {
+	// Freq is the carrier used in the projection. Per §5.2 the reader may
+	// use f even though the isolated half-link was measured at f2, because
+	// the relay keeps (f−f2)/f below 1%.
+	Freq float64
+	// CoarseRes / FineRes are the grid steps of the multi-resolution
+	// search (meters).
+	CoarseRes float64
+	FineRes   float64
+	// Margin extends the search region beyond the trajectory bounds
+	// (meters); the tag must lie within it.
+	Margin float64
+	// Region, when non-nil, overrides the search area entirely. A purely
+	// collinear (1D) trajectory cannot distinguish a tag from its mirror
+	// image across the flight line — the matched filter is exactly
+	// symmetric — so deployments constrain the search to the known side
+	// of the aisle (the paper's Fig. 6 flights do the same: the robot
+	// skirts the region's edge and tags lie on one side).
+	Region *Region
+	// PeakThreshold keeps candidate peaks at least this fraction of the
+	// global maximum for the multipath rule.
+	PeakThreshold float64
+	// MaxCandidates bounds how many coarse peaks are refined.
+	MaxCandidates int
+	// MinPeakSeparation distinguishes a true multipath ghost from a
+	// sidelobe of the main peak: the nearest-to-trajectory rule only
+	// considers candidates at least this far (meters) from the global
+	// maximum. Reflector ghosts sit meters away (their path detour is
+	// macroscopic); sidelobes cluster within a beamwidth of the main lobe,
+	// where the global maximum is the better estimate.
+	MinPeakSeparation float64
+	// PhaseOnly normalizes each measurement to unit amplitude before the
+	// projection: Eq. 12 then weights every trajectory point equally
+	// instead of letting the nearest (strongest) captures dominate. This
+	// trades noise robustness (strong captures are the cleanest) for
+	// aperture utilization; the ablation bench quantifies the trade.
+	PhaseOnly bool
+}
+
+// DefaultConfig returns the reproduction's localizer settings.
+func DefaultConfig(freq float64) Config {
+	return Config{
+		Freq:              freq,
+		CoarseRes:         0.10,
+		FineRes:           0.01,
+		Margin:            4.0,
+		PeakThreshold:     0.80,
+		MaxCandidates:     6,
+		MinPeakSeparation: 1.0,
+	}
+}
+
+// Region is an axis-aligned XY search rectangle.
+type Region struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// searchBounds resolves the search rectangle for a config and trajectory.
+func (cfg Config) searchBounds(traj geom.Trajectory) (x0, y0, x1, y1 float64) {
+	if cfg.Region != nil {
+		return cfg.Region.X0, cfg.Region.Y0, cfg.Region.X1, cfg.Region.Y1
+	}
+	x0, y0, x1, y1 = traj.Bounds()
+	return x0 - cfg.Margin, y0 - cfg.Margin, x1 + cfg.Margin, y1 + cfg.Margin
+}
+
+// Result is a localization outcome.
+type Result struct {
+	// Location is the chosen tag position estimate (Z = 0 in 2D mode).
+	Location geom.Point
+	// Peak is the matched-filter value at the chosen location.
+	Peak float64
+	// Candidates are the refined candidate peaks considered by the
+	// multipath rule, strongest first.
+	Candidates []Candidate
+	// Heatmap is the coarse P(x,y) grid (for Fig. 6-style rendering).
+	Heatmap *stats.Heatmap
+}
+
+// Candidate is one refined peak of P(x, y).
+type Candidate struct {
+	Location geom.Point
+	Value    float64
+	// TrajectoryDist is the XY distance from the candidate to the closest
+	// trajectory point — the §5.2 multipath discriminator.
+	TrajectoryDist float64
+}
+
+// projection evaluates P(x,y) of Eq. 12 at one point: the coherent sum of
+// the disentangled channels counter-rotated by each round-trip distance.
+func projection(meas []Measurement, x, y, z, freq float64) float64 {
+	k := 4 * math.Pi * freq / signal.C // phase per meter of one-way distance ×2
+	var acc complex128
+	for _, m := range meas {
+		dx, dy, dz := x-m.Pos.X, y-m.Pos.Y, z-m.Pos.Z
+		d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		s, c := math.Sincos(k * d)
+		acc += m.H * complex(c, s)
+	}
+	return cmplx.Abs(acc)
+}
+
+// Localize runs the 2D SAR search: coarse grid over the trajectory bounds
+// plus margin, peak extraction, fine refinement, then the multipath rule —
+// among candidates above PeakThreshold×max, pick the one nearest the
+// trajectory (§5.2), since ghost images always lie farther away than the
+// true tag.
+func Localize(meas []Measurement, traj geom.Trajectory, cfg Config) (*Result, error) {
+	if len(meas) < 3 {
+		return nil, fmt.Errorf("loc: need at least 3 measurements, have %d", len(meas))
+	}
+	if cfg.CoarseRes <= 0 || cfg.FineRes <= 0 {
+		return nil, fmt.Errorf("loc: non-positive grid resolution")
+	}
+	if cfg.PhaseOnly {
+		meas = normalizeAmplitudes(meas)
+	}
+	x0, y0, x1, y1 := cfg.searchBounds(traj)
+
+	cols := int(math.Ceil((x1-x0)/cfg.CoarseRes)) + 1
+	rows := int(math.Ceil((y1-y0)/cfg.CoarseRes)) + 1
+	hm := stats.NewHeatmap(x0, y0, cfg.CoarseRes, cfg.CoarseRes, cols, rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x, y := hm.CellCenter(c, r)
+			hm.Set(c, r, projection(meas, x, y, 0, cfg.Freq))
+		}
+	}
+	peaks := localMaxima(hm, cfg.PeakThreshold, cfg.MaxCandidates)
+	if len(peaks) == 0 {
+		return nil, fmt.Errorf("loc: no peaks above threshold")
+	}
+
+	// Refine each coarse peak on a fine grid around it.
+	cands := make([]Candidate, 0, len(peaks))
+	for _, p := range peaks {
+		cx, cy := hm.CellCenter(p.c, p.r)
+		fx, fy, fv := refine2D(meas, cx, cy, cfg.CoarseRes, cfg.FineRes, cfg.Freq)
+		loc := geom.P2(fx, fy)
+		cands = append(cands, Candidate{
+			Location:       loc,
+			Value:          fv,
+			TrajectoryDist: traj.DistToPoint(loc),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Value > cands[j].Value })
+	// Multipath rule (§5.2): among candidates within threshold of the
+	// best, choose the one closest to the trajectory — but only consider
+	// candidates far enough from the global maximum to be genuine ghost
+	// images rather than sidelobes of the same peak.
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Value >= cfg.PeakThreshold*cands[0].Value &&
+			c.Location.Dist2D(cands[0].Location) >= cfg.MinPeakSeparation &&
+			c.TrajectoryDist < best.TrajectoryDist {
+			best = c
+		}
+	}
+	return &Result{Location: best.Location, Peak: best.Value, Candidates: cands, Heatmap: hm}, nil
+}
+
+// refine2D hill-searches a fine grid of ±coarseRes around (cx, cy).
+func refine2D(meas []Measurement, cx, cy, coarseRes, fineRes, freq float64) (x, y, v float64) {
+	bestV := -1.0
+	bestX, bestY := cx, cy
+	for yy := cy - coarseRes; yy <= cy+coarseRes+1e-12; yy += fineRes {
+		for xx := cx - coarseRes; xx <= cx+coarseRes+1e-12; xx += fineRes {
+			p := projection(meas, xx, yy, 0, freq)
+			if p > bestV {
+				bestV, bestX, bestY = p, xx, yy
+			}
+		}
+	}
+	return bestX, bestY, bestV
+}
+
+// normalizeAmplitudes returns measurements scaled to unit magnitude
+// (zero-amplitude entries dropped).
+func normalizeAmplitudes(meas []Measurement) []Measurement {
+	out := make([]Measurement, 0, len(meas))
+	for _, m := range meas {
+		a := cmplx.Abs(m.H)
+		if a <= 0 {
+			continue
+		}
+		out = append(out, Measurement{Pos: m.Pos, H: m.H / complex(a, 0)})
+	}
+	return out
+}
+
+type gridPeak struct {
+	c, r int
+	v    float64
+}
+
+// localMaxima extracts up to maxN local maxima of the heatmap above
+// threshold×globalMax, sorted descending, suppressing neighbors within a
+// 2-cell radius.
+func localMaxima(h *stats.Heatmap, threshold float64, maxN int) []gridPeak {
+	_, _, global := h.Peak()
+	floor := threshold * global
+	var peaks []gridPeak
+	for r := 0; r < h.Rows; r++ {
+		for c := 0; c < h.Cols; c++ {
+			v := h.At(c, r)
+			if v < floor {
+				continue
+			}
+			isMax := true
+			for dr := -1; dr <= 1 && isMax; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					nc, nr := c+dc, r+dr
+					if nc < 0 || nr < 0 || nc >= h.Cols || nr >= h.Rows {
+						continue
+					}
+					if h.At(nc, nr) > v {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				peaks = append(peaks, gridPeak{c, r, v})
+			}
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].v > peaks[j].v })
+	// Suppress near-duplicates (plateaus).
+	var out []gridPeak
+	for _, p := range peaks {
+		dup := false
+		for _, q := range out {
+			if abs(p.c-q.c) <= 2 && abs(p.r-q.r) <= 2 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+		if len(out) >= maxN {
+			break
+		}
+	}
+	return out
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Localize3D extends the search to a height range [z0, z1] (§5.2: possible
+// when the trajectory itself is two-dimensional). The coarse pass scans
+// z in coarse steps; refinement searches the full 3D neighborhood of the
+// best cell.
+func Localize3D(meas []Measurement, traj geom.Trajectory, cfg Config, z0, z1 float64) (*Result, error) {
+	if len(meas) < 4 {
+		return nil, fmt.Errorf("loc: need at least 4 measurements for 3D, have %d", len(meas))
+	}
+	if z1 < z0 {
+		z0, z1 = z1, z0
+	}
+	x0, y0, x1, y1 := cfg.searchBounds(traj)
+	bestV := -1.0
+	var bx, by, bz float64
+	for z := z0; z <= z1+1e-12; z += cfg.CoarseRes {
+		for y := y0; y <= y1+1e-12; y += cfg.CoarseRes {
+			for x := x0; x <= x1+1e-12; x += cfg.CoarseRes {
+				if v := projection(meas, x, y, z, cfg.Freq); v > bestV {
+					bestV, bx, by, bz = v, x, y, z
+				}
+			}
+		}
+	}
+	if bestV <= 0 {
+		return nil, fmt.Errorf("loc: empty 3D projection")
+	}
+	// Fine 3D refinement.
+	fv := -1.0
+	fx, fy, fz := bx, by, bz
+	for z := bz - cfg.CoarseRes; z <= bz+cfg.CoarseRes+1e-12; z += cfg.FineRes {
+		for y := by - cfg.CoarseRes; y <= by+cfg.CoarseRes+1e-12; y += cfg.FineRes {
+			for x := bx - cfg.CoarseRes; x <= bx+cfg.CoarseRes+1e-12; x += cfg.FineRes {
+				if v := projection(meas, x, y, z, cfg.Freq); v > fv {
+					fv, fx, fy, fz = v, x, y, z
+				}
+			}
+		}
+	}
+	loc := geom.P(fx, fy, fz)
+	return &Result{
+		Location:   loc,
+		Peak:       fv,
+		Candidates: []Candidate{{Location: loc, Value: fv, TrajectoryDist: traj.DistToPoint(loc)}},
+	}, nil
+}
+
+// LocalizeReader applies the same SAR machinery to the relay-embedded
+// tag's channels, whose phases encode only the reader→relay half-link:
+// solving for the static endpoint localizes the reader (or equivalently,
+// with a known reader, serves as drone self-localization, §5.1).
+func LocalizeReader(embedded []Measurement, traj geom.Trajectory, cfg Config) (*Result, error) {
+	return Localize(embedded, traj, cfg)
+}
+
+// Uncertainty estimates the 1-σ localization uncertainty along X and Y
+// from the main lobe's shape: the matched-filter peak is sampled on a
+// small cross around the estimate and fit with a quadratic; the curvature
+// gives the lobe width, scaled by the peak-to-noise contrast. Broad or
+// noisy lobes report large σ, razor-sharp peaks report sub-centimeter.
+func Uncertainty(meas []Measurement, res *Result, cfg Config) (sigmaX, sigmaY float64) {
+	if res == nil || len(meas) == 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	if cfg.PhaseOnly {
+		meas = normalizeAmplitudes(meas)
+	}
+	p0 := res.Peak
+	if p0 <= 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	step := cfg.FineRes
+	if step <= 0 {
+		step = 0.01
+	}
+	curv := func(dx, dy float64) float64 {
+		plus := projection(meas, res.Location.X+dx, res.Location.Y+dy, res.Location.Z, cfg.Freq)
+		minus := projection(meas, res.Location.X-dx, res.Location.Y-dy, res.Location.Z, cfg.Freq)
+		// Quadratic fit: P(δ) ≈ P0 − ½k δ²; k = (2P0 − P+ − P−)/δ².
+		k := (2*p0 - plus - minus) / (step * step)
+		if k <= 0 {
+			return math.Inf(1)
+		}
+		// σ where the lobe drops by half its height: δ½ = sqrt(P0/k).
+		return math.Sqrt(p0 / k)
+	}
+	return curv(step, 0), curv(0, step)
+}

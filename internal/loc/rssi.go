@@ -1,0 +1,86 @@
+package loc
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rfly/internal/geom"
+	"rfly/internal/signal"
+)
+
+// RSSIConfig parameterizes the §7.3 RSSI baseline: it converts each
+// disentangled channel magnitude to a relay→tag distance with the
+// free-space model, then multilaterates over the trajectory.
+type RSSIConfig struct {
+	Freq float64
+	// CalibConst is the free-space link constant K such that
+	// |h'| = K · (λ/(4πd))² for the round-trip backscatter channel
+	// (tag backscatter coefficient times antenna gains). The paper's
+	// baseline receives the same calibration information.
+	CalibConst float64
+	// Grid resolution and search margin, as in the SAR config.
+	GridRes float64
+	Margin  float64
+	// Region optionally overrides the search area (see Config.Region).
+	Region *Region
+}
+
+// DefaultRSSIConfig returns the baseline settings used in Figs. 13/14.
+func DefaultRSSIConfig(freq, calib float64) RSSIConfig {
+	return RSSIConfig{Freq: freq, CalibConst: calib, GridRes: 0.05, Margin: 4}
+}
+
+// RangeFromRSSI inverts the free-space round-trip model for one channel
+// magnitude: d = (λ/4π)·√(K/|h|).
+func (c RSSIConfig) RangeFromRSSI(mag float64) float64 {
+	if mag <= 0 {
+		return math.Inf(1)
+	}
+	lambda := signal.C / c.Freq
+	return lambda / (4 * math.Pi) * math.Sqrt(c.CalibConst/mag)
+}
+
+// LocalizeRSSI estimates the tag position by minimizing the squared
+// range-residual over a grid: Σ_l (‖x−p_l‖ − d_l)², with d_l from the
+// free-space model. It uses magnitudes only, discarding phase — which is
+// exactly why it is ~20× less accurate than SAR (Fig. 13).
+func LocalizeRSSI(meas []Measurement, traj geom.Trajectory, cfg RSSIConfig) (*Result, error) {
+	if len(meas) < 3 {
+		return nil, fmt.Errorf("loc: need at least 3 measurements, have %d", len(meas))
+	}
+	if cfg.GridRes <= 0 {
+		return nil, fmt.Errorf("loc: non-positive grid resolution")
+	}
+	ranges := make([]float64, len(meas))
+	for i, m := range meas {
+		ranges[i] = cfg.RangeFromRSSI(cmplx.Abs(m.H))
+	}
+	x0, y0, x1, y1 := Config{Margin: cfg.Margin, Region: cfg.Region}.searchBounds(traj)
+	bestCost := math.Inf(1)
+	var bx, by float64
+	for y := y0; y <= y1+1e-12; y += cfg.GridRes {
+		for x := x0; x <= x1+1e-12; x += cfg.GridRes {
+			var cost float64
+			for i, m := range meas {
+				dx, dy, dz := x-m.Pos.X, y-m.Pos.Y, -m.Pos.Z
+				d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				r := ranges[i]
+				if math.IsInf(r, 1) {
+					continue
+				}
+				e := d - r
+				cost += e * e
+			}
+			if cost < bestCost {
+				bestCost, bx, by = cost, x, y
+			}
+		}
+	}
+	loc := geom.P2(bx, by)
+	return &Result{
+		Location:   loc,
+		Peak:       -bestCost,
+		Candidates: []Candidate{{Location: loc, Value: -bestCost, TrajectoryDist: traj.DistToPoint(loc)}},
+	}, nil
+}

@@ -1,0 +1,89 @@
+package loc
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rfly/internal/geom"
+	"rfly/internal/signal"
+)
+
+// Self-localization (§5.1 closing note, §9 future work): the
+// relay-embedded tag's channel consists entirely of the reader→relay
+// half-link, so with a *known* reader position the same SAR machinery can
+// solve the inverse problem — where was the drone? The drone knows its
+// trajectory's shape from odometry (relative motion) but not its absolute
+// placement; the phase record pins the rigid translation.
+
+// SelfLocalizeConfig parameterizes the trajectory-translation search.
+type SelfLocalizeConfig struct {
+	// Freq is the carrier of the reader→relay half-link.
+	Freq float64
+	// Search is the rectangle of candidate XY translations.
+	Search Region
+	// CoarseRes/FineRes are the two grid steps, as in Config.
+	CoarseRes float64
+	FineRes   float64
+}
+
+// DefaultSelfLocalizeConfig mirrors the main localizer's resolutions over
+// a ±searchRadius window.
+func DefaultSelfLocalizeConfig(freq, searchRadius float64) SelfLocalizeConfig {
+	return SelfLocalizeConfig{
+		Freq:      freq,
+		Search:    Region{X0: -searchRadius, Y0: -searchRadius, X1: searchRadius, Y1: searchRadius},
+		CoarseRes: 0.10,
+		FineRes:   0.01,
+	}
+}
+
+// SelfLocalize estimates the rigid XY translation that places the
+// odometry-relative trajectory into the reader's frame: measurements carry
+// the embedded tag's channels with Pos = the *relative* trajectory points,
+// and the returned offset δ maximizes the coherence of
+// h_l · e^{+j4πf·|reader − (p_l+δ)|/c}. The localized absolute trajectory
+// is each relative point plus the offset.
+func SelfLocalize(meas []Measurement, readerPos geom.Point, cfg SelfLocalizeConfig) (geom.Vec, float64, error) {
+	if len(meas) < 3 {
+		return geom.Vec{}, 0, fmt.Errorf("loc: need at least 3 embedded-tag measurements, have %d", len(meas))
+	}
+	if cfg.CoarseRes <= 0 || cfg.FineRes <= 0 {
+		return geom.Vec{}, 0, fmt.Errorf("loc: non-positive grid resolution")
+	}
+	score := func(dx, dy float64) float64 {
+		k := 4 * math.Pi * cfg.Freq / signal.C
+		var acc complex128
+		for _, m := range meas {
+			px, py, pz := m.Pos.X+dx, m.Pos.Y+dy, m.Pos.Z
+			ddx, ddy, ddz := readerPos.X-px, readerPos.Y-py, readerPos.Z-pz
+			d := math.Sqrt(ddx*ddx + ddy*ddy + ddz*ddz)
+			s, c := math.Sincos(k * d)
+			acc += m.H * complex(c, s)
+		}
+		return cmplx.Abs(acc)
+	}
+	bestV := -1.0
+	var bx, by float64
+	for dy := cfg.Search.Y0; dy <= cfg.Search.Y1+1e-12; dy += cfg.CoarseRes {
+		for dx := cfg.Search.X0; dx <= cfg.Search.X1+1e-12; dx += cfg.CoarseRes {
+			if v := score(dx, dy); v > bestV {
+				bestV, bx, by = v, dx, dy
+			}
+		}
+	}
+	// Fine refinement around the coarse winner.
+	fv := bestV
+	fx, fy := bx, by
+	for dy := by - cfg.CoarseRes; dy <= by+cfg.CoarseRes+1e-12; dy += cfg.FineRes {
+		for dx := bx - cfg.CoarseRes; dx <= bx+cfg.CoarseRes+1e-12; dx += cfg.FineRes {
+			if v := score(dx, dy); v > fv {
+				fv, fx, fy = v, dx, dy
+			}
+		}
+	}
+	if fv <= 0 {
+		return geom.Vec{}, 0, fmt.Errorf("loc: degenerate self-localization projection")
+	}
+	return geom.Vec{X: fx, Y: fy}, fv, nil
+}

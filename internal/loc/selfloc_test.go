@@ -1,0 +1,94 @@
+package loc
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rfly/internal/geom"
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+)
+
+// embeddedChannels synthesizes reader→relay round-trip channels for a
+// trajectory in the reader's frame.
+func embeddedChannels(abs []geom.Point, readerPos geom.Point, freq, noise float64, src *rng.Source) []complex128 {
+	k := 4 * math.Pi * freq / signal.C
+	out := make([]complex128, len(abs))
+	for i, p := range abs {
+		d := p.Dist(readerPos)
+		h := cmplx.Rect(1/(d*d), -k*d)
+		if noise > 0 {
+			h += src.ComplexCircular(noise / (d * d))
+		}
+		out[i] = h
+	}
+	return out
+}
+
+func TestSelfLocalizeRecoversOffset(t *testing.T) {
+	reader := geom.P(0, 0, 1.5)
+	// True flight: an L-shaped path (2D extent breaks the mirror
+	// ambiguity a straight line would have).
+	var abs []geom.Point
+	for i := 0; i <= 15; i++ {
+		abs = append(abs, geom.P(3+0.2*float64(i), 4, 1))
+	}
+	for i := 1; i <= 10; i++ {
+		abs = append(abs, geom.P(6, 4+0.2*float64(i), 1))
+	}
+	trueOffset := geom.Vec{X: 3, Y: 4}
+	// Odometry frame: true positions minus the unknown offset.
+	rel := make([]Measurement, len(abs))
+	hs := embeddedChannels(abs, reader, 915e6, 0, nil)
+	for i, p := range abs {
+		rel[i] = Measurement{Pos: geom.P(p.X-trueOffset.X, p.Y-trueOffset.Y, p.Z), H: hs[i]}
+	}
+	cfg := DefaultSelfLocalizeConfig(915e6, 8)
+	got, peak, err := SelfLocalize(rel, reader, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak <= 0 {
+		t.Fatal("zero peak")
+	}
+	if math.Hypot(got.X-trueOffset.X, got.Y-trueOffset.Y) > 0.05 {
+		t.Fatalf("offset = (%.3f, %.3f), want (3, 4)", got.X, got.Y)
+	}
+}
+
+func TestSelfLocalizeNoisy(t *testing.T) {
+	src := rng.New(9)
+	reader := geom.P(0, 0, 1.5)
+	var abs []geom.Point
+	for i := 0; i <= 20; i++ {
+		abs = append(abs, geom.P(2+0.15*float64(i), 5+0.1*float64(i%5), 1))
+	}
+	trueOffset := geom.Vec{X: 2, Y: 5}
+	hs := embeddedChannels(abs, reader, 915e6, 0.2, src)
+	rel := make([]Measurement, len(abs))
+	for i, p := range abs {
+		rel[i] = Measurement{Pos: geom.P(p.X-trueOffset.X, p.Y-trueOffset.Y, p.Z), H: hs[i]}
+	}
+	cfg := DefaultSelfLocalizeConfig(915e6, 8)
+	got, _, err := SelfLocalize(rel, reader, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Hypot(got.X-trueOffset.X, got.Y-trueOffset.Y) > 0.2 {
+		t.Fatalf("noisy offset = (%.3f, %.3f), want (2, 5)", got.X, got.Y)
+	}
+}
+
+func TestSelfLocalizeErrors(t *testing.T) {
+	cfg := DefaultSelfLocalizeConfig(915e6, 2)
+	if _, _, err := SelfLocalize(nil, geom.P2(0, 0), cfg); err == nil {
+		t.Fatal("no measurements accepted")
+	}
+	bad := cfg
+	bad.FineRes = 0
+	meas := []Measurement{{Pos: geom.P2(0, 0), H: 1}, {Pos: geom.P2(1, 0), H: 1}, {Pos: geom.P2(2, 0), H: 1}}
+	if _, _, err := SelfLocalize(meas, geom.P2(0, 0), bad); err == nil {
+		t.Fatal("zero resolution accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+)
+
+func TestAmplifierLinear(t *testing.T) {
+	a := Amplifier{GainDB: 20}
+	if g := a.Gain(); math.Abs(g-100) > 1e-9 {
+		t.Fatalf("Gain = %v", g)
+	}
+	out := a.OutputPower(1e-6)
+	if math.Abs(out-1e-4) > 1e-12 {
+		t.Fatalf("OutputPower = %v", out)
+	}
+}
+
+func TestAmplifierCompression(t *testing.T) {
+	// PA with 29 dBm P1dB, like the relay's output PA (§6.1).
+	pa := Amplifier{GainDB: 30, P1dBm: 29, HasP1dB: true}
+	// Small signal: linear.
+	inSmall := signal.WattsFromDBm(-40)
+	if got := signal.DBm(pa.OutputPower(inSmall)); math.Abs(got-(-10)) > 0.05 {
+		t.Fatalf("small-signal out = %v dBm, want -10", got)
+	}
+	// At the compression point the output is 1 dB below linear.
+	inP1 := signal.WattsFromDBm(29 - 30) // linear output would be 29 dBm
+	got := signal.DBm(pa.OutputPower(inP1))
+	if math.Abs(got-28) > 0.1 {
+		t.Fatalf("P1dB out = %v dBm, want 28", got)
+	}
+	// Hard overdrive saturates: output growth must slow drastically.
+	in1 := signal.WattsFromDBm(10)
+	in2 := signal.WattsFromDBm(20)
+	d := signal.DBm(pa.OutputPower(in2)) - signal.DBm(pa.OutputPower(in1))
+	if d > 2 {
+		t.Fatalf("deep saturation still gaining %v dB per 10 dB input", d)
+	}
+}
+
+func TestAmplifierApplyWaveform(t *testing.T) {
+	a := Amplifier{GainDB: 14}
+	x := signal.Tone(4096, 100e3, signal.DefaultSampleRate, 0, 1e-3)
+	pin := signal.Power(x)
+	a.Apply(x, 0, nil)
+	pout := signal.Power(x)
+	if gotDB := signal.DB(pout / pin); math.Abs(gotDB-14) > 0.01 {
+		t.Fatalf("waveform gain = %v dB", gotDB)
+	}
+}
+
+func TestAmplifierApplyNoise(t *testing.T) {
+	src := rng.New(9)
+	a := Amplifier{GainDB: 20, NFdB: 6}
+	x := make([]complex128, 200000) // silence in → only stage noise out
+	a.Apply(x, 1e6, src.Norm)
+	got := signal.Power(x)
+	want := (signal.FromDB(6) - 1) * signal.ThermalNoiseWatts(1e6, 0) * 100
+	if math.Abs(signal.DB(got/want)) > 0.5 {
+		t.Fatalf("stage noise = %v, want %v", got, want)
+	}
+}
+
+func TestVGAClamp(t *testing.T) {
+	v := NewVGA(-10, 30, 5)
+	if g := v.SetGainDB(50); g != 30 {
+		t.Fatalf("clamped high = %v", g)
+	}
+	if g := v.SetGainDB(-20); g != -10 {
+		t.Fatalf("clamped low = %v", g)
+	}
+	v.SetGainDB(12)
+	if v.GainDB() != 12 {
+		t.Fatalf("GainDB = %v", v.GainDB())
+	}
+	if a := v.Amplifier(); a.GainDB != 12 || a.NFdB != 5 {
+		t.Fatalf("Amplifier = %+v", a)
+	}
+}
+
+func TestSynthesizerTune(t *testing.T) {
+	src := rng.New(21)
+	var s Synthesizer
+	s.Name = "dl"
+	if s.Tuned() {
+		t.Fatal("zero synthesizer claims tuned")
+	}
+	s.Tune(1e6, src)
+	o1 := s.Oscillator()
+	if o1.Freq != 1e6 {
+		t.Fatalf("Freq = %v", o1.Freq)
+	}
+	// Re-tuning draws a fresh random phase.
+	s.Tune(1e6, src)
+	o2 := s.Oscillator()
+	if o1.Phase == o2.Phase {
+		t.Fatal("retune did not redraw phase")
+	}
+}
+
+func TestSynthesizerPanicsUntuned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s Synthesizer
+	s.Oscillator()
+}
+
+func TestSynthesizerSharedIsMirrored(t *testing.T) {
+	// The core §4.3 property: mixing down then up with the SAME synthesizer
+	// restores the waveform exactly, while two independent synthesizers leave a
+	// random phase offset.
+	src := rng.New(22)
+	const fs = signal.DefaultSampleRate
+	shared := &Synthesizer{Name: "shared"}
+	shared.Tune(800e3, src)
+	x := signal.Tone(2048, 120e3, fs, 0.3, 1)
+	down := shared.Oscillator().MixDown(x, fs, 0)
+	up := shared.Oscillator().MixUp(down, fs, 0)
+	if d := signal.PhaseDiffDeg(x[100], up[100]); d > 1e-6 {
+		t.Fatalf("shared synthesizer phase error = %v°", d)
+	}
+
+	other := &Synthesizer{Name: "independent"}
+	other.Tune(800e3, src)
+	up2 := other.Oscillator().MixUp(down, fs, 0)
+	if d := signal.PhaseDiffDeg(x[100], up2[100]); d < 1 {
+		t.Skip("independent synthesizers happened to draw near-equal phases")
+	}
+}
+
+func TestAntennaCoupling(t *testing.T) {
+	a := Antenna{GainDBi: 2, IsolationDB: 35}
+	if g := a.CouplingGainDB(); g != -35 {
+		t.Fatalf("CouplingGainDB = %v", g)
+	}
+}
+
+func TestChainGainAndNF(t *testing.T) {
+	c := Chain{Stages: []Amplifier{
+		{GainDB: 15, NFdB: 2},
+		{GainDB: 15, NFdB: 6},
+	}}
+	if g := c.GainDB(); math.Abs(g-30) > 1e-9 {
+		t.Fatalf("GainDB = %v", g)
+	}
+	// Friis: F = F1 + (F2−1)/G1.
+	want := signal.DB(signal.FromDB(2) + (signal.FromDB(6)-1)/signal.FromDB(15))
+	if nf := c.NoiseFigureDB(); math.Abs(nf-want) > 1e-9 {
+		t.Fatalf("NF = %v, want %v", nf, want)
+	}
+	if nf := (Chain{}).NoiseFigureDB(); nf != 0 {
+		t.Fatalf("empty chain NF = %v", nf)
+	}
+}
+
+func TestChainOutputPowerCascade(t *testing.T) {
+	c := Chain{Stages: []Amplifier{
+		{GainDB: 20},
+		{GainDB: 10, P1dBm: 29, HasP1dB: true},
+	}}
+	// Small signal: 30 dB total.
+	in := signal.WattsFromDBm(-60)
+	if got := signal.DBm(c.OutputPower(in)); math.Abs(got-(-30)) > 0.05 {
+		t.Fatalf("cascade small-signal = %v dBm", got)
+	}
+	// Driven into the PA's compression the cascade output stays near sat.
+	hot := signal.WattsFromDBm(20)
+	if got := signal.DBm(c.OutputPower(hot)); got > 33 {
+		t.Fatalf("cascade saturated output = %v dBm", got)
+	}
+}
+
+func TestChainApply(t *testing.T) {
+	c := Chain{Stages: []Amplifier{{GainDB: 10}, {GainDB: 10}}}
+	x := signal.Tone(1024, 50e3, signal.DefaultSampleRate, 0, 1e-3)
+	pin := signal.Power(x)
+	c.Apply(x, 0, nil)
+	if g := signal.DB(signal.Power(x) / pin); math.Abs(g-20) > 0.01 {
+		t.Fatalf("chain waveform gain = %v dB", g)
+	}
+}
+
+func TestRappCompressMonotone(t *testing.T) {
+	p1 := signal.WattsFromDBm(29)
+	prev := 0.0
+	for dbm := -40.0; dbm < 50; dbm += 1 {
+		out := rappCompress(signal.WattsFromDBm(dbm), p1)
+		if out < prev {
+			t.Fatalf("compression not monotone at %v dBm", dbm)
+		}
+		prev = out
+	}
+}
+
+func TestFriisProperty(t *testing.T) {
+	// Property: a cascade's noise figure is at least the first stage's
+	// and at most the sum of all stages' (in dB), and adding gain up
+	// front can only reduce the composite NF.
+	f := func(g1, n1, g2, n2 float64) bool {
+		q := func(v, lo, hi float64) float64 {
+			return lo + math.Mod(math.Abs(v), hi-lo)
+		}
+		a := Amplifier{GainDB: q(g1, 5, 30), NFdB: q(n1, 1, 10)}
+		b2 := Amplifier{GainDB: q(g2, 5, 30), NFdB: q(n2, 1, 10)}
+		c := Chain{Stages: []Amplifier{a, b2}}
+		nf := c.NoiseFigureDB()
+		if nf < a.NFdB-1e-9 || nf > a.NFdB+b2.NFdB+1e-9 {
+			return false
+		}
+		// More first-stage gain → composite NF no worse.
+		hot := a
+		hot.GainDB += 10
+		c2 := Chain{Stages: []Amplifier{hot, b2}}
+		return c2.NoiseFigureDB() <= nf+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

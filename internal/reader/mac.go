@@ -1,0 +1,192 @@
+package reader
+
+import (
+	"math"
+
+	"rfly/internal/epc"
+	"rfly/internal/tag"
+)
+
+// Observation is one tag's backscattered reply as it arrives at the
+// reader during a slot, with the link quality the medium computed for it.
+type Observation struct {
+	Tag   *tag.Tag
+	Reply *tag.Reply
+	// H is the end-to-end complex channel for this reply (through the
+	// relay when one is forwarding).
+	H complex128
+	// SNRdB is the post-integration SNR at the reader.
+	SNRdB float64
+}
+
+// Medium abstracts the physical layer between the reader and the tag
+// population: the simulation engine delivers a command to every powered
+// tag and returns the replies that reach the reader. Implementations live
+// in internal/sim.
+type Medium interface {
+	// Send transmits a reader command and returns the observations for
+	// every tag that backscattered a reply.
+	Send(cmd epc.Command) []Observation
+}
+
+// Read is one successful tag inventory: the decoded EPC with its channel
+// and link quality, plus which slot of the round it occupied.
+type Read struct {
+	EPC   epc.EPC
+	H     complex128
+	SNRdB float64
+	Slot  int
+}
+
+// RoundStats summarizes an inventory round.
+type RoundStats struct {
+	Slots      int
+	Empty      int
+	Collisions int
+	RNFailures int // singleton slots whose RN16 or EPC failed to decode
+	Reads      []Read
+}
+
+// ReadRate returns the fraction of responding singleton slots that
+// produced a successful EPC read (the paper's Fig. 11 metric counts
+// decodable responses).
+func (s RoundStats) ReadRate() float64 {
+	att := len(s.Reads) + s.RNFailures
+	if att == 0 {
+		return 0
+	}
+	return float64(len(s.Reads)) / float64(att)
+}
+
+// RunInventoryRound executes one full Gen2 inventory round: Query, then a
+// QueryRep per slot, ACKing singleton replies and recording decoded EPCs.
+// Collisions and empties feed the Q-algorithm so a following round can be
+// sized better.
+func (r *Reader) RunInventoryRound(m Medium, sess epc.Session, target epc.Target, qalg *epc.QAlgorithm) RoundStats {
+	q := epc.Query{
+		DR:      r.Cfg.PIE.DR,
+		M:       epc.FM0Mod,
+		Session: sess,
+		Target:  target,
+		Q:       uint8(qalg.Q()),
+	}
+	stats := RoundStats{Slots: 1 << q.Q}
+	obs := m.Send(q)
+	for slot := 0; slot < stats.Slots; slot++ {
+		r.handleSlot(m, slot, obs, &stats, qalg)
+		if slot != stats.Slots-1 {
+			obs = m.Send(epc.QueryRep{Session: sess})
+		}
+	}
+	// Final QueryRep flips the last acknowledged tag's inventoried flag.
+	m.Send(epc.QueryRep{Session: sess})
+	return stats
+}
+
+// CaptureThresholdDB is the power dominance at which a collided slot
+// still decodes the strongest reply (the classic ALOHA capture effect):
+// the stronger backscatter swamps the weaker one at the demodulator.
+const CaptureThresholdDB = 10
+
+func (r *Reader) handleSlot(m Medium, slot int, obs []Observation, stats *RoundStats, qalg *epc.QAlgorithm) {
+	switch len(obs) {
+	case 0:
+		stats.Empty++
+		qalg.OnEmpty()
+		return
+	case 1:
+		// fall through to the singleton handshake below
+	default:
+		// Capture effect: if one reply dominates the rest by
+		// CaptureThresholdDB, treat the slot as a singleton for it; the
+		// weaker colliders remain un-acknowledged and retry next round.
+		if cap := captureDominant(obs); cap != nil {
+			obs = []Observation{*cap}
+			break
+		}
+		stats.Collisions++
+		qalg.OnCollision()
+		return
+	}
+	o := obs[0]
+	// RN16 decode attempt (16 bits).
+	if !r.DrawDecodeSuccess(o.SNRdB, 16) {
+		stats.RNFailures++
+		qalg.OnSingle()
+		return
+	}
+	rn16 := uint16(o.Reply.Bits.Uint())
+	ackObs := m.Send(epc.ACK{RN16: rn16})
+	if len(ackObs) != 1 {
+		stats.RNFailures++
+		qalg.OnSingle()
+		return
+	}
+	a := ackObs[0]
+	// EPC reply decode attempt (PC+EPC+CRC bits).
+	if !r.DrawDecodeSuccess(a.SNRdB, len(a.Reply.Bits)) {
+		stats.RNFailures++
+		qalg.OnSingle()
+		return
+	}
+	e, err := epc.ParseTagReply(a.Reply.Bits)
+	if err != nil {
+		stats.RNFailures++
+		qalg.OnSingle()
+		return
+	}
+	stats.Reads = append(stats.Reads, Read{EPC: e, H: a.H, SNRdB: a.SNRdB, Slot: slot})
+	qalg.OnSingle()
+}
+
+// captureDominant returns the observation that dominates all others by
+// CaptureThresholdDB, or nil if no one does.
+func captureDominant(obs []Observation) *Observation {
+	best, second := -1, -1
+	for i := range obs {
+		switch {
+		case best < 0 || obs[i].SNRdB > obs[best].SNRdB:
+			second = best
+			best = i
+		case second < 0 || obs[i].SNRdB > obs[second].SNRdB:
+			second = i
+		}
+	}
+	if best >= 0 && second >= 0 && obs[best].SNRdB-obs[second].SNRdB >= CaptureThresholdDB {
+		return &obs[best]
+	}
+	return nil
+}
+
+// InventoryUntilQuiet runs rounds (alternating nothing; same session and
+// target) until a round produces no replies at all or maxRounds is
+// reached, accumulating unique EPC reads. It is the "scan everything in
+// range" primitive warehouse inventory uses.
+func (r *Reader) InventoryUntilQuiet(m Medium, sess epc.Session, qalg *epc.QAlgorithm, maxRounds int) []Read {
+	var all []Read
+	seen := map[string]bool{}
+	for round := 0; round < maxRounds; round++ {
+		stats := r.RunInventoryRound(m, sess, epc.TargetA, qalg)
+		if stats.Empty == stats.Slots {
+			break
+		}
+		for _, rd := range stats.Reads {
+			key := rd.EPC.String()
+			if !seen[key] {
+				seen[key] = true
+				all = append(all, rd)
+			}
+		}
+	}
+	return all
+}
+
+// LinkSNRdB converts a received reply power (dBm) to post-integration SNR
+// given the noise bandwidth of the chip-matched filter. Integration over a
+// chip at rate 2·BLF narrows the noise bandwidth to that chip rate.
+func LinkSNRdB(rxDBm, noiseFigureDB, blf float64) float64 {
+	const kTdBmHz = -174 // thermal noise density at 290 K
+	bw := 2 * blf
+	noiseDBm := kTdBmHz + 10*math.Log10(bw) + noiseFigureDB
+	return rxDBm - noiseDBm
+}

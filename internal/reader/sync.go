@@ -1,0 +1,128 @@
+package reader
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rfly/internal/epc"
+	"rfly/internal/tag"
+)
+
+// syncResult is the outcome of preamble synchronization plus coherent chip
+// integration, shared by the FM0 and Miller decoders.
+type syncResult struct {
+	soft     []float64  // derotated per-chip soft values
+	h0       complex128 // preamble-based channel estimate
+	best     int        // sample offset of the preamble
+	sigAcc   float64    // in-phase energy (signal)
+	noiseAcc float64    // quadrature energy (noise)
+}
+
+// syncIntegrate finds the given chip template in rx by sliding complex
+// correlation (earliest near-maximal peak wins, since encoded data can
+// imitate a preamble), gates on the normalized correlation coefficient,
+// and integrates the waveform into derotated per-chip soft values.
+func syncIntegrate(rx []complex128, preChips []int8, fs, blf float64, searchFrom, searchTo int) (*syncResult, error) {
+	spc := epc.SamplesPerChip(fs, blf)
+	preWf := tag.Waveform(preChips, 2, fs, blf) // unit-amplitude ±1 template
+	if len(rx) < len(preWf)+4*spc {
+		return nil, fmt.Errorf("reader: capture too short (%d samples)", len(rx))
+	}
+	if searchTo <= 0 || searchTo > len(rx)-len(preWf) {
+		searchTo = len(rx) - len(preWf)
+	}
+	if searchFrom < 0 {
+		searchFrom = 0
+	}
+	mags := make([]float64, 0, searchTo-searchFrom+1)
+	corrs := make([]complex128, 0, searchTo-searchFrom+1)
+	energies := make([]float64, 0, searchTo-searchFrom+1)
+	winE := 0.0
+	for i := 0; i < len(preWf) && searchFrom+i < len(rx); i++ {
+		v := rx[searchFrom+i]
+		winE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	maxMag := -1.0
+	for off := searchFrom; off <= searchTo; off++ {
+		var acc complex128
+		for i, v := range preWf {
+			acc += rx[off+i] * complex(real(v), -imag(v))
+		}
+		m := cmplx.Abs(acc)
+		mags = append(mags, m)
+		corrs = append(corrs, acc)
+		energies = append(energies, winE)
+		if m > maxMag {
+			maxMag = m
+		}
+		if off+1 <= searchTo {
+			head := rx[off]
+			winE -= real(head)*real(head) + imag(head)*imag(head)
+			if off+len(preWf) < len(rx) {
+				tail := rx[off+len(preWf)]
+				winE += real(tail)*real(tail) + imag(tail)*imag(tail)
+			}
+		}
+	}
+	best, bestMag := searchFrom, maxMag
+	var bestCorr complex128
+	var bestEnergy float64
+	for i, m := range mags {
+		if m >= 0.92*maxMag {
+			// Refine to the local peak of this earliest lobe.
+			j := i
+			for j+1 < len(mags) && mags[j+1] > mags[j] {
+				j++
+			}
+			best, bestMag, bestCorr, bestEnergy = searchFrom+j, mags[j], corrs[j], energies[j]
+			break
+		}
+	}
+	var preEnergy float64
+	for _, v := range preWf {
+		preEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if bestEnergy <= 0 || bestMag/math.Sqrt(preEnergy*bestEnergy) < 0.5 {
+		return nil, fmt.Errorf("reader: no preamble detected (peak corr %.3f)",
+			bestMag/math.Max(math.Sqrt(preEnergy*bestEnergy), 1e-30))
+	}
+	h0 := bestCorr / complex(preEnergy, 0)
+	if h0 == 0 {
+		return nil, fmt.Errorf("reader: zero channel estimate")
+	}
+	nChips := (len(rx) - best) / spc
+	res := &syncResult{h0: h0, best: best, soft: make([]float64, 0, nChips)}
+	inv := complex(1, 0) / h0
+	for k := 0; k < nChips; k++ {
+		var acc complex128
+		for i := 0; i < spc; i++ {
+			acc += rx[best+k*spc+i]
+		}
+		z := acc * inv / complex(float64(spc), 0)
+		res.soft = append(res.soft, real(z))
+		res.sigAcc += real(z) * real(z)
+		res.noiseAcc += imag(z) * imag(z)
+	}
+	return res, nil
+}
+
+// reestimate refines the channel estimate over a reconstructed clean chip
+// waveform aligned at best.
+func reestimate(rx []complex128, clean []complex128, best int, fallback complex128) complex128 {
+	n := len(clean)
+	if best+n > len(rx) {
+		n = len(rx) - best
+	}
+	var num complex128
+	var den float64
+	for i := 0; i < n; i++ {
+		c := clean[i]
+		num += rx[best+i] * complex(real(c), -imag(c))
+		den += real(c)*real(c) + imag(c)*imag(c)
+	}
+	if den <= 0 {
+		return fallback
+	}
+	return num / complex(den, 0)
+}

@@ -1,0 +1,113 @@
+package relay
+
+import (
+	"fmt"
+
+	"rfly/internal/radio"
+	"rfly/internal/signal"
+)
+
+// DaisyChain is the §4.3/§9 multi-relay extension: relays placed between
+// the reader and the tag population, each forwarding the previous hop's
+// output. Hop k listens where hop k−1 transmits (cascaded frequency
+// shifts), and because every hop is individually mirrored, the cascade as
+// a whole remains phase-preserving — the property that would let a swarm
+// extend localization range.
+type DaisyChain struct {
+	Relays []*Relay
+}
+
+// NewDaisyChain validates the frequency plan and locks every hop: hop 0
+// locks to the reader carrier offset readerFreq, hop k to hop k−1's
+// output. At the waveform level the cumulative shift plus the signal
+// bandwidth must stay inside Nyquist.
+func NewDaisyChain(readerFreq float64, relays ...*Relay) (*DaisyChain, error) {
+	if len(relays) == 0 {
+		return nil, fmt.Errorf("relay: empty daisy chain")
+	}
+	f := readerFreq
+	for i, r := range relays {
+		out := f + r.Cfg.ShiftHz
+		// Leave a guard for the backscatter sidebands (±BLF plus filter BW).
+		if out+r.Cfg.BPFCenter+r.Cfg.BPFHalfBW >= r.Cfg.Fs/2 {
+			return nil, fmt.Errorf("relay: hop %d output %.2f MHz exceeds Nyquist at fs %.0f MHz",
+				i, out/1e6, r.Cfg.Fs/1e6)
+		}
+		r.Lock(f)
+		f = out
+	}
+	return &DaisyChain{Relays: relays}, nil
+}
+
+// OutputFreq returns the carrier offset of the final hop's downlink
+// output — the frequency tags are illuminated at.
+func (c *DaisyChain) OutputFreq() float64 {
+	f := c.Relays[0].readerFreq
+	for _, r := range c.Relays {
+		f += r.Cfg.ShiftHz
+	}
+	return f
+}
+
+// ForwardDownlink runs a reader-frame waveform through every hop in
+// order. hopChannels, when non-nil, supplies the complex channel gain of
+// the air link *into* each hop (len == number of hops); nil means unity
+// links (bench conditions).
+func (c *DaisyChain) ForwardDownlink(x []complex128, hopChannels []complex128, startSample int) []complex128 {
+	for i, r := range c.Relays {
+		if hopChannels != nil {
+			x = scaled(x, hopChannels[i])
+		}
+		x = r.ForwardDownlink(x, startSample)
+	}
+	return x
+}
+
+// ForwardUplink runs a tag-frame waveform back through every hop in
+// reverse order. hopChannels, when non-nil, supplies the channel *into*
+// each hop on the way back (index 0 = the hop nearest the tag, i.e. the
+// chain's last relay).
+func (c *DaisyChain) ForwardUplink(x []complex128, hopChannels []complex128, startSample int) []complex128 {
+	for i := len(c.Relays) - 1; i >= 0; i-- {
+		if hopChannels != nil {
+			x = scaled(x, hopChannels[len(c.Relays)-1-i])
+		}
+		x = c.Relays[i].ForwardUplink(x, startSample)
+	}
+	return x
+}
+
+func scaled(x []complex128, g complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i := range x {
+		out[i] = x[i] * g
+	}
+	return out
+}
+
+// ChainBudget computes the end-to-end downlink power delivered through
+// the chain for a reader EIRP and per-hop air-link losses (len = hops+1:
+// reader→R1, R1→R2, …, Rn→tag), honoring each hop's gain plan and PA
+// compression. It returns the power at the tag and whether every hop was
+// stable.
+func ChainBudget(eirpDBm float64, hopLossDB []float64, relays []*Relay, plans []GainPlan) (tagDBm float64, stable bool) {
+	if len(hopLossDB) != len(relays)+1 || len(plans) != len(relays) {
+		return 0, false
+	}
+	stable = true
+	p := eirpDBm - hopLossDB[0]
+	for i, r := range relays {
+		if !plans[i].Stable {
+			stable = false
+		}
+		out := signal.DBm(radioOut(signal.WattsFromDBm(p), plans[i].DownlinkGainDB, r.Cfg.PAP1dBm))
+		p = out - hopLossDB[i+1]
+	}
+	return p, stable
+}
+
+// radioOut applies gain then the PA's Rapp compression.
+func radioOut(inW, gainDB, p1dBm float64) float64 {
+	amp := radio.Amplifier{GainDB: gainDB, P1dBm: p1dBm, HasP1dB: true}
+	return amp.OutputPower(inW)
+}

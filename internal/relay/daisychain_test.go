@@ -1,0 +1,225 @@
+package relay
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+)
+
+// chainConfig returns a relay config with a smaller shift so two hops fit
+// inside Nyquist at the default sample rate.
+func chainConfig(shift float64) Config {
+	cfg := DefaultConfig()
+	cfg.ShiftHz = shift
+	cfg.SynthPPM = 0
+	return cfg
+}
+
+func TestNewDaisyChainFrequencyPlan(t *testing.T) {
+	r1 := New(chainConfig(1.2e6), rng.New(1))
+	r2 := New(chainConfig(1.0e6), rng.New(2))
+	c, err := NewDaisyChain(0, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OutputFreq(); math.Abs(got-2.2e6) > 1 {
+		t.Fatalf("chain output = %v", got)
+	}
+	if r1.ReaderFreq() != 0 || r2.ReaderFreq() != 1.2e6 {
+		t.Fatalf("hop locks: %v %v", r1.ReaderFreq(), r2.ReaderFreq())
+	}
+}
+
+func TestNewDaisyChainRejectsNyquistOverflow(t *testing.T) {
+	// Two default 2 MHz shifts put the output at 4 MHz = Nyquist at 8 MS/s.
+	r1 := New(DefaultConfig(), rng.New(3))
+	r2 := New(DefaultConfig(), rng.New(4))
+	if _, err := NewDaisyChain(0, r1, r2); err == nil {
+		t.Fatal("over-Nyquist chain accepted")
+	}
+	if _, err := NewDaisyChain(0); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestDaisyChainForwardsThroughTwoHops(t *testing.T) {
+	r1 := New(chainConfig(1.2e6), rng.New(5))
+	r2 := New(chainConfig(1.0e6), rng.New(6))
+	c, err := NewDaisyChain(0, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := r1.Cfg.Fs
+	n := 16384
+	in := signal.Tone(n, 50e3, fs, 0, 1e-3)
+	out := c.ForwardDownlink(in, nil, 0)
+	skip := n / 4
+	// The query component lands at 2.2 MHz + 50 kHz.
+	p := signal.GoertzelPower(out[skip:], 2.25e6, fs)
+	if p <= 0 || signal.DB(p/1e-6) < 20 {
+		t.Fatalf("two-hop forwarded power %v", p)
+	}
+	// Nothing left at the single-hop frequency.
+	if leak := signal.GoertzelPower(out[skip:], 1.25e6, fs); leak > p*1e-4 {
+		t.Fatalf("intermediate-frequency leak %v vs %v", leak, p)
+	}
+}
+
+func TestDaisyChainPhasePreservation(t *testing.T) {
+	// The §9 claim: a chain of mirrored relays is itself phase-preserving.
+	// A tone traversing downlink×2 then uplink×2 must come back with a
+	// trial-invariant phase even though all four synthesizer pairs re-lock
+	// with random phases each trial.
+	phases := make([]float64, 0, 6)
+	for trial := 0; trial < 6; trial++ {
+		seed := uint64(100 + trial*13)
+		r1 := New(chainConfig(1.2e6), rng.New(seed))
+		r2 := New(chainConfig(1.0e6), rng.New(seed+1))
+		c, err := NewDaisyChain(0, r1, r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := r1.Cfg.Fs
+		n := 8192
+		in := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
+		down := c.ForwardDownlink(in, nil, 0)
+		back := c.ForwardUplink(down, nil, 0)
+		ref := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
+		skip := n / 2
+		phases = append(phases, cmplx.Phase(signal.Correlate(back[skip:], ref[skip:])))
+	}
+	max := 0.0
+	for i := range phases {
+		for j := i + 1; j < len(phases); j++ {
+			d := math.Abs(signal.WrapPhase(phases[i]-phases[j])) * 180 / math.Pi
+			if d > max {
+				max = d
+			}
+		}
+	}
+	if max > 2 {
+		t.Fatalf("two-hop phase spread %.2f°, chain not phase-preserving", max)
+	}
+}
+
+func TestDaisyChainWithChannels(t *testing.T) {
+	r1 := New(chainConfig(1.2e6), rng.New(7))
+	r2 := New(chainConfig(1.0e6), rng.New(8))
+	c, err := NewDaisyChain(0, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := r1.Cfg.Fs
+	// Drive small enough that even the lossless reference chain stays in
+	// the PAs' linear region.
+	in := signal.Tone(8192, 50e3, fs, 0, 1e-6)
+	// 20 dB loss into each hop.
+	g := complex(signal.AmpFromDB(-20), 0)
+	out := c.ForwardDownlink(in, []complex128{g, g}, 0)
+	ref := c.ForwardDownlink(in, nil, 0)
+	skip := 2048
+	ratio := signal.DB(signal.Power(out[skip:]) / signal.Power(ref[skip:]))
+	if math.Abs(ratio-(-40)) > 1 {
+		t.Fatalf("hop channels applied %v dB, want -40", ratio)
+	}
+}
+
+func TestChainBudget(t *testing.T) {
+	r1 := New(DefaultConfig(), rng.New(9))
+	r2 := New(DefaultConfig(), rng.New(10))
+	plans := []GainPlan{
+		{DownlinkGainDB: 60, Stable: true},
+		{DownlinkGainDB: 60, Stable: true},
+	}
+	// 36 dBm EIRP, hops: 60 dB to R1, 70 dB to R2, 38 dB to the tag.
+	tagDBm, stable := ChainBudget(36, []float64{60, 70, 38}, []*Relay{r1, r2}, plans)
+	if !stable {
+		t.Fatal("stable plan reported unstable")
+	}
+	// R1 in: −24 dBm → out 29-capped (PA), R2 in: 29−70 = −41 → out 19 →
+	// tag ≈ −19 dBm. The chain powers a tag a second 70 dB hop away —
+	// impossible with one relay.
+	if tagDBm < -25 || tagDBm > -10 {
+		t.Fatalf("chain-delivered power = %.1f dBm", tagDBm)
+	}
+	// Single relay with the same total path: 36 − 60 − 70… direct to the
+	// tag region would be hopeless; verify the comparison.
+	single, _ := ChainBudget(36, []float64{130, 38}, []*Relay{r1}, plans[:1])
+	if single > tagDBm-20 {
+		t.Fatalf("one-hop %v dBm vs chain %v dBm: chain should win decisively", single, tagDBm)
+	}
+	// Mis-sized inputs are rejected.
+	if _, ok := ChainBudget(36, []float64{60}, []*Relay{r1}, plans[:1]); ok {
+		t.Fatal("mis-sized hop losses accepted")
+	}
+	// An unstable hop poisons the chain.
+	plans[1].Stable = false
+	if _, ok := ChainBudget(36, []float64{60, 70, 38}, []*Relay{r1, r2}, plans); ok {
+		t.Fatal("unstable hop reported stable")
+	}
+}
+
+func chainPhaseSpread(t *testing.T, trials int, mkRelays func(seed uint64) []*Relay) float64 {
+	t.Helper()
+	phases := make([]float64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(300 + trial*17)
+		relays := mkRelays(seed)
+		c, err := NewDaisyChain(0, relays...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := relays[0].Cfg.Fs
+		n := 8192
+		in := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
+		down := c.ForwardDownlink(in, nil, 0)
+		back := c.ForwardUplink(down, nil, 0)
+		ref := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
+		skip := n / 2
+		phases = append(phases, cmplx.Phase(signal.Correlate(back[skip:], ref[skip:])))
+	}
+	max := 0.0
+	for i := range phases {
+		for j := i + 1; j < len(phases); j++ {
+			d := math.Abs(signal.WrapPhase(phases[i]-phases[j])) * 180 / math.Pi
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func TestDaisyChainPhasePreservationThreeHops(t *testing.T) {
+	// Mirrored cancellation must compose: six synthesizer pairs re-lock
+	// randomly each trial and the round trip is still trial-invariant.
+	spread := chainPhaseSpread(t, 5, func(seed uint64) []*Relay {
+		return []*Relay{
+			New(chainConfig(1.2e6), rng.New(seed)),
+			New(chainConfig(1.0e6), rng.New(seed+1)),
+			New(chainConfig(0.8e6), rng.New(seed+2)),
+		}
+	})
+	if spread > 3 {
+		t.Fatalf("three-hop phase spread %.2f°, chain not phase-preserving", spread)
+	}
+}
+
+func TestDaisyChainNoMirrorHopBreaksPhase(t *testing.T) {
+	// Control: one unmirrored hop in the middle reintroduces random
+	// synthesizer phase, so the chain's round-trip phase decoheres.
+	spread := chainPhaseSpread(t, 6, func(seed uint64) []*Relay {
+		broken := chainConfig(1.0e6)
+		broken.Mirrored = false
+		return []*Relay{
+			New(chainConfig(1.2e6), rng.New(seed)),
+			New(broken, rng.New(seed+1)),
+		}
+	})
+	if spread < 30 {
+		t.Fatalf("no-mirror hop left phase spread at %.2f°; expected decoherence", spread)
+	}
+}

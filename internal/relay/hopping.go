@@ -1,0 +1,102 @@
+package relay
+
+import (
+	"fmt"
+	"math"
+
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+)
+
+// HopPattern is a regulatory frequency-hopping schedule: FCC part 15
+// readers in the 902–928 MHz band must hop across ≥50 channels with a
+// dwell ≤0.4 s, following a prespecified pseudo-random pattern. Channel
+// values are offsets from the simulation band center, like every other
+// frequency in the relay.
+type HopPattern struct {
+	Channels []float64
+	DwellSec float64
+}
+
+// FCCHopPattern builds a representative pattern: the given channels in a
+// seed-determined pseudo-random order with a 0.4 s dwell. Channels must be
+// representable at the relay's sample rate; use Relay.ISMChannels for the
+// in-band set.
+func FCCHopPattern(channels []float64, seed uint64) HopPattern {
+	src := rng.New(seed)
+	perm := src.Perm(len(channels))
+	out := make([]float64, len(channels))
+	for i, p := range perm {
+		out[i] = channels[p]
+	}
+	return HopPattern{Channels: out, DwellSec: 0.4}
+}
+
+// Validate checks the pattern against a relay's frequency plan.
+func (p HopPattern) Validate(cfg Config) error {
+	if len(p.Channels) == 0 {
+		return fmt.Errorf("relay: empty hop pattern")
+	}
+	for i, f := range p.Channels {
+		if math.Abs(f)+cfg.ShiftHz+1e6 > cfg.Fs/2 {
+			return fmt.Errorf("relay: hop channel %d (%.2f MHz) not representable at fs %.0f MHz",
+				i, f/1e6, cfg.Fs/1e6)
+		}
+	}
+	return nil
+}
+
+// HopFollower keeps a relay locked to a hopping reader: after the initial
+// §4.2 energy-detection sweep identifies the current channel, the relay
+// knows the pattern (it is prespecified by regulation) and simply retunes
+// at every dwell boundary instead of re-sweeping (§4.2 footnote 3).
+type HopFollower struct {
+	relay *Relay
+	pat   HopPattern
+	idx   int
+}
+
+// FollowHops runs the initial sweep over rx, finds the detected carrier in
+// the pattern, locks the relay to it, and returns a follower that tracks
+// subsequent hops.
+func (r *Relay) FollowHops(pat HopPattern, rx []complex128) (*HopFollower, error) {
+	if err := pat.Validate(r.Cfg); err != nil {
+		return nil, err
+	}
+	best, p := signal.EnergyDetect(rx, pat.Channels, r.Cfg.Fs)
+	if p <= 0 {
+		return nil, fmt.Errorf("relay: no carrier detected on any hop channel")
+	}
+	idx := -1
+	for i, f := range pat.Channels {
+		if f == best {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("relay: detected carrier %v not in the pattern", best)
+	}
+	r.Lock(best)
+	return &HopFollower{relay: r, pat: pat, idx: idx}, nil
+}
+
+// Current returns the channel the relay is presently locked to.
+func (f *HopFollower) Current() float64 { return f.pat.Channels[f.idx] }
+
+// Advance retunes the relay to the pattern's next channel (called at each
+// dwell boundary) and returns the new channel. Both synthesizer pairs
+// retune, so the mirrored phase-cancellation property holds within every
+// dwell.
+func (f *HopFollower) Advance() float64 {
+	f.idx = (f.idx + 1) % len(f.pat.Channels)
+	next := f.pat.Channels[f.idx]
+	f.relay.Lock(next)
+	return next
+}
+
+// DwellSamples returns how many samples one dwell lasts at the relay's
+// sample rate.
+func (f *HopFollower) DwellSamples() int {
+	return int(f.pat.DwellSec * f.relay.Cfg.Fs)
+}

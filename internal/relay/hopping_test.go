@@ -1,0 +1,151 @@
+package relay
+
+import (
+	"math"
+	"testing"
+
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+)
+
+func TestFCCHopPatternPermutation(t *testing.T) {
+	chans := []float64{-1e6, -500e3, 0, 500e3, 1e6}
+	pat := FCCHopPattern(chans, 1)
+	if len(pat.Channels) != len(chans) {
+		t.Fatalf("pattern size %d", len(pat.Channels))
+	}
+	if pat.DwellSec != 0.4 {
+		t.Fatalf("dwell %v", pat.DwellSec)
+	}
+	seen := map[float64]bool{}
+	for _, f := range pat.Channels {
+		seen[f] = true
+	}
+	for _, f := range chans {
+		if !seen[f] {
+			t.Fatalf("channel %v missing from permutation", f)
+		}
+	}
+	// Different seeds give different orders (overwhelmingly likely).
+	pat2 := FCCHopPattern(chans, 2)
+	same := true
+	for i := range pat.Channels {
+		if pat.Channels[i] != pat2.Channels[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("note: two seeds produced the same permutation (possible, rare)")
+	}
+}
+
+func TestHopPatternValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := (HopPattern{}).Validate(cfg); err == nil {
+		t.Fatal("empty pattern validated")
+	}
+	bad := HopPattern{Channels: []float64{3e6}, DwellSec: 0.4}
+	if err := bad.Validate(cfg); err == nil {
+		t.Fatal("over-Nyquist channel validated")
+	}
+}
+
+func TestFollowHopsLockAndAdvance(t *testing.T) {
+	r := New(DefaultConfig(), rng.New(1))
+	pat := FCCHopPattern(r.ISMChannels(), 7)
+	// The reader currently dwells on pattern index 3.
+	cur := pat.Channels[3]
+	rx := signal.Tone(8000, cur, r.Cfg.Fs, 0.1, 1)
+	f, err := r.FollowHops(pat, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Current() != cur || r.ReaderFreq() != cur {
+		t.Fatalf("locked to %v, reader at %v", r.ReaderFreq(), cur)
+	}
+	// Advancing tracks the pattern without re-sweeping.
+	for k := 1; k <= 4; k++ {
+		want := pat.Channels[(3+k)%len(pat.Channels)]
+		if got := f.Advance(); got != want || r.ReaderFreq() != want {
+			t.Fatalf("hop %d: got %v want %v", k, got, want)
+		}
+	}
+	if f.DwellSamples() != int(0.4*r.Cfg.Fs) {
+		t.Fatalf("dwell samples %d", f.DwellSamples())
+	}
+}
+
+func TestFollowHopsForwardingAfterHop(t *testing.T) {
+	// After a hop the relay must forward the NEW channel and reject the
+	// old one.
+	r := New(DefaultConfig(), rng.New(2))
+	pat := HopPattern{Channels: []float64{-800e3, 400e3, 900e3}, DwellSec: 0.4}
+	rx := signal.Tone(8000, -800e3, r.Cfg.Fs, 0, 1)
+	f, err := r.FollowHops(pat, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := f.Advance() // now at +400 kHz
+	n := 16384
+	in := signal.Tone(n, next+50e3, r.Cfg.Fs, 0, 1e-3)
+	signal.Add(in, signal.Tone(n, -800e3+50e3, r.Cfg.Fs, 0, 1e-3)) // stale channel
+	out := r.ForwardDownlink(in, 0)
+	skip := n / 4
+	pNew := signal.GoertzelPower(out[skip:], next+r.Cfg.ShiftHz+50e3, r.Cfg.Fs)
+	pOld := signal.GoertzelPower(out[skip:], -800e3+r.Cfg.ShiftHz+50e3, r.Cfg.Fs)
+	if pNew <= 0 {
+		t.Fatal("new channel not forwarded")
+	}
+	if rej := signal.DB(pOld / pNew); rej > -40 {
+		t.Fatalf("stale channel rejection only %.1f dB", rej)
+	}
+}
+
+func TestFollowHopsErrors(t *testing.T) {
+	r := New(DefaultConfig(), rng.New(3))
+	pat := HopPattern{Channels: []float64{0, 500e3}, DwellSec: 0.4}
+	if _, err := r.FollowHops(pat, make([]complex128, 4000)); err == nil {
+		t.Fatal("silence produced a lock")
+	}
+	bad := HopPattern{Channels: []float64{5e6}, DwellSec: 0.4}
+	if _, err := r.FollowHops(bad, signal.Tone(4000, 0, r.Cfg.Fs, 0, 1)); err == nil {
+		t.Fatal("invalid pattern accepted")
+	}
+}
+
+func TestHopMirroredPhaseWithinDwell(t *testing.T) {
+	// Within one dwell the mirrored property holds exactly even right
+	// after a retune.
+	r := New(DefaultConfig(), rng.New(4))
+	r.Cfg.SynthPPM = 0
+	pat := HopPattern{Channels: []float64{0, 600e3}, DwellSec: 0.4}
+	f, err := r.FollowHops(pat, signal.Tone(4000, 0, r.Cfg.Fs, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Advance()
+	fs := r.Cfg.Fs
+	n := 8192
+	roundTrip := func() float64 {
+		in := signal.Tone(n, 600e3+50e3, fs, 0.3, 1e-4)
+		down := r.ForwardDownlink(in, 0)
+		back := r.ForwardUplink(down, 0)
+		ref := signal.Tone(n, 600e3+50e3, fs, 0.3, 1e-4)
+		skip := n / 2
+		return phaseOf(signal.Correlate(back[skip:], ref[skip:]))
+	}
+	p1 := roundTrip()
+	// Re-lock at the same channel: fresh random synthesizer phases. The
+	// mirrored round trip must land on the same phase (only the fixed
+	// group-delay term remains).
+	r.Lock(600e3)
+	p2 := roundTrip()
+	if d := math.Abs(signal.WrapPhase(p1-p2)) * 180 / math.Pi; d > 1 {
+		t.Fatalf("post-hop phase not re-lock invariant: %.2f°", d)
+	}
+}
+
+func phaseOf(c complex128) float64 {
+	return math.Atan2(imag(c), real(c))
+}

@@ -1,0 +1,173 @@
+// Package rng provides the deterministic random number generation used
+// throughout the RFly simulation.
+//
+// Every stochastic component (shadowing draws, oscillator phase offsets,
+// thermal noise, trajectory jitter, tag RN16s) takes an explicit *rng.Source
+// rather than using global math/rand state, so every experiment in the paper
+// reproduction is replayable bit-for-bit from its seed. Sources are cheap to
+// split into independent named streams, which keeps adding a new consumer
+// from perturbing the draws seen by existing ones.
+package rng
+
+import "math"
+
+// Source is a PCG-XSH-RR 64/32-based generator with a 64-bit state and a
+// 63-bit odd stream selector. The zero value is NOT valid; use New or Split.
+type Source struct {
+	state uint64
+	inc   uint64 // odd
+
+	// cached second Gaussian from Box-Muller
+	gauss   float64
+	hasNorm bool
+}
+
+// New returns a Source seeded from seed on the default stream.
+func New(seed uint64) *Source {
+	return NewStream(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewStream returns a Source seeded from seed on the given stream. Two
+// sources with different streams are statistically independent even when
+// they share a seed.
+func NewStream(seed, stream uint64) *Source {
+	s := &Source{inc: (stream << 1) | 1}
+	s.state = 0
+	s.Uint32()
+	s.state += seed
+	s.Uint32()
+	return s
+}
+
+// Split derives an independent child source from s using a name hash. The
+// parent's state is not consumed, so the set of children is a pure function
+// of (parent seed, name) — adding a consumer never disturbs another's draws.
+func (s *Source) Split(name string) *Source {
+	h := fnv64(name)
+	return NewStream(s.state^h, s.inc^(h>>1)|1)
+}
+
+// fnv64 is the FNV-1a 64-bit hash of name.
+func fnv64(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}
+
+// Uint32 returns the next 32 random bits (PCG-XSH-RR output function).
+func (s *Source) Uint32() uint32 {
+	old := s.state
+	s.state = old*6364136223846793005 + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method on 32 bits when possible.
+	if n <= 1<<31 {
+		bound := uint32(n)
+		threshold := -bound % bound
+		for {
+			r := s.Uint32()
+			m := uint64(r) * uint64(bound)
+			if uint32(m) >= threshold {
+				return int(m >> 32)
+			}
+		}
+	}
+	// Large n: 64-bit modulo rejection.
+	max := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		v := s.Uint64()
+		if v < max {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Norm returns a standard Gaussian draw (mean 0, variance 1) via Box-Muller.
+func (s *Source) Norm() float64 {
+	if s.hasNorm {
+		s.hasNorm = false
+		return s.gauss
+	}
+	var u float64
+	for u == 0 {
+		u = s.Float64()
+	}
+	v := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	s.gauss = r * math.Sin(2*math.Pi*v)
+	s.hasNorm = true
+	return r * math.Cos(2*math.Pi*v)
+}
+
+// Gaussian returns a Gaussian draw with the given mean and standard
+// deviation.
+func (s *Source) Gaussian(mean, sigma float64) float64 {
+	return mean + sigma*s.Norm()
+}
+
+// LogNormalDB returns a multiplicative fading term expressed in dB: a
+// Gaussian draw with standard deviation sigmaDB. It is the standard model
+// for log-normal shadowing; callers add the result to a path-loss budget.
+func (s *Source) LogNormalDB(sigmaDB float64) float64 {
+	return s.Gaussian(0, sigmaDB)
+}
+
+// Phase returns a uniform phase in [0, 2π).
+func (s *Source) Phase() float64 {
+	return 2 * math.Pi * s.Float64()
+}
+
+// ComplexCircular returns a zero-mean circularly-symmetric complex Gaussian
+// with the given per-quadrature standard deviation (so E|z|² = 2σ²).
+func (s *Source) ComplexCircular(sigma float64) complex128 {
+	return complex(s.Gaussian(0, sigma), s.Gaussian(0, sigma))
+}
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool { return s.Uint32()&1 == 1 }
+
+// Uint16 returns 16 random bits; handy for RN16 generation in the Gen2 MAC.
+func (s *Source) Uint16() uint16 { return uint16(s.Uint32() >> 16) }
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

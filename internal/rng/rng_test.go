@@ -1,0 +1,203 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("shadowing")
+	c2 := parent.Split("noise")
+	c1b := New(7).Split("shadowing")
+	// Same name + same parent seed → identical stream.
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c1b.Uint64() {
+			t.Fatal("Split is not a pure function of (seed, name)")
+		}
+	}
+	// Different names → different streams.
+	c1 = New(7).Split("shadowing")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint32() == c2.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlap: %d/100 identical", same)
+	}
+}
+
+func TestSplitDoesNotConsumeParent(t *testing.T) {
+	a, b := New(3), New(3)
+	_ = a.Split("x")
+	_ = a.Split("y")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split consumed parent state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(12)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(13)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := s.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 6; k++ {
+		if seen[k] < 8000 || seen[k] > 12000 {
+			t.Fatalf("Intn(6) biased: bucket %d has %d/60000", k, seen[k])
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(14)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v", variance)
+	}
+}
+
+func TestGaussian(t *testing.T) {
+	s := New(15)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Gaussian(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Gaussian mean = %v, want ≈10", mean)
+	}
+}
+
+func TestPhaseRange(t *testing.T) {
+	s := New(16)
+	for i := 0; i < 10000; i++ {
+		p := s.Phase()
+		if p < 0 || p >= 2*math.Pi {
+			t.Fatalf("Phase out of range: %v", p)
+		}
+	}
+}
+
+func TestComplexCircular(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	var pw float64
+	for i := 0; i < n; i++ {
+		z := s.ComplexCircular(1)
+		pw += real(z)*real(z) + imag(z)*imag(z)
+	}
+	if mean := pw / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("E|z|² = %v, want ≈2", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(18)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniform(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestUint16Coverage(t *testing.T) {
+	s := New(20)
+	lo, hi := false, false
+	for i := 0; i < 100000 && !(lo && hi); i++ {
+		v := s.Uint16()
+		if v < 1000 {
+			lo = true
+		}
+		if v > 64000 {
+			hi = true
+		}
+	}
+	if !lo || !hi {
+		t.Fatal("Uint16 does not cover its range")
+	}
+}

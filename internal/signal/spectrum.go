@@ -1,0 +1,109 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Spectrum is a power spectrum estimate over uniformly spaced bins.
+type Spectrum struct {
+	// F0 is the first bin's frequency; Step the bin spacing (Hz).
+	F0, Step float64
+	// PowerDB holds per-bin power in dB relative to 1.0 sample power.
+	PowerDB []float64
+}
+
+// MeasureSpectrum estimates the power spectrum of x between fLo and fHi
+// with nbins Goertzel probes — the simulation's spectrum-analyzer sweep
+// (the same instrument §7.1's isolation measurements use, widened to a
+// full trace).
+func MeasureSpectrum(x []complex128, fLo, fHi, fs float64, nbins int) Spectrum {
+	if nbins < 2 || fHi <= fLo {
+		return Spectrum{}
+	}
+	step := (fHi - fLo) / float64(nbins-1)
+	out := Spectrum{F0: fLo, Step: step, PowerDB: make([]float64, nbins)}
+	for i := 0; i < nbins; i++ {
+		p := GoertzelPower(x, fLo+float64(i)*step, fs)
+		if p <= 0 {
+			out.PowerDB[i] = math.Inf(-1)
+		} else {
+			out.PowerDB[i] = DB(p)
+		}
+	}
+	return out
+}
+
+// FilterResponse traces an FIR's frequency response as a Spectrum (unit
+// input assumed), for rendering filter shapes in the relay lab.
+func FilterResponse(f FIR, fLo, fHi, fs float64, nbins int) Spectrum {
+	if nbins < 2 || fHi <= fLo {
+		return Spectrum{}
+	}
+	step := (fHi - fLo) / float64(nbins-1)
+	out := Spectrum{F0: fLo, Step: step, PowerDB: make([]float64, nbins)}
+	for i := 0; i < nbins; i++ {
+		out.PowerDB[i] = f.ResponseAt(fLo+float64(i)*step, fs)
+	}
+	return out
+}
+
+// Peak returns the frequency and level of the strongest bin.
+func (s Spectrum) Peak() (freq, db float64) {
+	best := math.Inf(-1)
+	idx := 0
+	for i, p := range s.PowerDB {
+		if p > best {
+			best, idx = p, i
+		}
+	}
+	return s.F0 + float64(idx)*s.Step, best
+}
+
+// RenderASCII draws the spectrum as a text plot: frequency left→right,
+// power bottom→top, clipped to floorDB at the bottom.
+func (s Spectrum) RenderASCII(label string, rows int, floorDB float64) string {
+	if len(s.PowerDB) == 0 || rows < 2 {
+		return label + ": (empty)\n"
+	}
+	top := math.Inf(-1)
+	for _, p := range s.PowerDB {
+		top = math.Max(top, p)
+	}
+	if math.IsInf(top, -1) {
+		top = 0
+	}
+	span := top - floorDB
+	if span <= 0 {
+		span = 1
+	}
+	cols := len(s.PowerDB)
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for c, p := range s.PowerDB {
+		lvl := (p - floorDB) / span
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl > 1 {
+			lvl = 1
+		}
+		h := int(lvl * float64(rows-1))
+		for r := 0; r <= h; r++ {
+			grid[rows-1-r][c] = '#'
+		}
+	}
+	var b strings.Builder
+	pf, pd := s.Peak()
+	fmt.Fprintf(&b, "%s  (peak %.1f dB at %+.0f kHz)\n", label, pd, pf/1e3)
+	for r, row := range grid {
+		lv := top - span*float64(r)/float64(rows-1)
+		fmt.Fprintf(&b, "%7.1f |%s|\n", lv, row)
+	}
+	fmt.Fprintf(&b, "        %-+*.0f%+*.0f kHz\n", cols/2, s.F0/1e3,
+		cols-cols/2, (s.F0+float64(cols-1)*s.Step)/1e3)
+	return b.String()
+}

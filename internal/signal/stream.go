@@ -1,0 +1,151 @@
+package signal
+
+import "math/cmplx"
+
+// StreamFilter is a FIR filter with persistent state for block-wise
+// processing: feeding a long waveform through in arbitrary chunk sizes
+// produces exactly the same output as one Apply over the whole buffer.
+// The relay uses it when forwarding continuous traffic buffer by buffer
+// (one Gen2 exchange spans several capture blocks on real hardware).
+type StreamFilter struct {
+	fir  FIR
+	hist []complex128 // last len(taps)-1 inputs
+}
+
+// NewStreamFilter wraps a FIR design with streaming state.
+func NewStreamFilter(f FIR) *StreamFilter {
+	return &StreamFilter{fir: f, hist: make([]complex128, len(f.Taps)-1)}
+}
+
+// Process filters one block, carrying state across calls.
+func (s *StreamFilter) Process(x []complex128) []complex128 {
+	taps := s.fir.Taps
+	nh := len(s.hist)
+	out := make([]complex128, len(x))
+	for n := range x {
+		var acc complex128
+		for k, t := range taps {
+			idx := n - k
+			var v complex128
+			if idx >= 0 {
+				v = x[idx]
+			} else if nh+idx >= 0 {
+				v = s.hist[nh+idx]
+			} else {
+				continue
+			}
+			acc += complex(t, 0) * v
+		}
+		out[n] = acc
+	}
+	// Update history with the tail of this block.
+	if len(x) >= nh {
+		copy(s.hist, x[len(x)-nh:])
+	} else {
+		// Shift the old history left and append the whole block.
+		copy(s.hist, s.hist[len(x):])
+		copy(s.hist[nh-len(x):], x)
+	}
+	return out
+}
+
+// Reset clears the filter state.
+func (s *StreamFilter) Reset() {
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+}
+
+// StreamMixer is an oscillator with a persistent sample counter, so
+// block-wise mixing stays phase-continuous without the caller tracking
+// offsets.
+type StreamMixer struct {
+	Osc Oscillator
+	fs  float64
+	pos int
+}
+
+// NewStreamMixer wraps an oscillator at sample rate fs.
+func NewStreamMixer(osc Oscillator, fs float64) *StreamMixer {
+	return &StreamMixer{Osc: osc, fs: fs}
+}
+
+// MixDown downconverts one block, advancing the phase counter.
+func (m *StreamMixer) MixDown(x []complex128) []complex128 {
+	out := m.Osc.MixDown(x, m.fs, m.pos)
+	m.pos += len(x)
+	return out
+}
+
+// MixUp upconverts one block, advancing the phase counter.
+func (m *StreamMixer) MixUp(x []complex128) []complex128 {
+	out := m.Osc.MixUp(x, m.fs, m.pos)
+	m.pos += len(x)
+	return out
+}
+
+// Position returns the absolute sample index of the next block's start.
+func (m *StreamMixer) Position() int { return m.pos }
+
+// Reset rewinds the phase counter to sample zero.
+func (m *StreamMixer) Reset() { m.pos = 0 }
+
+// PowerMeter tracks a running power estimate with exponential smoothing —
+// the relay's AGC/energy-detection front end uses one per block.
+type PowerMeter struct {
+	Alpha float64 // smoothing factor per sample, 0 < α ≤ 1
+	value float64
+	prime bool
+}
+
+// NewPowerMeter returns a meter with the given per-sample smoothing.
+func NewPowerMeter(alpha float64) *PowerMeter {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.01
+	}
+	return &PowerMeter{Alpha: alpha}
+}
+
+// Feed updates the meter with a block and returns the smoothed power.
+func (p *PowerMeter) Feed(x []complex128) float64 {
+	for _, v := range x {
+		pw := real(v)*real(v) + imag(v)*imag(v)
+		if !p.prime {
+			p.value = pw
+			p.prime = true
+			continue
+		}
+		p.value += p.Alpha * (pw - p.value)
+	}
+	return p.value
+}
+
+// Value returns the current smoothed power estimate.
+func (p *PowerMeter) Value() float64 { return p.value }
+
+// PhaseUnwrap removes 2π jumps from a phase sequence in place and returns
+// it; the localization diagnostics use it to inspect phase-vs-position
+// curves.
+func PhaseUnwrap(ph []float64) []float64 {
+	for i := 1; i < len(ph); i++ {
+		d := ph[i] - ph[i-1]
+		for d > 3.141592653589793 {
+			ph[i] -= 2 * 3.141592653589793
+			d = ph[i] - ph[i-1]
+		}
+		for d < -3.141592653589793 {
+			ph[i] += 2 * 3.141592653589793
+			d = ph[i] - ph[i-1]
+		}
+	}
+	return ph
+}
+
+// Phases extracts the instantaneous phase of each sample.
+func Phases(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Phase(v)
+	}
+	return out
+}

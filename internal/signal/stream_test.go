@@ -1,0 +1,185 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"rfly/internal/rng"
+)
+
+func TestStreamFilterMatchesBatch(t *testing.T) {
+	const fs = DefaultSampleRate
+	fir := LowPassWin(200e3, fs, 63, Blackman)
+	x := Tone(4000, 120e3, fs, 0.3, 1)
+	Add(x, Tone(4000, 900e3, fs, 0.9, 0.5))
+	want := fir.Apply(x)
+
+	for _, chunk := range []int{1, 7, 64, 1000, 4000} {
+		sf := NewStreamFilter(fir)
+		got := make([]complex128, 0, len(x))
+		for off := 0; off < len(x); off += chunk {
+			end := off + chunk
+			if end > len(x) {
+				end = len(x)
+			}
+			got = append(got, sf.Process(x[off:end])...)
+		}
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("chunk %d: sample %d differs: %v vs %v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamFilterReset(t *testing.T) {
+	fir := LowPass(100e3, DefaultSampleRate, 31)
+	sf := NewStreamFilter(fir)
+	x := Tone(200, 50e3, DefaultSampleRate, 0, 1)
+	a := sf.Process(x)
+	sf.Reset()
+	b := sf.Process(x)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("Reset did not clear state")
+		}
+	}
+}
+
+func TestStreamFilterTinyBlocks(t *testing.T) {
+	// Blocks smaller than the filter history must still be exact.
+	fir := LowPass(100e3, DefaultSampleRate, 63)
+	x := Tone(300, 80e3, DefaultSampleRate, 0.1, 1)
+	want := fir.Apply(x)
+	sf := NewStreamFilter(fir)
+	var got []complex128
+	for i := 0; i < len(x); i += 5 {
+		end := i + 5
+		if end > len(x) {
+			end = len(x)
+		}
+		got = append(got, sf.Process(x[i:end])...)
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestStreamMixerContinuity(t *testing.T) {
+	const fs = DefaultSampleRate
+	osc := Oscillator{Freq: 321e3, Phase: 0.7}
+	x := Tone(3000, 50e3, fs, 0, 1)
+	want := osc.MixUp(x, fs, 0)
+	m := NewStreamMixer(osc, fs)
+	var got []complex128
+	for i := 0; i < len(x); i += 500 {
+		got = append(got, m.MixUp(x[i:i+500])...)
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("sample %d not phase continuous", i)
+		}
+	}
+	if m.Position() != 3000 {
+		t.Fatalf("Position = %d", m.Position())
+	}
+	m.Reset()
+	if m.Position() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestPowerMeterConverges(t *testing.T) {
+	src := rng.New(3)
+	pm := NewPowerMeter(0.01)
+	x := make([]complex128, 20000)
+	AWGN(x, 4.0, src.Norm)
+	got := pm.Feed(x)
+	if math.Abs(got-4) > 0.6 {
+		t.Fatalf("smoothed power = %v, want ≈4", got)
+	}
+	if pm.Value() != got {
+		t.Fatal("Value mismatch")
+	}
+	// Invalid alpha coerced.
+	if NewPowerMeter(-1).Alpha != 0.01 {
+		t.Fatal("alpha not coerced")
+	}
+}
+
+func TestPhaseUnwrap(t *testing.T) {
+	// A steadily increasing phase wrapped into (−π, π] must unwrap to a
+	// straight line.
+	n := 200
+	slope := 0.2
+	wrapped := make([]float64, n)
+	for i := range wrapped {
+		wrapped[i] = WrapPhase(slope * float64(i))
+	}
+	un := PhaseUnwrap(wrapped)
+	for i := 1; i < n; i++ {
+		if math.Abs((un[i]-un[i-1])-slope) > 1e-9 {
+			t.Fatalf("unwrap slope broken at %d", i)
+		}
+	}
+}
+
+func TestPhases(t *testing.T) {
+	x := []complex128{1, 1i, -1}
+	ph := Phases(x)
+	if math.Abs(ph[0]) > 1e-12 || math.Abs(ph[1]-math.Pi/2) > 1e-12 || math.Abs(ph[2]-math.Pi) > 1e-12 {
+		t.Fatalf("Phases = %v", ph)
+	}
+}
+
+func TestMeasureSpectrum(t *testing.T) {
+	const fs = DefaultSampleRate
+	x := Tone(16000, 300e3, fs, 0, 1)
+	Add(x, Tone(16000, -700e3, fs, 0, 0.1))
+	s := MeasureSpectrum(x, -1e6, 1e6, fs, 101)
+	pf, pd := s.Peak()
+	if math.Abs(pf-300e3) > 25e3 {
+		t.Fatalf("peak at %v", pf)
+	}
+	if math.Abs(pd) > 0.5 {
+		t.Fatalf("peak level %v dB, want ≈0", pd)
+	}
+	// The weaker tone shows ~20 dB down at its bin.
+	idx := int((-700e3 - s.F0) / s.Step)
+	if math.Abs(s.PowerDB[idx]-(-20)) > 1.5 {
+		t.Fatalf("second tone level %v", s.PowerDB[idx])
+	}
+	if got := MeasureSpectrum(nil, 0, 1, fs, 1); len(got.PowerDB) != 0 {
+		t.Fatal("degenerate spectrum")
+	}
+}
+
+func TestFilterResponseTrace(t *testing.T) {
+	const fs = DefaultSampleRate
+	lpf := LowPassWin(150e3, fs, 63, Blackman)
+	s := FilterResponse(lpf, 0, 1e6, fs, 51)
+	if math.Abs(s.PowerDB[0]) > 0.1 {
+		t.Fatalf("DC response %v", s.PowerDB[0])
+	}
+	last := s.PowerDB[len(s.PowerDB)-1]
+	if last > -60 {
+		t.Fatalf("stopband trace %v", last)
+	}
+}
+
+func TestSpectrumRenderASCII(t *testing.T) {
+	const fs = DefaultSampleRate
+	x := Tone(8000, 100e3, fs, 0, 1)
+	s := MeasureSpectrum(x, -500e3, 500e3, fs, 60)
+	out := s.RenderASCII("test", 8, -80)
+	if !strings.Contains(out, "peak") || strings.Count(out, "\n") < 9 {
+		t.Fatalf("render:\n%s", out)
+	}
+	if got := (Spectrum{}).RenderASCII("empty", 8, -80); !strings.Contains(got, "(empty)") {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+)
+
+func TestInterfererBreaksLock(t *testing.T) {
+	d := openDeployment(true, geom.P2(0, 0), geom.P2(30, 0), 40)
+	tg := d.AddTag(epc.NewEPC96(0x50, 0, 0, 0, 0, 0), geom.P2(31, 0))
+	if !d.RelayLockOK() {
+		t.Fatal("lock not OK without interferers")
+	}
+	if !d.LinkBudget(tg).Powered {
+		t.Fatal("baseline read should work")
+	}
+	// An interfering reader right next to the relay wins the Eq. 5 sweep.
+	d.AddInterferer(Interferer{Pos: geom.P2(32, 2), TxPowerDBm: 30, AntennaGainDB: 6, FreqOffset: 1e6})
+	if d.RelayLockOK() {
+		t.Fatal("nearby interferer should win the lock")
+	}
+	b := d.LinkBudget(tg)
+	if b.Powered || !math.IsInf(b.SNRdB, -1) {
+		t.Fatalf("mislocked relay still served the tag: %+v", b)
+	}
+}
+
+func TestWeakInterfererOnlyDegradesSINR(t *testing.T) {
+	base := openDeployment(true, geom.P2(0, 0), geom.P2(20, 0), 41)
+	tgA := base.AddTag(epc.NewEPC96(0x51, 0, 0, 0, 0, 0), geom.P2(21, 0))
+	clean := base.LinkBudget(tgA).SNRdB
+
+	d := openDeployment(true, geom.P2(0, 0), geom.P2(20, 0), 41)
+	tg := d.AddTag(epc.NewEPC96(0x51, 0, 0, 0, 0, 0), geom.P2(21, 0))
+	// Far-away off-channel reader: lock survives, SINR dips.
+	d.AddInterferer(Interferer{Pos: geom.P2(-40, 30), TxPowerDBm: 30, AntennaGainDB: 6, FreqOffset: 1.5e6})
+	if !d.RelayLockOK() {
+		t.Fatal("distant interferer broke the lock")
+	}
+	b := d.LinkBudget(tg)
+	if !b.Powered {
+		t.Fatal("read failed under weak interference")
+	}
+	if b.SNRdB >= clean {
+		t.Fatalf("SINR %v not below clean SNR %v", b.SNRdB, clean)
+	}
+	if clean-b.SNRdB > 30 {
+		t.Fatalf("off-channel interferer cost %v dB — filters not applied?", clean-b.SNRdB)
+	}
+}
+
+func TestCoChannelWorseThanOffChannel(t *testing.T) {
+	run := func(offset float64) float64 {
+		d := openDeployment(true, geom.P2(0, 0), geom.P2(20, 0), 42)
+		tg := d.AddTag(epc.NewEPC96(0x52, 0, 0, 0, 0, 0), geom.P2(21, 0))
+		d.AddInterferer(Interferer{Pos: geom.P2(-30, 20), TxPowerDBm: 30, AntennaGainDB: 6, FreqOffset: offset})
+		return d.LinkBudget(tg).SNRdB
+	}
+	co := run(0)
+	off := run(1.5e6)
+	if co >= off {
+		t.Fatalf("co-channel SINR %v should be worse than off-channel %v", co, off)
+	}
+	// The filters buy tens of dB.
+	if off-co < 20 {
+		t.Fatalf("channelization gain only %v dB", off-co)
+	}
+}
+
+func TestFilterRejection(t *testing.T) {
+	d := openDeployment(true, geom.P2(0, 0), geom.P2(10, 0), 43)
+	if r := d.filterRejectionDB(0); r != 0 {
+		t.Fatalf("co-channel rejection = %v", r)
+	}
+	r1 := d.filterRejectionDB(1e6)
+	if r1 < 40 {
+		t.Fatalf("1 MHz rejection = %v dB", r1)
+	}
+	// Beyond-Nyquist offsets clamp instead of panicking.
+	if r := d.filterRejectionDB(100e6); r <= 0 {
+		t.Fatalf("clamped rejection = %v", r)
+	}
+	// No-relay deployments have no filters.
+	d2 := openDeployment(false, geom.P2(0, 0), geom.Point{}, 44)
+	if r := d2.filterRejectionDB(1e6); r != 0 {
+		t.Fatalf("no-relay rejection = %v", r)
+	}
+}
+
+func TestInterferenceNoopWithoutInterferers(t *testing.T) {
+	d := openDeployment(true, geom.P2(0, 0), geom.P2(15, 0), 45)
+	tg := d.AddTag(epc.NewEPC96(0x53, 0, 0, 0, 0, 0), geom.P2(16, 0))
+	b := d.LinkBudget(tg)
+	if d.interferenceAtReaderW() != 0 {
+		t.Fatal("phantom interference")
+	}
+	b2 := d.applyInterference(b)
+	if b2.SNRdB != b.SNRdB {
+		t.Fatal("applyInterference changed a clean budget")
+	}
+}

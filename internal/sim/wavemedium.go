@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/reader"
+	"rfly/internal/relay"
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+	"rfly/internal/tag"
+)
+
+// WaveMedium implements reader.Medium entirely at the waveform level:
+// every Send synthesizes the command's PIE waveform, runs it through the
+// relay's downlink path sample by sample, lets each powered tag slice the
+// envelope and answer through its Gen2 state machine, superimposes the
+// backscatter waveforms (collisions collide for real), forwards the sum
+// through the relay's uplink, and coherently decodes at the reader.
+//
+// It is the slow, maximum-fidelity counterpart of Deployment.Send; the
+// integration tests run entire inventory rounds over it to certify that
+// the event-level engine's outcomes (reads, collisions, capture) match
+// the physics.
+type WaveMedium struct {
+	Reader *reader.Reader
+	Relay  *relay.Relay
+	Tags   []*tag.Tag
+	// Embedded is the §5.1 reference tag riding on the relay; it is
+	// directly coupled to the relay's antennas (EmbCouplingDB) rather
+	// than over the air, and its channel therefore reduces to the
+	// reader↔relay half-link.
+	Embedded *tag.Tag
+
+	ReaderPos geom.Point
+	RelayPos  geom.Point
+
+	// EmbCouplingDB is the direct coupling between the relay output and
+	// the embedded tag (and back), per leg.
+	EmbCouplingDB float64
+
+	// NoiseWatts is AWGN added at the reader input (0 = noiseless).
+	NoiseWatts float64
+
+	src *rng.Source
+	iso relay.IsolationReport
+
+	// LastCollision reports whether the previous Send saw overlapping
+	// backscatter that failed to decode.
+	LastCollision bool
+}
+
+// NewWaveMedium wires a waveform-level medium. The relay is locked and
+// gain-programmed.
+func NewWaveMedium(readerPos, relayPos geom.Point, tags []*tag.Tag, seed uint64) *WaveMedium {
+	src := rng.New(seed)
+	rl := relay.New(relay.DefaultConfig(), src.Split("relay"))
+	rl.Lock(0)
+	iso := rl.MeasureAll(src.Split("iso"))
+	rl.ProgramGains(iso)
+	rdCfg := reader.DefaultConfig()
+	rdCfg.Fs = rl.Cfg.Fs
+	return &WaveMedium{
+		Reader: reader.New(rdCfg, src.Split("reader")),
+		Relay:  rl,
+		Tags:   tags,
+		Embedded: tag.New(epc.NewEPC96(0xFEED, 0xFEED, 0xFEED, 0xFEED, 0xFEED, 0xFEED),
+			relayPos, tag.DefaultConfig(), src.Split("embedded")),
+		ReaderPos:     readerPos,
+		RelayPos:      relayPos,
+		EmbCouplingDB: 20,
+		src:           src.Split("noise"),
+		iso:           iso,
+	}
+}
+
+// MoveRelay repositions the relay (and its embedded tag).
+func (w *WaveMedium) MoveRelay(p geom.Point) {
+	w.RelayPos = p
+	if w.Embedded != nil {
+		w.Embedded.Pos = p
+	}
+}
+
+// oneWayGain returns the scalar free-space channel between two points at
+// carrier fc.
+func oneWayGain(a, b geom.Point, fc float64) complex128 {
+	d := math.Max(a.Dist(b), 0.1)
+	lambda := signal.C / fc
+	return cmplx.Rect(lambda/(4*math.Pi*d), -2*math.Pi*fc*d/signal.C)
+}
+
+// Send implements reader.Medium over waveforms.
+func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
+	w.LastCollision = false
+	f := w.Relay.Cfg.CenterFreq
+	f2 := f + w.Relay.Cfg.ShiftHz
+	fs := w.Relay.Cfg.Fs
+
+	// 1. Reader → relay → (shifted carrier) broadcast. The relay's AGC
+	// (§6.1) backs the downlink VGA off for strong inputs so the PA stays
+	// out of deep compression — otherwise the PIE modulation depth would
+	// be crushed for tags near the reader.
+	tx := w.Reader.CommandWaveform(cmd)
+	atRelay := scaleWf(tx, oneWayGain(w.ReaderPos, w.RelayPos, f))
+	w.Relay.AutoGain(w.iso, signal.PowerDBm(atRelay[:256]))
+	dl := w.Relay.ForwardDownlink(atRelay, 0)
+
+	// 2. Each powered tag slices its own copy of the envelope and runs
+	// its state machine; replies modulate the incident carrier.
+	type pending struct {
+		t   *tag.Tag
+		rep *tag.Reply
+		h   complex128 // relay→tag one-way at f2
+	}
+	var replies []pending
+	if w.Embedded != nil {
+		// The embedded tag hears the relay's own downlink output through
+		// a fixed coupling pad — always powered, always commanded.
+		pad := cmplx.Rect(signal.AmpFromDB(-w.EmbCouplingDB), 0)
+		atEmb := scaleWf(dl, pad)
+		env := make([]float64, len(atEmb))
+		for i, v := range atEmb {
+			env[i] = cmplx.Abs(v)
+		}
+		if dec, err := epc.DecodeEnvelope(env, fs); err == nil {
+			if got, err := epc.Decode(dec.Bits); err == nil {
+				if rep := w.Embedded.Handle(got); rep != nil {
+					replies = append(replies, pending{t: w.Embedded, rep: rep, h: pad})
+				}
+			}
+		}
+	}
+	for _, t := range w.Tags {
+		hDown := oneWayGain(w.RelayPos, t.Pos, f2)
+		atTag := scaleWf(dl, hDown)
+		rxDBm := signal.PowerDBm(atTag[len(atTag)/4:])
+		if !t.PoweredBy(rxDBm, w.Reader.Cfg.PIE.Depth) {
+			continue
+		}
+		env := make([]float64, len(atTag))
+		for i, v := range atTag {
+			env[i] = cmplx.Abs(v)
+		}
+		dec, err := epc.DecodeEnvelope(env, fs)
+		if err != nil {
+			continue
+		}
+		got, err := epc.Decode(dec.Bits)
+		if err != nil {
+			continue
+		}
+		if rep := t.Handle(got); rep != nil {
+			replies = append(replies, pending{t: t, rep: rep, h: hDown})
+		}
+	}
+	if len(replies) == 0 {
+		return nil
+	}
+
+	// 3. Superimpose all backscatter waveforms in the relay's uplink
+	// input frame (tag-side carrier), then forward and decode.
+	n := len(dl)
+	bs := make([]complex128, n)
+	var start int
+	for _, p := range replies {
+		chips := p.t.BackscatterChips(p.rep)
+		mod := tag.Waveform(chips, p.t.Cfg.BackscatterCoeff, fs, w.Reader.Cfg.PIE.BLF())
+		start = n - len(mod) - 400
+		if start < 0 {
+			return nil
+		}
+		// Tag reflects the incident carrier (dl × down-channel) modulated
+		// by its chips, then the reply traverses tag→relay. The embedded
+		// tag couples back through its pad instead of the air.
+		hUp := oneWayGain(p.t.Pos, w.RelayPos, f2)
+		if p.t == w.Embedded {
+			hUp = cmplx.Rect(signal.AmpFromDB(-w.EmbCouplingDB), 0)
+		}
+		for i, m := range mod {
+			bs[start+i] += dl[start+i] * p.h * m * 2 * hUp
+		}
+	}
+	ul := w.Relay.ForwardUplink(bs, 0)
+	atReader := scaleWf(ul, oneWayGain(w.RelayPos, w.ReaderPos, f))
+	if w.NoiseWatts > 0 {
+		signal.AWGN(atReader, w.NoiseWatts, w.src.Norm)
+	}
+
+	// 4. Coherent decode with the protocol-known reply length and the
+	// preamble type the reader itself requested.
+	decode := w.Reader.DecodeBackscatter
+	if replies[0].t.TRext() {
+		decode = w.Reader.DecodeBackscatterTRext
+	}
+	dec, err := decode(atReader, w.Reader.Cfg.PIE.BLF(),
+		start-2000, start+2000, len(replies[0].rep.Bits))
+	if err != nil {
+		w.LastCollision = len(replies) > 1
+		return nil
+	}
+	// Attribute the decode to the tag whose reply bits match (the capture
+	// winner); garbage that matches no tag is a collision.
+	for _, p := range replies {
+		if dec.Bits.Equal(p.rep.Bits) {
+			snr := dec.SNRdB
+			return []reader.Observation{{Tag: p.t, Reply: p.rep, H: dec.H, SNRdB: snr}}
+		}
+	}
+	w.LastCollision = len(replies) > 1
+	return nil
+}
+
+// scaleWf returns x scaled by g.
+func scaleWf(x []complex128, g complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i := range x {
+		out[i] = x[i] * g
+	}
+	return out
+}
+
+// String describes the medium.
+func (w *WaveMedium) String() string {
+	return fmt.Sprintf("wave-medium[reader@%v relay@%v %d tags]", w.ReaderPos, w.RelayPos, len(w.Tags))
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/rng"
+	"rfly/internal/tag"
+)
+
+// parkEmbedded sends the Select that moves the relay-embedded reference
+// tag to inventoried-B, exactly as the Survey workflow singles out
+// environment tags (§5.1: the reader knows the embedded EPC).
+func parkEmbedded(m *WaveMedium, sess epc.Session) {
+	m.Send(epc.Select{Target: uint8(sess), Action: 4, MemBank: epc.BankEPC, Pointer: 0,
+		Mask: m.Embedded.EPC.Bits()[:16]})
+}
+
+func waveTags(n int, seed uint64) []*tag.Tag {
+	src := rng.New(seed)
+	tags := make([]*tag.Tag, n)
+	for i := range tags {
+		tags[i] = tag.New(epc.NewEPC96(uint16(i), 0x77, 0, 0, 0, 0),
+			geom.P(20+0.4*float64(i), 1, 1), tag.DefaultConfig(), src.Split(string(rune('a'+i))))
+	}
+	return tags
+}
+
+func TestWaveMediumSingleTagHandshake(t *testing.T) {
+	tags := waveTags(1, 1)
+	m := NewWaveMedium(geom.P(0, 0, 1.5), geom.P(20, 0, 1.2), tags, 2)
+	parkEmbedded(m, epc.S0)
+	obs := m.Send(epc.Query{Q: 0})
+	if len(obs) != 1 {
+		t.Fatalf("query observations = %d", len(obs))
+	}
+	rn := uint16(obs[0].Reply.Bits.Uint())
+	if rn != tags[0].RN16() {
+		t.Fatalf("decoded RN16 %04X, tag holds %04X", rn, tags[0].RN16())
+	}
+	ack := m.Send(epc.ACK{RN16: rn})
+	if len(ack) != 1 {
+		t.Fatal("no EPC reply over the waveform")
+	}
+	e, err := epc.ParseTagReply(ack[0].Reply.Bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Equal(tags[0].EPC) {
+		t.Fatalf("EPC = %v", e)
+	}
+}
+
+func TestWaveMediumFullInventoryRound(t *testing.T) {
+	// Three tags inventoried by the real MAC running over real waveforms.
+	tags := waveTags(3, 3)
+	m := NewWaveMedium(geom.P(0, 0, 1.5), geom.P(20, 0, 1.2), tags, 4)
+	parkEmbedded(m, epc.S1)
+	qalg := epc.NewQAlgorithm(2, 0.4)
+	seen := map[string]bool{}
+	for round := 0; round < 12 && len(seen) < len(tags); round++ {
+		stats := m.Reader.RunInventoryRound(m, epc.S1, epc.TargetA, qalg)
+		for _, rd := range stats.Reads {
+			seen[rd.EPC.String()] = true
+		}
+	}
+	if len(seen) != len(tags) {
+		t.Fatalf("waveform MAC inventoried %d/%d tags", len(seen), len(tags))
+	}
+}
+
+func TestWaveMediumCollision(t *testing.T) {
+	// Q=0 forces both tags into slot 0: their waveforms superimpose at
+	// comparable powers (0.4 m apart at 20 m) and the decode collapses.
+	tags := waveTags(2, 5)
+	m := NewWaveMedium(geom.P(0, 0, 1.5), geom.P(20, 0, 1.2), tags, 6)
+	parkEmbedded(m, epc.S0)
+	obs := m.Send(epc.Query{Q: 0})
+	if len(obs) != 0 {
+		// A capture is physically possible; if it happened it must be a
+		// clean decode of one tag's actual reply.
+		rn := uint16(obs[0].Reply.Bits.Uint())
+		if rn != tags[0].RN16() && rn != tags[1].RN16() {
+			t.Fatalf("collision produced a phantom RN16 %04X", rn)
+		}
+		return
+	}
+	if !m.LastCollision {
+		t.Fatal("empty decode without the collision flag")
+	}
+}
+
+func TestWaveMediumUnpoweredTagSilent(t *testing.T) {
+	src := rng.New(7)
+	far := tag.New(epc.NewEPC96(9, 9, 9, 9, 9, 9), geom.P(150, 80, 1), tag.DefaultConfig(), src)
+	m := NewWaveMedium(geom.P(0, 0, 1.5), geom.P(20, 0, 1.2), []*tag.Tag{far}, 8)
+	parkEmbedded(m, epc.S0)
+	if obs := m.Send(epc.Query{Q: 0}); len(obs) != 0 {
+		t.Fatal("unpowered tag replied over the waveform")
+	}
+}
+
+func TestWaveMediumMatchesEventLevel(t *testing.T) {
+	// The certification test: the same scenario on the event-level engine
+	// and the waveform medium must agree on WHO gets read.
+	tags := waveTags(2, 9)
+	m := NewWaveMedium(geom.P(0, 0, 1.5), geom.P(20, 0, 1.2), tags, 10)
+	parkEmbedded(m, epc.S1)
+	qalg := epc.NewQAlgorithm(2, 0.3)
+	waveSeen := map[string]bool{}
+	for round := 0; round < 10 && len(waveSeen) < 2; round++ {
+		stats := m.Reader.RunInventoryRound(m, epc.S1, epc.TargetA, qalg)
+		for _, rd := range stats.Reads {
+			waveSeen[rd.EPC.String()] = true
+		}
+	}
+
+	d := openDeployment(true, geom.P(0, 0, 1.5), geom.P(20, 0, 1.2), 9)
+	evtTags := []*tag.Tag{
+		d.AddTag(epc.NewEPC96(0, 0x77, 0, 0, 0, 0), geom.P(20, 1, 1)),
+		d.AddTag(epc.NewEPC96(1, 0x77, 0, 0, 0, 0), geom.P(20.4, 1, 1)),
+	}
+	qalg2 := epc.NewQAlgorithm(2, 0.3)
+	evtSeen := map[string]bool{}
+	for round := 0; round < 10 && len(evtSeen) < 2; round++ {
+		stats := d.Reader.RunInventoryRound(d, epc.S1, epc.TargetA, qalg2)
+		for _, rd := range stats.Reads {
+			if rd.EPC.Words[1] == 0x77 {
+				evtSeen[rd.EPC.String()] = true
+			}
+		}
+	}
+	for _, tg := range evtTags {
+		key := tg.EPC.String()
+		if waveSeen[key] != evtSeen[key] {
+			t.Fatalf("fidelity mismatch for %s: wave=%v event=%v", key, waveSeen[key], evtSeen[key])
+		}
+	}
+	if len(waveSeen) != 2 || len(evtSeen) != 2 {
+		t.Fatalf("coverage: wave %d, event %d", len(waveSeen), len(evtSeen))
+	}
+}
+
+func TestWaveMediumTRext(t *testing.T) {
+	// A TRext query elicits pilot-extended replies that still decode over
+	// the full waveform pipeline.
+	tags := waveTags(1, 30)
+	m := NewWaveMedium(geom.P(0, 0, 1.5), geom.P(20, 0, 1.2), tags, 31)
+	parkEmbedded(m, epc.S0)
+	obs := m.Send(epc.Query{Q: 0, TRext: true})
+	if len(obs) != 1 {
+		t.Fatalf("TRext query observations = %d", len(obs))
+	}
+	if !tags[0].TRext() {
+		t.Fatal("tag did not latch TRext")
+	}
+	if uint16(obs[0].Reply.Bits.Uint()) != tags[0].RN16() {
+		t.Fatal("TRext RN16 mismatch")
+	}
+	// A plain query resets the preamble mode.
+	tags[0].ClearInventory()
+	m.Embedded.ClearInventory()
+	parkEmbedded(m, epc.S0)
+	obs = m.Send(epc.Query{Q: 0})
+	if len(obs) != 1 || tags[0].TRext() {
+		t.Fatalf("plain query after TRext: n=%d trext=%v", len(obs), tags[0].TRext())
+	}
+}

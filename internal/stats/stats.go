@@ -1,0 +1,362 @@
+// Package stats provides the summary statistics, empirical CDFs, and
+// plain-text rendering used to report the RFly paper's figures.
+//
+// Every evaluation figure in the paper is either a CDF (Figs. 9, 10, 12) or
+// a percentile-vs-parameter series (Figs. 11, 13, 14); this package supplies
+// both representations plus CSV export so the benchmark harness can print
+// the same rows the paper plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P10    float64
+	P90    float64
+	P99    float64
+	StdDev float64
+}
+
+// Summarize computes order statistics for xs. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sum2 float64
+	for _, v := range s {
+		sum += v
+		sum2 += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Median: quantileSorted(s, 0.5),
+		P10:    quantileSorted(s, 0.10),
+		P90:    quantileSorted(s, 0.90),
+		P99:    quantileSorted(s, 0.99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It copies and sorts xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution: sorted values with implied
+// probabilities i/N.
+type CDF struct {
+	Values []float64 // ascending
+}
+
+// NewCDF builds an empirical CDF from a sample (copied, sorted).
+func NewCDF(xs []float64) CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return CDF{Values: s}
+}
+
+// At returns the empirical probability P(X ≤ x).
+func (c CDF) At(x float64) float64 {
+	if len(c.Values) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.Values, x)
+	// include equal values
+	for i < len(c.Values) && c.Values[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.Values))
+}
+
+// Quantile returns the q-quantile of the CDF.
+func (c CDF) Quantile(q float64) float64 { return quantileSorted(c.Values, q) }
+
+// Points returns up to n evenly-spaced (value, probability) pairs suitable
+// for plotting the CDF curve.
+func (c CDF) Points(n int) [][2]float64 {
+	m := len(c.Values)
+	if m == 0 || n <= 0 {
+		return nil
+	}
+	if n > m {
+		n = m
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (m - 1) / max(n-1, 1)
+		out = append(out, [2]float64{c.Values[idx], float64(idx+1) / float64(m)})
+	}
+	return out
+}
+
+// RenderASCII draws the CDF as a fixed-width text plot with the given number
+// of columns (value axis) and rows (probability axis). It is used by the
+// experiment harness to show Fig. 9/10/12-style curves in a terminal.
+func (c CDF) RenderASCII(label string, cols, rows int) string {
+	if len(c.Values) == 0 || cols < 8 || rows < 2 {
+		return label + ": (empty)\n"
+	}
+	lo, hi := c.Values[0], c.Values[len(c.Values)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for col := 0; col < cols; col++ {
+		x := lo + (hi-lo)*float64(col)/float64(cols-1)
+		p := c.At(x)
+		r := int(math.Round(p * float64(rows-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		grid[rows-1-r][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (N=%d, median=%.4g, p90=%.4g)\n", label, len(c.Values), c.Quantile(0.5), c.Quantile(0.9))
+	for r, row := range grid {
+		p := 1 - float64(r)/float64(rows-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", p, row)
+	}
+	fmt.Fprintf(&b, "      %-*.4g%*.4g\n", cols/2, lo, cols-cols/2, hi)
+	return b.String()
+}
+
+// Series is a percentile-vs-parameter curve: for each X (e.g. aperture,
+// distance) the median and 10th/90th percentiles of the measured metric.
+// Figs. 11, 13 and 14 are Series.
+type Series struct {
+	Name string
+	X    []float64
+	Med  []float64
+	P10  []float64
+	P90  []float64
+}
+
+// Append adds one (x, sample) point to the series, computing percentiles.
+func (s *Series) Append(x float64, sample []float64) {
+	sum := Summarize(sample)
+	s.X = append(s.X, x)
+	s.Med = append(s.Med, sum.Median)
+	s.P10 = append(s.P10, sum.P10)
+	s.P90 = append(s.P90, sum.P90)
+}
+
+// Rows renders the series as aligned text rows: x, p10, median, p90.
+func (s Series) Rows(xLabel, yLabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n%-12s %-12s %-12s %-12s\n", s.Name, xLabel, yLabel+"_p10", yLabel+"_med", yLabel+"_p90")
+	for i := range s.X {
+		fmt.Fprintf(&b, "%-12.4g %-12.4g %-12.4g %-12.4g\n", s.X[i], s.P10[i], s.Med[i], s.P90[i])
+	}
+	return b.String()
+}
+
+// CSV renders the series as CSV with a header.
+func (s Series) CSV() string {
+	var b strings.Builder
+	b.WriteString("x,p10,median,p90\n")
+	for i := range s.X {
+		fmt.Fprintf(&b, "%g,%g,%g,%g\n", s.X[i], s.P10[i], s.Med[i], s.P90[i])
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Heatmap is a dense 2D grid of values over an XY region; the localization
+// likelihood P(x, y) of Eq. 12 is rendered as one (Fig. 6).
+type Heatmap struct {
+	X0, Y0     float64 // lower-left corner
+	Dx, Dy     float64 // cell size
+	Cols, Rows int
+	Data       []float64 // row-major, Data[r*Cols+c]
+}
+
+// NewHeatmap allocates a zeroed heatmap.
+func NewHeatmap(x0, y0, dx, dy float64, cols, rows int) *Heatmap {
+	return &Heatmap{X0: x0, Y0: y0, Dx: dx, Dy: dy, Cols: cols, Rows: rows,
+		Data: make([]float64, cols*rows)}
+}
+
+// At returns the value at cell (c, r).
+func (h *Heatmap) At(c, r int) float64 { return h.Data[r*h.Cols+c] }
+
+// Set stores v at cell (c, r).
+func (h *Heatmap) Set(c, r int, v float64) { h.Data[r*h.Cols+c] = v }
+
+// CellCenter returns the XY coordinates of cell (c, r)'s center.
+func (h *Heatmap) CellCenter(c, r int) (x, y float64) {
+	return h.X0 + (float64(c)+0.5)*h.Dx, h.Y0 + (float64(r)+0.5)*h.Dy
+}
+
+// Peak returns the cell with the maximum value.
+func (h *Heatmap) Peak() (c, r int, v float64) {
+	v = math.Inf(-1)
+	for i, d := range h.Data {
+		if d > v {
+			v, c, r = d, i%h.Cols, i/h.Cols
+		}
+	}
+	return c, r, v
+}
+
+// RenderASCII draws the heatmap using a density ramp, one character per
+// cell, top row = max Y. Intended for Fig. 6-style terminal output.
+func (h *Heatmap) RenderASCII() string {
+	const ramp = " .:-=+*#%@"
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range h.Data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for r := h.Rows - 1; r >= 0; r-- {
+		for c := 0; c < h.Cols; c++ {
+			f := (h.At(c, r) - lo) / (hi - lo)
+			idx := int(f * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WilsonInterval returns the Wilson score 95% confidence interval for a
+// binomial proportion: successes k out of n trials. Read-rate points
+// (Fig. 11) carry these as error bars.
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th normal percentile
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max] and
+// returns the bucket counts plus the bucket width.
+func Histogram(xs []float64, n int) (counts []int, lo, width float64) {
+	if len(xs) == 0 || n <= 0 {
+		return nil, 0, 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	width = (hi - lo) / float64(n)
+	counts = make([]int, n)
+	for _, v := range xs {
+		i := int((v - lo) / width)
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	return counts, lo, width
+}
+
+// CSV renders the heatmap as x,y,value rows with a header, for external
+// plotting of Fig. 6-style likelihood maps.
+func (h *Heatmap) CSV() string {
+	var b strings.Builder
+	b.WriteString("x,y,value\n")
+	for r := 0; r < h.Rows; r++ {
+		for c := 0; c < h.Cols; c++ {
+			x, y := h.CellCenter(c, r)
+			fmt.Fprintf(&b, "%g,%g,%g\n", x, y, h.At(c, r))
+		}
+	}
+	return b.String()
+}

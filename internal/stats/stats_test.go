@@ -1,0 +1,323 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Median != 3 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 10}, {0.5, 5}, {0.1, 1}, {0.9, 9}, {0.25, 2.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(empty) should be NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(raw, qa) <= Quantile(raw, qb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if p := c.At(2); p != 0.5 {
+		t.Fatalf("At(2) = %v", p)
+	}
+	if p := c.At(0); p != 0 {
+		t.Fatalf("At(0) = %v", p)
+	}
+	if p := c.At(10); p != 1 {
+		t.Fatalf("At(10) = %v", p)
+	}
+}
+
+func TestCDFSortsInput(t *testing.T) {
+	c := NewCDF([]float64{9, 1, 5})
+	if !sort.Float64sAreSorted(c.Values) {
+		t.Fatal("CDF values not sorted")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	pts := c.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("Points = %v", pts)
+	}
+	if pts[0][0] != 1 || pts[2][0] != 5 {
+		t.Fatalf("Points endpoints = %v", pts)
+	}
+	if pts[2][1] != 1 {
+		t.Fatalf("last probability = %v, want 1", pts[2][1])
+	}
+	if got := NewCDF(nil).Points(5); got != nil {
+		t.Fatal("empty CDF Points should be nil")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	out := c.RenderASCII("test", 40, 8)
+	if !strings.Contains(out, "N=8") {
+		t.Fatalf("render missing metadata: %s", out)
+	}
+	if strings.Count(out, "\n") < 9 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "err vs range"
+	s.Append(1, []float64{1, 2, 3})
+	s.Append(2, []float64{10, 20, 30})
+	if len(s.X) != 2 || s.Med[0] != 2 || s.Med[1] != 20 {
+		t.Fatalf("Series = %+v", s)
+	}
+	rows := s.Rows("x", "err")
+	if !strings.Contains(rows, "err_med") {
+		t.Fatalf("Rows header missing: %s", rows)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "x,p10,median,p90\n") {
+		t.Fatalf("CSV header: %s", csv)
+	}
+	if !strings.Contains(csv, "2,12,20,28") { // p10/p90 interpolate between order stats
+		t.Fatalf("CSV rows: %s", csv)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(empty) should be NaN")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap(0, 0, 0.5, 0.5, 4, 3)
+	h.Set(2, 1, 7)
+	if h.At(2, 1) != 7 {
+		t.Fatal("Set/At mismatch")
+	}
+	c, r, v := h.Peak()
+	if c != 2 || r != 1 || v != 7 {
+		t.Fatalf("Peak = (%d,%d,%v)", c, r, v)
+	}
+	x, y := h.CellCenter(2, 1)
+	if x != 1.25 || y != 0.75 {
+		t.Fatalf("CellCenter = (%v,%v)", x, y)
+	}
+	out := h.RenderASCII()
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("render rows:\n%s", out)
+	}
+	// Peak cell renders as the densest ramp char '@'; it's at row 1,
+	// which is the middle printed line (rows print top-down from r=2).
+	lines := strings.Split(out, "\n")
+	if lines[1][2] != '@' {
+		t.Fatalf("peak not rendered densest: %q", lines[1])
+	}
+}
+
+func TestCDFQuantileMatchesQuantile(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	c := NewCDF(xs)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if a, b := c.Quantile(q), Quantile(xs, q); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("q=%v: %v != %v", q, a, b)
+		}
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// 0/0: maximal uncertainty.
+	if lo, hi := WilsonInterval(0, 0); lo != 0 || hi != 1 {
+		t.Fatalf("empty interval = [%v, %v]", lo, hi)
+	}
+	// 50/100: symmetric around 0.5, roughly ±0.1.
+	lo, hi := WilsonInterval(50, 100)
+	if math.Abs((lo+hi)/2-0.5) > 0.01 {
+		t.Fatalf("center = %v", (lo+hi)/2)
+	}
+	if hi-lo < 0.15 || hi-lo > 0.25 {
+		t.Fatalf("width = %v", hi-lo)
+	}
+	// 100/100: lower bound well above 0.9, upper = 1.
+	lo, hi = WilsonInterval(100, 100)
+	if lo < 0.94 || hi != 1 {
+		t.Fatalf("perfect interval = [%v, %v]", lo, hi)
+	}
+	// 0/100: mirror image.
+	lo, hi = WilsonInterval(0, 100)
+	if lo != 0 || hi > 0.06 {
+		t.Fatalf("zero interval = [%v, %v]", lo, hi)
+	}
+	// More trials → tighter interval.
+	l1, h1 := WilsonInterval(8, 10)
+	l2, h2 := WilsonInterval(80, 100)
+	if h2-l2 >= h1-l1 {
+		t.Fatal("interval did not tighten with n")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, lo, width := Histogram([]float64{0, 0.1, 0.9, 1.0, 0.5}, 2)
+	if len(counts) != 2 || lo != 0 || width != 0.5 {
+		t.Fatalf("histogram: %v %v %v", counts, lo, width)
+	}
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Fatalf("counts = %v (0.5 belongs to the upper bucket)", counts)
+	}
+	if c, _, _ := Histogram(nil, 3); c != nil {
+		t.Fatal("empty histogram")
+	}
+	// Degenerate constant sample.
+	c, _, w := Histogram([]float64{2, 2, 2}, 4)
+	if w <= 0 || c[0] != 3 {
+		t.Fatalf("constant histogram: %v %v", c, w)
+	}
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	h := NewHeatmap(0, 0, 1, 1, 2, 2)
+	h.Set(1, 0, 5)
+	csv := h.CSV()
+	if !strings.HasPrefix(csv, "x,y,value\n") {
+		t.Fatalf("header: %s", csv)
+	}
+	if !strings.Contains(csv, "1.5,0.5,5") {
+		t.Fatalf("cell row missing:\n%s", csv)
+	}
+	if strings.Count(csv, "\n") != 5 {
+		t.Fatalf("row count:\n%s", csv)
+	}
+}
+
+func TestWilsonIntervalProperties(t *testing.T) {
+	prop := func(k16, n16 uint16) bool {
+		n := 1 + int(n16%2000)
+		k := int(k16) % (n + 1)
+		lo, hi := WilsonInterval(k, n)
+		p := float64(k) / float64(n)
+		// The interval is well-formed and brackets the point estimate.
+		if !(0 <= lo && lo <= p+1e-12 && p-1e-12 <= hi && hi <= 1) {
+			return false
+		}
+		// More evidence at the same rate can only tighten it.
+		lo4, hi4 := WilsonInterval(4*k, 4*n)
+		return hi4-lo4 <= hi-lo+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate inputs fall back to the vacuous interval.
+	if lo, hi := WilsonInterval(3, 0); lo != 0 || hi != 1 {
+		t.Fatalf("n=0 → [%v, %v]", lo, hi)
+	}
+	// Extremes never produce an empty interval.
+	if lo, hi := WilsonInterval(0, 50); lo != 0 || hi <= 0 {
+		t.Fatalf("k=0 → [%v, %v]", lo, hi)
+	}
+	if lo, hi := WilsonInterval(50, 50); hi != 1 || lo >= 1 {
+		t.Fatalf("k=n → [%v, %v]", lo, hi)
+	}
+}
+
+func TestHeatmapProperties(t *testing.T) {
+	prop := func(cols8, rows8 uint8, vals []float64) bool {
+		cols := 1 + int(cols8%12)
+		rows := 1 + int(rows8%12)
+		h := NewHeatmap(-2, 3, 0.5, 0.25, cols, rows)
+		for i := range h.Data {
+			if i < len(vals) {
+				h.Data[i] = vals[i]
+			}
+		}
+		// Peak returns a cell whose value no other cell exceeds.
+		pc, pr, pv := h.Peak()
+		if pc < 0 || pc >= cols || pr < 0 || pr >= rows {
+			return false
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if h.At(c, r) > pv {
+					return false
+				}
+			}
+		}
+		// Cell centers advance by exactly one pitch per index.
+		x0, y0 := h.CellCenter(0, 0)
+		x1, y1 := h.CellCenter(cols-1, rows-1)
+		okX := math.Abs((x1-x0)-0.5*float64(cols-1)) < 1e-9
+		okY := math.Abs((y1-y0)-0.25*float64(rows-1)) < 1e-9
+		// CSV is long form: one header plus one line per cell.
+		lines := strings.Count(h.CSV(), "\n")
+		return okX && okY && lines == rows*cols+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmapSetAtRoundTrip(t *testing.T) {
+	h := NewHeatmap(0, 0, 1, 1, 4, 3)
+	h.Set(3, 2, 7.5)
+	if got := h.At(3, 2); got != 7.5 {
+		t.Fatalf("At(3,2) = %v", got)
+	}
+	if h.At(0, 0) != 0 {
+		t.Fatal("untouched cell non-zero")
+	}
+}

@@ -1,0 +1,94 @@
+package tag
+
+import "rfly/internal/epc"
+
+// Gen2 memory model (§6.3.2.1): four banks of 16-bit words. The EPC bank
+// mirrors the tag's EPC; TID carries the chip identity; User is free
+// storage the warehouse workflows read item metadata from.
+
+// Memory is a tag's addressable storage.
+type Memory struct {
+	// Reserved holds the kill password (words 0–1) and access password
+	// (words 2–3). A zero kill password makes the tag unkillable (§6.3.2.1).
+	Reserved []uint16
+	TID      []uint16
+	User     []uint16
+}
+
+// KillPassword returns the 32-bit kill password.
+func (m Memory) KillPassword() uint32 {
+	if len(m.Reserved) < 2 {
+		return 0
+	}
+	return uint32(m.Reserved[0])<<16 | uint32(m.Reserved[1])
+}
+
+// DefaultMemory derives a TID from the EPC (a stable pseudo-identity, as
+// real chips burn a serial at manufacture) and allocates 8 user words.
+func DefaultMemory(e epc.EPC) Memory {
+	tid := []uint16{0xE200, 0x3412} // class identifier + vendor, Alien-like
+	var acc uint16
+	for _, w := range e.Words {
+		acc = acc*31 + w
+	}
+	tid = append(tid, acc, acc^0xFFFF)
+	return Memory{Reserved: make([]uint16, 4), TID: tid, User: make([]uint16, 8)}
+}
+
+// bank resolves a bank selector to the backing slice; the EPC bank is the
+// PC+EPC layout (simplified to the raw EPC words here).
+func (t *Tag) bank(b epc.MemBank) []uint16 {
+	switch b {
+	case epc.BankRFU:
+		return nil // reserved bank is never readable over the air
+	case epc.BankEPC:
+		return t.EPC.Words
+	case epc.BankTID:
+		return t.Mem.TID
+	case epc.BankUser:
+		return t.Mem.User
+	default:
+		return nil
+	}
+}
+
+// handleRead serves a Read command: the tag must hold the matching handle
+// (it was acknowledged and the reader requested its handle via ReqRN).
+func (t *Tag) handleRead(c epc.Read) *Reply {
+	if t.state != StateAcknowledged || c.RN16 != t.rn16 {
+		return nil
+	}
+	bank := t.bank(c.MemBank)
+	if bank == nil {
+		return nil
+	}
+	start := int(c.WordPtr)
+	count := int(c.WordCount)
+	if count == 0 {
+		count = len(bank) - start
+	}
+	if start < 0 || count <= 0 || start+count > len(bank) {
+		return nil // a real tag backscatters an error code; silence suffices here
+	}
+	words := make([]uint16, count)
+	copy(words, bank[start:start+count])
+	return &Reply{Bits: epc.ReadReply(words, t.rn16), Kind: "read"}
+}
+
+// handleWrite serves a Write command: the data word arrives cover-coded
+// with the RN16 the tag issued on the most recent ReqRN (§6.3.2.12.3.4),
+// so the tag XORs it back before storing. Only the User bank is writable.
+func (t *Tag) handleWrite(c epc.Write) *Reply {
+	if t.state != StateAcknowledged || c.RN16 != t.rn16 {
+		return nil
+	}
+	if c.MemBank != epc.BankUser || t.lockedUser {
+		return nil // EPC/TID always locked; User lockable via Lock
+	}
+	ptr := int(c.WordPtr)
+	if ptr < 0 || ptr >= len(t.Mem.User) {
+		return nil
+	}
+	t.Mem.User[ptr] = c.Data ^ t.coverRN
+	return &Reply{Bits: epc.WriteReply(t.rn16), Kind: "write"}
+}

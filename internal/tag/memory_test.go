@@ -1,0 +1,179 @@
+package tag
+
+import (
+	"testing"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/rng"
+)
+
+// handshake drives a tag to the handled state and returns the handle.
+func handshake(t *testing.T, tg *Tag) uint16 {
+	t.Helper()
+	if r := tg.Handle(epc.Query{Q: 0}); r == nil {
+		t.Fatal("no RN16")
+	}
+	if r := tg.Handle(epc.ACK{RN16: tg.RN16()}); r == nil {
+		t.Fatal("no EPC reply")
+	}
+	old := tg.RN16()
+	r := tg.Handle(epc.ReqRN{RN16: old})
+	if r == nil || r.Kind != "handle" {
+		t.Fatalf("ReqRN reply %+v", r)
+	}
+	return tg.RN16()
+}
+
+func TestDefaultMemory(t *testing.T) {
+	a := DefaultMemory(epc.NewEPC96(1, 2, 3, 4, 5, 6))
+	b := DefaultMemory(epc.NewEPC96(1, 2, 3, 4, 5, 7))
+	if len(a.TID) != 4 || len(a.User) != 8 {
+		t.Fatalf("memory shape: %v %v", a.TID, a.User)
+	}
+	if a.TID[2] == b.TID[2] {
+		t.Fatal("different EPCs share a TID serial")
+	}
+	if a.TID[0] != 0xE200 {
+		t.Fatalf("TID class = %04X", a.TID[0])
+	}
+}
+
+func TestReadTID(t *testing.T) {
+	tg := newTestTag(21)
+	handle := handshake(t, tg)
+	r := tg.Handle(epc.Read{MemBank: epc.BankTID, WordPtr: 0, WordCount: 4, RN16: handle})
+	if r == nil || r.Kind != "read" {
+		t.Fatalf("read reply %+v", r)
+	}
+	words, rn, err := epc.ParseReadReply(r.Bits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != handle {
+		t.Fatalf("reply rn %04X, handle %04X", rn, handle)
+	}
+	for i, w := range tg.Mem.TID {
+		if words[i] != w {
+			t.Fatalf("TID word %d = %04X, want %04X", i, words[i], w)
+		}
+	}
+}
+
+func TestReadEPCBank(t *testing.T) {
+	tg := newTestTag(22)
+	handle := handshake(t, tg)
+	r := tg.Handle(epc.Read{MemBank: epc.BankEPC, WordPtr: 2, WordCount: 2, RN16: handle})
+	if r == nil {
+		t.Fatal("no reply")
+	}
+	words, _, err := epc.ParseReadReply(r.Bits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != tg.EPC.Words[2] || words[1] != tg.EPC.Words[3] {
+		t.Fatalf("EPC words = %04X %04X", words[0], words[1])
+	}
+}
+
+func TestReadWholeBank(t *testing.T) {
+	tg := newTestTag(23)
+	handle := handshake(t, tg)
+	// WordCount 0 = read to the end of the bank.
+	r := tg.Handle(epc.Read{MemBank: epc.BankUser, WordPtr: 0, WordCount: 0, RN16: handle})
+	if r == nil {
+		t.Fatal("no reply")
+	}
+	if _, _, err := epc.ParseReadReply(r.Bits, len(tg.Mem.User)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejections(t *testing.T) {
+	tg := newTestTag(24)
+	// Not acknowledged: silence.
+	if r := tg.Handle(epc.Read{MemBank: epc.BankTID, WordCount: 1, RN16: 1}); r != nil {
+		t.Fatal("unacknowledged read answered")
+	}
+	handle := handshake(t, tg)
+	// Wrong handle.
+	if r := tg.Handle(epc.Read{MemBank: epc.BankTID, WordCount: 1, RN16: handle ^ 1}); r != nil {
+		t.Fatal("wrong-handle read answered")
+	}
+	// Out of range.
+	if r := tg.Handle(epc.Read{MemBank: epc.BankTID, WordPtr: 99, WordCount: 1, RN16: handle}); r != nil {
+		t.Fatal("out-of-range read answered")
+	}
+	// Reserved bank.
+	if r := tg.Handle(epc.Read{MemBank: epc.BankRFU, WordCount: 1, RN16: handle}); r != nil {
+		t.Fatal("reserved-bank read answered")
+	}
+}
+
+func TestWriteCoverCoded(t *testing.T) {
+	tg := newTestTag(25)
+	handle := handshake(t, tg)
+	// Fetch a cover RN16 with a second ReqRN.
+	r := tg.Handle(epc.ReqRN{RN16: handle})
+	if r == nil || r.Kind != "cover-rn" {
+		t.Fatalf("cover ReqRN reply %+v", r)
+	}
+	cover := uint16(r.Bits[:16].Uint())
+	const plaintext = 0x7A5C
+	w := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: 2, Data: plaintext ^ cover, RN16: handle})
+	if w == nil || w.Kind != "write" {
+		t.Fatalf("write reply %+v", w)
+	}
+	if !epc.CheckCRC16(w.Bits) {
+		t.Fatal("write reply CRC invalid")
+	}
+	if tg.Mem.User[2] != plaintext {
+		t.Fatalf("stored %04X, want %04X (cover-coding broken)", tg.Mem.User[2], plaintext)
+	}
+	// Read it back over the protocol.
+	rd := tg.Handle(epc.Read{MemBank: epc.BankUser, WordPtr: 2, WordCount: 1, RN16: tg.RN16()})
+	words, _, err := epc.ParseReadReply(rd.Bits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != plaintext {
+		t.Fatalf("read back %04X", words[0])
+	}
+}
+
+func TestWriteRejections(t *testing.T) {
+	tg := newTestTag(26)
+	handle := handshake(t, tg)
+	// EPC/TID banks are locked.
+	if r := tg.Handle(epc.Write{MemBank: epc.BankEPC, WordPtr: 0, Data: 1, RN16: handle}); r != nil {
+		t.Fatal("EPC bank write accepted")
+	}
+	// Out of range.
+	if r := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: 64, Data: 1, RN16: handle}); r != nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	// Wrong handle.
+	if r := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: 0, Data: 1, RN16: handle ^ 2}); r != nil {
+		t.Fatal("wrong-handle write accepted")
+	}
+}
+
+func TestHandleResetOnNewQuery(t *testing.T) {
+	tg := tagForSeed(27)
+	handshake(t, tg)
+	// A new inventory round clears the handled state: the next ReqRN after
+	// re-acknowledgment issues a fresh handle, not a cover RN.
+	tg.ClearInventory()
+	if r := tg.Handle(epc.Query{Q: 0}); r == nil {
+		t.Fatal("no RN16 after reset")
+	}
+	tg.Handle(epc.ACK{RN16: tg.RN16()})
+	r := tg.Handle(epc.ReqRN{RN16: tg.RN16()})
+	if r == nil || r.Kind != "handle" {
+		t.Fatalf("post-reset ReqRN kind = %+v", r)
+	}
+}
+
+func tagForSeed(seed uint64) *Tag {
+	return New(epc.NewEPC96(0xE280, 9, 8, 7, 6, 5), geom.P2(0, 0), DefaultConfig(), rng.New(seed))
+}

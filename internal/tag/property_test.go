@@ -1,0 +1,138 @@
+package tag
+
+// Property-based tests of the Gen2 state machine: arbitrary command
+// sequences must never put a tag into an illegal state, elicit a reply
+// from a silent state, or corrupt its memory.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/rng"
+)
+
+// randomCommand maps a byte stream to a Gen2 command.
+func randomCommand(sel byte, arg uint16, src *rng.Source) epc.Command {
+	switch sel % 8 {
+	case 0:
+		return epc.Query{Q: uint8(arg % 4), Session: epc.Session(arg % 4)}
+	case 1:
+		return epc.QueryRep{Session: epc.Session(arg % 4)}
+	case 2:
+		return epc.QueryAdjust{Session: epc.Session(arg % 4), UpDn: int(arg%3) - 1}
+	case 3:
+		return epc.ACK{RN16: arg}
+	case 4:
+		return epc.NAK{}
+	case 5:
+		return epc.ReqRN{RN16: arg}
+	case 6:
+		return epc.Read{MemBank: epc.MemBank(arg % 4), WordPtr: uint32(arg % 16), WordCount: uint8(arg % 8), RN16: arg}
+	default:
+		return epc.Write{MemBank: epc.MemBank(arg % 4), WordPtr: uint32(arg % 16), Data: arg, RN16: arg ^ 0x5555}
+	}
+}
+
+func TestTagStateMachineNeverPanicsOrCorrupts(t *testing.T) {
+	f := func(seed uint64, sels []byte, args []uint16) bool {
+		src := rng.New(seed)
+		tg := New(epc.NewEPC96(0xE280, 1, 2, 3, 4, 5), geom.P2(0, 0), DefaultConfig(), src)
+		epcBefore := tg.EPC.String()
+		tidBefore := append([]uint16(nil), tg.Mem.TID...)
+		n := len(sels)
+		if len(args) < n {
+			n = len(args)
+		}
+		for i := 0; i < n && i < 200; i++ {
+			cmd := randomCommand(sels[i], args[i], src)
+			rep := tg.Handle(cmd)
+			// Invariant 1: the state is always one of the four legal ones.
+			switch tg.State() {
+			case StateReady, StateArbitrate, StateReply, StateAcknowledged:
+			default:
+				return false
+			}
+			// Invariant 2: replies only come from commands that can elicit
+			// them (Select and NAK are always silent).
+			switch cmd.(type) {
+			case epc.Select, epc.NAK:
+				if rep != nil {
+					return false
+				}
+			}
+			// Invariant 3: any reply carries at least 16 bits.
+			if rep != nil && len(rep.Bits) < 16 {
+				return false
+			}
+		}
+		// Invariant 4: EPC and TID are immutable under any sequence.
+		if tg.EPC.String() != epcBefore {
+			return false
+		}
+		for i, w := range tg.Mem.TID {
+			if tidBefore[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagEPCReplyOnlyAfterMatchingACK(t *testing.T) {
+	// Property: the only way to extract a PC+EPC reply is an ACK carrying
+	// the exact RN16 the tag last issued.
+	f := func(seed uint64, wrongRN uint16) bool {
+		src := rng.New(seed)
+		tg := New(epc.NewEPC96(1, 2, 3, 4, 5, 6), geom.P2(0, 0), DefaultConfig(), src)
+		if tg.Handle(epc.Query{Q: 0}) == nil {
+			return false
+		}
+		right := tg.RN16()
+		if wrongRN == right {
+			wrongRN ^= 1
+		}
+		if rep := tg.Handle(epc.ACK{RN16: wrongRN}); rep != nil {
+			return false // wrong RN16 must never yield the EPC
+		}
+		// After the failed ACK the tag is in arbitrate; a correct ACK now
+		// must also fail (the spec: ACK only valid in reply/acknowledged).
+		if tg.State() != StateArbitrate {
+			return false
+		}
+		return tg.Handle(epc.ACK{RN16: right}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagInventoriedFlagMonotoneWithinRound(t *testing.T) {
+	// Within one A-target round, a tag's inventoried flag flips at most
+	// once (when its handshake completes), never back.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		tg := New(epc.NewEPC96(9, 9, 9, 9, 9, 9), geom.P2(0, 0), DefaultConfig(), src)
+		tg.Handle(epc.Query{Q: 2, Session: epc.S1})
+		flips := 0
+		prev := tg.Inventoried(epc.S1)
+		for i := 0; i < 8; i++ {
+			if tg.State() == StateReply {
+				tg.Handle(epc.ACK{RN16: tg.RN16()})
+			}
+			tg.Handle(epc.QueryRep{Session: epc.S1})
+			if cur := tg.Inventoried(epc.S1); cur != prev {
+				flips++
+				prev = cur
+			}
+		}
+		return flips <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

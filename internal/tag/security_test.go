@@ -1,0 +1,191 @@
+package tag
+
+import (
+	"testing"
+
+	"rfly/internal/epc"
+)
+
+// coverRN drives a second ReqRN and returns the issued cover RN16.
+func coverRN(t *testing.T, tg *Tag) uint16 {
+	t.Helper()
+	r := tg.Handle(epc.ReqRN{RN16: tg.RN16()})
+	if r == nil || r.Kind != "cover-rn" {
+		t.Fatalf("cover ReqRN reply %+v", r)
+	}
+	return uint16(r.Bits[:16].Uint())
+}
+
+func TestKillTwoStep(t *testing.T) {
+	tg := tagForSeed(40)
+	tg.SetKillPassword(0xDEADBEEF)
+	handle := handshake(t, tg)
+	// Half 0 (upper 16 bits), cover-coded.
+	c1 := coverRN(t, tg)
+	r := tg.Handle(epc.Kill{Half: 0, Password: 0xDEAD ^ c1, RN16: handle})
+	if r == nil || r.Kind != "kill-ack" {
+		t.Fatalf("kill half 0 reply %+v", r)
+	}
+	if tg.Killed() {
+		t.Fatal("killed after only one half")
+	}
+	// Half 1.
+	c2 := coverRN(t, tg)
+	r = tg.Handle(epc.Kill{Half: 1, Password: 0xBEEF ^ c2, RN16: handle})
+	if r == nil || r.Kind != "killed" {
+		t.Fatalf("kill half 1 reply %+v", r)
+	}
+	if !tg.Killed() {
+		t.Fatal("tag survived a correct kill")
+	}
+	// A killed tag is silent forever.
+	if rep := tg.Handle(epc.Query{Q: 0}); rep != nil {
+		t.Fatal("killed tag answered a query")
+	}
+	if rep := tg.Handle(epc.Select{MemBank: epc.BankEPC}); rep != nil {
+		t.Fatal("killed tag processed a select")
+	}
+}
+
+func TestKillWrongPassword(t *testing.T) {
+	tg := tagForSeed(41)
+	tg.SetKillPassword(0x12345678)
+	handle := handshake(t, tg)
+	c1 := coverRN(t, tg)
+	if r := tg.Handle(epc.Kill{Half: 0, Password: 0xFFFF ^ c1, RN16: handle}); r != nil {
+		t.Fatal("wrong upper half acknowledged")
+	}
+	// Even a correct second half must not kill after a failed first.
+	c2 := coverRN(t, tg)
+	if r := tg.Handle(epc.Kill{Half: 1, Password: 0x5678 ^ c2, RN16: handle}); r != nil {
+		t.Fatal("second half accepted without a verified first")
+	}
+	if tg.Killed() {
+		t.Fatal("tag died to a wrong password")
+	}
+}
+
+func TestZeroPasswordUnkillable(t *testing.T) {
+	tg := tagForSeed(42)
+	handle := handshake(t, tg)
+	c1 := coverRN(t, tg)
+	if r := tg.Handle(epc.Kill{Half: 0, Password: 0x0000 ^ c1, RN16: handle}); r != nil {
+		t.Fatal("zero-password tag acknowledged a kill half")
+	}
+	if tg.Killed() {
+		t.Fatal("zero-password tag killed")
+	}
+}
+
+func TestKillRequiresHandle(t *testing.T) {
+	tg := tagForSeed(43)
+	tg.SetKillPassword(1)
+	if r := tg.Handle(epc.Kill{Half: 0, Password: 0, RN16: 99}); r != nil {
+		t.Fatal("un-handled kill accepted")
+	}
+}
+
+func TestLockUserBank(t *testing.T) {
+	tg := tagForSeed(44)
+	handle := handshake(t, tg)
+	// Write works before locking.
+	cov := coverRN(t, tg)
+	if r := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: 1, Data: 0x1111 ^ cov, RN16: handle}); r == nil {
+		t.Fatal("pre-lock write refused")
+	}
+	// Lock.
+	if r := tg.Handle(epc.Lock{MemBank: epc.BankUser, Locked: true, RN16: handle}); r == nil || r.Kind != "lock" {
+		t.Fatalf("lock reply %+v", r)
+	}
+	if !tg.UserLocked() {
+		t.Fatal("lock flag not set")
+	}
+	// Writes now refused; reads still work.
+	cov = coverRN(t, tg)
+	if r := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: 1, Data: 0x2222 ^ cov, RN16: handle}); r != nil {
+		t.Fatal("locked bank accepted a write")
+	}
+	if tg.Mem.User[1] != 0x1111 {
+		t.Fatalf("locked memory changed: %04X", tg.Mem.User[1])
+	}
+	if r := tg.Handle(epc.Read{MemBank: epc.BankUser, WordPtr: 1, WordCount: 1, RN16: tg.RN16()}); r == nil {
+		t.Fatal("locked bank refused a read")
+	}
+	// Unlock restores writes.
+	tg.Handle(epc.Lock{MemBank: epc.BankUser, Locked: false, RN16: tg.RN16()})
+	cov = coverRN(t, tg)
+	if r := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: 1, Data: 0x3333 ^ cov, RN16: tg.RN16()}); r == nil {
+		t.Fatal("unlock did not restore writes")
+	}
+}
+
+func TestReservedBankNeverReadable(t *testing.T) {
+	tg := tagForSeed(45)
+	tg.SetKillPassword(0xAABBCCDD)
+	handle := handshake(t, tg)
+	if r := tg.Handle(epc.Read{MemBank: epc.BankRFU, WordPtr: 0, WordCount: 2, RN16: handle}); r != nil {
+		t.Fatal("reserved bank read over the air")
+	}
+}
+
+func TestPowerCycleSemantics(t *testing.T) {
+	tg := tagForSeed(46)
+	// Inventory in S0 and S2.
+	for _, sess := range []epc.Session{epc.S0, epc.S2} {
+		tg.Handle(epc.Query{Q: 0, Session: sess})
+		tg.Handle(epc.ACK{RN16: tg.RN16()})
+		tg.Handle(epc.QueryRep{Session: sess})
+	}
+	if !tg.Inventoried(epc.S0) || !tg.Inventoried(epc.S2) {
+		t.Fatal("setup failed")
+	}
+	tg.PowerCycle()
+	if tg.Inventoried(epc.S0) {
+		t.Fatal("S0 flag survived a power cycle")
+	}
+	if !tg.Inventoried(epc.S2) {
+		t.Fatal("S2 flag lost on a power cycle")
+	}
+	if tg.State() != StateReady {
+		t.Fatalf("state after power cycle: %v", tg.State())
+	}
+	// A killed tag stays dead through power cycles.
+	tg.SetKillPassword(0xCAFE0001)
+	h := handshake(t, tg)
+	c1 := coverRN(t, tg)
+	tg.Handle(epc.Kill{Half: 0, Password: 0xCAFE ^ c1, RN16: h})
+	c2 := coverRN(t, tg)
+	tg.Handle(epc.Kill{Half: 1, Password: 0x0001 ^ c2, RN16: h})
+	if !tg.Killed() {
+		t.Fatal("kill failed")
+	}
+	tg.PowerCycle()
+	if !tg.Killed() {
+		t.Fatal("power cycle resurrected a killed tag")
+	}
+}
+
+func TestKillLockCommandCodecs(t *testing.T) {
+	k := epc.Kill{Half: 1, Password: 0xABCD, RN16: 0x1234}
+	cmd, err := epc.Decode(k.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmd.(epc.Kill); got != k {
+		t.Fatalf("Kill round trip %+v", got)
+	}
+	l := epc.Lock{MemBank: epc.BankUser, Locked: true, RN16: 0x9876}
+	cmd, err = epc.Decode(l.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmd.(epc.Lock); got != l {
+		t.Fatalf("Lock round trip %+v", got)
+	}
+	// Corruption detected.
+	bad := k.Bits()
+	bad[20] ^= 1
+	if _, err := epc.Decode(bad); err == nil {
+		t.Fatal("corrupted Kill decoded")
+	}
+}

@@ -1,0 +1,429 @@
+// Package tag models passive UHF RFID tags: power harvesting with the
+// −15 dBm sensitivity of off-the-shelf tags (§2), the EPC Gen2 inventory
+// state machine, RN16 generation, and backscatter waveform synthesis by
+// impedance switching.
+//
+// A tag is a purely reactive device: it never transmits, it only modulates
+// the reflection of whatever carrier illuminates it, which is why the
+// relay's downlink must deliver both power and modulation depth (§4.3).
+package tag
+
+import (
+	"fmt"
+	"math"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/rng"
+)
+
+// State is the Gen2 inventory state of a tag.
+type State uint8
+
+// Gen2 states (the subset the inventory flow exercises).
+const (
+	StateReady State = iota
+	StateArbitrate
+	StateReply
+	StateAcknowledged
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateArbitrate:
+		return "arbitrate"
+	case StateReply:
+		return "reply"
+	case StateAcknowledged:
+		return "acknowledged"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Config holds a tag's RF characteristics. Defaults model the Alien
+// Squiggle general-purpose inlay used in the paper.
+type Config struct {
+	// SensitivityDBm is the minimum received power that powers the chip
+	// up; −15 dBm for current-generation passive tags (§2).
+	SensitivityDBm float64
+	// MinModulationDepth is the minimum downlink envelope depth the chip
+	// can slice commands from.
+	MinModulationDepth float64
+	// BackscatterCoeff is the amplitude of the reflected signal's
+	// modulated component relative to the incident carrier (differential
+	// radar cross-section, amplitude domain).
+	BackscatterCoeff float64
+}
+
+// DefaultConfig returns the Alien-Squiggle-like tag characteristics.
+func DefaultConfig() Config {
+	return Config{
+		SensitivityDBm:     -15,
+		MinModulationDepth: 0.25,
+		BackscatterCoeff:   0.33,
+	}
+}
+
+// Tag is one passive RFID tag.
+type Tag struct {
+	EPC epc.EPC
+	Pos geom.Point
+	Cfg Config
+	Mem Memory
+	// Orientation is the tag dipole's axis. A dipole couples nothing
+	// along its own axis — the §1 "orientation misalignment" blind-spot
+	// cause. The zero vector means an ideal isotropic tag (orientation
+	// effects disabled).
+	Orientation geom.Vec
+
+	state       State
+	slot        int
+	lastQ       uint8
+	rn16        uint16
+	coverRN     uint16
+	handled     bool
+	trext       bool
+	killed      bool
+	lockedUser  bool
+	killPending int // 0 = none, 1 = upper half verified
+	sl          bool
+	inventoried [4]bool // per session S0..S3
+
+	src *rng.Source
+}
+
+// New returns a tag with the given EPC at pos, drawing randomness (slot
+// counters, RN16s) from src.
+func New(e epc.EPC, pos geom.Point, cfg Config, src *rng.Source) *Tag {
+	return &Tag{EPC: e, Pos: pos, Cfg: cfg, Mem: DefaultMemory(e), src: src}
+}
+
+// State returns the tag's current inventory state.
+func (t *Tag) State() State { return t.state }
+
+// RN16 returns the tag's current handle (valid in Reply/Acknowledged).
+func (t *Tag) RN16() uint16 { return t.rn16 }
+
+// PoweredBy reports whether incident power rxDBm with downlink envelope
+// depth depth is sufficient to operate the chip.
+func (t *Tag) PoweredBy(rxDBm, depth float64) bool {
+	return rxDBm >= t.Cfg.SensitivityDBm && depth >= t.Cfg.MinModulationDepth
+}
+
+// OrientationLossDB returns the polarization/pattern loss for a wave
+// arriving from the given source position: a dipole's gain goes as
+// sin²(ψ), ψ the angle between its axis and the arrival direction, so
+// end-on illumination is a deep null. Isotropic tags (zero Orientation)
+// lose nothing.
+func (t *Tag) OrientationLossDB(from geom.Point) float64 {
+	axis := t.Orientation
+	if axis == (geom.Vec{}) {
+		return 0
+	}
+	dir := t.Pos.Sub(from)
+	dn, an := dir.Norm(), axis.Norm()
+	if dn == 0 || an == 0 {
+		return 0
+	}
+	cosPsi := dir.Dot(axis) / (dn * an)
+	sin2 := 1 - cosPsi*cosPsi
+	const floor = 1e-3 // −30 dB cross-pol floor: no practical null is perfect
+	if sin2 < floor {
+		sin2 = floor
+	}
+	return -10 * math.Log10(sin2)
+}
+
+// Reset returns the tag to Ready without clearing inventoried flags (i.e.
+// a power cycle between rounds; Gen2 S1–S3 flags persist briefly, S0
+// resets — the simulation keeps all flags for simplicity unless
+// ClearInventory is called).
+func (t *Tag) Reset() { t.state = StateReady }
+
+// ClearInventory clears every session's inventoried flag and the SL flag.
+func (t *Tag) ClearInventory() {
+	t.inventoried = [4]bool{}
+	t.sl = false
+	t.state = StateReady
+}
+
+// Inventoried reports the session's inventoried flag.
+func (t *Tag) Inventoried(s epc.Session) bool { return t.inventoried[s&3] }
+
+// Reply is what a tag backscatters in response to a command.
+type Reply struct {
+	Bits epc.Bits
+	// Kind describes the reply for diagnostics: "rn16" or "epc".
+	Kind string
+}
+
+// Handle runs one reader command through the tag's state machine and
+// returns the tag's backscattered reply, if any. The caller is
+// responsible for only invoking Handle when the tag is powered (see
+// PoweredBy); an unpowered tag is simply absent from the protocol.
+func (t *Tag) Handle(cmd epc.Command) *Reply {
+	if t.killed {
+		return nil // a killed tag is permanently silent (§6.3.2.12.3.5)
+	}
+	switch c := cmd.(type) {
+	case epc.Select:
+		t.handleSelect(c)
+		return nil
+	case epc.Query:
+		return t.handleQuery(c)
+	case epc.QueryAdjust:
+		// A new round with Q adjusted from the last Query's value; tags in
+		// arbitrate or reply redraw their slots.
+		if t.state != StateArbitrate && t.state != StateReply {
+			return nil
+		}
+		switch {
+		case c.UpDn > 0 && t.lastQ < 15:
+			t.lastQ++
+		case c.UpDn < 0 && t.lastQ > 0:
+			t.lastQ--
+		}
+		t.slot = t.src.Intn(1 << t.lastQ)
+		if t.slot == 0 {
+			t.rn16 = t.src.Uint16()
+			t.state = StateReply
+			return &Reply{Bits: epc.BitsFromUint(uint64(t.rn16), 16), Kind: "rn16"}
+		}
+		t.state = StateArbitrate
+		return nil
+	case epc.QueryRep:
+		return t.handleQueryRep(c)
+	case epc.ACK:
+		return t.handleACK(c)
+	case epc.NAK:
+		if t.state == StateReply || t.state == StateAcknowledged {
+			t.state = StateArbitrate
+		}
+		return nil
+	case epc.ReqRN:
+		if t.state == StateAcknowledged && c.RN16 == t.rn16 {
+			// First ReqRN establishes the handle; subsequent ones (with the
+			// handle) issue cover RN16s for write cover-coding.
+			if !t.handled {
+				t.rn16 = t.src.Uint16()
+				t.handled = true
+				b := epc.BitsFromUint(uint64(t.rn16), 16)
+				return &Reply{Bits: b.Append(epc.CRC16(b)), Kind: "handle"}
+			}
+			t.coverRN = t.src.Uint16()
+			b := epc.BitsFromUint(uint64(t.coverRN), 16)
+			return &Reply{Bits: b.Append(epc.CRC16(b)), Kind: "cover-rn"}
+		}
+		return nil
+	case epc.Read:
+		return t.handleRead(c)
+	case epc.Write:
+		return t.handleWrite(c)
+	case epc.Kill:
+		return t.handleKill(c)
+	case epc.Lock:
+		return t.handleLock(c)
+	default:
+		return nil
+	}
+}
+
+func (t *Tag) handleSelect(c epc.Select) {
+	match := t.maskMatches(c)
+	// Action semantics (simplified Gen2 table 6.20): action 0 asserts SL
+	// (or sets inventoried→A) on match and deasserts on mismatch; action 4
+	// is the complement.
+	assert := match
+	if c.Action >= 4 {
+		assert = !match
+	}
+	if c.Target == 4 { // SL flag
+		t.sl = assert
+	} else { // inventoried flag for session Target&3: assert = set to A (false)
+		t.inventoried[c.Target&3] = !assert
+	}
+	t.state = StateReady
+}
+
+func (t *Tag) maskMatches(c epc.Select) bool {
+	if c.MemBank != epc.BankEPC {
+		return false // only EPC-bank selects are modelled
+	}
+	bits := t.EPC.Bits()
+	start := int(c.Pointer)
+	if start+len(c.Mask) > len(bits) {
+		return false
+	}
+	return epc.Bits(bits[start : start+len(c.Mask)]).Equal(c.Mask)
+}
+
+func (t *Tag) handleQuery(c epc.Query) *Reply {
+	t.handled = false
+	t.trext = c.TRext
+	// Participate only if our inventoried flag matches the query target.
+	inv := t.inventoried[c.Session&3]
+	wantB := c.Target == epc.TargetB
+	if inv != wantB {
+		t.state = StateReady
+		return nil
+	}
+	t.lastQ = c.Q & 0xF
+	t.slot = t.src.Intn(1 << t.lastQ)
+	if t.slot == 0 {
+		t.rn16 = t.src.Uint16()
+		t.state = StateReply
+		return &Reply{Bits: epc.BitsFromUint(uint64(t.rn16), 16), Kind: "rn16"}
+	}
+	t.state = StateArbitrate
+	return nil
+}
+
+func (t *Tag) handleQueryRep(c epc.QueryRep) *Reply {
+	switch t.state {
+	case StateAcknowledged:
+		// Round advances past an acknowledged tag: flip inventoried.
+		t.inventoried[c.Session&3] = !t.inventoried[c.Session&3]
+		t.state = StateReady
+		return nil
+	case StateArbitrate:
+		t.slot--
+		if t.slot <= 0 {
+			t.rn16 = t.src.Uint16()
+			t.state = StateReply
+			return &Reply{Bits: epc.BitsFromUint(uint64(t.rn16), 16), Kind: "rn16"}
+		}
+		return nil
+	case StateReply:
+		// Replied but never acknowledged (collision or missed RN16): back
+		// to arbitrate. Per Gen2 §6.3.2.4 the slot counter, decremented
+		// past zero, wraps to 0x7FFF — the tag stays silent for the rest
+		// of the round and rejoins at the next Query/QueryAdjust.
+		t.state = StateArbitrate
+		t.slot = 0x7FFF
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (t *Tag) handleACK(c epc.ACK) *Reply {
+	if t.state != StateReply && t.state != StateAcknowledged {
+		return nil
+	}
+	if c.RN16 != t.rn16 {
+		// Wrong handle (e.g. we lost a captured collision): arbitrate with
+		// the slot counter wrapped, silent until the next round.
+		t.state = StateArbitrate
+		t.slot = 0x7FFF
+		return nil
+	}
+	t.state = StateAcknowledged
+	return &Reply{Bits: epc.TagReply(t.EPC), Kind: "epc"}
+}
+
+// BackscatterChips FM0-encodes a reply into ±1 chips ready for waveform
+// synthesis. The encoding honors the TRext bit of the round's Query: at
+// low SNR readers request the pilot-extended preamble (§6.3.1.3.2).
+func (t *Tag) BackscatterChips(r *Reply) []int8 {
+	if t.trext {
+		return epc.FM0EncodeExt(r.Bits)
+	}
+	return epc.FM0Encode(r.Bits)
+}
+
+// TRext reports whether the last Query requested extended preambles.
+func (t *Tag) TRext() bool { return t.trext }
+
+// Waveform renders chips as the tag's baseband reflection modulation at
+// sample rate fs and backscatter link frequency blf: a ±coeff/2 square
+// wave (AC component of the impedance switching; the DC term is the static
+// reflection the reader's carrier cancellation removes).
+func Waveform(chips []int8, coeff, fs, blf float64) []complex128 {
+	spc := epc.SamplesPerChip(fs, blf)
+	out := make([]complex128, 0, len(chips)*spc)
+	amp := coeff / 2
+	for _, c := range chips {
+		v := complex(amp*float64(c), 0)
+		for k := 0; k < spc; k++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetKillPassword stores a 32-bit kill password in reserved memory.
+func (t *Tag) SetKillPassword(pw uint32) {
+	if len(t.Mem.Reserved) < 2 {
+		t.Mem.Reserved = make([]uint16, 4)
+	}
+	t.Mem.Reserved[0] = uint16(pw >> 16)
+	t.Mem.Reserved[1] = uint16(pw)
+}
+
+// Killed reports whether the tag has been permanently silenced.
+func (t *Tag) Killed() bool { return t.killed }
+
+// UserLocked reports whether user-memory writes are disabled.
+func (t *Tag) UserLocked() bool { return t.lockedUser }
+
+// handleKill processes one half of the two-step kill: each half arrives
+// cover-coded with the RN16 from the preceding ReqRN. A zero stored
+// password makes the tag unkillable.
+func (t *Tag) handleKill(c epc.Kill) *Reply {
+	if t.state != StateAcknowledged || c.RN16 != t.rn16 {
+		t.killPending = 0
+		return nil
+	}
+	pw := t.Mem.KillPassword()
+	if pw == 0 {
+		t.killPending = 0
+		return nil // unkillable
+	}
+	plain := c.Password ^ t.coverRN
+	switch c.Half {
+	case 0:
+		if plain == uint16(pw>>16) {
+			t.killPending = 1
+			b := epc.BitsFromUint(uint64(t.rn16), 16)
+			return &Reply{Bits: b.Append(epc.CRC16(b)), Kind: "kill-ack"}
+		}
+		t.killPending = 0
+		return nil
+	default:
+		if t.killPending == 1 && plain == uint16(pw) {
+			t.killed = true
+			b := epc.BitsFromUint(uint64(t.rn16), 16)
+			return &Reply{Bits: b.Append(epc.CRC16(b)), Kind: "killed"}
+		}
+		t.killPending = 0
+		return nil
+	}
+}
+
+// handleLock toggles user-memory write protection.
+func (t *Tag) handleLock(c epc.Lock) *Reply {
+	if t.state != StateAcknowledged || c.RN16 != t.rn16 {
+		return nil
+	}
+	if c.MemBank != epc.BankUser {
+		return nil // only the user bank's lock is modelled
+	}
+	t.lockedUser = c.Locked
+	b := epc.BitsFromUint(uint64(t.rn16), 16)
+	return &Reply{Bits: b.Append(epc.CRC16(b)), Kind: "lock"}
+}
+
+// PowerCycle models the chip browning out as the relay moves away: the
+// state machine resets and the S0 inventoried flag (which only persists
+// while powered, §6.3.2.2) clears; S1–S3 flags persist briefly and are
+// retained here.
+func (t *Tag) PowerCycle() {
+	t.state = StateReady
+	t.handled = false
+	t.killPending = 0
+	t.inventoried[epc.S0] = false
+}

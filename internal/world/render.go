@@ -1,0 +1,109 @@
+package world
+
+import (
+	"strings"
+
+	"rfly/internal/geom"
+)
+
+// Marker is a labelled point drawn on a scene map (reader, relay, tags).
+type Marker struct {
+	Pos   geom.Point
+	Glyph byte
+}
+
+// RenderASCII draws a plan view of the scene: walls as material glyphs,
+// markers on top. The map spans the bounding box of walls and markers
+// plus a margin, at the given characters-per-meter scale.
+func (s *Scene) RenderASCII(markers []Marker, charsPerMeter float64) string {
+	if charsPerMeter <= 0 {
+		charsPerMeter = 2
+	}
+	// Bounding box.
+	x0, y0 := 1e18, 1e18
+	x1, y1 := -1e18, -1e18
+	grow := func(p geom.Point) {
+		if p.X < x0 {
+			x0 = p.X
+		}
+		if p.Y < y0 {
+			y0 = p.Y
+		}
+		if p.X > x1 {
+			x1 = p.X
+		}
+		if p.Y > y1 {
+			y1 = p.Y
+		}
+	}
+	for _, w := range s.Walls {
+		grow(w.Seg.A)
+		grow(w.Seg.B)
+	}
+	for _, m := range markers {
+		grow(m.Pos)
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return "(empty scene)\n"
+	}
+	const margin = 1.0
+	x0, y0, x1, y1 = x0-margin, y0-margin, x1+margin, y1+margin
+
+	cols := int((x1-x0)*charsPerMeter) + 1
+	rows := int((y1-y0)*charsPerMeter/2) + 1 // terminal cells are ~2:1
+	if cols > 200 {
+		cols = 200
+	}
+	if rows > 60 {
+		rows = 60
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	put := func(p geom.Point, glyph byte) {
+		c := int((p.X - x0) / (x1 - x0) * float64(cols-1))
+		r := int((p.Y - y0) / (y1 - y0) * float64(rows-1))
+		if c >= 0 && c < cols && r >= 0 && r < rows {
+			grid[rows-1-r][c] = glyph
+		}
+	}
+	// Walls: sample each segment densely.
+	for _, w := range s.Walls {
+		glyph := materialGlyph(w.Mat)
+		n := int(w.Seg.Length()*charsPerMeter) + 2
+		for i := 0; i <= n; i++ {
+			f := float64(i) / float64(n)
+			p := geom.Point{
+				X: w.Seg.A.X + f*(w.Seg.B.X-w.Seg.A.X),
+				Y: w.Seg.A.Y + f*(w.Seg.B.Y-w.Seg.A.Y),
+			}
+			put(p, glyph)
+		}
+	}
+	for _, m := range markers {
+		put(m.Pos, m.Glyph)
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// materialGlyph maps materials to map characters.
+func materialGlyph(m Material) byte {
+	switch m.Name {
+	case "steel", "steel-rack":
+		return '='
+	case "concrete":
+		return '#'
+	case "floor-slab":
+		return '%'
+	case "glass":
+		return ':'
+	default:
+		return '-'
+	}
+}

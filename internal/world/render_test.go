@@ -1,0 +1,58 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"rfly/internal/geom"
+)
+
+func TestRenderASCIIContainsWallsAndMarkers(t *testing.T) {
+	s := Warehouse(20, 14, 2)
+	out := s.RenderASCII([]Marker{
+		{Pos: geom.P(2, 2, 1.5), Glyph: 'R'},
+		{Pos: geom.P(10, 7, 1.0), Glyph: 'D'},
+	}, 2)
+	if !strings.Contains(out, "R") || !strings.Contains(out, "D") {
+		t.Fatal("markers missing from the rendered map")
+	}
+	// Concrete perimeter and steel racks must both appear.
+	if !strings.Contains(out, "#") {
+		t.Fatal("no concrete wall glyphs")
+	}
+	if !strings.Contains(out, "=") {
+		t.Fatal("no steel rack glyphs")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("map only %d lines at 2 chars/m for a 14 m deep scene", len(lines))
+	}
+	// Every row has the same width (a rectangular canvas).
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("ragged canvas: %d vs %d", len(l), len(lines[0]))
+		}
+	}
+}
+
+func TestRenderASCIIEmptySceneWithMarkers(t *testing.T) {
+	// An open scene has no walls; the canvas must still cover the markers
+	// instead of collapsing to the degenerate bounding box.
+	s := OpenSpace()
+	out := s.RenderASCII([]Marker{
+		{Pos: geom.P(-3, 1, 0), Glyph: 'a'},
+		{Pos: geom.P(4, 5, 0), Glyph: 'b'},
+	}, 1)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderASCIIDefaultsScale(t *testing.T) {
+	s := Corridor(10, 3)
+	if out := s.RenderASCII(nil, 0); len(out) == 0 {
+		t.Fatal("zero scale should fall back to the default, not render nothing")
+	}
+	// Out-of-canvas markers must be clipped, not panic.
+	_ = s.RenderASCII([]Marker{{Pos: geom.P(1e6, -1e6, 0), Glyph: 'X'}}, 2)
+}

@@ -1,0 +1,157 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"rfly/internal/geom"
+)
+
+func TestOpenSpaceLoS(t *testing.T) {
+	s := OpenSpace()
+	if !s.LineOfSight(geom.P2(0, 0), geom.P2(100, 100)) {
+		t.Fatal("open space blocked")
+	}
+	if loss := s.TransmissionLossDB(geom.P2(0, 0), geom.P2(5, 5)); loss != 0 {
+		t.Fatalf("open space loss = %v", loss)
+	}
+}
+
+func TestWallBlocksLoS(t *testing.T) {
+	s := &Scene{}
+	s.AddWall(geom.P2(5, -1), geom.P2(5, 1), Concrete)
+	if s.LineOfSight(geom.P2(0, 0), geom.P2(10, 0)) {
+		t.Fatal("wall did not block")
+	}
+	if s.LineOfSight(geom.P2(0, 2), geom.P2(10, 2)) == false {
+		t.Fatal("link above wall blocked")
+	}
+	if loss := s.TransmissionLossDB(geom.P2(0, 0), geom.P2(10, 0)); loss != Concrete.TransmissionLossDB {
+		t.Fatalf("loss = %v", loss)
+	}
+}
+
+func TestTransmissionLossAccumulates(t *testing.T) {
+	s := &Scene{}
+	s.AddWall(geom.P2(3, -1), geom.P2(3, 1), Concrete)
+	s.AddWall(geom.P2(6, -1), geom.P2(6, 1), Drywall)
+	got := s.TransmissionLossDB(geom.P2(0, 0), geom.P2(10, 0))
+	want := Concrete.TransmissionLossDB + Drywall.TransmissionLossDB
+	if got != want {
+		t.Fatalf("loss = %v, want %v", got, want)
+	}
+}
+
+func TestReflectorsFilter(t *testing.T) {
+	s := &Scene{}
+	s.AddWall(geom.P2(0, 0), geom.P2(1, 0), Steel)
+	s.AddWall(geom.P2(0, 1), geom.P2(1, 1), Drywall)
+	refl := s.Reflectors(0.3)
+	if len(refl) != 1 || refl[0].Mat.Name != "steel" {
+		t.Fatalf("Reflectors = %v", refl)
+	}
+}
+
+func TestCorridor(t *testing.T) {
+	s := Corridor(60, 3)
+	if len(s.Walls) != 2 {
+		t.Fatalf("walls = %d", len(s.Walls))
+	}
+	// Down the middle of the corridor is clear.
+	if !s.LineOfSight(geom.P2(1, 1.5), geom.P2(59, 1.5)) {
+		t.Fatal("corridor centerline blocked")
+	}
+}
+
+func TestCorridorNLoS(t *testing.T) {
+	s := CorridorNLoS(60, 3, 2)
+	if s.LineOfSight(geom.P2(1, 1.5), geom.P2(59, 1.5)) {
+		t.Fatal("NLoS corridor should be blocked")
+	}
+	loss := s.TransmissionLossDB(geom.P2(1, 1.5), geom.P2(59, 1.5))
+	if loss != 2*Concrete.TransmissionLossDB {
+		t.Fatalf("NLoS loss = %v", loss)
+	}
+}
+
+func TestWarehouse(t *testing.T) {
+	s := Warehouse(30, 20, 3)
+	if len(s.Walls) != 7 {
+		t.Fatalf("walls = %d", len(s.Walls))
+	}
+	// Across the shelves is occluded; along an aisle is clear.
+	if s.LineOfSight(geom.P2(15, 1), geom.P2(15, 19)) {
+		t.Fatal("cross-shelf link should be blocked")
+	}
+	if !s.LineOfSight(geom.P2(1, 2), geom.P2(29, 2)) {
+		t.Fatal("aisle link blocked")
+	}
+	// Steel rows are reflectors.
+	if got := len(s.Reflectors(0.5)); got != 3 {
+		t.Fatalf("steel reflectors = %d", got)
+	}
+	if got := Warehouse(30, 20, 0); len(got.Walls) != 4 {
+		t.Fatal("zero-row warehouse should have only the shell")
+	}
+}
+
+func TestResearchFacility(t *testing.T) {
+	s := ResearchFacility()
+	if len(s.Walls) == 0 {
+		t.Fatal("empty facility")
+	}
+	// Across the concrete core is blocked.
+	if s.LineOfSight(geom.P2(10, 15), geom.P2(30, 15)) {
+		t.Fatal("link through core should be blocked")
+	}
+	// Within one office bay it is clear.
+	if !s.LineOfSight(geom.P2(2, 2), geom.P2(8, 7)) {
+		t.Fatal("intra-bay link blocked")
+	}
+}
+
+func TestSceneString(t *testing.T) {
+	s := Corridor(10, 2)
+	if got := s.String(); !strings.Contains(got, "corridor") || !strings.Contains(got, "2 walls") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCrossFloor(t *testing.T) {
+	s := CrossFloor(40, 3)
+	if s.LineOfSight(geom.P2(5, 1.5), geom.P2(35, 1.5)) {
+		t.Fatal("cross-floor link should be blocked by the slab")
+	}
+	if got := s.TransmissionLossDB(geom.P2(5, 1.5), geom.P2(35, 1.5)); got != Floor.TransmissionLossDB {
+		t.Fatalf("slab loss = %v", got)
+	}
+	// Same-floor links stay clear.
+	if !s.LineOfSight(geom.P2(2, 1.5), geom.P2(18, 1.5)) {
+		t.Fatal("same-floor link blocked")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	s := Warehouse(30, 20, 2)
+	out := s.RenderASCII([]Marker{
+		{Pos: geom.P2(2, 2), Glyph: 'R'},
+		{Pos: geom.P2(15, 10), Glyph: 'D'},
+	}, 2)
+	if !strings.Contains(out, "#") {
+		t.Fatal("concrete shell missing")
+	}
+	if !strings.Contains(out, "=") {
+		t.Fatal("shelf rows missing")
+	}
+	if !strings.Contains(out, "R") || !strings.Contains(out, "D") {
+		t.Fatal("markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("map too small: %d lines", len(lines))
+	}
+	// Empty scene degenerates gracefully.
+	if got := (&Scene{}).RenderASCII(nil, 2); !strings.Contains(got, "empty") {
+		t.Fatal("empty scene render")
+	}
+}

@@ -1,0 +1,226 @@
+// Package rfly is a full-system simulation of RFly (SIGCOMM 2017): drone
+// relays for battery-free (UHF RFID) networks.
+//
+// The package wires together every subsystem of the paper — an EPC Gen2
+// reader and tag population, the phase-preserving bidirectionally
+// full-duplex relay riding on a drone, an indoor propagation model, and
+// the through-relay SAR localization algorithm — behind one facade:
+//
+//	sys := rfly.New(rfly.Options{Scene: rfly.Warehouse(30, 20, 3), Seed: 1})
+//	sys.RegisterItem("pallet-7", rfly.NewEPC96(0xE280, 1, 2, 3, 4, 5), rfly.At(12, 8, 0.2))
+//	report, err := sys.Survey(rfly.Line(rfly.At(2, 6, 1.2), rfly.At(18, 6, 1.2), 60))
+//
+// Survey flies the relay along the plan, inventories every reachable tag
+// through the relay, and localizes each discovered tag from the phases
+// collected along the flight (Eqs. 10–12 of the paper).
+//
+// Lower-level access — the relay's RF design, the Gen2 codec, the channel
+// model, the experiment harness reproducing each figure of the paper —
+// lives in the internal packages and is exercised by cmd/rfly-experiments.
+package rfly
+
+import (
+	"fmt"
+
+	"rfly/internal/drone"
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/relay"
+	"rfly/internal/sim"
+	"rfly/internal/world"
+)
+
+// Re-exported core types. Aliases keep the public API self-contained: a
+// caller never imports the internal packages.
+type (
+	// Point is a 3D position in meters.
+	Point = geom.Point
+	// Trajectory is a sampled flight path.
+	Trajectory = geom.Trajectory
+	// EPC is a tag's Electronic Product Code.
+	EPC = epc.EPC
+	// Scene is the physical environment (walls, shelves, reflectors).
+	Scene = world.Scene
+	// Platform is a mobile carrier for the relay.
+	Platform = drone.Platform
+	// RelayConfig is the relay's hardware design.
+	RelayConfig = relay.Config
+	// Mission is a coverage task over a floor area; plan it with
+	// Mission.PlanCoverage and cost an inventory cycle with Plan.Inventory.
+	Mission = drone.Mission
+	// MissionPlan is a computed coverage flight with its battery budget.
+	MissionPlan = drone.Plan
+	// Endurance is a platform's battery budget for mission planning.
+	Endurance = drone.Endurance
+)
+
+// At constructs a Point.
+func At(x, y, z float64) Point { return geom.P(x, y, z) }
+
+// NewEPC96 builds a 96-bit EPC from six 16-bit words.
+func NewEPC96(w0, w1, w2, w3, w4, w5 uint16) EPC { return epc.NewEPC96(w0, w1, w2, w3, w4, w5) }
+
+// Line returns a straight flight plan with n sample points.
+func Line(a, b Point, n int) Trajectory { return geom.Line(a, b, n) }
+
+// Lawnmower returns a boustrophedon sweep over [x0,x1]×[y0,y1] at height z.
+func Lawnmower(x0, y0, x1, y1, z, laneSpacing, step float64) Trajectory {
+	return geom.Lawnmower(x0, y0, x1, y1, z, laneSpacing, step)
+}
+
+// Scene constructors.
+var (
+	// OpenSpace is free space with no obstacles.
+	OpenSpace = world.OpenSpace
+	// Corridor is a long drywall corridor.
+	Corridor = world.Corridor
+	// Warehouse is a hall with rows of steel shelving.
+	Warehouse = world.Warehouse
+	// ResearchFacility is the paper's 30×40 m evaluation building.
+	ResearchFacility = world.ResearchFacility
+)
+
+// Platform constructors.
+var (
+	// Bebop2 is the Parrot Bebop 2 drone of the paper.
+	Bebop2 = drone.Bebop2
+	// Create2 is the iRobot Create 2 ground robot of §7.3.
+	Create2 = drone.Create2
+	// Bebop2Endurance is the Bebop 2's usable airtime and swap overhead.
+	Bebop2Endurance = drone.Bebop2Endurance
+)
+
+// DefaultRelayConfig returns the calibrated relay design (§6.1).
+func DefaultRelayConfig() RelayConfig { return relay.DefaultConfig() }
+
+// Options configures a System.
+type Options struct {
+	// Scene is the environment; nil means open space.
+	Scene *Scene
+	// Freq is the reader carrier in Hz; 0 means 915 MHz.
+	Freq float64
+	// ReaderPos places the ground RFID reader.
+	ReaderPos Point
+	// Relay configures the relay hardware; zero value = DefaultRelayConfig.
+	Relay RelayConfig
+	// NoRelay disables the relay entirely (direct-reader baseline).
+	NoRelay bool
+	// Platform carries the relay; zero value = Bebop2.
+	Platform Platform
+	// ShadowSigmaDB is per-link log-normal shadowing (0 = none).
+	ShadowSigmaDB float64
+	// GroundReflectivity enables the floor-bounce multipath (0 = off).
+	GroundReflectivity float64
+	// Seed makes every run reproducible.
+	Seed uint64
+}
+
+// Item is a tagged object registered with the system, mirroring the local
+// EPC→object database of §3.
+type Item struct {
+	Name string
+	EPC  EPC
+	// TruePos is the ground-truth position (known to the simulation, used
+	// for error reporting; a real deployment wouldn't have it).
+	TruePos Point
+}
+
+// System is a deployed RFly installation: one reader, one relay-carrying
+// platform, and a population of tagged items.
+type System struct {
+	opts  Options
+	dep   *sim.Deployment
+	items map[string]Item // keyed by EPC string
+}
+
+// New builds a System.
+func New(opts Options) *System {
+	if opts.Scene == nil {
+		opts.Scene = world.OpenSpace()
+	}
+	if opts.Platform.Name == "" {
+		opts.Platform = drone.Bebop2()
+	}
+	dep := sim.New(sim.Config{
+		Scene:              opts.Scene,
+		Freq:               opts.Freq,
+		ReaderPos:          opts.ReaderPos,
+		UseRelay:           !opts.NoRelay,
+		RelayCfg:           opts.Relay,
+		RelayPos:           opts.ReaderPos,
+		ShadowSigmaDB:      opts.ShadowSigmaDB,
+		GroundReflectivity: opts.GroundReflectivity,
+	}, opts.Seed)
+	return &System{opts: opts, dep: dep, items: map[string]Item{}}
+}
+
+// RegisterItem attaches a tag with the given EPC to an object and places
+// it in the scene. Registering the EPC→name mapping models the local
+// database the paper assumes (§3).
+func (s *System) RegisterItem(name string, e EPC, pos Point) error {
+	key := e.String()
+	if _, dup := s.items[key]; dup {
+		return fmt.Errorf("rfly: EPC %s already registered", key)
+	}
+	s.items[key] = Item{Name: name, EPC: e, TruePos: pos}
+	s.dep.AddTag(e, pos)
+	return nil
+}
+
+// Items returns the registered inventory database.
+func (s *System) Items() []Item {
+	out := make([]Item, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, it)
+	}
+	return out
+}
+
+// lookup resolves an EPC to its registered item.
+func (s *System) lookup(e EPC) (Item, bool) {
+	it, ok := s.items[e.String()]
+	return it, ok
+}
+
+// Deployment exposes the underlying simulation deployment for advanced
+// use (experiment harnesses, benchmarks).
+func (s *System) Deployment() *sim.Deployment { return s.dep }
+
+// Vec is a 3D direction (re-exported for tag orientation).
+type Vec = geom.Vec
+
+// OrientItem sets the registered item's tag dipole axis, enabling the
+// §1 orientation-misalignment blind-spot physics: illumination along the
+// axis couples ~30 dB down. A zero vector restores the ideal isotropic
+// tag.
+func (s *System) OrientItem(e EPC, axis Vec) error {
+	item, ok := s.lookup(e)
+	if !ok {
+		return fmt.Errorf("rfly: EPC %s not registered", e)
+	}
+	for _, t := range s.dep.Tags {
+		if t.EPC.Equal(item.EPC) {
+			t.Orientation = axis
+			return nil
+		}
+	}
+	return fmt.Errorf("rfly: tag for %s missing from deployment", e)
+}
+
+// SGTIN is the GS1 serialized-GTIN EPC scheme (re-exported).
+type SGTIN = epc.SGTIN96
+
+// RegisterProduct registers an item whose EPC is a structured SGTIN-96 —
+// the real-world form of §3's EPC→object database, where the EPC itself
+// names the company and product.
+func (s *System) RegisterProduct(name string, sgtin SGTIN, pos Point) (EPC, error) {
+	e, err := sgtin.Encode()
+	if err != nil {
+		return EPC{}, err
+	}
+	return e, s.RegisterItem(name, e, pos)
+}
+
+// ProductOf parses an item's EPC as an SGTIN-96, recovering the company
+// prefix, item reference, and serial.
+func ProductOf(e EPC) (SGTIN, error) { return epc.ParseSGTIN96(e) }

@@ -1,0 +1,241 @@
+package rfly
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterItem(t *testing.T) {
+	sys := New(Options{Seed: 1})
+	e := NewEPC96(1, 2, 3, 4, 5, 6)
+	if err := sys.RegisterItem("box", e, At(2, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterItem("dup", e, At(3, 1, 0)); err == nil {
+		t.Fatal("duplicate EPC accepted")
+	}
+	if got := len(sys.Items()); got != 1 {
+		t.Fatalf("items = %d", got)
+	}
+}
+
+func TestSurveyLocatesItems(t *testing.T) {
+	sys := New(Options{
+		Scene:     OpenSpace(),
+		ReaderPos: At(-12, 1, 1.5),
+		Seed:      7,
+	})
+	positions := map[string]Point{
+		"crate-a": At(0.8, 2.0, 0),
+		"crate-b": At(2.2, 1.6, 0),
+	}
+	i := uint16(0)
+	for name, pos := range positions {
+		if err := sys.RegisterItem(name, NewEPC96(0xE280, i, 1, 2, 3, 4), pos); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	plan := Line(At(0, 0, 0.8), At(3, 0, 0.8), 45)
+	report, err := sys.Survey(plan, SurveyOptions{
+		SearchRegion: &Region{X0: -2, Y0: 0.3, X1: 5, Y1: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Located) != 2 {
+		t.Fatalf("located %d items (detected-only %d)", len(report.Located), len(report.DetectedOnly))
+	}
+	for _, li := range report.Located {
+		if li.ErrorM > 0.5 {
+			t.Errorf("%s localized %.2f m off (est %v, true %v)", li.Name, li.ErrorM, li.Location, positions[li.Name])
+		}
+		if li.Reads < 8 {
+			t.Errorf("%s only %d reads", li.Name, li.Reads)
+		}
+	}
+	// Sorted by name.
+	if report.Located[0].Name != "crate-a" || report.Located[1].Name != "crate-b" {
+		t.Fatalf("order: %s, %s", report.Located[0].Name, report.Located[1].Name)
+	}
+}
+
+func TestSurveyErrors(t *testing.T) {
+	sys := New(Options{NoRelay: true, Seed: 2})
+	if _, err := sys.Survey(Line(At(0, 0, 1), At(1, 0, 1), 5), SurveyOptions{}); err == nil {
+		t.Fatal("survey without relay accepted")
+	}
+	sys2 := New(Options{Seed: 3})
+	if _, err := sys2.Survey(Trajectory{}, SurveyOptions{}); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+}
+
+func TestSurveyDetectedOnly(t *testing.T) {
+	sys := New(Options{ReaderPos: At(-10, 0, 1.5), Seed: 4})
+	// A tag far off the flight path: powered for at most a point or two.
+	if err := sys.RegisterItem("remote", NewEPC96(9, 9, 9, 9, 9, 9), At(30, 20, 0)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := sys.Survey(Line(At(0, 0, 1), At(2, 0, 1), 20), SurveyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Located) != 0 {
+		t.Fatalf("located an unreachable item: %+v", report.Located)
+	}
+}
+
+func TestReadRate(t *testing.T) {
+	sys := New(Options{ReaderPos: At(0, 0, 1.5), Seed: 5})
+	e := NewEPC96(4, 4, 4, 4, 4, 4)
+	if err := sys.RegisterItem("near", e, At(21, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sys.MoveRelay(At(19.5, 0, 1.2))
+	rate, err := sys.ReadRate(e, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.9 {
+		t.Fatalf("read rate = %v", rate)
+	}
+	if _, err := sys.ReadRate(NewEPC96(0, 0, 0, 0, 0, 1), 5); err == nil {
+		t.Fatal("unknown EPC accepted")
+	}
+}
+
+func TestNoRelayBaselineRange(t *testing.T) {
+	sys := New(Options{NoRelay: true, ReaderPos: At(0, 0, 1.5), Seed: 6})
+	near := NewEPC96(1, 0, 0, 0, 0, 0)
+	far := NewEPC96(2, 0, 0, 0, 0, 0)
+	if err := sys.RegisterItem("near", near, At(4, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterItem("far", far, At(25, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if rate, _ := sys.ReadRate(near, 20); rate < 0.9 {
+		t.Fatalf("near tag rate = %v", rate)
+	}
+	if rate, _ := sys.ReadRate(far, 20); rate > 0 {
+		t.Fatalf("far tag rate without relay = %v", rate)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sys := New(Options{})
+	if sys.opts.Scene == nil {
+		t.Fatal("nil scene not defaulted")
+	}
+	if sys.opts.Platform.Name == "" {
+		t.Fatal("platform not defaulted")
+	}
+	if sys.Deployment() == nil {
+		t.Fatal("no deployment")
+	}
+	if sys.Medium() == nil {
+		t.Fatal("no medium")
+	}
+}
+
+func TestSurveyReportString(t *testing.T) {
+	sys := New(Options{ReaderPos: At(-12, 1, 1.5), Seed: 7})
+	if err := sys.RegisterItem("box", NewEPC96(3, 3, 3, 3, 3, 3), At(1.5, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Survey(Line(At(0, 0, 0.8), At(3, 0, 0.8), 30),
+		SurveyOptions{SearchRegion: &Region{X0: -2, Y0: 0.3, X1: 5, Y1: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "box") || !strings.Contains(out, "located") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestRegisterProduct(t *testing.T) {
+	sys := New(Options{ReaderPos: At(0, 0, 1.5), Seed: 9})
+	sg := SGTIN{Filter: 1, Partition: 5, CompanyPrefix: 614141, ItemReference: 7345, Serial: 42}
+	e, err := sys.RegisterProduct("espresso-case", sg, At(10, 1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ProductOf(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != sg {
+		t.Fatalf("SGTIN round trip: %+v", back)
+	}
+	// The structured EPC works through the whole protocol stack.
+	sys.MoveRelay(At(9, 0, 1.2))
+	rate, err := sys.ReadRate(e, 20)
+	if err != nil || rate < 0.9 {
+		t.Fatalf("SGTIN-tagged item read rate %v (%v)", rate, err)
+	}
+	// Invalid SGTIN rejected.
+	if _, err := sys.RegisterProduct("bad", SGTIN{Partition: 9}, At(0, 0, 0)); err == nil {
+		t.Fatal("invalid SGTIN accepted")
+	}
+}
+
+func TestSurveyReportsUncertainty(t *testing.T) {
+	sys := New(Options{ReaderPos: At(-12, 1, 1.5), Seed: 11})
+	if err := sys.RegisterItem("box", NewEPC96(5, 5, 5, 5, 5, 5), At(1.5, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Survey(Line(At(0, 0, 0.8), At(3, 0, 0.8), 40),
+		SurveyOptions{SearchRegion: &Region{X0: -2, Y0: 0.3, X1: 5, Y1: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Located) != 1 {
+		t.Fatalf("located %d", len(rep.Located))
+	}
+	li := rep.Located[0]
+	if li.SigmaX <= 0 || li.SigmaY <= 0 || li.SigmaX > 1 || li.SigmaY > 2 {
+		t.Fatalf("σ = (%v, %v)", li.SigmaX, li.SigmaY)
+	}
+	// Cross-range is sharper than range for a linear pass.
+	if li.SigmaY < li.SigmaX {
+		t.Fatalf("σy %v < σx %v", li.SigmaY, li.SigmaX)
+	}
+}
+
+func TestMissionPlanFeedsSurvey(t *testing.T) {
+	// End-to-end: plan a coverage mission over a small aisle block, then
+	// fly the planned trajectory as a Survey. Sampling is set below λ/4
+	// (8 cm at 915 MHz) so the SAR matched filter stays unaliased.
+	m := Mission{
+		X0: 0, Y0: 0, X1: 4, Y1: 1.2,
+		AltitudeM:     0.8,
+		ReadRadiusM:   6,
+		PointSpacingM: 0.07,
+	}
+	plan, err := m.PlanCoverage(Bebop2(), Bebop2Endurance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sorties != 1 {
+		t.Fatalf("tiny mission needs %d sorties", plan.Sorties)
+	}
+
+	sys := New(Options{ReaderPos: At(-12, 1, 1.5), Seed: 23})
+	truth := At(1.8, 2.6, 0)
+	if err := sys.RegisterItem("pallet", NewEPC96(7, 7, 7, 7, 7, 7), truth); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Survey(plan.Trajectory,
+		SurveyOptions{SearchRegion: &Region{X0: -1, Y0: 1.4, X1: 6, Y1: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Located) != 1 {
+		t.Fatalf("located %d items along the planned mission", len(rep.Located))
+	}
+	if e := rep.Located[0].ErrorM; e > 0.35 {
+		t.Fatalf("mission-planned flight localizes to %.0f cm", 100*e)
+	}
+}
