@@ -139,7 +139,7 @@ func BenchmarkAblationAnalogRelay(b *testing.B) {
 	var iso float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		iso = a.MeasureIsolation(relay.InterDownlink, src)
+		iso, _ = a.MeasureIsolation(relay.InterDownlink, src)
 	}
 	b.ReportMetric(iso, "analog-iso-dB")
 }
@@ -156,7 +156,7 @@ func BenchmarkAblationFilterTaps(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := relay.New(cfg, rng.New(uint64(i+1)))
 				r.Lock(0)
-				iso = r.MeasureIsolation(relay.InterDownlink, rng.New(uint64(i+99)))
+				iso, _ = r.MeasureIsolation(relay.InterDownlink, rng.New(uint64(i+99)))
 			}
 			b.ReportMetric(iso, "interDL-dB")
 		})
@@ -195,7 +195,9 @@ func BenchmarkRelayForwardDownlink(b *testing.B) {
 	b.SetBytes(int64(len(x) * 16))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.ForwardDownlink(x, 0)
+		if _, err := r.ForwardDownlink(x, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -206,7 +208,9 @@ func BenchmarkRelayForwardUplink(b *testing.B) {
 	b.SetBytes(int64(len(x) * 16))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.ForwardUplink(x, 0)
+		if _, err := r.ForwardUplink(x, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -346,7 +350,7 @@ func BenchmarkDaisyChainForward(b *testing.B) {
 	cfg2 := relay.DefaultConfig()
 	cfg2.ShiftHz = 1.0e6
 	r2 := relay.New(cfg2, rng.New(2))
-	chain, err := relay.NewDaisyChain(0, r1, r2)
+	chain, err := relay.NewDaisyChain(0, signal.Tone(16384, 0, cfg.Fs, 0.1, 1e-3), r1, r2)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -354,7 +358,9 @@ func BenchmarkDaisyChainForward(b *testing.B) {
 	b.SetBytes(int64(len(x) * 16))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		chain.ForwardDownlink(x, nil, 0)
+		if _, err := chain.ForwardDownlink(x, nil, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -412,7 +418,10 @@ func BenchmarkHopFollowLock(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		f.Advance()
+		dwell := signal.Tone(8000, f.Next(), r.Cfg.Fs, 0, 1)
+		if _, err := f.Advance(dwell); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller)")
+	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller, faults)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	trials := flag.Int("trials", 0, "override trial count (0 = paper's count)")
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
@@ -106,6 +107,10 @@ func main() {
 	}
 	if run("miller") {
 		miller(*trials, *seed)
+		wrote = true
+	}
+	if run("faults") {
+		faultMatrix(*trials, *seed, *csvDir)
 		wrote = true
 	}
 	if !wrote {
@@ -192,6 +197,39 @@ func figure11(trials int, seed uint64, csvDir string) {
 			fmt.Fprintf(&b, "%g,%g,%g,%g\n", d, res.NoRelayLoS[i], res.RelayLoS[i], res.RelayNLoS[i])
 		}
 		writeCSV(csvDir, "figure11.csv", b.String())
+	}
+}
+
+func faultMatrix(trials int, seed uint64, csvDir string) {
+	header("Fault matrix — read rate and localization error per fault class")
+	cfg := experiments.DefaultFaultMatrixConfig()
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	res := experiments.FaultMatrix(cfg, seed)
+	fmt.Printf("%-20s %-9s %-9s %-9s %-11s %-11s %s\n",
+		"class", "nofault%", "nominal%", "recover%", "naive-loc m", "robust-loc m", "relocks")
+	locCell := func(v float64) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, r := range res.Rows {
+		fmt.Printf("%-20s %-9.1f %-9.1f %-9.1f %-11s %-11s %d\n",
+			r.Class, r.NoFaultPct, r.NominalPct, r.RecoveryPct,
+			locCell(r.NaiveLocErrM), locCell(r.RobustLocErrM), r.Relocks)
+	}
+	fmt.Printf("clean baseline %.1f%% (Figure 11 relay LoS at %g m)\n", res.CleanPct, cfg.ReaderTagDist)
+	fmt.Println("recovery = watchdog re-lock + MAC retry + gain reprogram + station-keep + battery swap")
+	if csvDir != "" {
+		var b strings.Builder
+		b.WriteString("class,nofault_pct,nominal_pct,recovery_pct,naive_loc_m,robust_loc_m,relocks\n")
+		for _, r := range res.Rows {
+			fmt.Fprintf(&b, "%v,%g,%g,%g,%g,%g,%d\n", r.Class,
+				r.NoFaultPct, r.NominalPct, r.RecoveryPct, r.NaiveLocErrM, r.RobustLocErrM, r.Relocks)
+		}
+		writeCSV(csvDir, "fault_matrix.csv", b.String())
 	}
 }
 
@@ -304,14 +342,18 @@ func ablations(seed uint64) {
 		cfg.LPFTaps = taps
 		r := relay.New(cfg, rng.New(seed+uint64(taps)))
 		r.Lock(0)
-		iso := r.MeasureIsolation(relay.InterDownlink, rng.New(seed+99))
+		iso, err := r.MeasureIsolation(relay.InterDownlink, rng.New(seed+99))
+		if err != nil {
+			fmt.Printf("%d taps → error: %v   ", taps, err)
+			continue
+		}
 		fmt.Printf("%d taps → %.0f dB   ", taps, iso)
 	}
 	fmt.Println()
 	// 3. Analog-relay baseline.
 	a := relay.NewAnalogRelay(rng.New(seed))
-	fmt.Printf("analog A&F baseline   : %.0f dB isolation (all four links)\n",
-		a.MeasureIsolation(relay.InterDownlink, rng.New(seed+7)))
+	analogIso, _ := a.MeasureIsolation(relay.InterDownlink, rng.New(seed+7))
+	fmt.Printf("analog A&F baseline   : %.0f dB isolation (all four links)\n", analogIso)
 	fmt.Println("(SAR grid resolution and phase-only weighting: see the Benchmark* ablations)")
 }
 

@@ -66,7 +66,12 @@ func main() {
 	trial := src.Split("trials")
 	for i := 0; i < *trials; i++ {
 		for _, l := range experiments.Links {
-			samples[l] = append(samples[l], r.MeasureIsolation(l, trial))
+			iso, err := r.MeasureIsolation(l, trial)
+			if err != nil {
+				fmt.Printf("isolation measurement failed for %v: %v\n", l, err)
+				continue
+			}
+			samples[l] = append(samples[l], iso)
 		}
 	}
 	fmt.Printf("%-16s %-10s %-10s %-10s\n", "link", "median dB", "p10", "p90")

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rfly-sim [-scene open|corridor|warehouse|facility] [-tags N]
-//	         [-seed N] [-norelay] [-mission] [-v]
+//	         [-seed N] [-norelay] [-mission] [-faults] [-v]
 package main
 
 import (
@@ -15,6 +15,9 @@ import (
 	"time"
 
 	"rfly"
+	"rfly/internal/fault"
+	"rfly/internal/reader"
+	"rfly/internal/relay"
 	"rfly/internal/rng"
 	"rfly/internal/world"
 )
@@ -27,6 +30,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-item detail")
 	showMap := flag.Bool("map", false, "print a plan-view map of the scenario")
 	mission := flag.Bool("mission", false, "print the coverage/battery plan for the scene before flying")
+	faults := flag.Bool("faults", false, "inject a seeded fault schedule and compare a recovery-enabled survey against a nominal one")
 	flag.Parse()
 
 	var scene *rfly.Scene
@@ -59,27 +63,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys := rfly.New(rfly.Options{
-		Scene:              scene,
-		ReaderPos:          readerPos,
-		NoRelay:            *noRelay,
-		ShadowSigmaDB:      3,
-		GroundReflectivity: 0.3,
-		Seed:               *seed,
-	})
-
-	// Scatter items along the aisles' +Y faces.
-	src := rng.New(*seed)
-	for i := 0; i < *tags; i++ {
-		aisle := aisles[i%len(aisles)]
-		x := src.Uniform(xRange[0]+1, xRange[1]-1)
-		y := aisle + src.Uniform(0.6, 1.4)
-		name := fmt.Sprintf("item-%02d", i+1)
-		if err := sys.RegisterItem(name, rfly.NewEPC96(0xE280, 0xCAFE, uint16(i), 0, 0, 0),
-			rfly.At(x, y, 0.2)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	// build constructs a fresh, identically-seeded scenario — the fault
+	// demo needs one system per arm so the arms cannot contaminate each
+	// other through mutated relay state.
+	build := func() *rfly.System {
+		sys := rfly.New(rfly.Options{
+			Scene:              scene,
+			ReaderPos:          readerPos,
+			NoRelay:            *noRelay,
+			ShadowSigmaDB:      3,
+			GroundReflectivity: 0.3,
+			Seed:               *seed,
+		})
+		// Scatter items along the aisles' +Y faces.
+		src := rng.New(*seed)
+		for i := 0; i < *tags; i++ {
+			aisle := aisles[i%len(aisles)]
+			x := src.Uniform(xRange[0]+1, xRange[1]-1)
+			y := aisle + src.Uniform(0.6, 1.4)
+			name := fmt.Sprintf("item-%02d", i+1)
+			if err := sys.RegisterItem(name, rfly.NewEPC96(0xE280, 0xCAFE, uint16(i), 0, 0, 0),
+				rfly.At(x, y, 0.2)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
+		return sys
+	}
+	sys := build()
+
+	if *faults {
+		if *noRelay {
+			fmt.Fprintln(os.Stderr, "-faults needs the relay (drop -norelay)")
+			os.Exit(2)
+		}
+		faultDemo(build, *sceneName, *seed, aisles[0], xRange)
+		return
 	}
 
 	if *mission {
@@ -158,4 +177,85 @@ func main() {
 	if located > 0 {
 		fmt.Printf("mean localization error: %.0f cm\n", 100*errSum/float64(located))
 	}
+}
+
+// faultDemo flies the relay down the first aisle twice under the SAME
+// seeded fault schedule — once with every recovery mechanism disabled,
+// once with the full stack (watchdog re-lock, MAC retry, gain reprogram,
+// station-keeping, battery swap) — and prints what the faults cost each
+// arm in per-tick reads of the nearest item.
+func faultDemo(build func() *rfly.System, sceneName string, seed uint64, aisle float64, xRange [2]float64) {
+	const ticks = 80
+	sched, err := fault.Plan(fault.PlanConfig{Ticks: ticks * 3 / 4}, rng.New(seed).Split("fault-demo"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("scene %s, seeded fault schedule over %d survey ticks:\n", sceneName, ticks)
+	for _, ev := range sched.Sorted() {
+		fmt.Printf("  %v\n", ev)
+	}
+
+	run := func(recover bool) (reads int) {
+		sys := build()
+		d := sys.Deployment()
+		plan := rfly.Line(rfly.At(xRange[0], aisle, 1.2), rfly.At(xRange[1], aisle, 1.2), ticks)
+		inj, err := fault.NewInjector(sched, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var wd *relay.Watchdog
+		if recover {
+			wd, _ = relay.NewWatchdog(d.Relay, relay.WatchdogConfig{})
+		}
+		pol := reader.DefaultRetryPolicy()
+		sagTicks := -1
+		for _, pt := range plan.Points {
+			d.MoveRelay(pt)
+			inj.Step()
+			if recover {
+				wd.Tick(d)
+				if !d.RelayPowered() {
+					sagTicks++
+					if sagTicks >= 5 {
+						d.SetRelayPowered(true)
+						sagTicks = -1
+					}
+				}
+				d.StationKeep(2)
+				if !d.RelayPlanStable() {
+					d.ReprogramGains()
+				}
+			}
+			// Read the item nearest the current hover point.
+			var nearest int
+			best := -1.0
+			for j, t := range d.Tags {
+				dist := t.Pos.Dist(d.RelayPos)
+				if best < 0 || dist < best {
+					best, nearest = dist, j
+				}
+			}
+			if len(d.Tags) == 0 {
+				continue
+			}
+			if recover {
+				if d.ReadAttemptRetry(d.Tags[nearest], pol, nil) {
+					reads++
+				}
+			} else if d.ReadAttempt(d.Tags[nearest]) {
+				reads++
+			}
+		}
+		return reads
+	}
+
+	nominal := run(false)
+	recovery := run(true)
+	fmt.Printf("\nnominal   (no recovery):   %d/%d ticks read the nearest item (%.0f%%)\n",
+		nominal, ticks, 100*float64(nominal)/ticks)
+	fmt.Printf("recovery  (full stack):    %d/%d ticks read the nearest item (%.0f%%)\n",
+		recovery, ticks, 100*float64(recovery)/ticks)
+	fmt.Println("recovery = watchdog re-lock + MAC retry + gain reprogram + station-keep + battery swap")
 }

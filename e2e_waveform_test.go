@@ -51,7 +51,11 @@ func newWaveformRig(t testing.TB, dRR, dRT float64, seed uint64) *waveformRig {
 	rl.Lock(0)
 	// Program the VGAs as a deployed relay would (§6.1); without this the
 	// uplink has 0 dB gain and thermal-noise tests are hopeless.
-	rl.ProgramGains(rl.MeasureAll(src.Split("iso")))
+	iso, err := rl.MeasureAll(src.Split("iso"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.ProgramGains(iso)
 	rdCfg := reader.DefaultConfig()
 	rdCfg.Fs = cfg.Fs
 	rdCfg.TxPowerDBm = 0 // keep the PA linear for clean phase assertions
@@ -88,7 +92,10 @@ func (w *waveformRig) runQuery(t testing.TB, cmd epc.Command) (epc.Command, *rea
 	tx := w.rd.CommandWaveform(cmd)
 	atRelay := chanApply(tx, w.f, w.dRR)
 	// 2. Relay downlink (output rides the shifted carrier).
-	dl := w.rl.ForwardDownlink(atRelay, 0)
+	dl, err := w.rl.ForwardDownlink(atRelay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 3. Through the air to the tag, at the shifted carrier.
 	atTag := chanApply(dl, w.f2, w.dRT)
 	if w.noise > 0 {
@@ -127,7 +134,10 @@ func (w *waveformRig) runQuery(t testing.TB, cmd epc.Command) (epc.Command, *rea
 	}
 	// 6. Back through the air, the relay uplink, and the air again.
 	atRelayUp := chanApply(bs, w.f2, w.dRT)
-	ul := w.rl.ForwardUplink(atRelayUp, 0)
+	ul, err := w.rl.ForwardUplink(atRelayUp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	atReader := chanApply(ul, w.f, w.dRR)
 	if w.noise > 0 {
 		signal.AWGN(atReader, w.noise, w.src.Norm)

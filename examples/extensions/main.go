@@ -52,9 +52,18 @@ func hopFollowing() {
 		return
 	}
 	fmt.Printf("swept and locked to %+.1f kHz\n", f.Current()/1e3)
-	fmt.Print("following hops without re-sweeping:")
+	fmt.Print("following hops, verifying each dwell's carrier:")
 	for i := 0; i < 4; i++ {
-		fmt.Printf(" → %+.1f kHz", f.Advance()/1e3)
+		// At each dwell boundary the reader has moved to the pattern's next
+		// channel; the follower verifies the carrier is really there before
+		// retuning (a missed hop surfaces as an error, not a dead retune).
+		dwell := signal.Tone(8000, f.Next(), r.Cfg.Fs, 0.3, 1)
+		next, err := f.Advance(dwell)
+		if err != nil {
+			fmt.Println("\nhop follow failed:", err)
+			return
+		}
+		fmt.Printf(" → %+.1f kHz", next/1e3)
 	}
 	fmt.Print("\n\n")
 }

@@ -43,7 +43,11 @@ func main() {
 
 	// Forward the combined downlink. Reader A's query band passes; reader
 	// B, now 1.5 MHz away from the relay's baseband filters, is rejected.
-	out := r.ForwardDownlink(capture, 0)
+	out, err := r.ForwardDownlink(capture, 0)
+	if err != nil {
+		fmt.Println("forward failed:", err)
+		return
+	}
 	skip := n / 4
 	pA := signal.GoertzelPower(out[skip:], locked+r.Cfg.ShiftHz, fs)
 	pB := signal.GoertzelPower(out[skip:], freqB+r.Cfg.ShiftHz, fs)

@@ -107,7 +107,10 @@ func DaisyChainRange(maxHops int, seed uint64) []DaisyChainRow {
 		for attempt := 0; ; attempt++ {
 			r := relay.New(relay.DefaultConfig(), rng.New(root.Uint64()))
 			r.Lock(0)
-			iso := r.MeasureAll(root.Split("iso"))
+			iso, err := r.MeasureAll(root.Split("iso"))
+			if err != nil {
+				continue // unreachable on a locked relay; redraw
+			}
 			plan := r.ProgramGains(iso)
 			// The downlink forwarding loop is what rings; its isolation
 			// (minus margin) sets the hop's stable leg length.

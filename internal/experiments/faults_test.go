@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rfly/internal/fault"
+	"rfly/internal/world"
+)
+
+// matrixTestConfig shrinks the matrix enough to keep the suite fast while
+// preserving every class's recovery-vs-nominal margin.
+func matrixTestConfig() FaultMatrixConfig {
+	cfg := DefaultFaultMatrixConfig()
+	cfg.Trials = 10
+	cfg.LocTrials = 4
+	return cfg
+}
+
+// sharedMatrix runs the seed-7 test matrix once for all the tests that
+// only read it.
+var sharedMatrix = sync.OnceValue(func() FaultMatrixResult {
+	return FaultMatrix(matrixTestConfig(), 7)
+})
+
+func TestFaultMatrixDeterministic(t *testing.T) {
+	cfg := matrixTestConfig()
+	cfg.Trials = 3
+	cfg.LocTrials = 2
+	a := FaultMatrix(cfg, 42)
+	b := FaultMatrix(cfg, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different matrices:\n%+v\n%+v", a, b)
+	}
+	c := FaultMatrix(cfg, 43)
+	same := true
+	for i := range a.Rows {
+		if a.Rows[i].NominalPct != c.Rows[i].NominalPct ||
+			a.Rows[i].RecoveryPct != c.Rows[i].RecoveryPct {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("changing the seed changed nothing — matrix is not actually seeded")
+	}
+}
+
+func TestFaultMatrixRecoveryBeatsNominal(t *testing.T) {
+	res := sharedMatrix()
+	if len(res.Rows) != len(fault.Classes()) {
+		t.Fatalf("matrix has %d rows, want one per class (%d)", len(res.Rows), len(fault.Classes()))
+	}
+	for _, r := range res.Rows {
+		if r.RecoveryPct <= r.NominalPct {
+			t.Errorf("%v: recovery %.1f%% does not beat nominal %.1f%%",
+				r.Class, r.RecoveryPct, r.NominalPct)
+		}
+		if r.NoFaultPct < r.RecoveryPct-5 {
+			t.Errorf("%v: recovery %.1f%% implausibly beats no-fault %.1f%%",
+				r.Class, r.RecoveryPct, r.NoFaultPct)
+		}
+	}
+}
+
+// TestFaultMatrixCleanMatchesFigure11 pins the no-fault column to the
+// Figure 11 relay-LoS read rate at the same corridor distance: the fault
+// harness must not perturb the nominal physics.
+func TestFaultMatrixCleanMatchesFigure11(t *testing.T) {
+	cfg := matrixTestConfig()
+	res := sharedMatrix()
+
+	f11 := DefaultFigure11Config()
+	f11.TrialsPerPoint = 40
+	los := world.Corridor(cfg.ReaderTagDist+10, 3.0)
+	ref := 100 * readRateAt(los, cfg.ReaderTagDist, true, f11, 7^0xB0)
+	if math.Abs(res.CleanPct-ref) > 5 {
+		t.Fatalf("no-fault column %.1f%% vs Figure 11 %.1f%% at %g m",
+			res.CleanPct, ref, cfg.ReaderTagDist)
+	}
+	for _, r := range res.Rows {
+		if math.Abs(r.NoFaultPct-res.CleanPct) > 5 {
+			t.Errorf("%v: no-fault %.1f%% far from pooled clean %.1f%%",
+				r.Class, r.NoFaultPct, res.CleanPct)
+		}
+	}
+}
+
+// TestFaultMatrixWatchdogEarnsItsKeep checks the diagnostic column: the
+// lock-loss classes must exercise the re-sweep path, and the classes the
+// watchdog cannot help must not (their recovery comes from retry,
+// reprogramming, or station-keeping).
+func TestFaultMatrixWatchdogEarnsItsKeep(t *testing.T) {
+	res := sharedMatrix()
+	needsRelock := map[fault.Class]bool{
+		fault.SynthDrift: true, fault.BatterySag: true, fault.CarrierHop: true,
+	}
+	for _, r := range res.Rows {
+		if needsRelock[r.Class] && r.Relocks == 0 {
+			t.Errorf("%v: watchdog never re-locked", r.Class)
+		}
+		if !needsRelock[r.Class] && r.Relocks != 0 {
+			t.Errorf("%v: unexpected %d re-locks", r.Class, r.Relocks)
+		}
+	}
+}
+
+// TestFaultMatrixRobustLocUnderDrift checks the localization column's
+// headline: under sub-outage LO drift the robust localizer (rejecting
+// unlocked captures) clearly beats the naive one (integrating scrambled
+// phases).
+func TestFaultMatrixRobustLocUnderDrift(t *testing.T) {
+	res := sharedMatrix()
+	for _, r := range res.Rows {
+		if r.Class != fault.SynthDrift {
+			continue
+		}
+		if math.IsNaN(r.NaiveLocErrM) || math.IsNaN(r.RobustLocErrM) {
+			t.Fatalf("drift loc errors: naive %v robust %v", r.NaiveLocErrM, r.RobustLocErrM)
+		}
+		if r.RobustLocErrM >= r.NaiveLocErrM {
+			t.Fatalf("robust %.2f m did not beat naive %.2f m under drift",
+				r.RobustLocErrM, r.NaiveLocErrM)
+		}
+		if r.RobustLocErrM > 0.6 {
+			t.Fatalf("robust error %.2f m too large for a clean-aperture solve", r.RobustLocErrM)
+		}
+	}
+}

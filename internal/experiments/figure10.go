@@ -68,7 +68,11 @@ func phaseTrials(trials int, seed uint64, mirrored bool) []float64 {
 
 		// Downlink traversal: the tag is illuminated by the relay's
 		// shifted, phase-offset carrier.
-		dl := r.ForwardDownlink(cw, 0)
+		dl, err := r.ForwardDownlink(cw, 0)
+		if err != nil {
+			phases = append(phases, math.NaN())
+			continue
+		}
 
 		// The tag multiplies the incident carrier by its chip sequence
 		// (modulated backscatter), with the 0.5 m round-trip phase.
@@ -79,7 +83,11 @@ func phaseTrials(trials int, seed uint64, mirrored bool) []float64 {
 		}
 
 		// Uplink traversal back to the reader's frame.
-		out := r.ForwardUplink(bs, 0)
+		out, err := r.ForwardUplink(bs, 0)
+		if err != nil {
+			phases = append(phases, math.NaN())
+			continue
+		}
 
 		// Thermal noise at the target per-chip SNR.
 		sigP := signal.Power(out[lead+len(wf)/4 : lead+3*len(wf)/4])

@@ -1,0 +1,354 @@
+// Package fault is a deterministic fault-injection subsystem for the RFly
+// simulation. It expresses hardware and environment faults — synthesizer
+// CFO drift, VGA gain droop, antenna isolation collapse, drone battery
+// sag, wind-gust trajectory jitter, reader carrier hops, and burst
+// interference — as timed Events on a discrete experiment timeline, and
+// applies them to a live system through the Target interface implemented
+// by sim.Deployment (and adaptable to any other component graph).
+//
+// Determinism is a design contract: every random draw a schedule makes
+// comes from a named split of the experiment's seeded PCG stream (see
+// internal/rng), never from wall-clock time, so a fault experiment replays
+// bit-identically for a fixed seed. That is what lets FaultMatrix compare
+// a recovery-enabled run against a recovery-disabled run under the *same*
+// fault realization.
+//
+// The injector deliberately separates injection from recovery: it only
+// perturbs the target. Recovery lives with the components themselves
+// (relay.Watchdog re-sweeps, reader retries rounds, drone.Mission
+// replans), mirroring how the real system would survive the same events.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rfly/internal/rng"
+)
+
+// Class enumerates the injectable fault classes. Each maps to a physical
+// failure mode of the paper's system (§4.2, §4.3, §6.2).
+type Class int
+
+const (
+	// SynthDrift steps the relay's locked LO away from the reader carrier
+	// (crystal temperature drift, PLL reference walk). Param is the CFO in
+	// Hz; Severity scales a target-chosen default when Param is zero. The
+	// drift persists until something retunes the synthesizers — reverting
+	// the event does NOT heal it (drifted crystals do not self-correct);
+	// only a re-lock (relay.Watchdog) restores the nominal LO.
+	SynthDrift Class = iota
+	// GainDroop sags the relay's uplink VGA gain (supply droop, thermal
+	// compression). Param is the droop in dB. Reverting restores the
+	// programmed gain (the supply recovers when the transient ends).
+	GainDroop
+	// IsolationCollapse drops the relay's antenna port isolation (a
+	// detuned patch, a nearby reflector on the drone frame). Param is the
+	// collapse in dB. Like SynthDrift it persists past the event window:
+	// the hardware stays detuned until gains are re-programmed against the
+	// new isolation (the recovery path re-runs the §6.1 procedure).
+	IsolationCollapse
+	// BatterySag models the drone battery sagging under load: the relay's
+	// 5.5 V rail browns out intermittently and the airframe loses
+	// endurance. Severity is the fraction of ticks the relay rail is down
+	// (sim) and the fraction of flight endurance lost (drone.Mission).
+	// Persists until a battery swap (the mission-level recovery).
+	BatterySag
+	// WindGust displaces the drone from its planned trajectory point.
+	// Severity scales the target's full-scale gust magnitude; Param is
+	// the gust heading in radians (0 = +x). Reverting ends the gust, and
+	// an un-steered drone drifts back to its hover target; mid-gust the
+	// controller can fight back via station-keeping (the recovery path).
+	WindGust
+	// CarrierHop moves the reader to another regulatory channel
+	// mid-inventory (§4.2). Param is the hop in Hz. The reader stays on
+	// the new channel; a relay that does not re-sweep is left behind.
+	CarrierHop
+	// BurstInterference switches on an interfering transmitter near the
+	// reader for the event window. Param is the interferer transmit power
+	// in dBm. Reverting switches it off.
+	BurstInterference
+
+	numClasses
+)
+
+// Classes returns all injectable classes in declaration order.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case SynthDrift:
+		return "synth-drift"
+	case GainDroop:
+		return "gain-droop"
+	case IsolationCollapse:
+		return "isolation-collapse"
+	case BatterySag:
+		return "battery-sag"
+	case WindGust:
+		return "wind-gust"
+	case CarrierHop:
+		return "carrier-hop"
+	case BurstInterference:
+		return "burst-interference"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseClass converts a string (as produced by String) back to a Class.
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes() {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown class %q", s)
+}
+
+// Event is one timed fault: it engages at tick Start and, if Duration is
+// positive, is reverted Duration ticks later. Duration ≤ 0 means the event
+// is never reverted by the injector (a permanent fault; whether the system
+// heals is then entirely up to its recovery machinery). Severity is a
+// dimensionless magnitude in [0, 1]; Param carries the class-specific
+// physical magnitude (Hz, dB, meters, dBm) — see the Class docs.
+type Event struct {
+	Class    Class
+	Start    int
+	Duration int
+	Severity float64
+	Param    float64
+}
+
+// End returns the tick at which the event is reverted, or -1 for a
+// permanent event.
+func (e Event) End() int {
+	if e.Duration <= 0 {
+		return -1
+	}
+	return e.Start + e.Duration
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Duration <= 0 {
+		return fmt.Sprintf("%v@%d(permanent, sev=%.2f, param=%g)", e.Class, e.Start, e.Severity, e.Param)
+	}
+	return fmt.Sprintf("%v@%d+%d(sev=%.2f, param=%g)", e.Class, e.Start, e.Duration, e.Severity, e.Param)
+}
+
+// Target is anything faults can be injected into. ApplyFault perturbs the
+// component state per the event; RevertFault removes the *external* cause
+// (the gust ends, the interferer goes quiet). For classes whose damage
+// outlives the cause (SynthDrift, IsolationCollapse, CarrierHop,
+// BatterySag) RevertFault is documented per-target and may be a no-op:
+// recovery is the system's job, not the injector's.
+type Target interface {
+	ApplyFault(Event) error
+	RevertFault(Event) error
+}
+
+// Schedule is a set of events on one experiment timeline.
+type Schedule struct {
+	Events []Event
+}
+
+// Sorted returns the events ordered by start tick (stable on class order
+// for equal starts), leaving the receiver untouched.
+func (s Schedule) Sorted() []Event {
+	out := make([]Event, len(s.Events))
+	copy(out, s.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Validate rejects schedules with negative start ticks.
+func (s Schedule) Validate() error {
+	for i, e := range s.Events {
+		if e.Start < 0 {
+			return fmt.Errorf("fault: event %d (%v) starts before tick 0", i, e)
+		}
+		if e.Class < 0 || e.Class >= numClasses {
+			return fmt.Errorf("fault: event %d has unknown class %d", i, int(e.Class))
+		}
+	}
+	return nil
+}
+
+// String renders the schedule compactly for logs.
+func (s Schedule) String() string {
+	if len(s.Events) == 0 {
+		return "fault.Schedule{}"
+	}
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Sorted() {
+		parts[i] = e.String()
+	}
+	return "fault.Schedule{" + strings.Join(parts, ", ") + "}"
+}
+
+// PlanConfig parameterizes Plan's random schedule generation.
+type PlanConfig struct {
+	// Classes to draw events for; nil means all classes.
+	Classes []Class
+	// Ticks is the timeline length events must start within.
+	Ticks int
+	// EventsPerClass is how many events of each class to place (default 1).
+	EventsPerClass int
+	// MinDuration/MaxDuration bound each event's window in ticks
+	// (defaults 3/8). Classes with persistent damage ignore the revert
+	// anyway; the window still controls when the cause is present.
+	MinDuration, MaxDuration int
+	// Severity bounds the per-event magnitude draw (defaults 0.5/1.0).
+	MinSeverity, MaxSeverity float64
+}
+
+func (c *PlanConfig) defaults() {
+	if c.Classes == nil {
+		c.Classes = Classes()
+	}
+	if c.EventsPerClass <= 0 {
+		c.EventsPerClass = 1
+	}
+	if c.MinDuration <= 0 {
+		c.MinDuration = 3
+	}
+	if c.MaxDuration < c.MinDuration {
+		c.MaxDuration = c.MinDuration + 5
+	}
+	if c.MaxSeverity <= 0 {
+		c.MinSeverity, c.MaxSeverity = 0.5, 1.0
+	}
+}
+
+// Plan draws a random schedule from a named split of src. All draws are
+// made in a fixed class order so the schedule depends only on the seed and
+// the config, never on call order elsewhere in the experiment.
+func Plan(cfg PlanConfig, src *rng.Source) (Schedule, error) {
+	cfg.defaults()
+	if cfg.Ticks <= 0 {
+		return Schedule{}, fmt.Errorf("fault: plan needs a positive timeline, got %d ticks", cfg.Ticks)
+	}
+	var s Schedule
+	for _, class := range cfg.Classes {
+		draw := src.Split("fault-plan-" + class.String())
+		for i := 0; i < cfg.EventsPerClass; i++ {
+			dur := cfg.MinDuration
+			if cfg.MaxDuration > cfg.MinDuration {
+				dur += draw.Intn(cfg.MaxDuration - cfg.MinDuration + 1)
+			}
+			start := draw.Intn(cfg.Ticks)
+			s.Events = append(s.Events, Event{
+				Class:    class,
+				Start:    start,
+				Duration: dur,
+				Severity: draw.Uniform(cfg.MinSeverity, cfg.MaxSeverity),
+			})
+		}
+	}
+	return s, nil
+}
+
+// Injector walks a schedule over a target, one tick at a time. It is the
+// only piece of the subsystem that touches the target; experiments call
+// Step once per timeline tick, before running that tick's traffic.
+type Injector struct {
+	target Target
+	events []Event // sorted by start
+	tick   int
+	active []Event
+	errs   []error
+}
+
+// NewInjector validates the schedule and binds it to a target.
+func NewInjector(s Schedule, t Target) (*Injector, error) {
+	if t == nil {
+		return nil, fmt.Errorf("fault: nil target")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{target: t, events: s.Sorted()}, nil
+}
+
+// Tick returns the next tick Step will process (0 before the first Step).
+func (in *Injector) Tick() int { return in.tick }
+
+// Active returns the events currently applied and not yet reverted
+// (permanent events stay active forever). The slice is shared; do not
+// mutate it.
+func (in *Injector) Active() []Event { return in.active }
+
+// ActiveClass reports whether any active event has the given class.
+func (in *Injector) ActiveClass(c Class) bool {
+	for _, e := range in.active {
+		if e.Class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns every error the target raised during Apply/Revert calls.
+func (in *Injector) Errors() []error { return in.errs }
+
+// Step processes one tick: reverts events whose window ends at this tick,
+// then applies events that start at it. Target errors are collected (and
+// returned joined) but do not stop the timeline — a fault injector that
+// aborts the experiment on the first hiccup would defeat its purpose.
+func (in *Injector) Step() error {
+	t := in.tick
+	in.tick++
+
+	var firstErr error
+	record := func(err error) {
+		if err != nil {
+			in.errs = append(in.errs, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+
+	// Revert before apply so a back-to-back pair of events on the same
+	// component hands over cleanly.
+	kept := in.active[:0]
+	for _, e := range in.active {
+		if end := e.End(); end >= 0 && end <= t {
+			record(in.target.RevertFault(e))
+			continue
+		}
+		kept = append(kept, e)
+	}
+	in.active = kept
+
+	for len(in.events) > 0 && in.events[0].Start <= t {
+		e := in.events[0]
+		in.events = in.events[1:]
+		record(in.target.ApplyFault(e))
+		in.active = append(in.active, e)
+	}
+	return firstErr
+}
+
+// Done reports whether every event has been applied and every revertible
+// event reverted.
+func (in *Injector) Done() bool {
+	if len(in.events) > 0 {
+		return false
+	}
+	for _, e := range in.active {
+		if e.End() >= 0 {
+			return false
+		}
+	}
+	return true
+}

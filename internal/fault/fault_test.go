@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rfly/internal/rng"
+)
+
+// recorder is a Target that logs every call.
+type recorder struct {
+	log  []string
+	fail map[Class]bool
+}
+
+func (r *recorder) ApplyFault(e Event) error {
+	r.log = append(r.log, fmt.Sprintf("apply %v@%d", e.Class, e.Start))
+	if r.fail[e.Class] {
+		return fmt.Errorf("boom %v", e.Class)
+	}
+	return nil
+}
+
+func (r *recorder) RevertFault(e Event) error {
+	r.log = append(r.log, fmt.Sprintf("revert %v@%d", e.Class, e.Start))
+	return nil
+}
+
+func TestInjectorTimeline(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Class: GainDroop, Start: 2, Duration: 3},
+		{Class: WindGust, Start: 1, Duration: 1},
+		{Class: SynthDrift, Start: 4}, // permanent
+	}}
+	rec := &recorder{}
+	in, err := NewInjector(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if in.Tick() != i {
+			t.Fatalf("tick = %d, want %d", in.Tick(), i)
+		}
+		if err := in.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At tick 2 the gust's window ends and the droop starts; reverts run
+	// before applies within a tick.
+	want := []string{
+		"apply wind-gust@1",
+		"revert wind-gust@1",
+		"apply gain-droop@2",
+		"apply synth-drift@4",
+		"revert gain-droop@2",
+	}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("log = %v, want %v", rec.log, want)
+	}
+	// The permanent drift stays active; the injector is still Done
+	// because nothing remains to apply or revert.
+	if !in.Done() {
+		t.Fatal("injector not done after timeline")
+	}
+	if !in.ActiveClass(SynthDrift) {
+		t.Fatal("permanent event dropped from active set")
+	}
+	if in.ActiveClass(GainDroop) {
+		t.Fatal("reverted event still active")
+	}
+}
+
+func TestInjectorCollectsErrors(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Class: GainDroop, Start: 0, Duration: 2},
+		{Class: WindGust, Start: 0, Duration: 2},
+	}}
+	rec := &recorder{fail: map[Class]bool{GainDroop: true}}
+	in, err := NewInjector(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Step(); err == nil {
+		t.Fatal("expected target error surfaced")
+	}
+	// The failing apply did not stop the other event.
+	if !in.ActiveClass(WindGust) {
+		t.Fatal("wind gust not applied after sibling error")
+	}
+	if len(in.Errors()) != 1 {
+		t.Fatalf("Errors = %v", in.Errors())
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{Events: []Event{{Class: GainDroop, Start: -1}}}).Validate(); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := (Schedule{Events: []Event{{Class: Class(99), Start: 0}}}).Validate(); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := NewInjector(Schedule{}, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Ticks: 40}
+	a, err := Plan(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	c, err := Plan(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Events) != len(Classes()) {
+		t.Fatalf("planned %d events, want one per class (%d)", len(a.Events), len(Classes()))
+	}
+	for _, e := range a.Events {
+		if e.Start < 0 || e.Start >= cfg.Ticks {
+			t.Fatalf("event %v starts outside the timeline", e)
+		}
+		if e.Severity < 0.5 || e.Severity > 1.0 {
+			t.Fatalf("event %v severity outside default bounds", e)
+		}
+	}
+	if _, err := Plan(PlanConfig{}, rng.New(1)); err == nil {
+		t.Fatal("zero-tick plan accepted")
+	}
+}
+
+func TestClassRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%v) = %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("nope"); err == nil {
+		t.Fatal("unknown class parsed")
+	}
+}

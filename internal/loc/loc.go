@@ -23,6 +23,11 @@ import (
 type Measurement struct {
 	Pos geom.Point
 	H   complex128
+	// Unlocked marks a capture taken while the relay's carrier lock was
+	// degraded (mid-re-lock, or with residual CFO): its phase is
+	// decorrelated from the geometry and integrating it only adds noise.
+	// LocalizeRobust drops these; plain Localize ignores the flag.
+	Unlocked bool
 }
 
 // Disentangle implements Eq. 10: dividing the target tag's channel by the

@@ -1,0 +1,65 @@
+package loc
+
+import (
+	"fmt"
+	"math"
+
+	"rfly/internal/geom"
+)
+
+// RobustResult is LocalizeRobust's outcome: the solve over the surviving
+// measurements plus an honest accounting of what was thrown away and how
+// much the answer's confidence widened because of it.
+type RobustResult struct {
+	*Result
+	// Total and Kept count the input and surviving measurements.
+	Total int
+	Kept  int
+	// SigmaX/SigmaY are the Uncertainty estimates widened by the aperture
+	// loss: rejecting samples shrinks the synthetic aperture, so the
+	// reported confidence must not pretend the flight was clean.
+	SigmaX float64
+	SigmaY float64
+}
+
+// RejectUnlocked filters out measurements captured while the relay's lock
+// was degraded, returning the survivors and the rejection count. The
+// input slice is not modified.
+func RejectUnlocked(meas []Measurement) ([]Measurement, int) {
+	kept := make([]Measurement, 0, len(meas))
+	for _, m := range meas {
+		if m.Unlocked {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	return kept, len(meas) - len(kept)
+}
+
+// LocalizeRobust is Localize hardened for faulty flights: unlocked
+// captures are rejected before the SAR integration (their phases carry no
+// geometry), and the reported 1-σ uncertainty is widened by
+// sqrt(total/kept) to reflect the thinner aperture. It errors when
+// rejection leaves fewer than the three measurements a solve needs —
+// a flight that was dark throughout should fail loudly, not return a
+// noise peak with a confident σ.
+func LocalizeRobust(meas []Measurement, traj geom.Trajectory, cfg Config) (*RobustResult, error) {
+	kept, _ := RejectUnlocked(meas)
+	if len(kept) < 3 {
+		return nil, fmt.Errorf("loc: only %d/%d measurements survived lock rejection",
+			len(kept), len(meas))
+	}
+	res, err := Localize(kept, traj, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sx, sy := Uncertainty(kept, res, cfg)
+	widen := math.Sqrt(float64(len(meas)) / float64(len(kept)))
+	return &RobustResult{
+		Result: res,
+		Total:  len(meas),
+		Kept:   len(kept),
+		SigmaX: sx * widen,
+		SigmaY: sy * widen,
+	}, nil
+}

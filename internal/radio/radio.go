@@ -143,14 +143,15 @@ func (s *Synthesizer) Tune(freq float64, src *rng.Source) {
 	s.set = true
 }
 
-// Oscillator returns the currently tuned oscillator. It panics if the
-// synthesizer has never been tuned, which would indicate a wiring bug in
-// the relay construction.
-func (s *Synthesizer) Oscillator() signal.Oscillator {
+// Oscillator returns the currently tuned oscillator, or an error if the
+// synthesizer has never been tuned — which happens in the field when a
+// fault knocks a relay back to its power-on state, so it must be
+// survivable rather than a panic.
+func (s *Synthesizer) Oscillator() (signal.Oscillator, error) {
 	if !s.set {
-		panic(fmt.Sprintf("radio: synthesizer %q used before Tune", s.Name))
+		return signal.Oscillator{}, fmt.Errorf("radio: synthesizer %q used before Tune", s.Name)
 	}
-	return s.osc
+	return s.osc, nil
 }
 
 // Tuned reports whether Tune has been called.

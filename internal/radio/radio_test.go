@@ -91,26 +91,30 @@ func TestSynthesizerTune(t *testing.T) {
 		t.Fatal("zero synthesizer claims tuned")
 	}
 	s.Tune(1e6, src)
-	o1 := s.Oscillator()
+	o1, err := s.Oscillator()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o1.Freq != 1e6 {
 		t.Fatalf("Freq = %v", o1.Freq)
 	}
 	// Re-tuning draws a fresh random phase.
 	s.Tune(1e6, src)
-	o2 := s.Oscillator()
+	o2, err := s.Oscillator()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o1.Phase == o2.Phase {
 		t.Fatal("retune did not redraw phase")
 	}
 }
 
-func TestSynthesizerPanicsUntuned(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestSynthesizerErrorsUntuned(t *testing.T) {
 	var s Synthesizer
-	s.Oscillator()
+	s.Name = "untuned"
+	if _, err := s.Oscillator(); err == nil {
+		t.Fatal("expected error from untuned synthesizer")
+	}
 }
 
 func TestSynthesizerSharedIsMirrored(t *testing.T) {
@@ -122,15 +126,23 @@ func TestSynthesizerSharedIsMirrored(t *testing.T) {
 	shared := &Synthesizer{Name: "shared"}
 	shared.Tune(800e3, src)
 	x := signal.Tone(2048, 120e3, fs, 0.3, 1)
-	down := shared.Oscillator().MixDown(x, fs, 0)
-	up := shared.Oscillator().MixUp(down, fs, 0)
+	osc, err := shared.Oscillator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := osc.MixDown(x, fs, 0)
+	up := osc.MixUp(down, fs, 0)
 	if d := signal.PhaseDiffDeg(x[100], up[100]); d > 1e-6 {
 		t.Fatalf("shared synthesizer phase error = %v°", d)
 	}
 
 	other := &Synthesizer{Name: "independent"}
 	other.Tune(800e3, src)
-	up2 := other.Oscillator().MixUp(down, fs, 0)
+	osc2, err := other.Oscillator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	up2 := osc2.MixUp(down, fs, 0)
 	if d := signal.PhaseDiffDeg(x[100], up2[100]); d < 1 {
 		t.Skip("independent synthesizers happened to draw near-equal phases")
 	}

@@ -114,7 +114,10 @@ func TestMillerThroughRelay(t *testing.T) {
 		rx[300+i] = v * 1e-3
 	}
 	rx = carrier.MixUp(rx, rd.Cfg.Fs, 0)
-	out := rl.ForwardUplink(rx, 0)
+	out, err := rl.ForwardUplink(rx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dec, err := rd.DecodeBackscatterMiller(out, 500e3, epc.Miller2, 0, 800, 16)
 	if err != nil {
 		t.Fatal(err)

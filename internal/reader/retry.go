@@ -1,0 +1,72 @@
+package reader
+
+import "rfly/internal/epc"
+
+// RetryPolicy bounds how hard the reader tries to turn a silent or
+// undecodable inventory round into reads before giving up. Real Gen2
+// readers do exactly this: a round that produces no EPCs (deep fade, a
+// relay mid-re-lock, a burst interferer) is retried after an idle gap
+// rather than abandoned, because most outages are shorter than a session.
+type RetryPolicy struct {
+	// MaxRetries is how many extra rounds may follow a read-less one.
+	MaxRetries int
+	// BackoffSlots is the idle gap before the first retry, in slot times;
+	// each subsequent retry doubles it up to MaxBackoffSlots. The gap is
+	// what gives the recovery machinery (watchdog re-sweep, gust decay)
+	// time to act before the reader burns another round into a dark relay.
+	BackoffSlots    int
+	MaxBackoffSlots int
+}
+
+// DefaultRetryPolicy matches the fault experiments' tick scale: up to 3
+// retries, backing off 1 → 2 → 4 slots.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, BackoffSlots: 1, MaxBackoffSlots: 4}
+}
+
+// RetryOutcome aggregates a retried inventory exchange.
+type RetryOutcome struct {
+	// Stats is the merged slot bookkeeping across all attempts.
+	Stats RoundStats
+	// Attempts is how many rounds ran (1 = no retry needed).
+	Attempts int
+	// IdleSlots is the total backoff spent waiting between attempts.
+	IdleSlots int
+}
+
+// RunInventoryRoundWithRetry runs one inventory round and, when it
+// produces zero successful reads, retries it under pol. Between attempts
+// the reader idles for the backoff gap and reports it to onIdle (the
+// experiment's hook to advance simulated time — tick the fault injector,
+// the watchdog, the station-keeper); onIdle may be nil.
+//
+// All attempts' slot statistics are merged into the returned outcome, so
+// ReadRate reflects the full exchange including the wasted rounds.
+func (r *Reader) RunInventoryRoundWithRetry(m Medium, sess epc.Session, target epc.Target,
+	qalg *epc.QAlgorithm, pol RetryPolicy, onIdle func(slots int)) RetryOutcome {
+	backoff := pol.BackoffSlots
+	if backoff <= 0 {
+		backoff = 1
+	}
+	var out RetryOutcome
+	for {
+		stats := r.RunInventoryRound(m, sess, target, qalg)
+		out.Attempts++
+		out.Stats.Slots += stats.Slots
+		out.Stats.Empty += stats.Empty
+		out.Stats.Collisions += stats.Collisions
+		out.Stats.RNFailures += stats.RNFailures
+		out.Stats.Reads = append(out.Stats.Reads, stats.Reads...)
+		if len(stats.Reads) > 0 || out.Attempts > pol.MaxRetries {
+			return out
+		}
+		out.IdleSlots += backoff
+		if onIdle != nil {
+			onIdle(backoff)
+		}
+		backoff *= 2
+		if pol.MaxBackoffSlots > 0 && backoff > pol.MaxBackoffSlots {
+			backoff = pol.MaxBackoffSlots
+		}
+	}
+}

@@ -17,15 +17,21 @@ type DaisyChain struct {
 	Relays []*Relay
 }
 
-// NewDaisyChain validates the frequency plan and locks every hop: hop 0
-// locks to the reader carrier offset readerFreq, hop k to hop k−1's
-// output. At the waveform level the cumulative shift plus the signal
-// bandwidth must stay inside Nyquist.
-func NewDaisyChain(readerFreq float64, relays ...*Relay) (*DaisyChain, error) {
+// NewDaisyChain validates the frequency plan and brings up every hop
+// through the sweep/lock path: hop 0 sweeps the capture rx for the reader
+// carrier at offset readerFreq, and each subsequent hop sweeps the
+// previous hop's *forwarded* output for its shifted carrier. A hop that
+// cannot find its upstream carrier (reader off, upstream relay dark)
+// surfaces as an error instead of a blind Lock — which is how a swarm
+// would actually discover a broken link at bring-up. At the waveform
+// level the cumulative shift plus the signal bandwidth must stay inside
+// Nyquist.
+func NewDaisyChain(readerFreq float64, rx []complex128, relays ...*Relay) (*DaisyChain, error) {
 	if len(relays) == 0 {
 		return nil, fmt.Errorf("relay: empty daisy chain")
 	}
 	f := readerFreq
+	x := rx
 	for i, r := range relays {
 		out := f + r.Cfg.ShiftHz
 		// Leave a guard for the backscatter sidebands (±BLF plus filter BW).
@@ -33,10 +39,40 @@ func NewDaisyChain(readerFreq float64, relays ...*Relay) (*DaisyChain, error) {
 			return nil, fmt.Errorf("relay: hop %d output %.2f MHz exceeds Nyquist at fs %.0f MHz",
 				i, out/1e6, r.Cfg.Fs/1e6)
 		}
+		// Sweep the hop's input for the expected carrier. The candidate set
+		// spans every carrier in the chain's frequency plan, so a carrier
+		// that stalled at an earlier hop is detected as "strongest
+		// elsewhere" rather than mistaken for the expected one.
+		cands := chainCarriers(readerFreq, relays)
+		best, err := r.DetectCarrier(x, cands)
+		if err != nil {
+			return nil, fmt.Errorf("relay: hop %d sweep: %w", i, err)
+		}
+		if best != f {
+			return nil, fmt.Errorf("relay: hop %d expected carrier %+.2f MHz, strongest at %+.2f MHz",
+				i, f/1e6, best/1e6)
+		}
 		r.Lock(f)
+		// Forward the bring-up capture so the next hop sweeps what it will
+		// actually hear in operation.
+		if x, err = r.ForwardDownlink(x, 0); err != nil {
+			return nil, fmt.Errorf("relay: hop %d bring-up forward: %w", i, err)
+		}
 		f = out
 	}
 	return &DaisyChain{Relays: relays}, nil
+}
+
+// chainCarriers returns every carrier offset appearing in the chain's
+// frequency plan: the reader's plus each hop's shifted output.
+func chainCarriers(readerFreq float64, relays []*Relay) []float64 {
+	out := []float64{readerFreq}
+	f := readerFreq
+	for _, r := range relays {
+		f += r.Cfg.ShiftHz
+		out = append(out, f)
+	}
+	return out
 }
 
 // OutputFreq returns the carrier offset of the final hop's downlink
@@ -53,28 +89,34 @@ func (c *DaisyChain) OutputFreq() float64 {
 // order. hopChannels, when non-nil, supplies the complex channel gain of
 // the air link *into* each hop (len == number of hops); nil means unity
 // links (bench conditions).
-func (c *DaisyChain) ForwardDownlink(x []complex128, hopChannels []complex128, startSample int) []complex128 {
+func (c *DaisyChain) ForwardDownlink(x []complex128, hopChannels []complex128, startSample int) ([]complex128, error) {
 	for i, r := range c.Relays {
 		if hopChannels != nil {
 			x = scaled(x, hopChannels[i])
 		}
-		x = r.ForwardDownlink(x, startSample)
+		var err error
+		if x, err = r.ForwardDownlink(x, startSample); err != nil {
+			return nil, fmt.Errorf("relay: chain hop %d: %w", i, err)
+		}
 	}
-	return x
+	return x, nil
 }
 
 // ForwardUplink runs a tag-frame waveform back through every hop in
 // reverse order. hopChannels, when non-nil, supplies the channel *into*
 // each hop on the way back (index 0 = the hop nearest the tag, i.e. the
 // chain's last relay).
-func (c *DaisyChain) ForwardUplink(x []complex128, hopChannels []complex128, startSample int) []complex128 {
+func (c *DaisyChain) ForwardUplink(x []complex128, hopChannels []complex128, startSample int) ([]complex128, error) {
 	for i := len(c.Relays) - 1; i >= 0; i-- {
 		if hopChannels != nil {
 			x = scaled(x, hopChannels[len(c.Relays)-1-i])
 		}
-		x = c.Relays[i].ForwardUplink(x, startSample)
+		var err error
+		if x, err = c.Relays[i].ForwardUplink(x, startSample); err != nil {
+			return nil, fmt.Errorf("relay: chain hop %d: %w", i, err)
+		}
 	}
-	return x
+	return x, nil
 }
 
 func scaled(x []complex128, g complex128) []complex128 {

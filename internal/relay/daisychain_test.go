@@ -18,10 +18,16 @@ func chainConfig(shift float64) Config {
 	return cfg
 }
 
+// chainCapture synthesizes the bring-up capture NewDaisyChain sweeps: the
+// reader's carrier at offset f.
+func chainCapture(f, fs float64) []complex128 {
+	return signal.Tone(16384, f, fs, 0.1, 1e-3)
+}
+
 func TestNewDaisyChainFrequencyPlan(t *testing.T) {
 	r1 := New(chainConfig(1.2e6), rng.New(1))
 	r2 := New(chainConfig(1.0e6), rng.New(2))
-	c, err := NewDaisyChain(0, r1, r2)
+	c, err := NewDaisyChain(0, chainCapture(0, r1.Cfg.Fs), r1, r2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,10 +43,10 @@ func TestNewDaisyChainRejectsNyquistOverflow(t *testing.T) {
 	// Two default 2 MHz shifts put the output at 4 MHz = Nyquist at 8 MS/s.
 	r1 := New(DefaultConfig(), rng.New(3))
 	r2 := New(DefaultConfig(), rng.New(4))
-	if _, err := NewDaisyChain(0, r1, r2); err == nil {
+	if _, err := NewDaisyChain(0, chainCapture(0, r1.Cfg.Fs), r1, r2); err == nil {
 		t.Fatal("over-Nyquist chain accepted")
 	}
-	if _, err := NewDaisyChain(0); err == nil {
+	if _, err := NewDaisyChain(0, chainCapture(0, DefaultConfig().Fs)); err == nil {
 		t.Fatal("empty chain accepted")
 	}
 }
@@ -48,14 +54,17 @@ func TestNewDaisyChainRejectsNyquistOverflow(t *testing.T) {
 func TestDaisyChainForwardsThroughTwoHops(t *testing.T) {
 	r1 := New(chainConfig(1.2e6), rng.New(5))
 	r2 := New(chainConfig(1.0e6), rng.New(6))
-	c, err := NewDaisyChain(0, r1, r2)
+	c, err := NewDaisyChain(0, chainCapture(0, r1.Cfg.Fs), r1, r2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fs := r1.Cfg.Fs
 	n := 16384
 	in := signal.Tone(n, 50e3, fs, 0, 1e-3)
-	out := c.ForwardDownlink(in, nil, 0)
+	out, err := c.ForwardDownlink(in, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	skip := n / 4
 	// The query component lands at 2.2 MHz + 50 kHz.
 	p := signal.GoertzelPower(out[skip:], 2.25e6, fs)
@@ -78,15 +87,21 @@ func TestDaisyChainPhasePreservation(t *testing.T) {
 		seed := uint64(100 + trial*13)
 		r1 := New(chainConfig(1.2e6), rng.New(seed))
 		r2 := New(chainConfig(1.0e6), rng.New(seed+1))
-		c, err := NewDaisyChain(0, r1, r2)
+		c, err := NewDaisyChain(0, chainCapture(0, r1.Cfg.Fs), r1, r2)
 		if err != nil {
 			t.Fatal(err)
 		}
 		fs := r1.Cfg.Fs
 		n := 8192
 		in := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
-		down := c.ForwardDownlink(in, nil, 0)
-		back := c.ForwardUplink(down, nil, 0)
+		down, err := c.ForwardDownlink(in, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.ForwardUplink(down, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		ref := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
 		skip := n / 2
 		phases = append(phases, cmplx.Phase(signal.Correlate(back[skip:], ref[skip:])))
@@ -108,7 +123,7 @@ func TestDaisyChainPhasePreservation(t *testing.T) {
 func TestDaisyChainWithChannels(t *testing.T) {
 	r1 := New(chainConfig(1.2e6), rng.New(7))
 	r2 := New(chainConfig(1.0e6), rng.New(8))
-	c, err := NewDaisyChain(0, r1, r2)
+	c, err := NewDaisyChain(0, chainCapture(0, r1.Cfg.Fs), r1, r2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,8 +133,14 @@ func TestDaisyChainWithChannels(t *testing.T) {
 	in := signal.Tone(8192, 50e3, fs, 0, 1e-6)
 	// 20 dB loss into each hop.
 	g := complex(signal.AmpFromDB(-20), 0)
-	out := c.ForwardDownlink(in, []complex128{g, g}, 0)
-	ref := c.ForwardDownlink(in, nil, 0)
+	out, err := c.ForwardDownlink(in, []complex128{g, g}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.ForwardDownlink(in, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	skip := 2048
 	ratio := signal.DB(signal.Power(out[skip:]) / signal.Power(ref[skip:]))
 	if math.Abs(ratio-(-40)) > 1 {
@@ -168,15 +189,21 @@ func chainPhaseSpread(t *testing.T, trials int, mkRelays func(seed uint64) []*Re
 	for trial := 0; trial < trials; trial++ {
 		seed := uint64(300 + trial*17)
 		relays := mkRelays(seed)
-		c, err := NewDaisyChain(0, relays...)
+		c, err := NewDaisyChain(0, chainCapture(0, relays[0].Cfg.Fs), relays...)
 		if err != nil {
 			t.Fatal(err)
 		}
 		fs := relays[0].Cfg.Fs
 		n := 8192
 		in := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
-		down := c.ForwardDownlink(in, nil, 0)
-		back := c.ForwardUplink(down, nil, 0)
+		down, err := c.ForwardDownlink(in, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.ForwardUplink(down, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		ref := signal.Tone(n, 50e3, fs, 0.4, 1e-3)
 		skip := n / 2
 		phases = append(phases, cmplx.Phase(signal.Correlate(back[skip:], ref[skip:])))
@@ -221,5 +248,25 @@ func TestDaisyChainNoMirrorHopBreaksPhase(t *testing.T) {
 	})
 	if spread < 30 {
 		t.Fatalf("no-mirror hop left phase spread at %.2f°; expected decoherence", spread)
+	}
+}
+
+func TestNewDaisyChainRequiresCarrier(t *testing.T) {
+	// Regression for the blind-Lock bring-up: a chain whose reader is dark
+	// (or on the wrong channel) must fail with an error instead of locking
+	// every hop to a frequency nobody transmits on.
+	r1 := New(chainConfig(1.2e6), rng.New(11))
+	r2 := New(chainConfig(1.0e6), rng.New(12))
+	if _, err := NewDaisyChain(0, make([]complex128, 16384), r1, r2); err == nil {
+		t.Fatal("silent capture accepted")
+	}
+	if r1.Locked() || r2.Locked() {
+		t.Fatal("hops locked despite failed bring-up")
+	}
+	// Carrier present but on a different channel of the chain's plan: the
+	// sweep finds it elsewhere and refuses the lock.
+	wrong := chainCapture(1.2e6, r1.Cfg.Fs)
+	if _, err := NewDaisyChain(0, wrong, r1, r2); err == nil {
+		t.Fatal("off-channel carrier accepted as the reader's")
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"rfly/internal/rng"
-	"rfly/internal/signal"
 )
 
 // HopPattern is a regulatory frequency-hopping schedule: FCC part 15
@@ -63,9 +62,9 @@ func (r *Relay) FollowHops(pat HopPattern, rx []complex128) (*HopFollower, error
 	if err := pat.Validate(r.Cfg); err != nil {
 		return nil, err
 	}
-	best, p := signal.EnergyDetect(rx, pat.Channels, r.Cfg.Fs)
-	if p <= 0 {
-		return nil, fmt.Errorf("relay: no carrier detected on any hop channel")
+	best, err := r.AcquireLock(rx, pat.Channels)
+	if err != nil {
+		return nil, fmt.Errorf("relay: hop sweep: %w", err)
 	}
 	idx := -1
 	for i, f := range pat.Channels {
@@ -77,22 +76,39 @@ func (r *Relay) FollowHops(pat HopPattern, rx []complex128) (*HopFollower, error
 	if idx < 0 {
 		return nil, fmt.Errorf("relay: detected carrier %v not in the pattern", best)
 	}
-	r.Lock(best)
 	return &HopFollower{relay: r, pat: pat, idx: idx}, nil
 }
 
 // Current returns the channel the relay is presently locked to.
 func (f *HopFollower) Current() float64 { return f.pat.Channels[f.idx] }
 
-// Advance retunes the relay to the pattern's next channel (called at each
-// dwell boundary) and returns the new channel. Both synthesizer pairs
-// retune, so the mirrored phase-cancellation property holds within every
-// dwell.
-func (f *HopFollower) Advance() float64 {
-	f.idx = (f.idx + 1) % len(f.pat.Channels)
-	next := f.pat.Channels[f.idx]
+// Next returns the channel the pattern hops to at the next dwell boundary
+// (without retuning) — the candidate Advance will verify.
+func (f *HopFollower) Next() float64 {
+	return f.pat.Channels[(f.idx+1)%len(f.pat.Channels)]
+}
+
+// Advance retunes the relay to the pattern's next channel at a dwell
+// boundary — but only after verifying, through the same Eq. 5 sweep as
+// the initial lock, that the reader's carrier in the capture rx really
+// did move there. A reader that missed the hop (or went quiet, or was
+// drowned by an interferer) surfaces as an error with the relay still
+// locked to its old channel, instead of a blind retune to a dead
+// frequency. Both synthesizer pairs retune, so the mirrored
+// phase-cancellation property holds within every dwell.
+func (f *HopFollower) Advance(rx []complex128) (float64, error) {
+	next := f.Next()
+	best, err := f.relay.DetectCarrier(rx, f.pat.Channels)
+	if err != nil {
+		return 0, fmt.Errorf("relay: hop verify: %w", err)
+	}
+	if best != next {
+		return 0, fmt.Errorf("relay: expected carrier on hop channel %+.1f kHz, strongest at %+.1f kHz",
+			next/1e3, best/1e3)
+	}
 	f.relay.Lock(next)
-	return next
+	f.idx = (f.idx + 1) % len(f.pat.Channels)
+	return next, nil
 }
 
 // DwellSamples returns how many samples one dwell lasts at the relay's

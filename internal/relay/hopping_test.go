@@ -64,10 +64,15 @@ func TestFollowHopsLockAndAdvance(t *testing.T) {
 	if f.Current() != cur || r.ReaderFreq() != cur {
 		t.Fatalf("locked to %v, reader at %v", r.ReaderFreq(), cur)
 	}
-	// Advancing tracks the pattern without re-sweeping.
+	// Advancing tracks the pattern, verifying each dwell's carrier.
 	for k := 1; k <= 4; k++ {
 		want := pat.Channels[(3+k)%len(pat.Channels)]
-		if got := f.Advance(); got != want || r.ReaderFreq() != want {
+		dwell := signal.Tone(8000, f.Next(), r.Cfg.Fs, 0.1, 1)
+		got, err := f.Advance(dwell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want || r.ReaderFreq() != want {
 			t.Fatalf("hop %d: got %v want %v", k, got, want)
 		}
 	}
@@ -86,11 +91,17 @@ func TestFollowHopsForwardingAfterHop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	next := f.Advance() // now at +400 kHz
+	next, err := f.Advance(signal.Tone(8000, f.Next(), r.Cfg.Fs, 0, 1)) // now at +400 kHz
+	if err != nil {
+		t.Fatal(err)
+	}
 	n := 16384
 	in := signal.Tone(n, next+50e3, r.Cfg.Fs, 0, 1e-3)
 	signal.Add(in, signal.Tone(n, -800e3+50e3, r.Cfg.Fs, 0, 1e-3)) // stale channel
-	out := r.ForwardDownlink(in, 0)
+	out, err := r.ForwardDownlink(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	skip := n / 4
 	pNew := signal.GoertzelPower(out[skip:], next+r.Cfg.ShiftHz+50e3, r.Cfg.Fs)
 	pOld := signal.GoertzelPower(out[skip:], -800e3+r.Cfg.ShiftHz+50e3, r.Cfg.Fs)
@@ -124,13 +135,21 @@ func TestHopMirroredPhaseWithinDwell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.Advance()
+	if _, err := f.Advance(signal.Tone(4000, f.Next(), r.Cfg.Fs, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
 	fs := r.Cfg.Fs
 	n := 8192
 	roundTrip := func() float64 {
 		in := signal.Tone(n, 600e3+50e3, fs, 0.3, 1e-4)
-		down := r.ForwardDownlink(in, 0)
-		back := r.ForwardUplink(down, 0)
+		down, err := r.ForwardDownlink(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := r.ForwardUplink(down, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		ref := signal.Tone(n, 600e3+50e3, fs, 0.3, 1e-4)
 		skip := n / 2
 		return phaseOf(signal.Correlate(back[skip:], ref[skip:]))
@@ -148,4 +167,39 @@ func TestHopMirroredPhaseWithinDwell(t *testing.T) {
 
 func phaseOf(c complex128) float64 {
 	return math.Atan2(imag(c), real(c))
+}
+
+func TestAdvanceRequiresCarrierOnNextChannel(t *testing.T) {
+	// Regression for the blind retune: if the reader misses its hop (or
+	// goes quiet), Advance must surface an error and keep the relay locked
+	// to its old channel.
+	r := New(DefaultConfig(), rng.New(5))
+	pat := HopPattern{Channels: []float64{-800e3, 400e3, 900e3}, DwellSec: 0.4}
+	f, err := r.FollowHops(pat, signal.Tone(8000, -800e3, r.Cfg.Fs, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silent dwell: no carrier anywhere.
+	if _, err := f.Advance(make([]complex128, 8000)); err == nil {
+		t.Fatal("silent dwell advanced the hop")
+	}
+	// Reader stayed on the OLD channel instead of hopping: the sweep finds
+	// the strongest carrier somewhere other than the expected next channel.
+	stale := signal.Tone(8000, -800e3, r.Cfg.Fs, 0, 1)
+	if _, err := f.Advance(stale); err == nil {
+		t.Fatal("stale-channel dwell advanced the hop")
+	}
+	if !r.Locked() || r.ReaderFreq() != -800e3 || f.Current() != -800e3 {
+		t.Fatalf("failed advance corrupted lock state: locked=%v freq=%v current=%v",
+			r.Locked(), r.ReaderFreq(), f.Current())
+	}
+	// The reader finally hops: Advance verifies and retunes.
+	good := signal.Tone(8000, 400e3, r.Cfg.Fs, 0, 1)
+	next, err := f.Advance(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 400e3 || r.ReaderFreq() != 400e3 {
+		t.Fatalf("advance landed on %v", next)
+	}
 }

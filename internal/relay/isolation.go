@@ -51,7 +51,7 @@ const probeSamples = 16384
 // carrier, tag responses 500 kHz from the carrier. trial jitters the probe
 // offset and adds measurement noise, so repeated calls trace out the
 // Fig. 9 CDFs.
-func (r *Relay) MeasureIsolation(link Link, trial *rng.Source) float64 {
+func (r *Relay) MeasureIsolation(link Link, trial *rng.Source) (float64, error) {
 	if !r.locked {
 		r.Lock(0)
 	}
@@ -61,7 +61,7 @@ func (r *Relay) MeasureIsolation(link Link, trial *rng.Source) float64 {
 	jitter := trial.Uniform(-5e3, 5e3)
 
 	var probeFreq float64
-	var victim func([]complex128, int) []complex128
+	var victim func([]complex128, int) ([]complex128, error)
 	var gainDB float64
 	switch link {
 	case InterDownlink:
@@ -84,7 +84,7 @@ func (r *Relay) MeasureIsolation(link Link, trial *rng.Source) float64 {
 		probeFreq = fA + 500e3 + jitter
 		victim, gainDB = r.ForwardUplink, r.UplinkGainDB()
 	default:
-		panic(fmt.Sprintf("relay: unknown link %d", link))
+		return 0, fmt.Errorf("relay: unknown link %d", link)
 	}
 
 	// The paper varies the probe power per trial; keep it low enough that
@@ -95,18 +95,21 @@ func (r *Relay) MeasureIsolation(link Link, trial *rng.Source) float64 {
 	// Antenna port coupling attenuates the leak before it reaches the
 	// victim's input.
 	signal.Scale(probe, complex(signal.AmpFromDB(-r.antIsoDB), 0))
-	out := victim(probe, 0)
+	out, err := victim(probe, 0)
+	if err != nil {
+		return 0, err
+	}
 	// Skip the filter transient, then measure total leaked power.
 	skip := len(out) / 4
 	p := signal.Power(out[skip:])
 	if p <= 0 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	// Isolation = input-to-output attenuation + path gain (§7.1).
 	iso := signal.DB(probePower/p) + gainDB
 	// Spectrum-analyzer measurement jitter.
 	iso += trial.Gaussian(0, r.Cfg.ProbeJitterDB)
-	return iso
+	return iso, nil
 }
 
 // IsolationReport holds one trial's four measured isolations.
@@ -118,13 +121,24 @@ type IsolationReport struct {
 }
 
 // MeasureAll measures all four links in one trial.
-func (r *Relay) MeasureAll(trial *rng.Source) IsolationReport {
-	return IsolationReport{
-		InterDownlinkDB: r.MeasureIsolation(InterDownlink, trial),
-		InterUplinkDB:   r.MeasureIsolation(InterUplink, trial),
-		IntraDownlinkDB: r.MeasureIsolation(IntraDownlink, trial),
-		IntraUplinkDB:   r.MeasureIsolation(IntraUplink, trial),
+func (r *Relay) MeasureAll(trial *rng.Source) (IsolationReport, error) {
+	var rep IsolationReport
+	for _, m := range []struct {
+		link Link
+		dst  *float64
+	}{
+		{InterDownlink, &rep.InterDownlinkDB},
+		{InterUplink, &rep.InterUplinkDB},
+		{IntraDownlink, &rep.IntraDownlinkDB},
+		{IntraUplink, &rep.IntraUplinkDB},
+	} {
+		iso, err := r.MeasureIsolation(m.link, trial)
+		if err != nil {
+			return IsolationReport{}, err
+		}
+		*m.dst = iso
 	}
+	return rep, nil
 }
 
 // Min returns the weakest of the four isolations, which bounds the
@@ -159,9 +173,11 @@ func NewAnalogRelay(src *rng.Source) *AnalogRelay {
 // MeasureIsolation returns the baseline's isolation for any link: antenna
 // coupling only, with trial-to-trial variation from orientation and
 // frequency. All four links measure the same mechanism, matching the flat
-// "Analog Relay" curves of Fig. 9.
-func (a *AnalogRelay) MeasureIsolation(_ Link, trial *rng.Source) float64 {
-	return a.SeparationIsoDB + a.PolarizationIsoDB + trial.Gaussian(0, 5)
+// "Analog Relay" curves of Fig. 9. The error return mirrors
+// Relay.MeasureIsolation so the two can stand in for each other in
+// sweeps; the baseline itself cannot fail.
+func (a *AnalogRelay) MeasureIsolation(_ Link, trial *rng.Source) (float64, error) {
+	return a.SeparationIsoDB + a.PolarizationIsoDB + trial.Gaussian(0, 5), nil
 }
 
 // MaxStableRangeM evaluates Eq. 4: the largest reader–relay distance at

@@ -156,6 +156,7 @@ type Relay struct {
 
 	locked     bool
 	readerFreq float64 // detected reader carrier offset from band center
+	cfoHz      float64 // injected LO drift since the last (re-)lock
 
 	src *rng.Source
 }
@@ -214,27 +215,74 @@ func (r *Relay) ISMChannels() []float64 {
 // strongest carrier wins, which is also how the relay picks among multiple
 // readers (§4.3).
 func (r *Relay) LockToReader(rx []complex128) (float64, error) {
-	if len(rx) == 0 {
-		return 0, fmt.Errorf("relay: empty capture")
-	}
-	best, p := signal.EnergyDetect(rx, r.ISMChannels(), r.Cfg.Fs)
-	if p <= 0 {
-		return 0, fmt.Errorf("relay: no carrier detected")
+	return r.AcquireLock(rx, nil)
+}
+
+// AcquireLock is the sweep/lock primitive every lock path routes through:
+// it runs the Eq. 5 energy detection over candidates (nil means the full
+// ISM grid), locks to the strongest detected carrier, and returns it. A
+// capture with no detectable carrier surfaces as an error and leaves the
+// relay's lock state untouched — the caller (a watchdog, a hop follower)
+// decides whether to back off and retry.
+func (r *Relay) AcquireLock(rx []complex128, candidates []float64) (float64, error) {
+	best, err := r.DetectCarrier(rx, candidates)
+	if err != nil {
+		return 0, err
 	}
 	r.Lock(best)
 	return best, nil
 }
 
+// DetectCarrier runs the Eq. 5 sweep without touching the lock state and
+// returns the strongest candidate carrier. Callers that must verify a
+// specific expectation (a hop follower, a daisy chain) check the result
+// before committing to a Lock.
+func (r *Relay) DetectCarrier(rx []complex128, candidates []float64) (float64, error) {
+	if len(rx) == 0 {
+		return 0, fmt.Errorf("relay: empty capture")
+	}
+	if candidates == nil {
+		candidates = r.ISMChannels()
+	}
+	best, p := signal.EnergyDetect(rx, candidates, r.Cfg.Fs)
+	if p <= 0 {
+		return 0, fmt.Errorf("relay: no carrier detected")
+	}
+	return best, nil
+}
+
 // Lock tunes the synthesizers to a known reader offset (used by tests and
 // by the fast simulation path once LockToReader has been validated).
+// Retuning the PLLs also clears any accumulated LO drift (ApplyCFO): a
+// re-lock is exactly how the hardware recovers from synthesizer drift.
 func (r *Relay) Lock(freq float64) {
 	r.readerFreq = freq
+	r.cfoHz = 0
 	r.SynthA.Tune(freq, r.src.Split("synthA"))
 	r.SynthB.Tune(freq+r.Cfg.ShiftHz, r.src.Split("synthB"))
 	r.synthA2.Tune(freq, r.src.Split("synthA2"))
 	r.synthB2.Tune(freq+r.Cfg.ShiftHz, r.src.Split("synthB2"))
 	r.locked = true
 }
+
+// Unlock drops the relay's carrier lock without touching the synthesizers
+// — the state a watchdog puts the relay in when the energy detector stops
+// seeing the reader, before the backoff re-sweep.
+func (r *Relay) Unlock() { r.locked = false }
+
+// ApplyCFO adds a carrier-frequency drift to the relay's local oscillator
+// chain — the fault.SynthDrift mutation hook. The drift accumulates
+// across calls (crystals walk, they don't jump back) and is only cleared
+// by a re-lock.
+func (r *Relay) ApplyCFO(hz float64) { r.cfoHz += hz }
+
+// CFOHz returns the accumulated LO drift since the last lock.
+func (r *Relay) CFOHz() float64 { return r.cfoHz }
+
+// SetAntennaIsolationDB overrides this unit's antenna port isolation —
+// the fault.IsolationCollapse mutation hook (and a test hook for building
+// a relay with a known isolation draw).
+func (r *Relay) SetAntennaIsolationDB(db float64) { r.antIsoDB = db }
 
 // downChain returns the downlink amplifier cascade: VGA → drive → PA.
 func (r *Relay) downChain() radio.Chain {
@@ -270,16 +318,43 @@ func (r *Relay) applyFloor(filtered, raw []complex128, floorDB float64) []comple
 	return out
 }
 
+// drifted returns a synthesizer's oscillator with the accumulated LO
+// drift applied. In the mirrored architecture the drift cancels between
+// the down- and up-conversion of one path, but the baseband lands offset
+// by the CFO — so a large enough drift pushes the signal out of the
+// analog filters and the relay effectively goes dark, which is exactly
+// how lock loss manifests on the hardware.
+func (r *Relay) drifted(s *radio.Synthesizer) (signal.Oscillator, error) {
+	osc, err := s.Oscillator()
+	if err != nil {
+		return signal.Oscillator{}, err
+	}
+	osc.Freq += r.cfoHz
+	return osc, nil
+}
+
 // ForwardDownlink runs a received waveform (reader frame, around the
 // locked carrier) through the downlink path: downconvert with synth A,
 // low-pass filter (with feed-through floor), amplify, upconvert with
 // synth B. startSample anchors oscillator phase continuity across calls.
-// The relay must be locked.
-func (r *Relay) ForwardDownlink(x []complex128, startSample int) []complex128 {
-	bb := r.SynthA.Oscillator().MixDown(x, r.Cfg.Fs, startSample)
+// Forwarding before a lock (or after a fault cleared one) is an error,
+// not a panic: a flying relay must survive it.
+func (r *Relay) ForwardDownlink(x []complex128, startSample int) ([]complex128, error) {
+	if !r.locked {
+		return nil, fmt.Errorf("relay: downlink forward before carrier lock")
+	}
+	oscA, err := r.drifted(r.SynthA)
+	if err != nil {
+		return nil, err
+	}
+	oscB, err := r.drifted(r.SynthB)
+	if err != nil {
+		return nil, err
+	}
+	bb := oscA.MixDown(x, r.Cfg.Fs, startSample)
 	filt := r.applyFloor(r.LPF.Apply(bb), bb, r.lpfFloorDB)
 	r.downChain().Apply(filt, 0, nil)
-	return r.SynthB.Oscillator().MixUp(filt, r.Cfg.Fs, startSample)
+	return oscB.MixUp(filt, r.Cfg.Fs, startSample), nil
 }
 
 // ForwardUplink runs a received waveform (tag frame, around the shifted
@@ -288,17 +363,28 @@ func (r *Relay) ForwardDownlink(x []complex128, startSample int) []complex128 {
 // the mirrored architecture the same synthesizers as the downlink are
 // used, cancelling their phase offsets; the no-mirror baseline uses the
 // independent second pair.
-func (r *Relay) ForwardUplink(x []complex128, startSample int) []complex128 {
-	downOsc := r.SynthB
-	upOsc := r.SynthA
-	if !r.Cfg.Mirrored {
-		downOsc = r.synthB2
-		upOsc = r.synthA2
+func (r *Relay) ForwardUplink(x []complex128, startSample int) ([]complex128, error) {
+	if !r.locked {
+		return nil, fmt.Errorf("relay: uplink forward before carrier lock")
 	}
-	bb := downOsc.Oscillator().MixDown(x, r.Cfg.Fs, startSample)
+	downSynth := r.SynthB
+	upSynth := r.SynthA
+	if !r.Cfg.Mirrored {
+		downSynth = r.synthB2
+		upSynth = r.synthA2
+	}
+	downOsc, err := r.drifted(downSynth)
+	if err != nil {
+		return nil, err
+	}
+	upOsc, err := r.drifted(upSynth)
+	if err != nil {
+		return nil, err
+	}
+	bb := downOsc.MixDown(x, r.Cfg.Fs, startSample)
 	filt := r.applyFloor(r.BPF.Apply(bb), bb, r.bpfFloorDB)
 	r.upChain().Apply(filt, 0, nil)
-	return upOsc.Oscillator().MixUp(filt, r.Cfg.Fs, startSample)
+	return upOsc.MixUp(filt, r.Cfg.Fs, startSample), nil
 }
 
 // HardwarePhase returns the constant phase the mirrored relay imparts on a

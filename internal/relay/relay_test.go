@@ -34,11 +34,19 @@ func TestLockTunesSynthesizers(t *testing.T) {
 	if !r.Locked() || r.ReaderFreq() != 500e3 {
 		t.Fatalf("lock state: %v %v", r.Locked(), r.ReaderFreq())
 	}
-	if r.SynthA.Oscillator().Freq != 500e3 {
-		t.Fatalf("synthA = %v", r.SynthA.Oscillator().Freq)
+	oscA, err := r.SynthA.Oscillator()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if r.SynthB.Oscillator().Freq != 500e3+r.Cfg.ShiftHz {
-		t.Fatalf("synthB = %v", r.SynthB.Oscillator().Freq)
+	if oscA.Freq != 500e3 {
+		t.Fatalf("synthA = %v", oscA.Freq)
+	}
+	oscB, err := r.SynthB.Oscillator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oscB.Freq != 500e3+r.Cfg.ShiftHz {
+		t.Fatalf("synthB = %v", oscB.Freq)
 	}
 }
 
@@ -80,7 +88,10 @@ func TestForwardDownlinkShiftsAndFilters(t *testing.T) {
 	n := 16384
 	in := signal.Tone(n, 50e3, fs, 0, 1e-3)
 	signal.Add(in, signal.Tone(n, 500e3, fs, 0, 1e-3))
-	out := r.ForwardDownlink(in, 0)
+	out, err := r.ForwardDownlink(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	skip := n / 4
 	pPass := signal.GoertzelPower(out[skip:], r.Cfg.ShiftHz+50e3, fs)
 	pRej := signal.GoertzelPower(out[skip:], r.Cfg.ShiftHz+500e3, fs)
@@ -107,7 +118,10 @@ func TestForwardUplinkPassesBLF(t *testing.T) {
 	// at shift + 50 kHz.
 	in := signal.Tone(n, r.Cfg.ShiftHz+500e3, fs, 0, 1e-3)
 	signal.Add(in, signal.Tone(n, r.Cfg.ShiftHz+50e3, fs, 0, 1e-3))
-	out := r.ForwardUplink(in, 0)
+	out, err := r.ForwardUplink(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	skip := n / 4
 	pPass := signal.GoertzelPower(out[skip:], 500e3, fs)
 	pRej := signal.GoertzelPower(out[skip:], 50e3, fs)
@@ -138,8 +152,14 @@ func TestMirroredPhasePreservation(t *testing.T) {
 			// as a perfect reflector at the relay, so phase changes come
 			// only from the relay hardware.
 			probe := signal.Tone(n, 50e3, fs, 0.2, 1e-3)
-			dl := r.ForwardDownlink(probe, 0)
-			ul := r.ForwardUplink(dl, 0)
+			dl, err := r.ForwardDownlink(probe, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ul, err := r.ForwardUplink(dl, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
 			skip := n / 2
 			// Compare output phase against the input template at 50 kHz.
 			ref := signal.Tone(n, 50e3, fs, 0.2, 1e-3)
@@ -183,7 +203,10 @@ func TestIsolationMedians(t *testing.T) {
 		r := New(DefaultConfig(), rng.New(uint64(1000+i)))
 		r.Lock(0)
 		trial := src.Split("trial")
-		rep := r.MeasureAll(trial)
+		rep, err := r.MeasureAll(trial)
+		if err != nil {
+			t.Fatal(err)
+		}
 		idl = append(idl, rep.InterDownlinkDB)
 		iul = append(iul, rep.InterUplinkDB)
 		adl = append(adl, rep.IntraDownlinkDB)
@@ -218,10 +241,17 @@ func TestAnalogBaselineMuchWorse(t *testing.T) {
 	var rflyMin, analogMax float64 = math.Inf(1), math.Inf(-1)
 	for i := 0; i < 10; i++ {
 		trial := src.Split("t")
-		rep := r.MeasureAll(trial)
+		rep, err := r.MeasureAll(trial)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rflyMin = math.Min(rflyMin, rep.Min())
 		for _, l := range []Link{InterDownlink, InterUplink, IntraDownlink, IntraUplink} {
-			analogMax = math.Max(analogMax, a.MeasureIsolation(l, trial))
+			iso, err := a.MeasureIsolation(l, trial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			analogMax = math.Max(analogMax, iso)
 		}
 	}
 	// Paper: ≥50 dB improvement... on matching links; conservatively the
@@ -336,19 +366,19 @@ func TestPowerBudget(t *testing.T) {
 	}
 }
 
-func TestMeasureIsolationUnknownLinkPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestMeasureIsolationUnknownLinkErrors(t *testing.T) {
 	r := newTestRelay(14)
-	r.MeasureIsolation(Link(42), rng.New(1))
+	if _, err := r.MeasureIsolation(Link(42), rng.New(1)); err == nil {
+		t.Fatal("unknown link accepted")
+	}
 }
 
 func TestMeasureIsolationAutoLocks(t *testing.T) {
 	r := New(DefaultConfig(), rng.New(15))
-	iso := r.MeasureIsolation(IntraUplink, rng.New(16))
+	iso, err := r.MeasureIsolation(IntraUplink, rng.New(16))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.IsNaN(iso) || iso < 20 {
 		t.Fatalf("isolation = %v", iso)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"rfly/internal/drone"
 	"rfly/internal/loc"
+	"rfly/internal/reader"
 	"rfly/internal/signal"
 	"rfly/internal/tag"
 )
@@ -28,6 +29,15 @@ type SARCapture struct {
 // or the capture fails to decode are skipped, as they would be in a real
 // flight.
 func (d *Deployment) CollectSAR(f drone.Flight, target *tag.Tag) (*SARCapture, error) {
+	return d.CollectSARSteps(f, target, nil)
+}
+
+// CollectSARSteps is CollectSAR with a per-point hook: onPoint(i) runs
+// after the relay moves to flight point i but before that point's capture.
+// The fault experiments use it to advance an injector/watchdog timeline in
+// lockstep with the flight (a gust or LO drift then perturbs exactly the
+// mid-aperture captures it should). A nil hook degenerates to CollectSAR.
+func (d *Deployment) CollectSARSteps(f drone.Flight, target *tag.Tag, onPoint func(i int)) (*SARCapture, error) {
 	if d.Relay == nil {
 		return nil, fmt.Errorf("sim: SAR collection requires a relay")
 	}
@@ -35,6 +45,9 @@ func (d *Deployment) CollectSAR(f drone.Flight, target *tag.Tag) (*SARCapture, e
 	var snrSum float64
 	for i, truePos := range f.True {
 		d.MoveRelay(truePos)
+		if onPoint != nil {
+			onPoint(i)
+		}
 		bud := d.LinkBudget(target)
 		if !bud.Powered || !bud.RelayStable {
 			continue
@@ -56,10 +69,13 @@ func (d *Deployment) CollectSAR(f drone.Flight, target *tag.Tag) (*SARCapture, e
 		if err != nil {
 			continue
 		}
-		// The localizer sees the OptiTrack-measured position.
+		// The localizer sees the OptiTrack-measured position. Captures
+		// taken under a degraded carrier lock (residual CFO) carry no
+		// usable phase; tag them so LocalizeRobust can reject them.
 		mp := f.Measured[i]
-		cap.Target = append(cap.Target, loc.Measurement{Pos: mp, H: hT})
-		cap.Embedded = append(cap.Embedded, loc.Measurement{Pos: mp, H: hE})
+		unlocked := d.Relay.CFOHz() != 0 || !d.RelayLockHealthy()
+		cap.Target = append(cap.Target, loc.Measurement{Pos: mp, H: hT, Unlocked: unlocked})
+		cap.Embedded = append(cap.Embedded, loc.Measurement{Pos: mp, H: hE, Unlocked: unlocked})
 		snrSum += bud.SNRdB
 	}
 	if len(cap.Target) == 0 {
@@ -77,7 +93,11 @@ func (d *Deployment) CollectSAR(f drone.Flight, target *tag.Tag) (*SARCapture, e
 	}
 	cap.Disentangled = make([]loc.Measurement, len(dis))
 	for i := range dis {
-		cap.Disentangled[i] = loc.Measurement{Pos: cap.Target[i].Pos, H: dis[i]}
+		cap.Disentangled[i] = loc.Measurement{
+			Pos:      cap.Target[i].Pos,
+			H:        dis[i],
+			Unlocked: cap.Target[i].Unlocked,
+		}
 	}
 	cap.MeanSNRdB = snrSum / float64(len(cap.Target))
 	return cap, nil
@@ -94,6 +114,34 @@ func (d *Deployment) ReadAttempt(t *tag.Tag) bool {
 	// RN16 (16 bits) then PC+EPC+CRC (128 bits for a 96-bit EPC).
 	return d.Reader.DrawDecodeSuccess(bud.SNRdB, 16) &&
 		d.Reader.DrawDecodeSuccess(bud.SNRdB, 128)
+}
+
+// ReadAttemptRetry is ReadAttempt under a retry policy: a failed attempt
+// is re-tried up to pol.MaxRetries times, with onIdle invoked for the
+// backoff gap before each retry (the fault experiments advance their
+// injector/watchdog timeline there; nil is fine). Fresh shadowing and
+// decode draws per attempt are what make retrying worthwhile — most
+// outages a drone relay sees are shorter than a round.
+func (d *Deployment) ReadAttemptRetry(t *tag.Tag, pol reader.RetryPolicy, onIdle func(slots int)) bool {
+	backoff := pol.BackoffSlots
+	if backoff <= 0 {
+		backoff = 1
+	}
+	for attempt := 0; ; attempt++ {
+		if d.ReadAttempt(t) {
+			return true
+		}
+		if attempt >= pol.MaxRetries {
+			return false
+		}
+		if onIdle != nil {
+			onIdle(backoff)
+		}
+		backoff *= 2
+		if pol.MaxBackoffSlots > 0 && backoff > pol.MaxBackoffSlots {
+			backoff = pol.MaxBackoffSlots
+		}
+	}
 }
 
 // ReadRate runs n read attempts and returns the success fraction.

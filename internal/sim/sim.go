@@ -21,6 +21,7 @@ import (
 	"math/cmplx"
 
 	"rfly/internal/epc"
+	"rfly/internal/fault"
 	"rfly/internal/geom"
 	"rfly/internal/propagation"
 	"rfly/internal/radio"
@@ -43,6 +44,10 @@ type Deployment struct {
 	// Relay is nil for the no-relay baseline.
 	Relay    *relay.Relay
 	RelayPos geom.Point
+	// RelayPlanPos is the station-keeping target: where the flight plan
+	// says the relay should hover. Wind gusts displace RelayPos away from
+	// it; StationKeep steers back.
+	RelayPlanPos geom.Point
 	// Iso and Gains are the relay's measured isolations and programmed
 	// gain plan for this deployment (drawn once per relay build).
 	Iso   relay.IsolationReport
@@ -65,6 +70,13 @@ type Deployment struct {
 
 	src    *rng.Source
 	shadow *rng.Source
+	// Fault-injection state (see fault.go): relay battery dead, reader
+	// carrier hopped away from the relay's lock, and per-event bookkeeping
+	// for revertible faults.
+	relayOff    bool
+	readerHopHz float64
+	faultDroop  map[fault.Event]float64
+	faultIntf   map[fault.Event]Interferer
 	// wasPowered tracks per-tag power state between Send calls so that a
 	// powered→unpowered transition triggers the chip's brown-out reset
 	// (PowerCycle: S0 flag and state machine clear, §6.3.2.2).
@@ -111,8 +123,14 @@ func New(cfg Config, seed uint64) *Deployment {
 		rl.Lock(0)
 		d.Relay = rl
 		d.RelayPos = cfg.RelayPos
-		d.Iso = rl.MeasureAll(src.Split("iso-trial"))
-		d.Gains = rl.ProgramGains(d.Iso)
+		d.RelayPlanPos = cfg.RelayPos
+		// MeasureAll cannot fail here (the relay was locked one line up);
+		// if it somehow does, the relay is left with a dead (unstable)
+		// gain plan rather than crashing the deployment build.
+		if iso, err := rl.MeasureAll(src.Split("iso-trial")); err == nil {
+			d.Iso = iso
+			d.Gains = rl.ProgramGains(d.Iso)
+		}
 		d.EmbeddedTag = tag.New(
 			epc.NewEPC96(0xFEED, 0xFEED, 0xFEED, 0xFEED, 0xFEED, 0xFEED),
 			cfg.RelayPos, tag.DefaultConfig(), src.Split("embedded-tag"))
@@ -130,6 +148,7 @@ func (d *Deployment) AddTag(e epc.EPC, pos geom.Point) *tag.Tag {
 // MoveRelay repositions the relay (and its embedded tag) along a flight.
 func (d *Deployment) MoveRelay(p geom.Point) {
 	d.RelayPos = p
+	d.RelayPlanPos = p
 	if d.EmbeddedTag != nil {
 		d.EmbeddedTag.Pos = p
 	}
@@ -175,9 +194,11 @@ func (d *Deployment) LinkBudget(t *tag.Tag) Budget {
 	if d.Relay == nil {
 		b = d.directBudget(t)
 	} else {
-		if !d.RelayLockOK() {
-			// The relay locked onto a stronger interfering reader: our
-			// reader's traffic is filtered out entirely (§4.3).
+		if !d.RelayLockOK() || !d.RelayLockHealthy() {
+			// The relay locked onto a stronger interfering reader (§4.3),
+			// lost power, lost its lock, or is locked to a carrier the
+			// reader is no longer on: our reader's traffic is filtered out
+			// entirely until the watchdog re-acquires.
 			b.ViaRelay = true
 			b.RelayStable = d.Gains.Stable
 			b.TagRxDBm = math.Inf(-1)
@@ -186,6 +207,7 @@ func (d *Deployment) LinkBudget(t *tag.Tag) Budget {
 			return b
 		}
 		b = d.relayBudget(t)
+		b.SNRdB -= d.cfoPenaltyDB()
 	}
 	return d.applyInterference(b)
 }
@@ -336,7 +358,7 @@ func (d *Deployment) embeddedBudget() Budget {
 	rcfg := d.Reader.Cfg
 	b.ViaRelay = true
 	b.RelayStable = d.Gains.Stable
-	if !b.RelayStable {
+	if !b.RelayStable || !d.RelayLockHealthy() {
 		return b
 	}
 	toRelayDBm := d.Model.ReceivedPowerDBm(d.ReaderPos, d.RelayPos, rcfg.TxPowerDBm,
@@ -354,7 +376,7 @@ func (d *Deployment) embeddedBudget() Budget {
 	atReader := bs + d.Gains.UplinkGainDB +
 		chanGainDB(d.Model, d.RelayPos, d.ReaderPos, d.Model.Freq, 2, rcfg.AntennaGainDB) + d.shadowDB()
 	b.ReaderRxDBm = atReader
-	b.SNRdB = reader.LinkSNRdB(atReader, rcfg.NoiseFigureDB, rcfg.PIE.BLF())
+	b.SNRdB = reader.LinkSNRdB(atReader, rcfg.NoiseFigureDB, rcfg.PIE.BLF()) - d.cfoPenaltyDB()
 	return b
 }
 
@@ -377,6 +399,7 @@ func (d *Deployment) channelTo(t *tag.Tag, snrDB float64) (complex128, error) {
 		hG := complex(signal.AmpFromDB((d.Gains.DownlinkGainDB+d.Gains.UplinkGainDB)/2), 0)
 		h = hrr * hrr * hrt * htr * complex(coeff, 0) * hG
 		h *= d.relayPhaseTerm()
+		h *= d.cfoPhaseTerm()
 	}
 	return d.noisyChannel(h, snrDB), nil
 }
@@ -390,6 +413,7 @@ func (d *Deployment) embeddedChannel(snrDB float64) (complex128, error) {
 	hG := complex(signal.AmpFromDB((d.Gains.DownlinkGainDB+d.Gains.UplinkGainDB)/2), 0)
 	h := hrr * hrr * complex(coeff*0.01, 0) * hG // 0.01: short-coupling constant
 	h *= d.relayPhaseTerm()
+	h *= d.cfoPhaseTerm()
 	return d.noisyChannel(h, snrDB), nil
 }
 

@@ -59,7 +59,12 @@ func NewWaveMedium(readerPos, relayPos geom.Point, tags []*tag.Tag, seed uint64)
 	src := rng.New(seed)
 	rl := relay.New(relay.DefaultConfig(), src.Split("relay"))
 	rl.Lock(0)
-	iso := rl.MeasureAll(src.Split("iso"))
+	iso, err := rl.MeasureAll(src.Split("iso"))
+	if err != nil {
+		// Unreachable with a just-locked relay; keep the zero report (the
+		// gain plan degenerates to minimum gain) rather than panicking.
+		iso = relay.IsolationReport{}
+	}
 	rl.ProgramGains(iso)
 	rdCfg := reader.DefaultConfig()
 	rdCfg.Fs = rl.Cfg.Fs
@@ -107,7 +112,12 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 	tx := w.Reader.CommandWaveform(cmd)
 	atRelay := scaleWf(tx, oneWayGain(w.ReaderPos, w.RelayPos, f))
 	w.Relay.AutoGain(w.iso, signal.PowerDBm(atRelay[:256]))
-	dl := w.Relay.ForwardDownlink(atRelay, 0)
+	dl, err := w.Relay.ForwardDownlink(atRelay, 0)
+	if err != nil {
+		// An unlocked (faulted) relay forwards nothing: the command never
+		// reaches the tags and the round slot is silent.
+		return nil
+	}
 
 	// 2. Each powered tag slices its own copy of the envelope and runs
 	// its state machine; replies modulate the incident carrier.
@@ -184,7 +194,10 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 			bs[start+i] += dl[start+i] * p.h * m * 2 * hUp
 		}
 	}
-	ul := w.Relay.ForwardUplink(bs, 0)
+	ul, err := w.Relay.ForwardUplink(bs, 0)
+	if err != nil {
+		return nil
+	}
 	atReader := scaleWf(ul, oneWayGain(w.RelayPos, w.ReaderPos, f))
 	if w.NoiseWatts > 0 {
 		signal.AWGN(atReader, w.NoiseWatts, w.src.Norm)
