@@ -53,7 +53,11 @@ func (s *System) WriteItemMemory(e EPC, wordPtr uint32, word uint16) error {
 	if cov == nil {
 		return fmt.Errorf("rfly: tag refused the cover ReqRN")
 	}
-	cover := uint16(cov.Bits[:16].Uint())
+	coverVal, err := cov.Bits[:16].Uint()
+	if err != nil {
+		return fmt.Errorf("rfly: cover RN16 reply invalid: %w", err)
+	}
+	cover := uint16(coverVal)
 	rep := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: wordPtr, Data: word ^ cover, RN16: tg.RN16()})
 	if rep == nil {
 		return fmt.Errorf("rfly: tag refused the write (ptr %d)", wordPtr)

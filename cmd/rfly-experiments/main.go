@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"rfly/internal/experiments"
@@ -24,12 +27,17 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller, faults)")
+	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller, faults, mission)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	trials := flag.Int("trials", 0, "override trial count (0 = paper's count)")
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
 	jsonPath := flag.String("json", "", "write the full suite as JSON to this path ('-' = stdout)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context threaded through the supervised
+	// mission (and any other deadline-aware experiment).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, *seed); err != nil {
@@ -111,6 +119,10 @@ func main() {
 	}
 	if run("faults") {
 		faultMatrix(*trials, *seed, *csvDir)
+		wrote = true
+	}
+	if run("mission") {
+		mission(ctx, *seed, *csvDir)
 		wrote = true
 	}
 	if !wrote {
@@ -407,6 +419,22 @@ func miller(trials int, seed uint64) {
 	fmt.Println("Miller-2 buys ~6 dB over FM0 at 2.3× the airtime; below that,")
 	fmt.Println("preamble sync detection (not bit energy) binds, so M=4/8 add")
 	fmt.Println("airtime without further detection margin")
+}
+
+func mission(ctx context.Context, seed uint64, csvDir string) {
+	header("Supervised mission — checkpointed multi-sortie corridor run")
+	csv, err := experiments.MissionCSV(ctx, seed)
+	if err != nil {
+		fmt.Print(csv)
+		fmt.Fprintf(os.Stderr, "mission interrupted: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(csv)
+	fmt.Println("per-sortie read rates under a fault schedule spanning sortie boundaries;")
+	fmt.Println("the same CSV emerges after any mid-mission kill/resume (see the chaos harness)")
+	if csvDir != "" {
+		writeCSV(csvDir, "mission.csv", csv)
+	}
 }
 
 func writeCSV(dir, name, content string) {

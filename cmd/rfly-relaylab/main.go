@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	ossignal "os/signal"
+	"syscall"
 
 	"rfly/internal/experiments"
 	"rfly/internal/relay"
@@ -61,10 +64,19 @@ func main() {
 		fmt.Println(bpf.RenderASCII("uplink band-pass response (dB)", 10, -100))
 	}
 
+	// SIGINT/SIGTERM abandon the measurement campaign cleanly: partial
+	// results are discarded and the exit code reports the interruption.
+	ctx, stop := ossignal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Isolation measurements.
 	samples := map[relay.Link][]float64{}
 	trial := src.Split("trials")
 	for i := 0; i < *trials; i++ {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "interrupted after %d/%d trials\n", i, *trials)
+			os.Exit(1)
+		}
 		for _, l := range experiments.Links {
 			iso, err := r.MeasureIsolation(l, trial)
 			if err != nil {

@@ -6,12 +6,17 @@
 //
 //	rfly-sim [-scene open|corridor|warehouse|facility] [-tags N]
 //	         [-seed N] [-norelay] [-mission] [-faults] [-v]
+//	rfly-sim -checkpoint FILE [-seed N]   # supervised mission, resumable
+//	rfly-sim -chaos N [-seed N]           # chaos invariant campaign
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rfly"
@@ -31,7 +36,22 @@ func main() {
 	showMap := flag.Bool("map", false, "print a plan-view map of the scenario")
 	mission := flag.Bool("mission", false, "print the coverage/battery plan for the scene before flying")
 	faults := flag.Bool("faults", false, "inject a seeded fault schedule and compare a recovery-enabled survey against a nominal one")
+	chaosSeeds := flag.Int("chaos", 0, "run a chaos campaign over N randomized fault schedules and kill/resume points")
+	ckptPath := flag.String("checkpoint", "", "run the supervised mission, persisting (and resuming from) this checkpoint file")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the mission context: the engine rolls back to
+	// the last sortie boundary, the checkpoint is flushed, and the
+	// process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *chaosSeeds > 0 {
+		os.Exit(runChaos(ctx, *chaosSeeds, *seed))
+	}
+	if *ckptPath != "" {
+		os.Exit(runMission(ctx, *seed, *ckptPath))
+	}
 
 	var scene *rfly.Scene
 	var readerPos rfly.Point

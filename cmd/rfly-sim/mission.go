@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"rfly/internal/experiments"
+	"rfly/internal/runtime"
+	"rfly/internal/runtime/chaos"
+)
+
+// Supervised-mission and chaos modes. Both run under the signal-aware
+// context: SIGINT/SIGTERM cancels the mission mid-sortie, the engine
+// rolls back to the last sortie boundary, the final checkpoint is
+// flushed, and the process exits non-zero so callers know the mission
+// did not complete.
+
+// runMission runs the canonical supervised mission with checkpoint
+// persistence: if ckptPath exists the mission resumes from it;
+// otherwise it starts fresh. The checkpoint is rewritten after every
+// sortie and on interruption.
+func runMission(ctx context.Context, seed uint64, ckptPath string) int {
+	cfg := experiments.DefaultMissionConfig(seed)
+	var e *runtime.Engine
+	if data, err := os.ReadFile(ckptPath); err == nil {
+		e, err = runtime.Restore(cfg, data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint %s unusable: %v\n", ckptPath, err)
+			return 1
+		}
+		fmt.Printf("resumed from %s: %d/%d sorties committed\n", ckptPath, e.SortiesDone(), cfg.Sorties)
+	} else {
+		e, err = runtime.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	flush := func() {
+		if err := os.WriteFile(ckptPath, e.Snapshot(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint write: %v\n", err)
+		}
+	}
+	var runErr error
+	for e.SortiesDone() < cfg.Sorties {
+		s, err := e.RunSortie(ctx)
+		if err != nil {
+			runErr = err
+			break
+		}
+		flush()
+		fmt.Printf("sortie %d: %d/%d reads, %d relocks, %d recoveries, %d swaps, aborted=%t\n",
+			s.Sortie, s.Reads, s.Attempts, s.Relocks, s.Recoveries, s.BatterySwaps, s.Aborted)
+	}
+	// Flush the final checkpoint even on interruption: the engine rolled
+	// back to the last sortie boundary, so what we write is exactly the
+	// state a later run resumes from.
+	flush()
+
+	res := e.Result()
+	res.Interrupted = runErr != nil
+	fmt.Print(res.CSV())
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "mission interrupted (%d/%d sorties); checkpoint saved to %s\n",
+				e.SortiesDone(), cfg.Sorties, ckptPath)
+		} else {
+			fmt.Fprintln(os.Stderr, runErr)
+		}
+		return 1
+	}
+	fmt.Printf("mission complete: %d sorties; checkpoint %s\n", e.SortiesDone(), ckptPath)
+	return 0
+}
+
+// runChaos fuzzes the mission runtime with randomized fault schedules
+// and kill/resume points, asserting the global invariants.
+func runChaos(ctx context.Context, seeds int, seed uint64) int {
+	fmt.Printf("chaos campaign: %d seeds, base %d\n", seeds, seed)
+	res, err := chaos.Run(ctx, chaos.Config{
+		Seeds:    seeds,
+		BaseSeed: seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign stopped after %d/%d seeds: %v\n", res.Runs, seeds, err)
+		return 1
+	}
+	fmt.Printf("\n%d runs, %d supervised ticks checked, %d resumes, %d aborted sorties\n",
+		res.Runs, res.TicksChecked, res.Resumes, res.Aborts)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "%d invariant violations\n", len(res.Violations))
+		return 1
+	}
+	fmt.Println("all invariants held (energy conservation, monotone clock, no unlocked reads, kill/resume equivalence)")
+	return 0
+}

@@ -27,6 +27,17 @@ import (
 	"rfly/internal/tag"
 )
 
+// bitsVal decodes a bit vector whose width the test controls; any error
+// is a test bug, not a protocol condition.
+func bitsVal(t testing.TB, b epc.Bits) uint64 {
+	t.Helper()
+	v, err := b.Uint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 // waveformRig wires one reader, one relay, and one tag at explicit
 // geometry, with free-space scalar channels between them.
 type waveformRig struct {
@@ -163,8 +174,8 @@ func TestE2EQueryTransparentThroughRelay(t *testing.T) {
 		t.Fatal("tag did not reply to a Q=0 query")
 	}
 	// The RN16 the reader decodes must be the tag's.
-	if uint16(dec.Bits.Uint()) != w.tg.RN16() {
-		t.Fatalf("decoded RN16 %04X, tag holds %04X", dec.Bits.Uint(), w.tg.RN16())
+	if uint16(bitsVal(t, dec.Bits)) != w.tg.RN16() {
+		t.Fatalf("decoded RN16 %04X, tag holds %04X", bitsVal(t, dec.Bits), w.tg.RN16())
 	}
 }
 
@@ -175,7 +186,7 @@ func TestE2EFullInventoryHandshake(t *testing.T) {
 		t.Fatal("no RN16")
 	}
 	// ACK with the decoded RN16; expect the EPC back, over the waveform.
-	_, epcDec := w.runQuery(t, epc.ACK{RN16: uint16(rn.Bits.Uint())})
+	_, epcDec := w.runQuery(t, epc.ACK{RN16: uint16(bitsVal(t, rn.Bits))})
 	if epcDec == nil {
 		t.Fatal("no EPC reply")
 	}

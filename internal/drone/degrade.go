@@ -1,6 +1,7 @@
 package drone
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -71,6 +72,15 @@ type DegradedPlan struct {
 // The mission never silently drops coverage: the returned plan's airtime
 // covers the full original path length.
 func (pl Plan) ExecuteWithSag(e Endurance, sags ...BatterySag) (DegradedPlan, error) {
+	return pl.ExecuteWithSagCtx(context.Background(), e, sags...)
+}
+
+// ExecuteWithSagCtx is ExecuteWithSag under a deadline, checked once per
+// replayed sortie: replanning a long mission against many sags walks an
+// unbounded sortie sequence (each sag stretches the tail), and a
+// supervisor that is itself on a clock must be able to abandon the
+// replay rather than finish it late.
+func (pl Plan) ExecuteWithSagCtx(ctx context.Context, e Endurance, sags ...BatterySag) (DegradedPlan, error) {
 	out := DegradedPlan{Plan: pl}
 	if pl.Sorties < 1 || e.FlightTime <= 0 {
 		return out, fmt.Errorf("drone: plan has no sorties to degrade")
@@ -95,6 +105,9 @@ func (pl Plan) ExecuteWithSag(e Endurance, sags ...BatterySag) (DegradedPlan, er
 	const reserve = 0.10 // return-leg reserve a sagged pack must hold back
 
 	for i := 1; remaining > 1e-9; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("drone: sag replay abandoned at sortie %d: %w", i, err)
+		}
 		sorties++
 		planned := math.Min(full, remaining)
 		s, sagged := worst[i]

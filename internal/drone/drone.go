@@ -11,6 +11,7 @@
 package drone
 
 import (
+	"context"
 	"fmt"
 
 	"rfly/internal/geom"
@@ -89,10 +90,24 @@ type Flight struct {
 // platform's positional jitter (the true position) and then measured by
 // the OptiTrack.
 func (p Platform) Fly(plan geom.Trajectory, ot OptiTrack, src *rng.Source) Flight {
+	f, _ := p.FlyCtx(context.Background(), plan, ot, src)
+	return f
+}
+
+// FlyCtx is Fly under a deadline: the flight is cut short between plan
+// points when ctx expires, returning the points flown so far together
+// with ctx's error. The truncated flight is still internally consistent
+// (True and Measured stay paired), so a caller that chooses to use a
+// partial aperture can — but it must do so knowingly, which is why the
+// error is returned rather than swallowed.
+func (p Platform) FlyCtx(ctx context.Context, plan geom.Trajectory, ot OptiTrack, src *rng.Source) (Flight, error) {
 	f := Flight{Plan: plan}
 	wander := src.Split("wander-" + p.Name)
 	meas := src.Split("optitrack-" + p.Name)
 	for _, pt := range plan.Points {
+		if err := ctx.Err(); err != nil {
+			return f, err
+		}
 		truth := geom.Point{
 			X: pt.X + wander.Gaussian(0, p.PosJitterM),
 			Y: pt.Y + wander.Gaussian(0, p.PosJitterM),
@@ -105,7 +120,7 @@ func (p Platform) Fly(plan geom.Trajectory, ot OptiTrack, src *rng.Source) Fligh
 		f.True = append(f.True, truth)
 		f.Measured = append(f.Measured, m)
 	}
-	return f
+	return f, nil
 }
 
 // MeasuredTrajectory returns the OptiTrack-measured positions as a

@@ -41,7 +41,7 @@ func ParseEBV(b Bits) (uint32, int, error) {
 			return 0, 0, fmt.Errorf("epc: truncated EBV")
 		}
 		ext := b[used]
-		group := uint32(b[used+1 : used+8].Uint())
+		group := uint32(uintOf(b[used+1 : used+8]))
 		v = v<<7 | group
 		used += 8
 		if ext == 0 {
@@ -101,8 +101,8 @@ func decodeAccess(b Bits) (Command, error) {
 	if !CheckCRC16(b) {
 		return nil, fmt.Errorf("epc: access command CRC-16 mismatch")
 	}
-	code := b[:8].Uint()
-	bank := MemBank(b[8:10].Uint())
+	code := uintOf(b[:8])
+	bank := MemBank(uintOf(b[8:10]))
 	ptr, used, err := ParseEBV(b[10:])
 	if err != nil {
 		return nil, err
@@ -116,8 +116,8 @@ func decodeAccess(b Bits) (Command, error) {
 		return Read{
 			MemBank:   bank,
 			WordPtr:   ptr,
-			WordCount: uint8(rest[:8].Uint()),
-			RN16:      uint16(rest[8:24].Uint()),
+			WordCount: uint8(uintOf(rest[:8])),
+			RN16:      uint16(uintOf(rest[8:24])),
 		}, nil
 	case 0b11000011: // Write
 		if len(rest) != 16+16+16 {
@@ -126,8 +126,8 @@ func decodeAccess(b Bits) (Command, error) {
 		return Write{
 			MemBank: bank,
 			WordPtr: ptr,
-			Data:    uint16(rest[:16].Uint()),
-			RN16:    uint16(rest[16:32].Uint()),
+			Data:    uint16(uintOf(rest[:16])),
+			RN16:    uint16(uintOf(rest[16:32])),
 		}, nil
 	}
 	return nil, fmt.Errorf("epc: unknown access command %08b", code)
@@ -158,9 +158,9 @@ func ParseReadReply(b Bits, wantWords int) ([]uint16, uint16, error) {
 	}
 	words := make([]uint16, wantWords)
 	for i := range words {
-		words[i] = uint16(b[1+i*16 : 1+(i+1)*16].Uint())
+		words[i] = uint16(uintOf(b[1+i*16 : 1+(i+1)*16]))
 	}
-	rn := uint16(b[1+wantWords*16 : 1+wantWords*16+16].Uint())
+	rn := uint16(uintOf(b[1+wantWords*16 : 1+wantWords*16+16]))
 	return words, rn, nil
 }
 
@@ -219,24 +219,24 @@ func decodeSecurity(b Bits) (Command, error) {
 	if !CheckCRC16(b) {
 		return nil, fmt.Errorf("epc: security command CRC-16 mismatch")
 	}
-	switch b[:8].Uint() {
+	switch uintOf(b[:8]) {
 	case 0b11000100:
 		if len(b) != 8+1+16+16+16 {
 			return nil, fmt.Errorf("epc: Kill frame length %d", len(b))
 		}
 		return Kill{
 			Half:     b[8],
-			Password: uint16(b[9:25].Uint()),
-			RN16:     uint16(b[25:41].Uint()),
+			Password: uint16(uintOf(b[9:25])),
+			RN16:     uint16(uintOf(b[25:41])),
 		}, nil
 	case 0b11000101:
 		if len(b) != 8+2+1+16+16 {
 			return nil, fmt.Errorf("epc: Lock frame length %d", len(b))
 		}
 		return Lock{
-			MemBank: MemBank(b[8:10].Uint()),
+			MemBank: MemBank(uintOf(b[8:10])),
 			Locked:  b[10] == 1,
-			RN16:    uint16(b[11:27].Uint()),
+			RN16:    uint16(uintOf(b[11:27])),
 		}, nil
 	}
 	return nil, fmt.Errorf("epc: unknown security command")

@@ -28,16 +28,26 @@ func BitsFromUint(v uint64, n int) Bits {
 	return b
 }
 
-// Uint interprets the bits MSB-first as an unsigned integer. It panics if
-// len(b) > 64.
-func (b Bits) Uint() uint64 {
+// Uint interprets the bits MSB-first as an unsigned integer. Bit strings
+// longer than 64 bits have no uint64 representation and return an error:
+// over-the-air frames are attacker-controlled input, so an oversized
+// field must surface as a decode failure, never a panic.
+func (b Bits) Uint() (uint64, error) {
 	if len(b) > 64 {
-		panic("epc: Bits.Uint on more than 64 bits")
+		return 0, fmt.Errorf("epc: Bits.Uint on %d bits (max 64)", len(b))
 	}
 	var v uint64
 	for _, bit := range b {
 		v = v<<1 | uint64(bit&1)
 	}
+	return v, nil
+}
+
+// uintOf is Uint for call sites whose slice width is bounded ≤ 64 bits by
+// construction (fixed-width protocol fields); the error path is
+// unreachable there.
+func uintOf(b Bits) uint64 {
+	v, _ := b.Uint()
 	return v
 }
 
@@ -121,7 +131,7 @@ func EPCFromBits(b Bits) (EPC, error) {
 	}
 	e := EPC{Words: make([]uint16, len(b)/16)}
 	for i := range e.Words {
-		e.Words[i] = uint16(b[i*16 : (i+1)*16].Uint())
+		e.Words[i] = uint16(uintOf(b[i*16 : (i+1)*16]))
 	}
 	return e, nil
 }

@@ -9,7 +9,8 @@ func TestBitsFromUintRoundTrip(t *testing.T) {
 	f := func(v uint64) bool {
 		n := 64
 		b := BitsFromUint(v, n)
-		return b.Uint() == v
+		got, err := b.Uint()
+		return err == nil && got == v
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -32,13 +33,13 @@ func TestBitsFromUintWidth(t *testing.T) {
 	}
 }
 
-func TestBitsUintPanicsOver64(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	make(Bits, 65).Uint()
+func TestBitsUintErrorsOver64(t *testing.T) {
+	if _, err := make(Bits, 65).Uint(); err == nil {
+		t.Fatal("expected error for a 65-bit word")
+	}
+	if v, err := make(Bits, 64).Uint(); err != nil || v != 0 {
+		t.Fatalf("64-bit zero word: v=%d err=%v", v, err)
+	}
 }
 
 func TestBitsAppendEqual(t *testing.T) {

@@ -217,26 +217,26 @@ type Command interface {
 func Decode(b Bits) (Command, error) {
 	switch {
 	case len(b) == 4 && b[0] == 0 && b[1] == 0:
-		return QueryRep{Session: Session(b[2:4].Uint())}, nil
+		return QueryRep{Session: Session(uintOf(b[2:4]))}, nil
 	case len(b) == 18 && b[0] == 0 && b[1] == 1:
-		return ACK{RN16: uint16(b[2:18].Uint())}, nil
+		return ACK{RN16: uint16(uintOf(b[2:18]))}, nil
 	case len(b) == 22 && b.hasPrefix(1, 0, 0, 0):
 		if !CheckCRC5(b) {
 			return nil, fmt.Errorf("epc: Query CRC-5 mismatch on %v", b)
 		}
 		q := Query{
 			DR:      DivideRatio(b[4]),
-			M:       Miller(b[5:7].Uint()),
+			M:       Miller(uintOf(b[5:7])),
 			TRext:   b[7] == 1,
-			Sel:     uint8(b[8:10].Uint()),
-			Session: Session(b[10:12].Uint()),
+			Sel:     uint8(uintOf(b[8:10])),
+			Session: Session(uintOf(b[10:12])),
 			Target:  Target(b[12]),
-			Q:       uint8(b[13:17].Uint()),
+			Q:       uint8(uintOf(b[13:17])),
 		}
 		return q, nil
 	case len(b) == 9 && b.hasPrefix(1, 0, 0, 1):
-		qa := QueryAdjust{Session: Session(b[4:6].Uint())}
-		switch b[6:9].Uint() {
+		qa := QueryAdjust{Session: Session(uintOf(b[4:6]))}
+		switch uintOf(b[6:9]) {
 		case 0b110:
 			qa.UpDn = 1
 		case 0b011:
@@ -253,7 +253,7 @@ func Decode(b Bits) (Command, error) {
 		if !CheckCRC16(b) {
 			return nil, fmt.Errorf("epc: ReqRN CRC-16 mismatch")
 		}
-		return ReqRN{RN16: uint16(b[8:24].Uint())}, nil
+		return ReqRN{RN16: uint16(uintOf(b[8:24]))}, nil
 	case len(b) >= 40 && (b.hasPrefix(1, 1, 0, 0, 0, 0, 1, 0) || b.hasPrefix(1, 1, 0, 0, 0, 0, 1, 1)):
 		return decodeAccess(b)
 	case len(b) >= 40 && (b.hasPrefix(1, 1, 0, 0, 0, 1, 0, 0) || b.hasPrefix(1, 1, 0, 0, 0, 1, 0, 1)):
@@ -262,15 +262,15 @@ func Decode(b Bits) (Command, error) {
 		if !CheckCRC16(b) {
 			return nil, fmt.Errorf("epc: Select CRC-16 mismatch")
 		}
-		maskLen := int(b[20:28].Uint())
+		maskLen := int(uintOf(b[20:28]))
 		if len(b) != 4+3+3+2+8+8+maskLen+1+16 {
 			return nil, fmt.Errorf("epc: Select length %d inconsistent with mask length %d", len(b), maskLen)
 		}
 		s := Select{
-			Target:   uint8(b[4:7].Uint()),
-			Action:   uint8(b[7:10].Uint()),
-			MemBank:  MemBank(b[10:12].Uint()),
-			Pointer:  uint8(b[12:20].Uint()),
+			Target:   uint8(uintOf(b[4:7])),
+			Action:   uint8(uintOf(b[7:10])),
+			MemBank:  MemBank(uintOf(b[10:12])),
+			Pointer:  uint8(uintOf(b[12:20])),
 			Mask:     append(Bits(nil), b[28:28+maskLen]...),
 			Truncate: b[28+maskLen] == 1,
 		}
@@ -307,7 +307,7 @@ func ParseTagReply(b Bits) (EPC, error) {
 	if !CheckCRC16(b) {
 		return EPC{}, fmt.Errorf("epc: tag reply CRC-16 mismatch")
 	}
-	words := int(b[:5].Uint())
+	words := int(uintOf(b[:5]))
 	want := 16 + words*16 + 16
 	if len(b) != want {
 		return EPC{}, fmt.Errorf("epc: tag reply length %d, PC says %d", len(b), want)

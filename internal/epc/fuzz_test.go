@@ -135,3 +135,60 @@ func FuzzParseSGTIN96(f *testing.F) {
 		}
 	})
 }
+
+func FuzzBitsUint(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1})
+	f.Add(make([]byte, 64))
+	f.Add(make([]byte, 65))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bits := make(Bits, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		v, err := bits.Uint()
+		if len(bits) > 64 {
+			if err == nil {
+				t.Fatalf("%d-bit field converted without error", len(bits))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("%d-bit field rejected: %v", len(bits), err)
+		}
+		// Contract: the value round-trips through BitsFromUint.
+		if !BitsFromUint(v, len(bits)).Equal(bits) {
+			t.Fatalf("round trip changed %s", bits)
+		}
+	})
+}
+
+func FuzzMillerDecode(f *testing.F) {
+	for _, m := range []Miller{Miller2, Miller4, Miller8} {
+		if chips, err := MillerEncode(BitsFromUint(0xACE1, 16), m); err == nil {
+			seed := make([]byte, len(chips))
+			for i, c := range chips {
+				seed[i] = byte(c + 1)
+			}
+			f.Add(seed, uint8(m))
+		}
+	}
+	f.Fuzz(func(t *testing.T, raw []byte, mRaw uint8) {
+		m := Miller(mRaw%3 + 1) // Miller2/4/8
+		soft := make([]float64, len(raw))
+		for i, b := range raw {
+			soft[i] = float64(int(b)-128) / 64
+		}
+		// Must never panic on arbitrary chip streams; errors are fine.
+		bits, err := MillerDecode(soft, m)
+		if err != nil {
+			return
+		}
+		enc, err := MillerEncode(bits, m)
+		if err != nil {
+			t.Fatalf("decoded bits will not re-encode: %v", err)
+		}
+		if len(enc) > len(soft)+2*m.CyclesPerSymbol() {
+			t.Fatalf("decoded %d bits (%d chips) from %d chips", len(bits), len(enc), len(soft))
+		}
+	})
+}

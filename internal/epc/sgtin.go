@@ -73,23 +73,23 @@ func ParseSGTIN96(e EPC) (SGTIN96, error) {
 	if len(bits) != 96 {
 		return SGTIN96{}, fmt.Errorf("epc: SGTIN requires 96 bits, have %d", len(bits))
 	}
-	if bits[:8].Uint() != sgtinHeader {
-		return SGTIN96{}, fmt.Errorf("epc: header %02X is not SGTIN-96", bits[:8].Uint())
+	if uintOf(bits[:8]) != sgtinHeader {
+		return SGTIN96{}, fmt.Errorf("epc: header %02X is not SGTIN-96", uintOf(bits[:8]))
 	}
 	s := SGTIN96{
-		Filter:    uint8(bits[8:11].Uint()),
-		Partition: uint8(bits[11:14].Uint()),
+		Filter:    uint8(uintOf(bits[8:11])),
+		Partition: uint8(uintOf(bits[11:14])),
 	}
 	if int(s.Partition) >= len(sgtinPartitions) {
 		return SGTIN96{}, fmt.Errorf("epc: SGTIN partition %d invalid", s.Partition)
 	}
 	p := sgtinPartitions[s.Partition]
 	off := 14
-	s.CompanyPrefix = bits[off : off+int(p[0])].Uint()
+	s.CompanyPrefix = uintOf(bits[off : off+int(p[0])])
 	off += int(p[0])
-	s.ItemReference = bits[off : off+int(p[1])].Uint()
+	s.ItemReference = uintOf(bits[off : off+int(p[1])])
 	off += int(p[1])
-	s.Serial = bits[off : off+38].Uint()
+	s.Serial = uintOf(bits[off : off+38])
 	return s, nil
 }
 

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"context"
+
+	"rfly/internal/fault"
+	"rfly/internal/runtime"
+)
+
+// Supervised mission experiment: the Figure 11 fault corridor flown as a
+// full multi-sortie mission under the runtime engine — checkpoints at
+// every sortie boundary, supervisor-driven recovery, a fault schedule
+// that spans sortie boundaries — reporting per-sortie read rates and
+// recovery activity. It is the repo's end-to-end demonstration that the
+// robustness machinery composes: the same CSV emerges whether the
+// mission ran uninterrupted or was killed and resumed at any boundary
+// (the determinism tests and the chaos harness enforce exactly that).
+
+// DefaultMissionConfig is the canonical supervised mission: the fault
+// corridor geometry, three sorties, and a schedule mixing revertible
+// disturbances with persistent damage that must survive checkpoints.
+func DefaultMissionConfig(seed uint64) runtime.Config {
+	cfg := runtime.DefaultConfig(seed)
+	cfg.Sorties = 3
+	cfg.TicksPerSortie = 40
+	cfg.SARPointsPerSortie = 10
+	cfg.Schedule = fault.Schedule{Events: []fault.Event{
+		{Class: fault.WindGust, Start: 8, Duration: 6, Severity: 0.8, Param: 1.1},
+		{Class: fault.GainDroop, Start: 20, Duration: 8, Severity: 0.6, Param: 8},
+		{Class: fault.CarrierHop, Start: 52, Severity: 1, Param: 600e3},
+		{Class: fault.BatterySag, Start: 90, Severity: 1},
+	}}
+	return cfg
+}
+
+// MissionCSV runs the supervised mission and returns its deterministic
+// per-sortie CSV.
+func MissionCSV(ctx context.Context, seed uint64) (string, error) {
+	e, err := runtime.New(DefaultMissionConfig(seed))
+	if err != nil {
+		return "", err
+	}
+	res, err := e.Run(ctx)
+	if err != nil {
+		return res.CSV(), err
+	}
+	return res.CSV(), nil
+}

@@ -7,6 +7,7 @@
 package loc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -163,6 +164,15 @@ func projection(meas []Measurement, x, y, z, freq float64) float64 {
 // trajectory (§5.2), since ghost images always lie farther away than the
 // true tag.
 func Localize(meas []Measurement, traj geom.Trajectory, cfg Config) (*Result, error) {
+	return LocalizeCtx(context.Background(), meas, traj, cfg)
+}
+
+// LocalizeCtx is Localize under a deadline. The SAR search is the
+// pipeline's compute hot spot — the coarse grid alone is O(cells ×
+// measurements) — so ctx is checked once per grid row and once per peak
+// refinement; a cancelled search returns ctx's error rather than a
+// half-integrated heatmap.
+func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, cfg Config) (*Result, error) {
 	if len(meas) < 3 {
 		return nil, fmt.Errorf("loc: need at least 3 measurements, have %d", len(meas))
 	}
@@ -178,6 +188,9 @@ func Localize(meas []Measurement, traj geom.Trajectory, cfg Config) (*Result, er
 	rows := int(math.Ceil((y1-y0)/cfg.CoarseRes)) + 1
 	hm := stats.NewHeatmap(x0, y0, cfg.CoarseRes, cfg.CoarseRes, cols, rows)
 	for r := 0; r < rows; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("loc: search abandoned at grid row %d/%d: %w", r, rows, err)
+		}
 		for c := 0; c < cols; c++ {
 			x, y := hm.CellCenter(c, r)
 			hm.Set(c, r, projection(meas, x, y, 0, cfg.Freq))
@@ -191,6 +204,9 @@ func Localize(meas []Measurement, traj geom.Trajectory, cfg Config) (*Result, er
 	// Refine each coarse peak on a fine grid around it.
 	cands := make([]Candidate, 0, len(peaks))
 	for _, p := range peaks {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("loc: search abandoned during refinement: %w", err)
+		}
 		cx, cy := hm.CellCenter(p.c, p.r)
 		fx, fy, fv := refine2D(meas, cx, cy, cfg.CoarseRes, cfg.FineRes, cfg.Freq)
 		loc := geom.P2(fx, fy)

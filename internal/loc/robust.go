@@ -1,6 +1,7 @@
 package loc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,12 +45,18 @@ func RejectUnlocked(meas []Measurement) ([]Measurement, int) {
 // a flight that was dark throughout should fail loudly, not return a
 // noise peak with a confident σ.
 func LocalizeRobust(meas []Measurement, traj geom.Trajectory, cfg Config) (*RobustResult, error) {
+	return LocalizeRobustCtx(context.Background(), meas, traj, cfg)
+}
+
+// LocalizeRobustCtx is LocalizeRobust with the deadline threaded through
+// to the underlying grid search.
+func LocalizeRobustCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, cfg Config) (*RobustResult, error) {
 	kept, _ := RejectUnlocked(meas)
 	if len(kept) < 3 {
 		return nil, fmt.Errorf("loc: only %d/%d measurements survived lock rejection",
 			len(kept), len(meas))
 	}
-	res, err := Localize(kept, traj, cfg)
+	res, err := LocalizeCtx(ctx, kept, traj, cfg)
 	if err != nil {
 		return nil, err
 	}

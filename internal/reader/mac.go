@@ -115,7 +115,15 @@ func (r *Reader) handleSlot(m Medium, slot int, obs []Observation, stats *RoundS
 		qalg.OnSingle()
 		return
 	}
-	rn16 := uint16(o.Reply.Bits.Uint())
+	rnVal, err := o.Reply.Bits.Uint()
+	if err != nil || len(o.Reply.Bits) != 16 {
+		// Whatever backscattered in this slot was not an RN16 frame; a
+		// real demodulator would fail the decode, not crash.
+		stats.RNFailures++
+		qalg.OnSingle()
+		return
+	}
+	rn16 := uint16(rnVal)
 	ackObs := m.Send(epc.ACK{RN16: rn16})
 	if len(ackObs) != 1 {
 		stats.RNFailures++

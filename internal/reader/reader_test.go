@@ -347,7 +347,7 @@ func TestWaveformCollision(t *testing.T) {
 	copy(both, a)
 	signal.Add(both, b)
 	dec0, err := r.DecodeBackscatter(both, 500e3, 0, 400, 16)
-	if err != nil || uint16(dec0.Bits.Uint()) != 0xAAAA {
+	if err != nil || uint16(bitsVal(t, dec0.Bits)) != 0xAAAA {
 		t.Fatalf("noiseless near-equal collision should capture the stronger tag: %v", err)
 	}
 	// With receiver noise comparable to the 0.03×10⁻³ amplitude margin,
@@ -358,7 +358,7 @@ func TestWaveformCollision(t *testing.T) {
 	copy(noisy, both)
 	signal.AWGN(noisy, 9e-9, src.Norm) // σ ≈ 0.07×10⁻³ per quadrature
 	if dec, err := r.DecodeBackscatter(noisy, 500e3, 0, 400, 16); err == nil {
-		got := uint16(dec.Bits.Uint())
+		got := uint16(bitsVal(t, dec.Bits))
 		if got == 0xAAAA || got == 0x5557 {
 			t.Fatalf("noisy collision silently decoded a clean RN16 %04X", got)
 		}
@@ -373,7 +373,7 @@ func TestWaveformCollision(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dominated collision failed to decode: %v", err)
 	}
-	if got := uint16(dec.Bits.Uint()); got != 0xAAAA {
+	if got := uint16(bitsVal(t, dec.Bits)); got != 0xAAAA {
 		t.Fatalf("dominant decode = %04X", got)
 	}
 }

@@ -1,6 +1,10 @@
 package reader
 
-import "rfly/internal/epc"
+import (
+	"context"
+
+	"rfly/internal/epc"
+)
 
 // RetryPolicy bounds how hard the reader tries to turn a silent or
 // undecodable inventory round into reads before giving up. Real Gen2
@@ -44,6 +48,19 @@ type RetryOutcome struct {
 // ReadRate reflects the full exchange including the wasted rounds.
 func (r *Reader) RunInventoryRoundWithRetry(m Medium, sess epc.Session, target epc.Target,
 	qalg *epc.QAlgorithm, pol RetryPolicy, onIdle func(slots int)) RetryOutcome {
+	out, _ := r.RunInventoryRoundWithRetryCtx(context.Background(), m, sess, target, qalg, pol, onIdle)
+	return out
+}
+
+// RunInventoryRoundWithRetryCtx is RunInventoryRoundWithRetry under a
+// deadline: once ctx expires no further retry round is launched (the
+// round in flight always completes — Gen2 rounds are short and aborting
+// one mid-slot would leave session flags half-flipped). The merged
+// outcome of the rounds that did run is returned alongside ctx's error,
+// so a supervisor can both account the reads it got and know the
+// exchange was cut short.
+func (r *Reader) RunInventoryRoundWithRetryCtx(ctx context.Context, m Medium, sess epc.Session,
+	target epc.Target, qalg *epc.QAlgorithm, pol RetryPolicy, onIdle func(slots int)) (RetryOutcome, error) {
 	backoff := pol.BackoffSlots
 	if backoff <= 0 {
 		backoff = 1
@@ -58,7 +75,10 @@ func (r *Reader) RunInventoryRoundWithRetry(m Medium, sess epc.Session, target e
 		out.Stats.RNFailures += stats.RNFailures
 		out.Stats.Reads = append(out.Stats.Reads, stats.Reads...)
 		if len(stats.Reads) > 0 || out.Attempts > pol.MaxRetries {
-			return out
+			return out, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return out, err
 		}
 		out.IdleSlots += backoff
 		if onIdle != nil {

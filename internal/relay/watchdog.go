@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"fmt"
 
 	"rfly/internal/signal"
@@ -175,6 +176,27 @@ func (w *Watchdog) Tick(sense CarrierSense) bool {
 		w.backoff = w.Cfg.MaxBackoffTicks
 	}
 	return false
+}
+
+// AwaitLock drives the re-sweep state machine until the relay is locked
+// and healthy, a tick budget runs out, or ctx expires — the bounded
+// "wait for the relay to come back" primitive a mission supervisor
+// escalates through before replanning. It returns the number of ticks
+// consumed. The error is nil only when the relay ended healthy; a budget
+// exhaustion and a deadline are distinct errors so the caller's
+// escalation policy can treat "the RF environment is dark" differently
+// from "the mission clock ran out".
+func (w *Watchdog) AwaitLock(ctx context.Context, sense CarrierSense, maxTicks int) (int, error) {
+	for tick := 0; tick < maxTicks; tick++ {
+		if err := ctx.Err(); err != nil {
+			return tick, fmt.Errorf("relay: lock wait abandoned after %d ticks: %w", tick, err)
+		}
+		if w.Tick(sense) {
+			return tick + 1, nil
+		}
+	}
+	return maxTicks, fmt.Errorf("relay: no lock within %d ticks (%d re-sweeps)",
+		maxTicks, w.stats.Resweeps)
 }
 
 func abs(v float64) float64 {

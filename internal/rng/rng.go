@@ -9,7 +9,10 @@
 // from perturbing the draws seen by existing ones.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Source is a PCG-XSH-RR 64/32-based generator with a 64-bit state and a
 // 63-bit odd stream selector. The zero value is NOT valid; use New or Split.
@@ -59,6 +62,35 @@ func fnv64(name string) uint64 {
 		h *= prime
 	}
 	return h
+}
+
+// State is a Source's complete serializable state, exposed so mission
+// checkpoints (internal/runtime) can persist and restore RNG streams
+// bit-exactly. Two sources with equal States produce identical draw
+// sequences forever.
+type State struct {
+	State uint64
+	Inc   uint64
+	// Gauss/HasNorm carry the Box-Muller cache so a restored source
+	// continues the Gaussian sequence exactly where the snapshot left it.
+	Gauss   float64
+	HasNorm bool
+}
+
+// Snapshot captures the source's full state for checkpointing.
+func (s *Source) Snapshot() State {
+	return State{State: s.state, Inc: s.inc, Gauss: s.gauss, HasNorm: s.hasNorm}
+}
+
+// Restore builds a Source that resumes exactly from a snapshot. It
+// returns an error (rather than silently mis-seeding) when the snapshot
+// is structurally invalid: the stream selector of a live PCG source is
+// always odd.
+func Restore(st State) (*Source, error) {
+	if st.Inc&1 == 0 {
+		return nil, fmt.Errorf("rng: snapshot stream selector %#x is even", st.Inc)
+	}
+	return &Source{state: st.State, inc: st.Inc, gauss: st.Gauss, hasNorm: st.HasNorm}, nil
 }
 
 // Uint32 returns the next 32 random bits (PCG-XSH-RR output function).

@@ -201,3 +201,31 @@ func TestUint16Coverage(t *testing.T) {
 		t.Fatal("Uint16 does not cover its range")
 	}
 }
+
+func TestSnapshotRestoreContinues(t *testing.T) {
+	// A restored source must continue the exact stream, including a
+	// buffered second normal deviate.
+	s := New(33)
+	for i := 0; i < 7; i++ {
+		s.Norm() // odd count leaves hasNorm set
+	}
+	st := s.Snapshot()
+	r, err := Restore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := s.Norm(), r.Norm(); a != b {
+			t.Fatalf("divergence at draw %d: %v vs %v", i, a, b)
+		}
+		if a, b := s.Uint64(), r.Uint64(); a != b {
+			t.Fatalf("uint divergence at draw %d: %x vs %x", i, a, b)
+		}
+	}
+}
+
+func TestRestoreRejectsEvenStream(t *testing.T) {
+	if _, err := Restore(State{State: 1, Inc: 2}); err == nil {
+		t.Fatal("even stream selector accepted")
+	}
+}

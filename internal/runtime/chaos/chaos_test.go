@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rfly/internal/geom"
+	"rfly/internal/reader"
+	"rfly/internal/runtime"
+)
+
+func campaignMission() runtime.Config {
+	return runtime.Config{
+		Sorties:            3,
+		TicksPerSortie:     20,
+		CorridorLengthM:    40,
+		CorridorWidthM:     3,
+		ReaderPos:          geom.P(0.5, 1.5, 1.2),
+		RelayPos:           geom.P(28.2, 1.5, 1.2),
+		ShadowSigmaDB:      3,
+		Tags:               []runtime.TagSpec{{ID: 1, X: 30, Y: 1.5, Z: 1.0}, {ID: 2, X: 29, Y: 1.0, Z: 1.0}},
+		Retry:              reader.DefaultRetryPolicy(),
+		SwapDelayTicks:     6,
+		StationKeepStepM:   2,
+		SARPointsPerSortie: 4,
+	}
+}
+
+// TestChaosInvariants is the acceptance-criteria campaign: ≥50 seeded
+// random fault schedules (≥10 in -short), each with a randomized kill
+// point, all global invariants holding on every supervised tick.
+func TestChaosInvariants(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Seeds:    seeds,
+		BaseSeed: 2017,
+		Mission:  campaignMission(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.Runs != seeds {
+		t.Fatalf("campaign ran %d/%d seeds", res.Runs, seeds)
+	}
+	if res.Resumes != seeds {
+		t.Fatalf("only %d/%d kill/resume replicas completed", res.Resumes, seeds)
+	}
+	if res.TicksChecked == 0 {
+		t.Fatal("campaign checked no ticks")
+	}
+}
+
+// TestChaosDeterministic: the same campaign replays identically — the
+// property that makes a chaos finding debuggable.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() Result {
+		res, err := Run(context.Background(), Config{
+			Seeds: 3, BaseSeed: 99, Mission: campaignMission(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TicksChecked != b.TicksChecked || a.Aborts != b.Aborts || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("campaign not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestChaosHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Seeds: 5, Mission: campaignMission()}); err == nil {
+		t.Fatal("cancelled campaign reported success")
+	}
+}

@@ -1,0 +1,324 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rfly/internal/geom"
+	"rfly/internal/loc"
+	"rfly/internal/rng"
+)
+
+// Checkpoint codec: a versioned, checksummed binary snapshot of mission
+// state at a sortie boundary. The format is deliberately boring —
+// little-endian fixed-width fields behind a magic/version header, a
+// config fingerprint so a checkpoint cannot be resumed under different
+// mission parameters, and a CRC32 trailer so torn writes are detected
+// rather than replayed. Every field here is load-bearing for bit-exact
+// resume; anything the engine reconstructs deterministically (the
+// deployment, the supervisor, the watchdog) is deliberately absent.
+
+const (
+	ckptMagic   = "RFC1"
+	ckptVersion = uint16(1)
+)
+
+type ckptWriter struct{ buf []byte }
+
+func (w *ckptWriter) u8(v uint8)    { w.buf = append(w.buf, v) }
+func (w *ckptWriter) u16(v uint16)  { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *ckptWriter) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *ckptWriter) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *ckptWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *ckptWriter) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+type ckptReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *ckptReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("runtime: checkpoint truncated at offset %d (need %d of %d bytes)",
+			r.off, n, len(r.buf))
+		return false
+	}
+	return true
+}
+
+func (r *ckptReader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *ckptReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *ckptReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *ckptReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *ckptReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *ckptReader) boolean() bool { return r.u8() != 0 }
+
+// ckptMaxSlice bounds decoded slice lengths so a corrupted length prefix
+// cannot balloon an allocation (fuzzing finds this in minutes otherwise).
+const ckptMaxSlice = 1 << 20
+
+func (r *ckptReader) length(what string) int {
+	n := int(r.u32())
+	if r.err == nil && n > ckptMaxSlice {
+		r.err = fmt.Errorf("runtime: checkpoint %s length %d exceeds limit", what, n)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return n
+}
+
+// Snapshot serializes the engine's committed state. Taken at a sortie
+// boundary it is exact: Restore followed by the remaining sorties
+// produces byte-identical results to the uninterrupted mission.
+func (e *Engine) Snapshot() []byte {
+	w := &ckptWriter{}
+	w.buf = append(w.buf, ckptMagic...)
+	w.u16(ckptVersion)
+	w.u64(e.cfg.hash())
+	w.u32(uint32(e.cur))
+
+	st := e.src.Snapshot()
+	w.u64(st.State)
+	w.u64(st.Inc)
+	w.f64(st.Gauss)
+	w.boolean(st.HasNorm)
+
+	c := e.carry
+	w.boolean(c.RelayPowered)
+	w.boolean(c.RelayLocked)
+	w.f64(c.RelayReaderFreq)
+	w.f64(c.RelayCFOHz)
+	w.f64(c.ReaderHopHz)
+	w.f64(c.AntennaIsoDB)
+	w.boolean(c.HasIso)
+	w.f64(c.Iso.InterDownlinkDB)
+	w.f64(c.Iso.InterUplinkDB)
+	w.f64(c.Iso.IntraDownlinkDB)
+	w.f64(c.Iso.IntraUplinkDB)
+	w.f64(c.Gains.DownVGADB)
+	w.f64(c.Gains.UpVGADB)
+	w.f64(c.Gains.DownlinkGainDB)
+	w.f64(c.Gains.UplinkGainDB)
+	w.boolean(c.Gains.Stable)
+	w.f64(c.RelayPos.X)
+	w.f64(c.RelayPos.Y)
+	w.f64(c.RelayPos.Z)
+
+	w.u32(uint32(len(e.tagReads)))
+	for _, n := range e.tagReads {
+		w.u32(n)
+	}
+
+	w.u32(uint32(len(e.results)))
+	for _, s := range e.results {
+		w.u32(uint32(s.Sortie))
+		w.u64(uint64(s.StartTick))
+		w.u32(uint32(s.Attempts))
+		w.u32(uint32(s.Reads))
+		w.u32(uint32(len(s.TagReads)))
+		for _, n := range s.TagReads {
+			w.u32(n)
+		}
+		w.u32(uint32(s.Relocks))
+		w.u32(uint32(s.Resweeps))
+		w.u32(uint32(s.LossEvents))
+		w.u32(uint32(s.Recoveries))
+		w.u32(uint32(s.FailedRecoveries))
+		w.u32(uint32(s.BreakerTrips))
+		w.u32(uint32(s.BatterySwaps))
+		w.u32(uint32(s.LaunchRelockTicks))
+		w.boolean(s.Aborted)
+		w.u32(uint32(s.SARPoints))
+		w.f64(s.MeanSNRdB)
+	}
+
+	w.u32(uint32(len(e.sar)))
+	for _, m := range e.sar {
+		w.f64(m.Pos.X)
+		w.f64(m.Pos.Y)
+		w.f64(m.Pos.Z)
+		w.f64(real(m.H))
+		w.f64(imag(m.H))
+		w.boolean(m.Unlocked)
+	}
+
+	w.u32(crc32.ChecksumIEEE(w.buf))
+	return w.buf
+}
+
+// Restore rebuilds an engine from a checkpoint taken by Snapshot. It
+// refuses checkpoints with a bad magic, an unknown version, a config
+// hash that does not match cfg, any truncation, or a CRC mismatch.
+func Restore(cfg Config, data []byte) (*Engine, error) {
+	if len(data) < len(ckptMagic)+2+8+4 {
+		return nil, fmt.Errorf("runtime: checkpoint too short (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("runtime: checkpoint CRC mismatch (%08x != %08x)", got, want)
+	}
+
+	r := &ckptReader{buf: body}
+	magic := make([]byte, len(ckptMagic))
+	if r.need(len(magic)) {
+		copy(magic, r.buf[r.off:])
+		r.off += len(magic)
+	}
+	if r.err == nil && string(magic) != ckptMagic {
+		return nil, fmt.Errorf("runtime: bad checkpoint magic %q", magic)
+	}
+	if v := r.u16(); r.err == nil && v != ckptVersion {
+		return nil, fmt.Errorf("runtime: unsupported checkpoint version %d", v)
+	}
+
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if h := r.u64(); r.err == nil && h != e.cfg.hash() {
+		return nil, fmt.Errorf("runtime: checkpoint config hash %016x does not match mission config %016x",
+			h, e.cfg.hash())
+	}
+	cur := int(r.u32())
+
+	var st rng.State
+	st.State = r.u64()
+	st.Inc = r.u64()
+	st.Gauss = r.f64()
+	st.HasNorm = r.boolean()
+
+	var c Carryover
+	c.RelayPowered = r.boolean()
+	c.RelayLocked = r.boolean()
+	c.RelayReaderFreq = r.f64()
+	c.RelayCFOHz = r.f64()
+	c.ReaderHopHz = r.f64()
+	c.AntennaIsoDB = r.f64()
+	c.HasIso = r.boolean()
+	c.Iso.InterDownlinkDB = r.f64()
+	c.Iso.InterUplinkDB = r.f64()
+	c.Iso.IntraDownlinkDB = r.f64()
+	c.Iso.IntraUplinkDB = r.f64()
+	c.Gains.DownVGADB = r.f64()
+	c.Gains.UpVGADB = r.f64()
+	c.Gains.DownlinkGainDB = r.f64()
+	c.Gains.UplinkGainDB = r.f64()
+	c.Gains.Stable = r.boolean()
+	c.RelayPos.X = r.f64()
+	c.RelayPos.Y = r.f64()
+	c.RelayPos.Z = r.f64()
+
+	nTags := r.length("tag table")
+	if r.err == nil && nTags != len(e.cfg.Tags) {
+		return nil, fmt.Errorf("runtime: checkpoint has %d tags, config has %d", nTags, len(e.cfg.Tags))
+	}
+	tagReads := make([]uint32, 0, nTags)
+	for i := 0; i < nTags && r.err == nil; i++ {
+		tagReads = append(tagReads, r.u32())
+	}
+
+	nRes := r.length("sortie results")
+	results := make([]SortieResult, 0, min(nRes, 4096))
+	for i := 0; i < nRes && r.err == nil; i++ {
+		var s SortieResult
+		s.Sortie = int(r.u32())
+		s.StartTick = int64(r.u64())
+		s.Attempts = int(r.u32())
+		s.Reads = int(r.u32())
+		nt := r.length("sortie tag reads")
+		for j := 0; j < nt && r.err == nil; j++ {
+			s.TagReads = append(s.TagReads, r.u32())
+		}
+		s.Relocks = int(r.u32())
+		s.Resweeps = int(r.u32())
+		s.LossEvents = int(r.u32())
+		s.Recoveries = int(r.u32())
+		s.FailedRecoveries = int(r.u32())
+		s.BreakerTrips = int(r.u32())
+		s.BatterySwaps = int(r.u32())
+		s.LaunchRelockTicks = int(r.u32())
+		s.Aborted = r.boolean()
+		s.SARPoints = int(r.u32())
+		s.MeanSNRdB = r.f64()
+		results = append(results, s)
+	}
+
+	nSAR := r.length("sar buffer")
+	sar := make([]loc.Measurement, 0, min(nSAR, 4096))
+	for i := 0; i < nSAR && r.err == nil; i++ {
+		var m loc.Measurement
+		m.Pos = geom.P(r.f64(), r.f64(), r.f64())
+		m.H = complex(r.f64(), r.f64())
+		m.Unlocked = r.boolean()
+		sar = append(sar, m)
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("runtime: checkpoint has %d trailing bytes", len(r.buf)-r.off)
+	}
+	if cur > e.cfg.Sorties || len(results) != cur {
+		return nil, fmt.Errorf("runtime: checkpoint cursor %d inconsistent with %d results (config allows %d)",
+			cur, len(results), e.cfg.Sorties)
+	}
+
+	src, err := rng.Restore(st)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: checkpoint RNG state: %w", err)
+	}
+	e.cur = cur
+	e.carry = c
+	e.src = src
+	e.tagReads = tagReads
+	e.results = results
+	e.sar = sar
+	return e, nil
+}

@@ -1,0 +1,41 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// FuzzCheckpointDecode: Restore faces bytes from disk, which a crash or
+// a hostile filesystem can have mangled arbitrarily. It must never
+// panic, never over-allocate on a corrupt length prefix, and anything it
+// does accept must re-encode to the identical bytes (the codec has one
+// canonical form).
+func FuzzCheckpointDecode(f *testing.F) {
+	cfg := testConfig(5)
+	e, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := e.RunSorties(context.Background(), 1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(e.Snapshot())
+	fresh, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fresh.Snapshot())
+	f.Add([]byte("RFC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e2, err := Restore(cfg, data)
+		if err != nil {
+			return
+		}
+		if got := e2.Snapshot(); !bytes.Equal(got, data) {
+			t.Fatalf("accepted checkpoint is not canonical: re-encoded %d bytes from %d",
+				len(got), len(data))
+		}
+	})
+}

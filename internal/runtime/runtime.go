@@ -1,0 +1,592 @@
+// Package runtime is RFly's supervised mission engine: it runs a
+// multi-sortie inventory mission as a sequence of deterministic sorties,
+// supervises the relay link through each one (health probes, an
+// escalation ladder, a circuit breaker), threads a context deadline
+// through every layer of the hot path, and checkpoints mission state at
+// every sortie boundary so a killed mission resumes bit-identically.
+//
+// The unit of recovery is the sortie. Each sortie's deployment is
+// rebuilt deterministically from (config, mission RNG stream), and
+// everything that must survive the rebuild — persistent fault damage,
+// the drone's pose, the relay's lock and gain state, accumulated
+// inventory and SAR captures — travels in an explicit, serializable
+// Carryover. That is what makes checkpoint/resume exact: a checkpoint is
+// the carryover plus the mission RNG state plus the committed results,
+// and replaying sortie k from its start always reproduces the same bits
+// because no hidden state crosses the boundary.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"rfly/internal/drone"
+	"rfly/internal/epc"
+	"rfly/internal/fault"
+	"rfly/internal/geom"
+	"rfly/internal/loc"
+	"rfly/internal/reader"
+	"rfly/internal/relay"
+	"rfly/internal/rng"
+	"rfly/internal/sim"
+	"rfly/internal/tag"
+	"rfly/internal/world"
+)
+
+// TagSpec places one inventory target in the corridor.
+type TagSpec struct {
+	ID      uint16
+	X, Y, Z float64
+}
+
+// Config describes a mission. Every field is a scalar, a flat slice, or
+// a value type so the config hashes canonically — the checkpoint stores
+// the hash and Resume refuses a checkpoint taken under different
+// parameters.
+type Config struct {
+	Seed uint64
+	// Sorties and TicksPerSortie shape the mission clock: the global tick
+	// t lives in sortie t/TicksPerSortie.
+	Sorties        int
+	TicksPerSortie int
+
+	// Corridor geometry, matching the Figure 11 fault corridor.
+	CorridorLengthM float64
+	CorridorWidthM  float64
+	ReaderPos       geom.Point
+	RelayPos        geom.Point
+	ShadowSigmaDB   float64
+
+	Tags []TagSpec
+
+	// Schedule's event Start ticks are on the GLOBAL mission clock; each
+	// sortie sees the events whose start falls inside its tick window,
+	// shifted to sortie-relative time. Revertible events are clipped to
+	// their sortie (the landing ends the gust / clears the droop);
+	// persistent damage crosses the boundary through the Carryover.
+	Schedule fault.Schedule
+
+	Retry      reader.RetryPolicy
+	Supervisor SupervisorConfig
+	// SwapDelayTicks is the emergency battery-swap turnaround;
+	// StationKeepStepM the controller's per-tick authority.
+	SwapDelayTicks   int
+	StationKeepStepM float64
+
+	// SARPointsPerSortie, when positive, ends each sortie with a short
+	// SAR line flight whose disentangled captures accumulate across
+	// sorties (and through checkpoints) into the mission's localization
+	// aperture.
+	SARPointsPerSortie int
+}
+
+// DefaultConfig returns a small but fully-featured mission.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		Sorties:         4,
+		TicksPerSortie:  30,
+		CorridorLengthM: 40,
+		CorridorWidthM:  3,
+		ReaderPos:       geom.P(0.5, 1.5, 1.2),
+		RelayPos:        geom.P(28.2, 1.5, 1.2),
+		ShadowSigmaDB:   3,
+		Tags: []TagSpec{
+			{ID: 1, X: 30, Y: 1.5, Z: 1.0},
+			{ID: 2, X: 29, Y: 1.0, Z: 1.0},
+		},
+		Retry:            reader.DefaultRetryPolicy(),
+		Supervisor:       DefaultSupervisorConfig(),
+		SwapDelayTicks:   6,
+		StationKeepStepM: 2,
+	}
+}
+
+func (c *Config) defaults() error {
+	if c.Sorties <= 0 || c.TicksPerSortie <= 0 {
+		return fmt.Errorf("runtime: mission needs positive sorties (%d) and ticks (%d)",
+			c.Sorties, c.TicksPerSortie)
+	}
+	if len(c.Tags) == 0 {
+		return fmt.Errorf("runtime: mission needs at least one tag")
+	}
+	if c.SwapDelayTicks <= 0 {
+		c.SwapDelayTicks = 6
+	}
+	if c.StationKeepStepM <= 0 {
+		c.StationKeepStepM = 2
+	}
+	c.Supervisor.defaults()
+	if err := c.Schedule.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// hash fingerprints the config for checkpoint compatibility checks.
+func (c Config) hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%g|%g|%v|%v|%g|%d|%g|%d|", c.Seed, c.Sorties, c.TicksPerSortie,
+		c.CorridorLengthM, c.CorridorWidthM, c.ReaderPos, c.RelayPos, c.ShadowSigmaDB,
+		c.SwapDelayTicks, c.StationKeepStepM, c.SARPointsPerSortie)
+	for _, t := range c.Tags {
+		fmt.Fprintf(h, "t%d:%g,%g,%g|", t.ID, t.X, t.Y, t.Z)
+	}
+	for _, e := range c.Schedule.Sorted() {
+		fmt.Fprintf(h, "e%d:%d:%d:%g:%g|", int(e.Class), e.Start, e.Duration, e.Severity, e.Param)
+	}
+	fmt.Fprintf(h, "r%d:%d:%d|s%d:%d:%d:%d", c.Retry.MaxRetries, c.Retry.BackoffSlots,
+		c.Retry.MaxBackoffSlots, c.Supervisor.RelockTicks, c.Supervisor.MaxRecoveryFailures,
+		c.Supervisor.CooldownTicks, c.Supervisor.MaxBreakerTrips)
+	return h.Sum64()
+}
+
+// Carryover is the state that outlives a sortie's deployment: persistent
+// fault damage and the airframe's pose. It is exactly what a checkpoint
+// stores, so every field must be serializable and every omission is a
+// resume bug.
+type Carryover struct {
+	RelayPowered    bool
+	RelayLocked     bool
+	RelayReaderFreq float64
+	RelayCFOHz      float64
+	ReaderHopHz     float64
+	AntennaIsoDB    float64
+	// HasIso guards Iso/Gains: false until the first sortie commits.
+	HasIso bool
+	Iso    relay.IsolationReport
+	Gains  relay.GainPlan
+	// RelayPos is where the airframe ended the sortie (a gust may have
+	// displaced it); the next sortie launches from there and
+	// station-keeps back to plan.
+	RelayPos geom.Point
+}
+
+// SortieResult is one sortie's committed outcome.
+type SortieResult struct {
+	Sortie    int
+	StartTick int64
+	Attempts  int // read attempts (ticks × tags, minus aborted tail)
+	Reads     int
+	TagReads  []uint32 // per-tag read counts, index-aligned with Config.Tags
+	// Watchdog and supervisor bookkeeping.
+	Relocks           int
+	Resweeps          int
+	LossEvents        int
+	Recoveries        int
+	FailedRecoveries  int
+	BreakerTrips      int
+	BatterySwaps      int
+	LaunchRelockTicks int
+	Aborted           bool
+	// SARPoints is how many usable SAR captures this sortie contributed.
+	SARPoints int
+	// MeanSNRdB averages the finite supervision-budget SNRs.
+	MeanSNRdB float64
+}
+
+// TickObs is what the engine shows an observer each tick: enough to
+// check every global invariant without touching the deterministic
+// streams. Observers must not mutate the deployment.
+type TickObs struct {
+	Clock       int64 // global mission tick
+	Sortie      int
+	Tick        int // sortie-relative
+	Budget      sim.Budget
+	LockHealthy bool // sampled after supervision, before the reads
+	Reads       int  // successful reads this tick across tags
+	Health      Health
+	Deployment  *sim.Deployment
+	Tag         *tag.Tag
+}
+
+// MissionResult is the committed mission outcome.
+type MissionResult struct {
+	Sorties []SortieResult
+	// Interrupted is true when the mission ended on a cancelled context
+	// rather than completing its sortie count.
+	Interrupted bool
+	// LocX/LocY/LocOK carry the end-of-mission SAR localization of the
+	// first tag, when the mission accumulated enough captures.
+	LocX, LocY float64
+	LocOK      bool
+}
+
+// CSV renders the result deterministically: byte-identical for
+// byte-identical mission state, which is what the determinism and
+// kill/resume tests diff.
+func (r MissionResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("sortie,start_tick,attempts,reads,read_rate_pct,relocks,resweeps,loss_events," +
+		"recoveries,failed_recoveries,breaker_trips,battery_swaps,launch_relock_ticks,aborted," +
+		"sar_points,mean_snr_db,tag_reads\n")
+	for _, s := range r.Sorties {
+		rate := 0.0
+		if s.Attempts > 0 {
+			rate = 100 * float64(s.Reads) / float64(s.Attempts)
+		}
+		tr := make([]string, len(s.TagReads))
+		for i, n := range s.TagReads {
+			tr[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%t,%d,%.3f,%s\n",
+			s.Sortie, s.StartTick, s.Attempts, s.Reads, rate,
+			s.Relocks, s.Resweeps, s.LossEvents, s.Recoveries, s.FailedRecoveries,
+			s.BreakerTrips, s.BatterySwaps, s.LaunchRelockTicks, s.Aborted,
+			s.SARPoints, s.MeanSNRdB, strings.Join(tr, ";"))
+	}
+	if r.LocOK {
+		fmt.Fprintf(&b, "# loc,%.4f,%.4f\n", r.LocX, r.LocY)
+	}
+	if r.Interrupted {
+		b.WriteString("# interrupted\n")
+	}
+	return b.String()
+}
+
+// Engine runs a mission sortie by sortie. It is not safe for concurrent
+// use.
+type Engine struct {
+	cfg Config
+
+	cur      int // committed sorties
+	carry    Carryover
+	results  []SortieResult
+	tagReads []uint32 // cumulative per-tag inventory
+	sar      []loc.Measurement
+
+	// src is the mission-level RNG stream; each sortie draws its build
+	// seed from it, which is why its state must be checkpointed.
+	src *rng.Source
+
+	// Observer, when set, is called once per tick with read-only state.
+	// It does not participate in determinism: the engine computes the
+	// observation unconditionally whether or not anyone is watching.
+	Observer func(TickObs)
+}
+
+// New validates cfg and builds an engine at the mission's start.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		src:      rng.New(cfg.Seed).Split("mission"),
+		tagReads: make([]uint32, len(cfg.Tags)),
+		carry: Carryover{
+			RelayPowered: true,
+			RelayPos:     cfg.RelayPos,
+		},
+	}, nil
+}
+
+// Config returns the engine's (defaulted) mission config.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SortiesDone returns how many sorties have committed.
+func (e *Engine) SortiesDone() int { return e.cur }
+
+// Clock returns the global mission tick at the last commit boundary.
+func (e *Engine) Clock() int64 { return int64(e.cur) * int64(e.cfg.TicksPerSortie) }
+
+// buildDeployment rebuilds sortie state from the config and a sortie
+// seed, then applies the carryover.
+func (e *Engine) buildDeployment(seed uint64) (*sim.Deployment, []*tag.Tag) {
+	d := sim.New(sim.Config{
+		Scene:         world.Corridor(e.cfg.CorridorLengthM, e.cfg.CorridorWidthM),
+		ReaderPos:     e.cfg.ReaderPos,
+		UseRelay:      true,
+		RelayPos:      e.cfg.RelayPos,
+		ShadowSigmaDB: e.cfg.ShadowSigmaDB,
+	}, seed)
+	tags := make([]*tag.Tag, len(e.cfg.Tags))
+	for i, ts := range e.cfg.Tags {
+		tags[i] = d.AddTag(epc.NewEPC96(ts.ID, 0xD0, 0, 0, 0, 0), geom.P(ts.X, ts.Y, ts.Z))
+	}
+	e.applyCarryover(d)
+	return d, tags
+}
+
+// applyCarryover restores persistent damage and pose onto a freshly
+// built deployment.
+func (e *Engine) applyCarryover(d *sim.Deployment) {
+	c := e.carry
+	d.SetReaderCarrierHz(c.ReaderHopHz)
+	if c.HasIso {
+		d.Relay.SetAntennaIsolationDB(c.AntennaIsoDB)
+		d.Iso = c.Iso
+		d.Gains = c.Gains
+	}
+	if c.RelayLocked {
+		d.Relay.Lock(c.RelayReaderFreq)
+		if c.RelayCFOHz != 0 {
+			d.Relay.ApplyCFO(c.RelayCFOHz)
+		}
+	} else {
+		d.Relay.Unlock()
+	}
+	// Power state last: SetRelayPowered(false) drops the lock, matching
+	// the brown-out semantics for a relay that ended its sortie dark.
+	d.SetRelayPowered(c.RelayPowered)
+	// Launch from where the last sortie left the airframe, but keep the
+	// plan position as the station-keeping target.
+	d.RelayPos = c.RelayPos
+	if d.EmbeddedTag != nil {
+		d.EmbeddedTag.Pos = c.RelayPos
+	}
+	d.RelayPlanPos = e.cfg.RelayPos
+}
+
+// extractCarryover captures the persistent state at sortie end.
+func (e *Engine) extractCarryover(d *sim.Deployment) Carryover {
+	return Carryover{
+		RelayPowered:    d.RelayPowered(),
+		RelayLocked:     d.Relay.Locked(),
+		RelayReaderFreq: d.Relay.ReaderFreq(),
+		RelayCFOHz:      d.Relay.CFOHz(),
+		ReaderHopHz:     d.ReaderCarrierHz(),
+		AntennaIsoDB:    d.Relay.AntennaIsolationDB(),
+		HasIso:          true,
+		Iso:             d.Iso,
+		Gains:           d.Gains,
+		RelayPos:        d.RelayPos,
+	}
+}
+
+// clipSchedule selects the events whose start falls inside the sortie
+// window [base, base+ticks) and rebases them to sortie-relative time.
+// Revertible windows are clipped to the sortie: the landing ends the
+// cause. Events from earlier windows are NOT re-applied — persistent
+// damage crosses the boundary via the Carryover, and revertible causes
+// died with the landing.
+func clipSchedule(s fault.Schedule, base, ticks int) fault.Schedule {
+	var out fault.Schedule
+	for _, ev := range s.Events {
+		if ev.Start < base || ev.Start >= base+ticks {
+			continue
+		}
+		rel := ev
+		rel.Start = ev.Start - base
+		if rel.Duration > 0 && rel.Start+rel.Duration > ticks {
+			rel.Duration = ticks - rel.Start
+		}
+		out.Events = append(out.Events, rel)
+	}
+	return out
+}
+
+// RunSortie executes the next sortie and commits it. On a cancelled
+// context nothing commits: the engine (including its RNG stream) is
+// rolled back to the sortie boundary, so a later RunSortie — or a resume
+// from the last checkpoint — replays the sortie bit-identically.
+func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
+	if e.cur >= e.cfg.Sorties {
+		return SortieResult{}, fmt.Errorf("runtime: mission already complete (%d sorties)", e.cur)
+	}
+	srcMark := e.src.Snapshot()
+	sortieSeed := e.src.Uint64()
+	rollback := func() {
+		if s, err := rng.Restore(srcMark); err == nil {
+			e.src = s
+		}
+	}
+
+	d, tags := e.buildDeployment(sortieSeed)
+	wd, err := relay.NewWatchdog(d.Relay, relay.WatchdogConfig{})
+	if err != nil {
+		rollback()
+		return SortieResult{}, err
+	}
+	base := e.cur * e.cfg.TicksPerSortie
+	inj, err := fault.NewInjector(clipSchedule(e.cfg.Schedule, base, e.cfg.TicksPerSortie), d)
+	if err != nil {
+		rollback()
+		return SortieResult{}, err
+	}
+	sup := NewSupervisor(e.cfg.Supervisor)
+
+	res := SortieResult{
+		Sortie:    e.cur,
+		StartTick: int64(base),
+		TagReads:  make([]uint32, len(tags)),
+		MeanSNRdB: math.NaN(),
+	}
+
+	// Launch checklist: a powered relay that came back unlocked from the
+	// previous sortie gets a bounded re-acquisition window before the
+	// clock starts burning read attempts.
+	if d.RelayPowered() && !d.RelayLockHealthy() {
+		n, _ := wd.AwaitLock(ctx, d, sup.Cfg.RelockTicks)
+		res.LaunchRelockTicks = n
+		if err := ctx.Err(); err != nil {
+			rollback()
+			return SortieResult{}, err
+		}
+	}
+
+	var snrSum float64
+	var snrN int
+	for tick := 0; tick < e.cfg.TicksPerSortie; tick++ {
+		if err := ctx.Err(); err != nil {
+			rollback()
+			return SortieResult{}, fmt.Errorf("runtime: sortie %d cancelled at tick %d: %w",
+				res.Sortie, tick, err)
+		}
+		inj.Step()
+		h := sup.Tick(d, wd, e.cfg.SwapDelayTicks, e.cfg.StationKeepStepM)
+		if h.Abort {
+			res.Aborted = true
+			break
+		}
+		// One supervision budget per tick, unconditionally: it feeds the
+		// observer's invariant checks and the SNR telemetry, and being
+		// unconditional keeps the deterministic stream identical whether
+		// or not anyone observes.
+		bud := d.LinkBudget(tags[0])
+		if !math.IsInf(bud.SNRdB, -1) && !math.IsNaN(bud.SNRdB) {
+			snrSum += bud.SNRdB
+			snrN++
+		}
+		lockForReads := d.RelayLockHealthy()
+		reads := 0
+		for ti, tg := range tags {
+			res.Attempts++
+			ok, err := d.ReadAttemptRetryCtx(ctx, tg, e.cfg.Retry, nil)
+			if ok {
+				res.Reads++
+				res.TagReads[ti]++
+				reads++
+			}
+			if err != nil {
+				rollback()
+				return SortieResult{}, fmt.Errorf("runtime: sortie %d reads cancelled: %w",
+					res.Sortie, err)
+			}
+		}
+		if e.Observer != nil {
+			e.Observer(TickObs{
+				Clock:       int64(base + tick),
+				Sortie:      res.Sortie,
+				Tick:        tick,
+				Budget:      bud,
+				LockHealthy: lockForReads,
+				Reads:       reads,
+				Health:      h,
+				Deployment:  d,
+				Tag:         tags[0],
+			})
+		}
+	}
+	if snrN > 0 {
+		res.MeanSNRdB = snrSum / float64(snrN)
+	}
+
+	// End-of-sortie SAR pass (skipped for an aborted sortie: the drone
+	// went straight home).
+	var newSAR []loc.Measurement
+	if e.cfg.SARPointsPerSortie > 0 && !res.Aborted {
+		cap, err := e.sarPass(ctx, d, tags[0], sortieSeed)
+		if err != nil {
+			if ctx.Err() != nil {
+				rollback()
+				return SortieResult{}, err
+			}
+			// A dark flight contributes nothing; the mission continues.
+		} else {
+			newSAR = cap.Disentangled
+			res.SARPoints = len(newSAR)
+		}
+	}
+
+	ws := wd.Stats()
+	ss := sup.Stats()
+	res.Relocks = ws.Relocks
+	res.Resweeps = ws.Resweeps
+	res.LossEvents = ws.LossEvents
+	res.Recoveries = ss.Recoveries
+	res.FailedRecoveries = ss.FailedTicks
+	res.BreakerTrips = ss.BreakerTrips
+	res.BatterySwaps = ss.BatterySwaps
+
+	// Commit: carryover, cumulative inventory, SAR buffer, cursor. The
+	// landing between sorties swaps the battery, so a dark relay comes
+	// back powered (and unlocked — PLLs lose state in a brown-out).
+	carry := e.extractCarryover(d)
+	if !carry.RelayPowered {
+		carry.RelayPowered = true
+		carry.RelayLocked = false
+	}
+	e.carry = carry
+	for i, n := range res.TagReads {
+		e.tagReads[i] += n
+	}
+	e.sar = append(e.sar, newSAR...)
+	e.results = append(e.results, res)
+	e.cur++
+	return res, nil
+}
+
+// sarPass flies a short aperture line through the relay's plan position
+// and captures the first tag's disentangled channels.
+func (e *Engine) sarPass(ctx context.Context, d *sim.Deployment, tg *tag.Tag, sortieSeed uint64) (*sim.SARCapture, error) {
+	n := e.cfg.SARPointsPerSortie
+	p0 := geom.P(e.cfg.RelayPos.X-1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
+	p1 := geom.P(e.cfg.RelayPos.X+1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
+	plan := geom.Line(p0, p1, n)
+	fsrc := rng.New(sortieSeed).Split("sar-flight")
+	flight, err := drone.Bebop2().FlyCtx(ctx, plan, drone.DefaultOptiTrack(), fsrc)
+	if err != nil {
+		return nil, err
+	}
+	return d.CollectSARStepsCtx(ctx, flight, tg, nil)
+}
+
+// RunSorties runs up to n further sorties, stopping early on a cancelled
+// context or a supervisor-reported unrecoverable error.
+func (e *Engine) RunSorties(ctx context.Context, n int) error {
+	for i := 0; i < n && e.cur < e.cfg.Sorties; i++ {
+		if _, err := e.RunSortie(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the remaining sorties and assembles the mission result.
+// A cancelled context yields the committed prefix with Interrupted set,
+// alongside the error — the caller decides whether a partial mission is
+// usable (the CLI flushes a final checkpoint and exits non-zero).
+func (e *Engine) Run(ctx context.Context) (MissionResult, error) {
+	err := e.RunSorties(ctx, e.cfg.Sorties-e.cur)
+	res := e.Result()
+	res.Interrupted = err != nil
+	return res, err
+}
+
+// Result assembles the mission result from the committed sorties,
+// running the end-of-mission localization when the SAR buffer supports
+// one.
+func (e *Engine) Result() MissionResult {
+	res := MissionResult{Sorties: append([]SortieResult(nil), e.results...)}
+	if len(e.sar) >= 3 && len(e.cfg.Tags) > 0 {
+		traj := geom.Trajectory{}
+		for _, m := range e.sar {
+			traj.Points = append(traj.Points, m.Pos)
+		}
+		lcfg := loc.DefaultConfig(915e6)
+		x0, y0, x1, _ := traj.Bounds()
+		lcfg.Region = &loc.Region{X0: x0 - 4, Y0: y0 - 4, X1: x1 + 4, Y1: y0 + 6}
+		if lr, err := loc.LocalizeRobust(e.sar, traj, lcfg); err == nil {
+			res.LocX, res.LocY = lr.Location.X, lr.Location.Y
+			res.LocOK = true
+		}
+	}
+	return res
+}
+
+// TagReads returns the cumulative per-tag inventory counts.
+func (e *Engine) TagReads() []uint32 { return append([]uint32(nil), e.tagReads...) }

@@ -214,6 +214,12 @@ func (d *Deployment) RelayPowered() bool { return d.Relay != nil && !d.relayOff 
 // deployment's nominal channel (nonzero after a CarrierHop fault).
 func (d *Deployment) ReaderCarrierHz() float64 { return d.readerHopHz }
 
+// SetReaderCarrierHz forces the reader onto a channel offset, as if a
+// CarrierHop fault had already happened. A resumed mission uses it to
+// restore the carrier state a checkpointed run had accumulated — the hop
+// is persistent damage, so it must survive a rebuild of the deployment.
+func (d *Deployment) SetReaderCarrierHz(hz float64) { d.readerHopHz = hz }
+
 // RelayLockHealthy reports whether the relay's lock actually serves the
 // reader's CURRENT carrier: powered, locked, tuned to the channel the
 // reader is on, and with accumulated LO drift still inside the baseband

@@ -1,0 +1,18 @@
+package sim
+
+import (
+	"testing"
+
+	"rfly/internal/epc"
+)
+
+// bitsVal decodes a bit vector whose width the test controls; any error
+// is a test bug, not a protocol condition.
+func bitsVal(t testing.TB, b epc.Bits) uint64 {
+	t.Helper()
+	v, err := b.Uint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

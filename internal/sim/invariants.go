@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rfly/internal/reader"
+	"rfly/internal/tag"
+)
+
+// Link-budget invariants: physical conservation laws the simulation must
+// obey no matter what fault schedule, recovery sequence, or checkpoint
+// boundary the mission runtime drove it through. The chaos harness calls
+// CheckBudgetInvariants on every tick's budget; a violation means the
+// model regenerated energy or reported signal through a dead link — a
+// bug, never a legitimate simulation outcome.
+//
+// The bounds are deliberately loose (constructive multipath and
+// log-normal shadowing legitimately add tens of dB of spread): they are
+// chosen to be impossible to violate by randomness alone at any
+// plausible draw, while still catching sign errors, swapped gain terms,
+// or a budget path that skips the PA ceiling.
+
+// shadowMarginDB is the slack granted for one link's legitimate upside:
+// a 6σ shadowing draw plus up to ~6 dB of constructive multipath.
+func (d *Deployment) shadowMarginDB() float64 {
+	return 6*d.ShadowSigmaDB + 10
+}
+
+// CheckBudgetInvariants verifies the conservation laws on one computed
+// budget for tag t. It never recomputes the budget (that would draw fresh
+// shadowing and perturb the deterministic stream); it checks the numbers
+// the caller actually acted on.
+func (d *Deployment) CheckBudgetInvariants(t *tag.Tag, b Budget) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"TagRxDBm", b.TagRxDBm}, {"ReaderRxDBm", b.ReaderRxDBm}, {"SNRdB", b.SNRdB}} {
+		if math.IsNaN(f.v) {
+			return fmt.Errorf("sim: budget %s is NaN", f.name)
+		}
+	}
+
+	// A tag that never woke up cannot have backscattered anything.
+	if !b.Powered && (!math.IsInf(b.ReaderRxDBm, -1) || !math.IsInf(b.SNRdB, -1)) {
+		return fmt.Errorf("sim: unpowered tag shows ReaderRx=%.1f dBm, SNR=%.1f dB",
+			b.ReaderRxDBm, b.SNRdB)
+	}
+	// A self-oscillating relay forwards nothing usable.
+	if b.ViaRelay && !b.RelayStable && !math.IsInf(b.SNRdB, -1) {
+		return fmt.Errorf("sim: unstable relay shows SNR=%.1f dB", b.SNRdB)
+	}
+	// No signal through an unlocked/unpowered/stale-locked relay: this is
+	// the "no reads from unlocked relays" global invariant.
+	if b.ViaRelay && !d.RelayLockHealthy() && !math.IsInf(b.SNRdB, -1) {
+		return fmt.Errorf("sim: relay lock unhealthy yet SNR=%.1f dB", b.SNRdB)
+	}
+
+	margin := d.shadowMarginDB()
+	rcfg := d.Reader.Cfg
+
+	// Source ceiling: the tag cannot receive more than the transmit chain
+	// could possibly emit. Through the relay the emitter is the relay PA
+	// (Rapp-saturated a few dB past P1dB); direct, it is the reader PA.
+	ceiling := rcfg.TxPowerDBm + rcfg.AntennaGainDB
+	if b.ViaRelay && d.Relay != nil {
+		ceiling = d.Relay.Cfg.PAP1dBm + 6
+	}
+	if b.TagRxDBm > ceiling+4+margin { // +4: relay/tag antenna gains
+		return fmt.Errorf("sim: tag received %.1f dBm, above the %.1f dBm source ceiling",
+			b.TagRxDBm, ceiling+4+margin)
+	}
+
+	// Passive backscatter: the tag adds no energy, so the power arriving
+	// back at the reader is bounded by what reached the tag plus every
+	// active gain on the return path (the relay's uplink VGA) and the
+	// passive antenna gains.
+	if b.Powered {
+		gain := rcfg.AntennaGainDB
+		if b.ViaRelay {
+			gain += d.Gains.UplinkGainDB + 4
+		}
+		if b.ReaderRxDBm > b.TagRxDBm+gain+margin {
+			return fmt.Errorf("sim: backscatter gained energy: reader %.1f dBm > tag %.1f dBm + %.1f dB",
+				b.ReaderRxDBm, b.TagRxDBm, gain+margin)
+		}
+	}
+
+	// Cascaded SNR: the combined limit can never beat the reader-input
+	// limit implied by the power that actually arrived (1/SNR = 1/S1+1/S2
+	// ≤ either term, and the CFO/interference penalties only subtract).
+	readerLimit := reader.LinkSNRdB(b.ReaderRxDBm, rcfg.NoiseFigureDB, rcfg.PIE.BLF())
+	if b.SNRdB > readerLimit+1e-9 {
+		return fmt.Errorf("sim: combined SNR %.2f dB exceeds reader-input limit %.2f dB",
+			b.SNRdB, readerLimit)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,12 +39,24 @@ func (d *Deployment) CollectSAR(f drone.Flight, target *tag.Tag) (*SARCapture, e
 // lockstep with the flight (a gust or LO drift then perturbs exactly the
 // mid-aperture captures it should). A nil hook degenerates to CollectSAR.
 func (d *Deployment) CollectSARSteps(f drone.Flight, target *tag.Tag, onPoint func(i int)) (*SARCapture, error) {
+	return d.CollectSARStepsCtx(context.Background(), f, target, onPoint)
+}
+
+// CollectSARStepsCtx is CollectSARSteps under a deadline: the flight is
+// abandoned between aperture points when ctx expires, because a drone that
+// has run out its mission clock must head home rather than keep capturing.
+// A cancelled flight returns ctx's error — never a partial capture, since
+// a truncated aperture would localize with silently degraded accuracy.
+func (d *Deployment) CollectSARStepsCtx(ctx context.Context, f drone.Flight, target *tag.Tag, onPoint func(i int)) (*SARCapture, error) {
 	if d.Relay == nil {
 		return nil, fmt.Errorf("sim: SAR collection requires a relay")
 	}
 	cap := &SARCapture{}
 	var snrSum float64
 	for i, truePos := range f.True {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: SAR flight abandoned at point %d/%d: %w", i, len(f.True), err)
+		}
 		d.MoveRelay(truePos)
 		if onPoint != nil {
 			onPoint(i)
@@ -123,16 +136,29 @@ func (d *Deployment) ReadAttempt(t *tag.Tag) bool {
 // decode draws per attempt are what make retrying worthwhile — most
 // outages a drone relay sees are shorter than a round.
 func (d *Deployment) ReadAttemptRetry(t *tag.Tag, pol reader.RetryPolicy, onIdle func(slots int)) bool {
+	ok, _ := d.ReadAttemptRetryCtx(context.Background(), t, pol, onIdle)
+	return ok
+}
+
+// ReadAttemptRetryCtx is ReadAttemptRetry under a deadline: no further
+// retry is launched once ctx expires (the attempt in flight is atomic —
+// a single budget evaluation — so there is nothing to interrupt). A
+// cancelled exchange reports false with ctx's error so callers can tell
+// "the tag is unreadable" from "we ran out of time trying".
+func (d *Deployment) ReadAttemptRetryCtx(ctx context.Context, t *tag.Tag, pol reader.RetryPolicy, onIdle func(slots int)) (bool, error) {
 	backoff := pol.BackoffSlots
 	if backoff <= 0 {
 		backoff = 1
 	}
 	for attempt := 0; ; attempt++ {
 		if d.ReadAttempt(t) {
-			return true
+			return true, nil
 		}
 		if attempt >= pol.MaxRetries {
-			return false
+			return false, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return false, err
 		}
 		if onIdle != nil {
 			onIdle(backoff)

@@ -35,7 +35,7 @@ func TestWaveMediumSingleTagHandshake(t *testing.T) {
 	if len(obs) != 1 {
 		t.Fatalf("query observations = %d", len(obs))
 	}
-	rn := uint16(obs[0].Reply.Bits.Uint())
+	rn := uint16(bitsVal(t, obs[0].Reply.Bits))
 	if rn != tags[0].RN16() {
 		t.Fatalf("decoded RN16 %04X, tag holds %04X", rn, tags[0].RN16())
 	}
@@ -80,7 +80,7 @@ func TestWaveMediumCollision(t *testing.T) {
 	if len(obs) != 0 {
 		// A capture is physically possible; if it happened it must be a
 		// clean decode of one tag's actual reply.
-		rn := uint16(obs[0].Reply.Bits.Uint())
+		rn := uint16(bitsVal(t, obs[0].Reply.Bits))
 		if rn != tags[0].RN16() && rn != tags[1].RN16() {
 			t.Fatalf("collision produced a phantom RN16 %04X", rn)
 		}
@@ -155,7 +155,7 @@ func TestWaveMediumTRext(t *testing.T) {
 	if !tags[0].TRext() {
 		t.Fatal("tag did not latch TRext")
 	}
-	if uint16(obs[0].Reply.Bits.Uint()) != tags[0].RN16() {
+	if uint16(bitsVal(t, obs[0].Reply.Bits)) != tags[0].RN16() {
 		t.Fatal("TRext RN16 mismatch")
 	}
 	// A plain query resets the preamble mode.

@@ -118,7 +118,7 @@ func TestWriteCoverCoded(t *testing.T) {
 	if r == nil || r.Kind != "cover-rn" {
 		t.Fatalf("cover ReqRN reply %+v", r)
 	}
-	cover := uint16(r.Bits[:16].Uint())
+	cover := uint16(bitsVal(t, r.Bits[:16]))
 	const plaintext = 0x7A5C
 	w := tg.Handle(epc.Write{MemBank: epc.BankUser, WordPtr: 2, Data: plaintext ^ cover, RN16: handle})
 	if w == nil || w.Kind != "write" {

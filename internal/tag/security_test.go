@@ -13,7 +13,7 @@ func coverRN(t *testing.T, tg *Tag) uint16 {
 	if r == nil || r.Kind != "cover-rn" {
 		t.Fatalf("cover ReqRN reply %+v", r)
 	}
-	return uint16(r.Bits[:16].Uint())
+	return uint16(bitsVal(t, r.Bits[:16]))
 }
 
 func TestKillTwoStep(t *testing.T) {

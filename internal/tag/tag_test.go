@@ -40,7 +40,7 @@ func TestQuerySlotZeroReplies(t *testing.T) {
 	if tg.State() != StateReply {
 		t.Fatalf("state = %v", tg.State())
 	}
-	if uint16(r.Bits.Uint()) != tg.RN16() {
+	if uint16(bitsVal(t, r.Bits)) != tg.RN16() {
 		t.Fatal("reply bits don't carry the RN16")
 	}
 }
