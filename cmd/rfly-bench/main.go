@@ -1,0 +1,49 @@
+// rfly-bench runs the fast-path DSP benchmark harness (internal/perf)
+// and writes the measurements to a JSON report. It exits non-zero if the
+// fast paths fail their equivalence gates (FFT convolution vs direct
+// ≤1e-9; striped grid search bit-identical to serial), so CI can run it
+// as a correctness smoke as well as a perf artifact.
+//
+// Usage:
+//
+//	rfly-bench [-short] [-out BENCH_dsp.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rfly/internal/perf"
+)
+
+func main() {
+	short := flag.Bool("short", false, "CI-smoke scale: smaller buffers and a coarser grid")
+	out := flag.String("out", "BENCH_dsp.json", "report path")
+	flag.Parse()
+
+	rep, err := perf.Run(*short)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%-32s %12.0f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.SpeedupVsDirect > 0 {
+			line += fmt.Sprintf("   %.2fx vs reference", r.SpeedupVsDirect)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("report written to %s (GOMAXPROCS=%d)\n", *out, rep.GOMAXPROCS)
+}

@@ -1,0 +1,132 @@
+package loc
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rfly/internal/geom"
+	"rfly/internal/signal"
+	"rfly/internal/stats"
+)
+
+// syntheticPeakMeas builds measurements whose disentangled channels are
+// exact conjugate phases toward tgt: the SAR projection then peaks
+// precisely at tgt, with no noise.
+func syntheticPeakMeas(tgt geom.Point, freq float64) []Measurement {
+	k := 4 * math.Pi * freq / signal.C
+	var meas []Measurement
+	for i := 0; i < 25; i++ {
+		p := geom.P(tgt.X-2+float64(i)*0.16, tgt.Y-2.5, tgt.Z+1)
+		d := math.Sqrt((tgt.X-p.X)*(tgt.X-p.X) + (tgt.Y-p.Y)*(tgt.Y-p.Y) + (tgt.Z-p.Z)*(tgt.Z-p.Z))
+		meas = append(meas, Measurement{Pos: p, H: cmplx.Rect(1, -k*d)})
+	}
+	return meas
+}
+
+// TestRefine2DStaysOnLattice is the integer-stepping regression: the fine
+// grid must be origin + i·step, so the returned peak is bitwise equal to
+// a lattice point even at far-range coordinates where accumulated float
+// stepping drifts. Pre-fix (accumulating `yy += fineRes`), the returned
+// coordinate at cx ≈ 1000 m matches no lattice value bitwise.
+func TestRefine2DStaysOnLattice(t *testing.T) {
+	const (
+		freq      = 915e6
+		coarseRes = 0.10
+		fineRes   = 0.01
+	)
+	cx, cy := 1000.0, 500.0
+	ox, oy := cx-coarseRes, cy-coarseRes
+	// Target exactly on the fine lattice, away from the center cell.
+	tgt := geom.P(ox+17*fineRes, oy+4*fineRes, 0)
+	meas := syntheticPeakMeas(tgt, freq)
+
+	x, y, v := refine2D(meas, cx, cy, coarseRes, fineRes, freq)
+	if v <= 0 {
+		t.Fatalf("refine2D found no peak (v=%v)", v)
+	}
+	n := gridCount(2*coarseRes, fineRes)
+	if n != 21 {
+		t.Fatalf("gridCount(%v, %v) = %d, want 21", 2*coarseRes, fineRes, n)
+	}
+	onLattice := func(got, origin float64) bool {
+		for i := 0; i < n; i++ {
+			if got == origin+float64(i)*fineRes {
+				return true
+			}
+		}
+		return false
+	}
+	if !onLattice(x, ox) || !onLattice(y, oy) {
+		t.Fatalf("refined peak (%.17g, %.17g) is not a lattice point of origin (%.17g, %.17g)",
+			x, y, ox, oy)
+	}
+	if x != tgt.X || y != tgt.Y {
+		t.Fatalf("refined peak (%.17g, %.17g), want the synthetic target (%.17g, %.17g)",
+			x, y, tgt.X, tgt.Y)
+	}
+}
+
+// TestLocalMaximaChainSuppression is the detection/suppression-radius
+// regression. Three peaks in a chain, each 2 cells apart and descending:
+// consistent radius-2 handling keeps only the dominant one. Pre-fix,
+// detection checked only the radius-1 ring, so the 2-cells-away shoulder
+// peaks passed detection and the weakest survived dedup (it is >2 cells
+// from the strongest) — a phantom third candidate.
+func TestLocalMaximaChainSuppression(t *testing.T) {
+	h := stats.NewHeatmap(0, 0, 1, 1, 9, 5)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 9; c++ {
+			h.Set(c, r, 1)
+		}
+	}
+	h.Set(2, 2, 10)
+	h.Set(4, 2, 9)
+	h.Set(6, 2, 8)
+	got := localMaxima(h, 0.5, 8, 2)
+	if len(got) != 1 {
+		t.Fatalf("radius-2 suppression kept %d peaks %v, want only the dominant one", len(got), got)
+	}
+	if got[0].c != 2 || got[0].r != 2 || got[0].v != 10 {
+		t.Fatalf("kept peak %+v, want (2,2)=10", got[0])
+	}
+	// At radius 1 the same chain legitimately resolves as separate peaks.
+	if got := localMaxima(h, 0.5, 8, 1); len(got) != 3 {
+		t.Fatalf("radius-1 kept %d peaks, want 3", len(got))
+	}
+}
+
+// TestSuppressRadiusCells pins the fringe-derived radius: it must stay
+// strictly below the λ/2 fringe spacing in cells (or real fringe-top
+// peaks are suppressed), floored at 1 and capped at the documented 2.
+func TestSuppressRadiusCells(t *testing.T) {
+	cases := []struct {
+		freq, res float64
+		want      int
+	}{
+		{915e6, 0.10, 1}, // λ/2 ≈ 1.64 cells → radius 1
+		{915e6, 0.05, 2}, // λ/2 ≈ 3.28 cells → capped at 2
+		{915e6, 0.20, 1}, // λ/2 < 1 cell → floored at 1
+		{0, 0.10, 1},     // degenerate inputs
+	}
+	for _, c := range cases {
+		if got := suppressRadiusCells(c.freq, c.res); got != c.want {
+			t.Fatalf("suppressRadiusCells(%v, %v) = %d, want %d", c.freq, c.res, got, c.want)
+		}
+	}
+}
+
+func TestGridCount(t *testing.T) {
+	if got := gridCount(0.2, 0.01); got != 21 {
+		t.Fatalf("gridCount(0.2, 0.01) = %d", got)
+	}
+	if got := gridCount(0, 0.01); got != 1 {
+		t.Fatalf("gridCount(0, 0.01) = %d", got)
+	}
+	if got := gridCount(-1, 0.01); got != 1 {
+		t.Fatalf("gridCount(-1, 0.01) = %d", got)
+	}
+	if got := gridCount(1.0, 0.1); got != 11 {
+		t.Fatalf("gridCount(1.0, 0.1) = %d", got)
+	}
+}

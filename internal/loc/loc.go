@@ -93,6 +93,12 @@ type Config struct {
 	// trades noise robustness (strong captures are the cleanest) for
 	// aperture utilization; the ablation bench quantifies the trade.
 	PhaseOnly bool
+	// Workers bounds the grid-search worker pool: 0 (the default) uses
+	// GOMAXPROCS, 1 forces the serial path. Results are bit-identical for
+	// every worker count (see parallel.go); the knob exists for the perf
+	// harness's serial-vs-parallel comparison and for embedding in an
+	// already-saturated host.
+	Workers int
 }
 
 // DefaultConfig returns the reproduction's localizer settings.
@@ -169,9 +175,11 @@ func Localize(meas []Measurement, traj geom.Trajectory, cfg Config) (*Result, er
 
 // LocalizeCtx is Localize under a deadline. The SAR search is the
 // pipeline's compute hot spot — the coarse grid alone is O(cells ×
-// measurements) — so ctx is checked once per grid row and once per peak
-// refinement; a cancelled search returns ctx's error rather than a
-// half-integrated heatmap.
+// measurements) — so the heatmap rows are partitioned across a
+// GOMAXPROCS worker pool (cfg.Workers overrides; results are
+// bit-identical to the serial scan) and ctx is checked once per row
+// inside every stripe plus once per peak refinement; a cancelled search
+// returns ctx's error rather than a half-integrated heatmap.
 func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, cfg Config) (*Result, error) {
 	if len(meas) < 3 {
 		return nil, fmt.Errorf("loc: need at least 3 measurements, have %d", len(meas))
@@ -187,16 +195,17 @@ func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, 
 	cols := int(math.Ceil((x1-x0)/cfg.CoarseRes)) + 1
 	rows := int(math.Ceil((y1-y0)/cfg.CoarseRes)) + 1
 	hm := stats.NewHeatmap(x0, y0, cfg.CoarseRes, cfg.CoarseRes, cols, rows)
-	for r := 0; r < rows; r++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("loc: search abandoned at grid row %d/%d: %w", r, rows, err)
-		}
+	err := stripeRows(ctx, rows, cfg.Workers, func(r int) {
 		for c := 0; c < cols; c++ {
 			x, y := hm.CellCenter(c, r)
 			hm.Set(c, r, projection(meas, x, y, 0, cfg.Freq))
 		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loc: search abandoned mid-grid (%d rows): %w", rows, err)
 	}
-	peaks := localMaxima(hm, cfg.PeakThreshold, cfg.MaxCandidates)
+	peaks := localMaxima(hm, cfg.PeakThreshold, cfg.MaxCandidates,
+		suppressRadiusCells(cfg.Freq, cfg.CoarseRes))
 	if len(peaks) == 0 {
 		return nil, fmt.Errorf("loc: no peaks above threshold")
 	}
@@ -232,12 +241,20 @@ func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, 
 	return &Result{Location: best.Location, Peak: best.Value, Candidates: cands, Heatmap: hm}, nil
 }
 
-// refine2D hill-searches a fine grid of ±coarseRes around (cx, cy).
+// refine2D hill-searches a fine grid of ±coarseRes around (cx, cy). The
+// grid is integer-indexed (origin + i·fineRes): accumulating float adds
+// drift off-lattice at far-range coordinates — ulp(500 m) × dozens of
+// steps exceeds any epsilon guard — skipping the final row/column and
+// returning a peak that is not a lattice point.
 func refine2D(meas []Measurement, cx, cy, coarseRes, fineRes, freq float64) (x, y, v float64) {
+	n := gridCount(2*coarseRes, fineRes)
+	ox, oy := cx-coarseRes, cy-coarseRes
 	bestV := -1.0
 	bestX, bestY := cx, cy
-	for yy := cy - coarseRes; yy <= cy+coarseRes+1e-12; yy += fineRes {
-		for xx := cx - coarseRes; xx <= cx+coarseRes+1e-12; xx += fineRes {
+	for iy := 0; iy < n; iy++ {
+		yy := oy + float64(iy)*fineRes
+		for ix := 0; ix < n; ix++ {
+			xx := ox + float64(ix)*fineRes
 			p := projection(meas, xx, yy, 0, freq)
 			if p > bestV {
 				bestV, bestX, bestY = p, xx, yy
@@ -266,10 +283,40 @@ type gridPeak struct {
 	v    float64
 }
 
+// suppressRadiusCells derives the peak-suppression radius (in grid
+// cells) for a SAR heatmap: the interference fringes of P(x,y) repeat
+// every λ/2 of geometry, so the radius must stay strictly below that
+// spacing in cells or genuine fringe-top peaks — the true tag among
+// them — are suppressed as "neighbors" of the adjacent fringe. It is
+// capped at 2 cells (the design's documented maximum) and floored at 1.
+// At the default grid (915 MHz, 0.10 m cells: λ/2 ≈ 1.6 cells) this
+// yields 1.
+func suppressRadiusCells(freq, res float64) int {
+	if freq <= 0 || res <= 0 {
+		return 1
+	}
+	fringeCells := (signal.C / freq / 2) / res
+	rad := int(fringeCells - 1e-9)
+	if rad < 1 {
+		return 1
+	}
+	if rad > 2 {
+		return 2
+	}
+	return rad
+}
+
 // localMaxima extracts up to maxN local maxima of the heatmap above
-// threshold×globalMax, sorted descending, suppressing neighbors within a
-// 2-cell radius.
-func localMaxima(h *stats.Heatmap, threshold float64, maxN int) []gridPeak {
+// threshold×globalMax, sorted descending. A single radius governs both
+// detection (a peak must dominate its full radius-neighborhood) and
+// near-duplicate suppression; detection previously checked only the
+// radius-1 ring while dedup used radius 2, so a shoulder cell two cells
+// from a stronger peak could pass the max test, be deduped against that
+// peak, and shadow a genuine third peak out of the output.
+func localMaxima(h *stats.Heatmap, threshold float64, maxN, radius int) []gridPeak {
+	if radius < 1 {
+		radius = 1
+	}
 	_, _, global := h.Peak()
 	floor := threshold * global
 	var peaks []gridPeak
@@ -280,8 +327,8 @@ func localMaxima(h *stats.Heatmap, threshold float64, maxN int) []gridPeak {
 				continue
 			}
 			isMax := true
-			for dr := -1; dr <= 1 && isMax; dr++ {
-				for dc := -1; dc <= 1; dc++ {
+			for dr := -radius; dr <= radius && isMax; dr++ {
+				for dc := -radius; dc <= radius; dc++ {
 					if dr == 0 && dc == 0 {
 						continue
 					}
@@ -301,12 +348,12 @@ func localMaxima(h *stats.Heatmap, threshold float64, maxN int) []gridPeak {
 		}
 	}
 	sort.Slice(peaks, func(i, j int) bool { return peaks[i].v > peaks[j].v })
-	// Suppress near-duplicates (plateaus).
+	// Suppress near-duplicates (plateaus) at the same radius.
 	var out []gridPeak
 	for _, p := range peaks {
 		dup := false
 		for _, q := range out {
-			if abs(p.c-q.c) <= 2 && abs(p.r-q.r) <= 2 {
+			if abs(p.c-q.c) <= radius && abs(p.r-q.r) <= radius {
 				dup = true
 				break
 			}
@@ -333,33 +380,76 @@ func abs(a int) int {
 // z in coarse steps; refinement searches the full 3D neighborhood of the
 // best cell.
 func Localize3D(meas []Measurement, traj geom.Trajectory, cfg Config, z0, z1 float64) (*Result, error) {
+	return Localize3DCtx(context.Background(), meas, traj, cfg, z0, z1)
+}
+
+// Localize3DCtx is Localize3D under a deadline. Like LocalizeCtx, the
+// coarse volume scan is striped across the worker pool — one "row" per
+// (z, y) line so the stripes stay fine-grained — with a per-line argmax
+// (strict >, matching serial x order) merged in ascending (z, y) order on
+// the caller's goroutine, which keeps the result bit-identical to the
+// serial triple loop. All grids are integer-indexed (origin + i·step) so
+// the lattice cannot drift at far-range coordinates.
+func Localize3DCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, cfg Config, z0, z1 float64) (*Result, error) {
 	if len(meas) < 4 {
 		return nil, fmt.Errorf("loc: need at least 4 measurements for 3D, have %d", len(meas))
+	}
+	if cfg.CoarseRes <= 0 || cfg.FineRes <= 0 {
+		return nil, fmt.Errorf("loc: non-positive grid resolution")
 	}
 	if z1 < z0 {
 		z0, z1 = z1, z0
 	}
 	x0, y0, x1, y1 := cfg.searchBounds(traj)
+	nx := gridCount(x1-x0, cfg.CoarseRes)
+	ny := gridCount(y1-y0, cfg.CoarseRes)
+	nz := gridCount(z1-z0, cfg.CoarseRes)
+
+	type lineBest struct {
+		v       float64
+		x, y, z float64
+	}
+	lines := make([]lineBest, nz*ny)
+	err := stripeRows(ctx, nz*ny, cfg.Workers, func(j int) {
+		z := z0 + float64(j/ny)*cfg.CoarseRes
+		y := y0 + float64(j%ny)*cfg.CoarseRes
+		lb := lineBest{v: -1}
+		for ix := 0; ix < nx; ix++ {
+			x := x0 + float64(ix)*cfg.CoarseRes
+			if v := projection(meas, x, y, z, cfg.Freq); v > lb.v {
+				lb = lineBest{v: v, x: x, y: y, z: z}
+			}
+		}
+		lines[j] = lb
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loc: 3D search abandoned mid-grid (%d lines): %w", nz*ny, err)
+	}
 	bestV := -1.0
 	var bx, by, bz float64
-	for z := z0; z <= z1+1e-12; z += cfg.CoarseRes {
-		for y := y0; y <= y1+1e-12; y += cfg.CoarseRes {
-			for x := x0; x <= x1+1e-12; x += cfg.CoarseRes {
-				if v := projection(meas, x, y, z, cfg.Freq); v > bestV {
-					bestV, bx, by, bz = v, x, y, z
-				}
-			}
+	for _, lb := range lines {
+		if lb.v > bestV {
+			bestV, bx, by, bz = lb.v, lb.x, lb.y, lb.z
 		}
 	}
 	if bestV <= 0 {
 		return nil, fmt.Errorf("loc: empty 3D projection")
 	}
-	// Fine 3D refinement.
+	// Fine 3D refinement around the best coarse cell, same integer-indexed
+	// lattice discipline; ctx is checked once per (z, y) line.
+	nf := gridCount(2*cfg.CoarseRes, cfg.FineRes)
+	ox, oy, oz := bx-cfg.CoarseRes, by-cfg.CoarseRes, bz-cfg.CoarseRes
 	fv := -1.0
 	fx, fy, fz := bx, by, bz
-	for z := bz - cfg.CoarseRes; z <= bz+cfg.CoarseRes+1e-12; z += cfg.FineRes {
-		for y := by - cfg.CoarseRes; y <= by+cfg.CoarseRes+1e-12; y += cfg.FineRes {
-			for x := bx - cfg.CoarseRes; x <= bx+cfg.CoarseRes+1e-12; x += cfg.FineRes {
+	for iz := 0; iz < nf; iz++ {
+		z := oz + float64(iz)*cfg.FineRes
+		for iy := 0; iy < nf; iy++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("loc: 3D search abandoned during refinement: %w", err)
+			}
+			y := oy + float64(iy)*cfg.FineRes
+			for ix := 0; ix < nf; ix++ {
+				x := ox + float64(ix)*cfg.FineRes
 				if v := projection(meas, x, y, z, cfg.Freq); v > fv {
 					fv, fx, fy, fz = v, x, y, z
 				}

@@ -92,7 +92,13 @@ func (c *DaisyChain) OutputFreq() float64 {
 func (c *DaisyChain) ForwardDownlink(x []complex128, hopChannels []complex128, startSample int) ([]complex128, error) {
 	for i, r := range c.Relays {
 		if hopChannels != nil {
-			x = scaled(x, hopChannels[i])
+			// The first hop's input belongs to the caller; every later x
+			// is the previous hop's output and is ours to scale in place.
+			if i == 0 {
+				x = scaled(x, hopChannels[i])
+			} else {
+				scaleInPlace(x, hopChannels[i])
+			}
 		}
 		var err error
 		if x, err = r.ForwardDownlink(x, startSample); err != nil {
@@ -109,7 +115,11 @@ func (c *DaisyChain) ForwardDownlink(x []complex128, hopChannels []complex128, s
 func (c *DaisyChain) ForwardUplink(x []complex128, hopChannels []complex128, startSample int) ([]complex128, error) {
 	for i := len(c.Relays) - 1; i >= 0; i-- {
 		if hopChannels != nil {
-			x = scaled(x, hopChannels[len(c.Relays)-1-i])
+			if i == len(c.Relays)-1 {
+				x = scaled(x, hopChannels[len(c.Relays)-1-i])
+			} else {
+				scaleInPlace(x, hopChannels[len(c.Relays)-1-i])
+			}
 		}
 		var err error
 		if x, err = c.Relays[i].ForwardUplink(x, startSample); err != nil {
@@ -125,6 +135,12 @@ func scaled(x []complex128, g complex128) []complex128 {
 		out[i] = x[i] * g
 	}
 	return out
+}
+
+func scaleInPlace(x []complex128, g complex128) {
+	for i := range x {
+		x[i] *= g
+	}
 }
 
 // ChainBudget computes the end-to-end downlink power delivered through

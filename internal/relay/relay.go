@@ -244,7 +244,10 @@ func (r *Relay) DetectCarrier(rx []complex128, candidates []float64) (float64, e
 	if candidates == nil {
 		candidates = r.ISMChannels()
 	}
-	best, p := signal.EnergyDetect(rx, candidates, r.Cfg.Fs)
+	best, p, ok := signal.EnergyDetect(rx, candidates, r.Cfg.Fs)
+	if !ok {
+		return 0, fmt.Errorf("relay: no candidate carriers to sweep")
+	}
 	if p <= 0 {
 		return 0, fmt.Errorf("relay: no carrier detected")
 	}
@@ -305,17 +308,18 @@ func (r *Relay) DownlinkGainDB() float64 { return r.downChain().GainDB() }
 // UplinkGainDB returns the uplink path's programmed small-signal gain.
 func (r *Relay) UplinkGainDB() float64 { return r.upChain().GainDB() }
 
-// applyFloor adds the analog filter's high-frequency feed-through: the
-// filtered output plus the raw input high-passed (leakage grows with
-// frequency) and attenuated by floorDB.
-func (r *Relay) applyFloor(filtered, raw []complex128, floorDB float64) []complex128 {
-	leak := r.floorHPF.Apply(raw)
+// addFloor adds the analog filter's high-frequency feed-through in place:
+// the raw input high-passed (leakage grows with frequency), attenuated by
+// floorDB, accumulated onto the filtered buffer. The leak scratch comes
+// from the IQ pool — one forward no longer allocates per pipeline stage.
+func (r *Relay) addFloor(filtered, raw []complex128, floorDB float64) {
+	leak := signal.GetIQ(len(raw))
+	defer signal.PutIQ(leak)
+	r.floorHPF.ApplyInto(leak, raw)
 	g := complex(signal.AmpFromDB(-floorDB), 0)
-	out := make([]complex128, len(filtered))
 	for i := range filtered {
-		out[i] = filtered[i] + leak[i]*g
+		filtered[i] += leak[i] * g
 	}
-	return out
 }
 
 // drifted returns a synthesizer's oscillator with the accumulated LO
@@ -351,10 +355,17 @@ func (r *Relay) ForwardDownlink(x []complex128, startSample int) ([]complex128, 
 	if err != nil {
 		return nil, err
 	}
-	bb := oscA.MixDown(x, r.Cfg.Fs, startSample)
-	filt := r.applyFloor(r.LPF.Apply(bb), bb, r.lpfFloorDB)
+	bb := signal.GetIQ(len(x))
+	defer signal.PutIQ(bb)
+	oscA.MixDownInto(bb, x, r.Cfg.Fs, startSample)
+	filt := signal.GetIQ(len(x))
+	defer signal.PutIQ(filt)
+	r.LPF.ApplyInto(filt, bb)
+	r.addFloor(filt, bb, r.lpfFloorDB)
 	r.downChain().Apply(filt, 0, nil)
-	return oscB.MixUp(filt, r.Cfg.Fs, startSample), nil
+	out := make([]complex128, len(x))
+	oscB.MixUpInto(out, filt, r.Cfg.Fs, startSample)
+	return out, nil
 }
 
 // ForwardUplink runs a received waveform (tag frame, around the shifted
@@ -381,10 +392,17 @@ func (r *Relay) ForwardUplink(x []complex128, startSample int) ([]complex128, er
 	if err != nil {
 		return nil, err
 	}
-	bb := downOsc.MixDown(x, r.Cfg.Fs, startSample)
-	filt := r.applyFloor(r.BPF.Apply(bb), bb, r.bpfFloorDB)
+	bb := signal.GetIQ(len(x))
+	defer signal.PutIQ(bb)
+	downOsc.MixDownInto(bb, x, r.Cfg.Fs, startSample)
+	filt := signal.GetIQ(len(x))
+	defer signal.PutIQ(filt)
+	r.BPF.ApplyInto(filt, bb)
+	r.addFloor(filt, bb, r.bpfFloorDB)
 	r.upChain().Apply(filt, 0, nil)
-	return upOsc.MixUp(filt, r.Cfg.Fs, startSample), nil
+	out := make([]complex128, len(x))
+	upOsc.MixUpInto(out, filt, r.Cfg.Fs, startSample)
+	return out, nil
 }
 
 // HardwarePhase returns the constant phase the mirrored relay imparts on a

@@ -220,8 +220,8 @@ func (s WaveformSense) Sense() (float64, float64, bool) {
 	if len(s.RX) == 0 {
 		return 0, 0, false
 	}
-	best, p := signal.EnergyDetect(s.RX, s.Relay.ISMChannels(), s.Relay.Cfg.Fs)
-	if p <= 0 {
+	best, p, ok := signal.EnergyDetect(s.RX, s.Relay.ISMChannels(), s.Relay.Cfg.Fs)
+	if !ok || p <= 0 {
 		return 0, 0, false
 	}
 	return best, signal.DBm(p), true

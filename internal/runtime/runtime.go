@@ -562,7 +562,15 @@ func (e *Engine) RunSorties(ctx context.Context, n int) error {
 // usable (the CLI flushes a final checkpoint and exits non-zero).
 func (e *Engine) Run(ctx context.Context) (MissionResult, error) {
 	err := e.RunSorties(ctx, e.cfg.Sorties-e.cur)
-	res := e.Result()
+	// A completed mission lets the live deadline bound the end-of-mission
+	// solve too; an interrupted one assembles from the committed prefix
+	// under a background context, so the partial result (and its CSV) is
+	// identical to what a resume-from-checkpoint would report.
+	resCtx := ctx
+	if err != nil {
+		resCtx = context.Background()
+	}
+	res := e.ResultCtx(resCtx)
 	res.Interrupted = err != nil
 	return res, err
 }
@@ -571,6 +579,15 @@ func (e *Engine) Run(ctx context.Context) (MissionResult, error) {
 // running the end-of-mission localization when the SAR buffer supports
 // one.
 func (e *Engine) Result() MissionResult {
+	return e.ResultCtx(context.Background())
+}
+
+// ResultCtx is Result with the deadline threaded into the SAR grid
+// search — the mission's single heaviest compute step, now striped
+// across the worker pool (loc.Config.Workers semantics). A localization
+// abandoned by ctx leaves LocOK false; the committed sortie rows are
+// assembled regardless, because they are bookkeeping, not compute.
+func (e *Engine) ResultCtx(ctx context.Context) MissionResult {
 	res := MissionResult{Sorties: append([]SortieResult(nil), e.results...)}
 	if len(e.sar) >= 3 && len(e.cfg.Tags) > 0 {
 		traj := geom.Trajectory{}
@@ -580,7 +597,7 @@ func (e *Engine) Result() MissionResult {
 		lcfg := loc.DefaultConfig(915e6)
 		x0, y0, x1, _ := traj.Bounds()
 		lcfg.Region = &loc.Region{X0: x0 - 4, Y0: y0 - 4, X1: x1 + 4, Y1: y0 + 6}
-		if lr, err := loc.LocalizeRobust(e.sar, traj, lcfg); err == nil {
+		if lr, err := loc.LocalizeRobustCtx(ctx, e.sar, traj, lcfg); err == nil {
 			res.LocX, res.LocY = lr.Location.X, lr.Location.Y
 			res.LocOK = true
 		}

@@ -1,0 +1,50 @@
+package signal
+
+import "sync"
+
+// Filter-design cache. Relay construction designs the same handful of
+// windowed-sinc filters (one LPF, one BPF, one floor HPF per build, all
+// from DefaultConfig's parameters) for every deployment of every trial of
+// every figure sweep; the design loop is O(taps) of sin/cos plus a
+// normalization pass, and redesigning it thousands of times is pure
+// waste. Designs are memoized on the full parameter tuple.
+//
+// Ownership: cached FIRs share one Taps slice across all callers — taps
+// are immutable by contract. Nothing in this repository writes to a
+// designed FIR's taps (derived filters copy first), and the cache-race
+// test holds the line under -race.
+
+// filterKind discriminates the design families in the cache key.
+type filterKind uint8
+
+const (
+	kindLowPass filterKind = iota
+	kindBandPass
+	kindHighPass
+)
+
+// filterKey identifies one filter design. All design inputs participate:
+// two designs with any differing parameter get distinct entries.
+type filterKey struct {
+	kind   filterKind
+	win    Window
+	f1, f2 float64 // cutoff (LP/HP) or center+halfBW (BP)
+	fs     float64
+	taps   int
+}
+
+var filterCache sync.Map // filterKey -> FIR
+
+// cachedDesign returns the memoized design for key, running design() on
+// the first request. Concurrent first requests may both design; the first
+// store wins and every caller shares its taps.
+func cachedDesign(key filterKey, design func() FIR) FIR {
+	if v, ok := filterCache.Load(key); ok {
+		return v.(FIR)
+	}
+	f := design()
+	if v, loaded := filterCache.LoadOrStore(key, f); loaded {
+		return v.(FIR)
+	}
+	return f
+}

@@ -1,0 +1,76 @@
+package signal
+
+import "sync"
+
+// IQ buffer pool. The relay forwarding chain, the overlap-save convolver,
+// and the waveform-level media churn through short-lived []complex128
+// scratch buffers at every block; pooling them takes the per-block
+// allocation count of a relay forward from one per pipeline stage to one
+// (the returned output, which the caller owns).
+//
+// The pool is a capped LIFO free list under a mutex rather than a
+// sync.Pool: Put into a sync.Pool must box the slice header, which costs
+// an allocation per call — exactly what the pool exists to remove from
+// the tick path. The critical sections are a few instructions, and the
+// cap bounds retained memory.
+//
+// Ownership rules (DESIGN.md §10):
+//   - GetIQ returns a length-n buffer with UNSPECIFIED contents; the
+//     caller must overwrite every element (or ZeroIQ it) before reading.
+//   - A pooled buffer must not escape: never return it to a caller, never
+//     store it past the PutIQ. Outputs handed across an API boundary are
+//     freshly allocated.
+//   - PutIQ after the last read; double-put is a caller bug.
+const iqPoolCap = 32
+
+var (
+	iqMu   sync.Mutex
+	iqFree [][]complex128
+)
+
+// GetIQ returns a length-n complex buffer, reusing pooled capacity when
+// available. Contents are unspecified.
+func GetIQ(n int) []complex128 {
+	iqMu.Lock()
+	// Scan a few entries from the top of the stack for one with enough
+	// capacity; mixed sizes coexist (FFT blocks vs capture buffers).
+	lo := len(iqFree) - 4
+	if lo < 0 {
+		lo = 0
+	}
+	for i := len(iqFree) - 1; i >= lo; i-- {
+		if cap(iqFree[i]) >= n {
+			s := iqFree[i]
+			last := len(iqFree) - 1
+			iqFree[i] = iqFree[last]
+			iqFree[last] = nil
+			iqFree = iqFree[:last]
+			iqMu.Unlock()
+			return s[:n]
+		}
+	}
+	iqMu.Unlock()
+	return make([]complex128, n)
+}
+
+// PutIQ returns a buffer obtained from GetIQ to the pool. The caller must
+// not touch the slice afterwards.
+func PutIQ(s []complex128) {
+	if cap(s) == 0 {
+		return
+	}
+	iqMu.Lock()
+	if len(iqFree) < iqPoolCap {
+		iqFree = append(iqFree, s[:0])
+	}
+	iqMu.Unlock()
+}
+
+// ZeroIQ clears a buffer in place (for pooled buffers used as
+// accumulators) and returns it.
+func ZeroIQ(s []complex128) []complex128 {
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

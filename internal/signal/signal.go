@@ -131,12 +131,27 @@ func (o Oscillator) MixUp(x []complex128, fs float64, startSample int) []complex
 
 func (o Oscillator) mix(x []complex128, fs float64, startSample int, sign float64) []complex128 {
 	out := make([]complex128, len(x))
+	o.mixInto(out, x, fs, startSample, sign)
+	return out
+}
+
+// MixDownInto is MixDown writing into a caller-supplied buffer (typically
+// pooled scratch, see GetIQ); dst and x must have equal length.
+func (o Oscillator) MixDownInto(dst, x []complex128, fs float64, startSample int) {
+	o.mixInto(dst, x, fs, startSample, -1)
+}
+
+// MixUpInto is MixUp writing into a caller-supplied buffer.
+func (o Oscillator) MixUpInto(dst, x []complex128, fs float64, startSample int) {
+	o.mixInto(dst, x, fs, startSample, +1)
+}
+
+func (o Oscillator) mixInto(dst, x []complex128, fs float64, startSample int, sign float64) {
 	w := sign * 2 * math.Pi * o.effFreq() / fs
 	ph := sign * o.Phase
 	for i := range x {
-		out[i] = x[i] * cmplx.Rect(1, ph+w*float64(startSample+i))
+		dst[i] = x[i] * cmplx.Rect(1, ph+w*float64(startSample+i))
 	}
-	return out
 }
 
 // FIR is a finite-impulse-response filter with real taps. Apply performs
@@ -151,9 +166,36 @@ type FIR struct {
 // (symmetric) taps.
 func (f FIR) GroupDelay() int { return (len(f.Taps) - 1) / 2 }
 
-// Apply filters x, returning a buffer of the same length.
+// Apply filters x, returning a buffer of the same length. Long filters
+// over long buffers are convolved with the overlap-save FFT path (see
+// fft.go), which is output-equivalent to the direct form to ≤1e-9; short
+// ones take the direct loop.
 func (f FIR) Apply(x []complex128) []complex128 {
 	out := make([]complex128, len(x))
+	f.ApplyInto(out, x)
+	return out
+}
+
+// ApplyInto is Apply writing into a caller-supplied buffer (typically
+// pooled scratch, see GetIQ). dst and x must have equal length and must
+// not alias.
+func (f FIR) ApplyInto(dst, x []complex128) {
+	if useFFT(len(f.Taps), len(x)) {
+		f.applyFFTInto(dst, x)
+		return
+	}
+	f.applyDirectInto(dst, x)
+}
+
+// ApplyDirect always takes the O(taps × samples) direct form — the
+// reference implementation the FFT path is verified against.
+func (f FIR) ApplyDirect(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	f.applyDirectInto(out, x)
+	return out
+}
+
+func (f FIR) applyDirectInto(dst, x []complex128) {
 	taps := f.Taps
 	for n := range x {
 		var acc complex128
@@ -164,9 +206,8 @@ func (f FIR) Apply(x []complex128) []complex128 {
 			}
 			acc += complex(t, 0) * x[idx]
 		}
-		out[n] = acc
+		dst[n] = acc
 	}
-	return out
 }
 
 // ResponseAt returns the filter's power response in dB at frequency f for
@@ -214,7 +255,15 @@ func LowPass(cutoff, fs float64, taps int) FIR {
 }
 
 // LowPassWin designs a windowed-sinc low-pass FIR with an explicit window.
+// Designs are memoized on (cutoff, fs, taps, window): repeated calls share
+// one immutable taps slice (see cache.go), so relay-chain construction
+// stops redesigning identical filters.
 func LowPassWin(cutoff, fs float64, taps int, win Window) FIR {
+	return cachedDesign(filterKey{kind: kindLowPass, win: win, f1: cutoff, fs: fs, taps: taps},
+		func() FIR { return designLowPass(cutoff, fs, taps, win) })
+}
+
+func designLowPass(cutoff, fs float64, taps int, win Window) FIR {
 	if taps%2 == 0 {
 		taps++
 	}
@@ -253,8 +302,13 @@ func BandPass(center, halfBW, fs float64, taps int) FIR {
 // BandPassWin designs a band-pass FIR with an explicit window. The relay's
 // uplink uses a Blackman band-pass centered at the 500 kHz backscatter
 // link frequency per §6.1. The passband gain is normalized to unity at
-// center.
+// center. Designs are memoized like LowPassWin's.
 func BandPassWin(center, halfBW, fs float64, taps int, win Window) FIR {
+	return cachedDesign(filterKey{kind: kindBandPass, win: win, f1: center, f2: halfBW, fs: fs, taps: taps},
+		func() FIR { return designBandPass(center, halfBW, fs, taps, win) })
+}
+
+func designBandPass(center, halfBW, fs float64, taps int, win Window) FIR {
 	lp := LowPassWin(halfBW, fs, taps, win)
 	h := make([]float64, len(lp.Taps))
 	m := len(h) - 1
@@ -277,6 +331,11 @@ func BandPassWin(center, halfBW, fs float64, taps int, win Window) FIR {
 // uses it to shape the frequency-dependent feed-through floor of its
 // analog filters (capacitive leakage grows with frequency).
 func HighPassWin(cutoff, fs float64, taps int, win Window) FIR {
+	return cachedDesign(filterKey{kind: kindHighPass, win: win, f1: cutoff, fs: fs, taps: taps},
+		func() FIR { return designHighPass(cutoff, fs, taps, win) })
+}
+
+func designHighPass(cutoff, fs float64, taps int, win Window) FIR {
 	lp := LowPassWin(cutoff, fs, taps, win)
 	h := make([]float64, len(lp.Taps))
 	for i, t := range lp.Taps {
@@ -290,30 +349,46 @@ func HighPassWin(cutoff, fs float64, taps int, win Window) FIR {
 // x (sample rate fs) using the Goertzel single-bin DFT, normalized so that
 // a unit-amplitude complex tone at freq reports power 1.0. It is the
 // simulation's spectrum-analyzer probe.
+//
+// This is the real second-order Goertzel recurrence — one real×complex
+// multiply per sample instead of the naive bin's per-sample sin/cos — so
+// EnergyDetect's carrier sweep pays roughly half the per-bin cost. The
+// extraction step recovers |X(ω)|² for X(ω) = Σ x[n]·e^{−jωn}, matching
+// the direct sum to float64 rounding (cross-checked in the tests).
 func GoertzelPower(x []complex128, freq, fs float64) float64 {
 	if len(x) == 0 {
 		return 0
 	}
-	var acc complex128
-	w := -2 * math.Pi * freq / fs
-	for n, v := range x {
-		acc += v * cmplx.Rect(1, w*float64(n))
+	w := 2 * math.Pi * freq / fs
+	coeff := complex(2*math.Cos(w), 0)
+	var s1, s2 complex128 // s[n−1], s[n−2] of s[n] = x[n] + 2cos(ω)s[n−1] − s[n−2]
+	for _, v := range x {
+		s0 := v + coeff*s1 - s2
+		s2, s1 = s1, s0
 	}
+	// y = s[N−1] − e^{−jω}·s[N−2] equals X(ω) up to a unit-modulus phase
+	// factor, so |y|² is the bin power directly.
+	y := s1 - cmplx.Rect(1, -w)*s2
 	n := float64(len(x))
-	return (real(acc)*real(acc) + imag(acc)*imag(acc)) / (n * n)
+	return (real(y)*real(y) + imag(y)*imag(y)) / (n * n)
 }
 
 // EnergyDetect sweeps candidate center frequencies and returns the one with
 // the maximum Goertzel power together with that power — Eq. 5's streaming
 // argmax correlation, used by the relay to lock onto a reader's carrier.
-func EnergyDetect(x []complex128, candidates []float64, fs float64) (best float64, power float64) {
+// ok is false when candidates is empty: there is then no argmax, and the
+// zero-valued best/power must not be mistaken for a 0 Hz lock.
+func EnergyDetect(x []complex128, candidates []float64, fs float64) (best float64, power float64, ok bool) {
 	power = -1
 	for _, f := range candidates {
 		if p := GoertzelPower(x, f, fs); p > power {
-			power, best = p, f
+			power, best, ok = p, f, true
 		}
 	}
-	return best, power
+	if !ok {
+		return 0, 0, false
+	}
+	return best, power, true
 }
 
 // AWGN adds circularly-symmetric white Gaussian noise of total power

@@ -74,7 +74,10 @@ func TestEnergyDetect(t *testing.T) {
 	const fs = DefaultSampleRate
 	x := Tone(8000, 300e3, fs, 0, 1)
 	cands := []float64{-500e3, -100e3, 0, 100e3, 300e3, 500e3}
-	best, p := EnergyDetect(x, cands, fs)
+	best, p, ok := EnergyDetect(x, cands, fs)
+	if !ok {
+		t.Fatal("EnergyDetect reported no candidates")
+	}
 	if best != 300e3 {
 		t.Fatalf("EnergyDetect picked %v", best)
 	}

@@ -94,13 +94,15 @@ func (d *Deployment) CollectSARStepsCtx(ctx context.Context, f drone.Flight, tar
 	if len(cap.Target) == 0 {
 		return nil, fmt.Errorf("sim: no usable captures along the flight")
 	}
-	tgt := make([]complex128, len(cap.Target))
-	ref := make([]complex128, len(cap.Embedded))
+	tgt := signal.GetIQ(len(cap.Target))
+	ref := signal.GetIQ(len(cap.Embedded))
 	for i := range cap.Target {
 		tgt[i] = cap.Target[i].H
 		ref[i] = cap.Embedded[i].H
 	}
 	dis, err := loc.Disentangle(tgt, ref)
+	signal.PutIQ(tgt)
+	signal.PutIQ(ref)
 	if err != nil {
 		return nil, err
 	}

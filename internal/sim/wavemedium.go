@@ -110,9 +110,11 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 	// out of deep compression — otherwise the PIE modulation depth would
 	// be crushed for tags near the reader.
 	tx := w.Reader.CommandWaveform(cmd)
-	atRelay := scaleWf(tx, oneWayGain(w.ReaderPos, w.RelayPos, f))
+	atRelay := signal.GetIQ(len(tx))
+	scaleWfInto(atRelay, tx, oneWayGain(w.ReaderPos, w.RelayPos, f))
 	w.Relay.AutoGain(w.iso, signal.PowerDBm(atRelay[:256]))
 	dl, err := w.Relay.ForwardDownlink(atRelay, 0)
+	signal.PutIQ(atRelay)
 	if err != nil {
 		// An unlocked (faulted) relay forwards nothing: the command never
 		// reaches the tags and the round slot is silent.
@@ -131,11 +133,13 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 		// The embedded tag hears the relay's own downlink output through
 		// a fixed coupling pad — always powered, always commanded.
 		pad := cmplx.Rect(signal.AmpFromDB(-w.EmbCouplingDB), 0)
-		atEmb := scaleWf(dl, pad)
+		atEmb := signal.GetIQ(len(dl))
+		scaleWfInto(atEmb, dl, pad)
 		env := make([]float64, len(atEmb))
 		for i, v := range atEmb {
 			env[i] = cmplx.Abs(v)
 		}
+		signal.PutIQ(atEmb)
 		if dec, err := epc.DecodeEnvelope(env, fs); err == nil {
 			if got, err := epc.Decode(dec.Bits); err == nil {
 				if rep := w.Embedded.Handle(got); rep != nil {
@@ -146,15 +150,18 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 	}
 	for _, t := range w.Tags {
 		hDown := oneWayGain(w.RelayPos, t.Pos, f2)
-		atTag := scaleWf(dl, hDown)
+		atTag := signal.GetIQ(len(dl))
+		scaleWfInto(atTag, dl, hDown)
 		rxDBm := signal.PowerDBm(atTag[len(atTag)/4:])
 		if !t.PoweredBy(rxDBm, w.Reader.Cfg.PIE.Depth) {
+			signal.PutIQ(atTag)
 			continue
 		}
 		env := make([]float64, len(atTag))
 		for i, v := range atTag {
 			env[i] = cmplx.Abs(v)
 		}
+		signal.PutIQ(atTag)
 		dec, err := epc.DecodeEnvelope(env, fs)
 		if err != nil {
 			continue
@@ -174,13 +181,14 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 	// 3. Superimpose all backscatter waveforms in the relay's uplink
 	// input frame (tag-side carrier), then forward and decode.
 	n := len(dl)
-	bs := make([]complex128, n)
+	bs := signal.ZeroIQ(signal.GetIQ(n))
 	var start int
 	for _, p := range replies {
 		chips := p.t.BackscatterChips(p.rep)
 		mod := tag.Waveform(chips, p.t.Cfg.BackscatterCoeff, fs, w.Reader.Cfg.PIE.BLF())
 		start = n - len(mod) - 400
 		if start < 0 {
+			signal.PutIQ(bs)
 			return nil
 		}
 		// Tag reflects the incident carrier (dl × down-channel) modulated
@@ -195,10 +203,14 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 		}
 	}
 	ul, err := w.Relay.ForwardUplink(bs, 0)
+	signal.PutIQ(bs)
 	if err != nil {
 		return nil
 	}
-	atReader := scaleWf(ul, oneWayGain(w.RelayPos, w.ReaderPos, f))
+	// ul is this function's own buffer (the relay returns a fresh one), so
+	// the reader-side channel scales it in place.
+	atReader := ul
+	scaleWfInPlace(atReader, oneWayGain(w.RelayPos, w.ReaderPos, f))
 	if w.NoiseWatts > 0 {
 		signal.AWGN(atReader, w.NoiseWatts, w.src.Norm)
 	}
@@ -227,13 +239,18 @@ func (w *WaveMedium) Send(cmd epc.Command) []reader.Observation {
 	return nil
 }
 
-// scaleWf returns x scaled by g.
-func scaleWf(x []complex128, g complex128) []complex128 {
-	out := make([]complex128, len(x))
+// scaleWfInto writes x scaled by g into dst (equal lengths).
+func scaleWfInto(dst, x []complex128, g complex128) {
 	for i := range x {
-		out[i] = x[i] * g
+		dst[i] = x[i] * g
 	}
-	return out
+}
+
+// scaleWfInPlace scales x by g in place.
+func scaleWfInPlace(x []complex128, g complex128) {
+	for i := range x {
+		x[i] *= g
+	}
 }
 
 // String describes the medium.
