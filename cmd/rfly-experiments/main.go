@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller, faults, mission)")
+	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller, faults, mission, service)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	trials := flag.Int("trials", 0, "override trial count (0 = paper's count)")
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
@@ -123,6 +123,10 @@ func main() {
 	}
 	if run("mission") {
 		mission(ctx, *seed, *csvDir)
+		wrote = true
+	}
+	if run("service") {
+		service(*seed, *csvDir)
 		wrote = true
 	}
 	if !wrote {
@@ -434,6 +438,29 @@ func mission(ctx context.Context, seed uint64, csvDir string) {
 	fmt.Println("the same CSV emerges after any mid-mission kill/resume (see the chaos harness)")
 	if csvDir != "" {
 		writeCSV(csvDir, "mission.csv", csv)
+	}
+}
+
+func service(seed uint64, csvDir string) {
+	header("Mission service — fleet batching under a full-queue burst")
+	sum, err := experiments.ServiceTable(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-16s %-9s %-8s %-11s %-7s %-7s\n",
+		"region", "requests", "sorties", "mean batch", "reads", "loc ok")
+	for _, r := range sum.Rows {
+		fmt.Printf("%-16s %-9d %-8d %-11.2f %-7d %-7d\n",
+			r.Region, r.Requests, r.Sorties, r.MeanBatch, r.Reads, r.LocOK)
+	}
+	fmt.Printf("%d requests flew as %d sorties on %d shards (mean batch %.2f, %d requests shared a sortie)\n",
+		sum.Requests, sum.Batches, sum.Shards, sum.MeanBatchSize, sum.BatchedRequests)
+	fmt.Println("admission settles before the shards start, so the coalescing here is")
+	fmt.Println("deterministic — the serving benchmark (rfly-load) measures the same")
+	fmt.Println("layer under open-loop pressure instead")
+	if csvDir != "" {
+		writeCSV(csvDir, "service.csv", sum.CSV())
 	}
 }
 

@@ -1,0 +1,287 @@
+// rfly-load is a closed-loop load generator for rfly-serve: c workers
+// each submit a mission, poll it to a terminal status, and immediately
+// submit the next, until n missions have resolved. Backpressure (429)
+// is honored by sleeping the advertised Retry-After (capped — this is a
+// benchmark, not a patient client) and counted as a rejection. The run
+// is summarized as a perf.ServeReport and written to -out
+// (BENCH_serve.json), giving the bench trajectory its serving
+// datapoint: throughput, p50/p95/p99 end-to-end latency, and the
+// rejection rate.
+//
+// With -spawn the generator starts an in-process fleet + HTTP server on
+// a loopback port first, so CI gets a self-contained smoke run.
+//
+// Usage:
+//
+//	rfly-load -addr host:port [-n 256] [-c 64] [-out BENCH_serve.json]
+//	rfly-load -spawn [-shards 4] [-queue 64] [-batch 8] ...
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfly/internal/fleet"
+	"rfly/internal/perf"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target rfly-serve address (host:port); empty requires -spawn")
+	spawn := flag.Bool("spawn", false, "start an in-process rfly-serve on a loopback port")
+	n := flag.Int("n", 256, "total missions to drive to completion")
+	c := flag.Int("c", 64, "closed-loop worker concurrency")
+	shards := flag.Int("shards", 4, "(spawn) shard count")
+	queueCap := flag.Int("queue", 0, "(spawn) admission queue capacity (0 = 16×shards)")
+	maxBatch := flag.Int("batch", 8, "(spawn) max batch size")
+	sorties := flag.Int("sorties", 1, "(spawn) sorties per mission")
+	ticks := flag.Int("ticks", 12, "(spawn) ticks per sortie")
+	deadlineMs := flag.Int("deadline-ms", 0, "per-request deadline in ms (0 = none)")
+	pollEvery := flag.Duration("poll", 10*time.Millisecond, "status poll interval")
+	out := flag.String("out", "BENCH_serve.json", "report path")
+	flag.Parse()
+
+	var sched *fleet.Scheduler
+	if *spawn {
+		var err error
+		sched, err = fleet.New(fleet.Config{
+			Shards:         *shards,
+			QueueCap:       *queueCap,
+			MaxBatch:       *maxBatch,
+			Sorties:        *sorties,
+			TicksPerSortie: *ticks,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		sched.Start()
+		// Report the effective fleet shape, not the flag defaults.
+		*queueCap = sched.Config().QueueCap
+		*maxBatch = sched.Config().MaxBatch
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		srv := &http.Server{Handler: fleet.NewHandler(sched)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		*addr = ln.Addr().String()
+		fmt.Printf("spawned in-process rfly-serve on %s (%d shards)\n", *addr, *shards)
+	}
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "rfly-load: need -addr or -spawn")
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+
+	// The worker population spreads across the region table so batching
+	// has compatible traffic to coalesce, with distinct tag sets per
+	// worker (tenants don't share tags).
+	regions := []string{"corridor-east", "corridor-west", "dock"}
+
+	var (
+		submitted  atomic.Int64
+		rejections atomic.Int64
+		completed  atomic.Int64
+		failed     atomic.Int64
+		expired    atomic.Int64
+		mu         sync.Mutex
+		latencies  []float64
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for submitted.Add(1) <= int64(*n) {
+				region := regions[worker%len(regions)]
+				lat, outcome := driveOne(client, base, region, worker, *deadlineMs, *pollEvery, &rejections)
+				switch outcome {
+				case "done":
+					completed.Add(1)
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+				case "expired":
+					expired.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	rep := perf.ServeReport{
+		Shards:      *shards,
+		QueueCap:    *queueCap,
+		MaxBatch:    *maxBatch,
+		Concurrency: *c,
+		Requests:    *n,
+		Completed:   int(completed.Load()),
+		Failed:      int(failed.Load()),
+		Expired:     int(expired.Load()),
+		Rejections:  int(rejections.Load()),
+		DurationS:   dur.Seconds(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	if attempts := int64(*n) + rejections.Load(); attempts > 0 {
+		rep.RejectionRatePct = 100 * float64(rejections.Load()) / float64(attempts)
+	}
+	if dur > 0 {
+		rep.ThroughputRPS = float64(rep.Completed) / dur.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.LatencyP50Ms = quantile(latencies, 0.50)
+	rep.LatencyP95Ms = quantile(latencies, 0.95)
+	rep.LatencyP99Ms = quantile(latencies, 0.99)
+
+	// Batching effectiveness comes from the server's own counters.
+	if snap, err := fetchMetrics(client, base); err == nil {
+		rep.Batches = snap.Batches
+		rep.MeanBatchSize = snap.MeanBatchSize
+		rep.BatchedRequests = snap.BatchedRequests
+		if !*spawn {
+			rep.Shards = snap.Shards
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "rfly-load: metrics scrape failed: %v\n", err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d/%d completed in %.2fs: %.1f missions/s, p50 %.0f ms, p95 %.0f ms, p99 %.0f ms\n",
+		rep.Completed, rep.Requests, rep.DurationS, rep.ThroughputRPS,
+		rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms)
+	fmt.Printf("rejections: %d (%.1f%%); batches: %d, mean size %.2f, %d requests rode shared sorties\n",
+		rep.Rejections, rep.RejectionRatePct, rep.Batches, rep.MeanBatchSize, rep.BatchedRequests)
+	fmt.Printf("report written to %s\n", *out)
+	if rep.Completed == 0 {
+		os.Exit(1)
+	}
+}
+
+// driveOne pushes a single mission through submit → poll → terminal,
+// retrying 429s after the advertised Retry-After. It returns the
+// end-to-end latency in ms and the terminal status.
+func driveOne(client *http.Client, base, region string, worker, deadlineMs int,
+	pollEvery time.Duration, rejections *atomic.Int64) (float64, string) {
+	body := fleet.SubmitRequest{
+		Region: region,
+		Tags: []fleet.TagInput{
+			{ID: uint16(1 + worker%1000), X: 28 + float64(worker%3), Y: 1.5, Z: 1.0},
+			{ID: uint16(1001 + worker%1000), X: 27 + float64(worker%2), Y: 1.0, Z: 1.0},
+		},
+		Priority:   worker % 3,
+		DeadlineMs: int64(deadlineMs),
+	}
+	payload, _ := json.Marshal(body)
+	start := time.Now()
+
+	var id string
+	for {
+		resp, err := client.Post(base+"/v1/missions", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return 0, "failed"
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var sr fleet.SubmitResponse
+			err := json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if err != nil {
+				return 0, "failed"
+			}
+			id = sr.ID
+		case http.StatusTooManyRequests:
+			rejections.Add(1)
+			retryAfter := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if v, err := time.ParseDuration(s + "s"); err == nil {
+					retryAfter = v
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Cap the wait: the estimate is for a polite client; the
+			// generator's job is to keep pressure on.
+			if retryAfter > 250*time.Millisecond {
+				retryAfter = 250 * time.Millisecond
+			}
+			time.Sleep(retryAfter)
+			continue
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return 0, "failed"
+		}
+		break
+	}
+
+	for {
+		time.Sleep(pollEvery)
+		resp, err := client.Get(base + "/v1/missions/" + id)
+		if err != nil {
+			return 0, "failed"
+		}
+		var mr fleet.MissionResponse
+		err = json.NewDecoder(resp.Body).Decode(&mr)
+		resp.Body.Close()
+		if err != nil {
+			return 0, "failed"
+		}
+		if mr.Status.Terminal() {
+			return float64(time.Since(start)) / float64(time.Millisecond), string(mr.Status)
+		}
+	}
+}
+
+func fetchMetrics(client *http.Client, base string) (fleet.Snapshot, error) {
+	var snap fleet.Snapshot
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// quantile interpolates the q-quantile of sorted xs.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfly-load:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,7 +40,20 @@ func main() {
 	faults := flag.Bool("faults", false, "inject a seeded fault schedule and compare a recovery-enabled survey against a nominal one")
 	chaosSeeds := flag.Int("chaos", 0, "run a chaos campaign over N randomized fault schedules and kill/resume points")
 	ckptPath := flag.String("checkpoint", "", "run the supervised mission, persisting (and resuming from) this checkpoint file")
+	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on DefaultServeMux; the profiles
+		// cover whichever mode runs below (chaos campaigns and long
+		// missions are the interesting targets).
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	// SIGINT/SIGTERM cancel the mission context: the engine rolls back to
 	// the last sortie boundary, the checkpoint is flushed, and the

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rfly/internal/fleet"
+	"rfly/internal/runtime"
+)
+
+// Serving-layer experiment: a burst of mission requests across every
+// warehouse region is pre-loaded into a stopped fleet scheduler and
+// then released onto the shards at once. Because admission is already
+// settled when the workers start, the batch composition the dispatcher
+// produces is a pure function of the queue state — so the coalescing
+// numbers in the table are deterministic even though shard assignment
+// is not. The table shows what the batching layer buys: how many
+// sorties the fleet actually flies versus the one-sortie-per-request
+// baseline, per region and overall.
+
+// ServiceRow summarizes one region's slice of the burst.
+type ServiceRow struct {
+	Region string
+	// Requests admitted for the region; Sorties is how many engine
+	// missions actually flew them after coalescing.
+	Requests int
+	Sorties  int
+	// MeanBatch is Requests/Sorties.
+	MeanBatch float64
+	// Reads and LocOK aggregate the demuxed per-request outcomes.
+	Reads int
+	LocOK int
+}
+
+// ServiceSummary is the whole experiment.
+type ServiceSummary struct {
+	Shards    int
+	Requests  int
+	Completed int
+	Rows      []ServiceRow
+	// Fleet-level batching counters, from the scheduler's own metrics
+	// (the same numbers /metrics serves).
+	Batches         int64
+	MeanBatchSize   float64
+	BatchedRequests int64
+}
+
+// ServiceTable runs the burst and folds the terminal mission records
+// into the per-region table.
+func ServiceTable(seed uint64) (*ServiceSummary, error) {
+	const perRegion = 6
+	regions := make([]string, 0, len(fleet.Regions))
+	for name := range fleet.Regions {
+		regions = append(regions, name)
+	}
+	sort.Strings(regions)
+
+	cfg := fleet.Config{
+		Shards:         4,
+		QueueCap:       perRegion * len(regions),
+		MaxBatch:       4,
+		Sorties:        1,
+		TicksPerSortie: 12,
+	}
+	s, err := fleet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-fill before Start: the whole burst is queued when the first
+	// worker wakes, so coalescing is at its deterministic maximum.
+	ids := make(map[string][]string, len(regions))
+	total := 0
+	for i := 0; i < perRegion; i++ {
+		for ri, region := range regions {
+			// Tags sit around the region's relay hover point so every
+			// region — the 40 m corridors and the 18 m dock alike — has
+			// in-scene, readable targets.
+			hover := fleet.Regions[region].RelayPos
+			id, err := s.Submit(fleet.Request{
+				Region:    region,
+				Seed:      seed + uint64(ri),
+				Priority:  i % 3,
+				SARPoints: 8,
+				Tags: []runtime.TagSpec{
+					{ID: uint16(1 + total), X: hover.X + 0.8, Y: hover.Y + 0.4, Z: 1.0},
+					{ID: uint16(101 + total), X: hover.X - 1.2, Y: hover.Y - 0.3, Z: 1.0},
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			ids[region] = append(ids[region], id)
+			total++
+		}
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	sum := &ServiceSummary{Shards: cfg.Shards, Requests: total}
+	for _, region := range regions {
+		row := ServiceRow{Region: region}
+		sortieShare := 0.0
+		for _, id := range ids[region] {
+			ch := s.Done(id)
+			select {
+			case <-ch:
+			case <-time.After(60 * time.Second):
+				return nil, fmt.Errorf("mission %s (%s) never terminated", id, region)
+			}
+			v, _ := s.Get(id)
+			if v.Status != fleet.StatusDone {
+				return nil, fmt.Errorf("mission %s (%s) finished %s: %s", id, region, v.Status, v.Err)
+			}
+			row.Requests++
+			sum.Completed++
+			// A member of a k-batch accounts for 1/k of one sortie, so
+			// the per-region shares sum to the sorties actually flown
+			// (batches never span regions — region is in the batch key).
+			sortieShare += 1 / float64(v.BatchSize)
+			if v.Outcome != nil {
+				row.Reads += v.Outcome.Reads
+				if v.Outcome.LocOK {
+					row.LocOK++
+				}
+			}
+		}
+		row.Sorties = int(sortieShare + 0.5)
+		if row.Sorties > 0 {
+			row.MeanBatch = float64(row.Requests) / float64(row.Sorties)
+		}
+		sum.Rows = append(sum.Rows, row)
+	}
+
+	snap := s.Metrics().Snapshot()
+	sum.Batches = snap.Batches
+	sum.MeanBatchSize = snap.MeanBatchSize
+	sum.BatchedRequests = snap.BatchedRequests
+	return sum, nil
+}
+
+// CSV renders the table in the experiments CSV convention.
+func (s *ServiceSummary) CSV() string {
+	var b strings.Builder
+	b.WriteString("region,requests,sorties,mean_batch,reads,loc_ok\n")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%d,%d\n",
+			r.Region, r.Requests, r.Sorties, r.MeanBatch, r.Reads, r.LocOK)
+	}
+	fmt.Fprintf(&b, "TOTAL,%d,%d,%.2f,,\n", s.Requests, s.Batches, s.MeanBatchSize)
+	return b.String()
+}

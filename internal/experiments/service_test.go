@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServiceTable(t *testing.T) {
+	sum, err := ServiceTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != sum.Requests {
+		t.Fatalf("completed %d of %d", sum.Completed, sum.Requests)
+	}
+	if len(sum.Rows) != 3 {
+		t.Fatalf("rows %d, want one per region", len(sum.Rows))
+	}
+	totalSorties := 0
+	for _, r := range sum.Rows {
+		if r.Requests != 6 {
+			t.Fatalf("region %s admitted %d requests, want 6", r.Region, r.Requests)
+		}
+		if r.Sorties < 1 || r.Sorties > r.Requests {
+			t.Fatalf("region %s flew %d sorties for %d requests", r.Region, r.Sorties, r.Requests)
+		}
+		if r.Reads == 0 {
+			t.Fatalf("region %s read nothing", r.Region)
+		}
+		totalSorties += r.Sorties
+	}
+	// The burst is fully queued before the shards start, so coalescing
+	// must actually compress it: fewer sorties than requests.
+	if int64(totalSorties) != sum.Batches {
+		t.Fatalf("per-region sortie shares sum to %d, metrics say %d batches", totalSorties, sum.Batches)
+	}
+	if sum.Batches >= int64(sum.Requests) {
+		t.Fatalf("no coalescing: %d batches for %d requests", sum.Batches, sum.Requests)
+	}
+	if sum.BatchedRequests < 2 {
+		t.Fatalf("batched_requests %d, want >= 2", sum.BatchedRequests)
+	}
+
+	csv := sum.CSV()
+	if !strings.HasPrefix(csv, "region,requests,sorties,mean_batch,reads,loc_ok\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 5 {
+		t.Fatalf("csv has %d lines, want 5 (header + 3 regions + total)", lines)
+	}
+}
+
+// TestServiceTableBatchingDeterministic: admission is settled before the
+// shards start, so the batch composition — and therefore every batching
+// counter — must not depend on worker scheduling.
+func TestServiceTableBatchingDeterministic(t *testing.T) {
+	a, err := ServiceTable(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServiceTable(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Batches != b.Batches || a.BatchedRequests != b.BatchedRequests ||
+		a.MeanBatchSize != b.MeanBatchSize {
+		t.Fatalf("batching counters vary across identical runs: %+v vs %+v", a, b)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatalf("service CSV not deterministic:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+}

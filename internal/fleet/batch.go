@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"rfly/internal/reader"
+	"rfly/internal/runtime"
+)
+
+// Batching: one sortie serves every member of a batch. The flight, the
+// relay supervision, and the end-of-mission SAR solve are the expensive
+// parts of a mission and none of them scale with the tenant count, so
+// coalescing compatible requests — same region, same channel plan —
+// amortizes them. The batch's tag table is the concatenation of the
+// members' tag lists; demux slices the engine's cumulative per-tag
+// inventory back out by offset.
+
+// tagSegment records where a member's tags landed in the batch config.
+type tagSegment struct{ off, n int }
+
+// missionConfig builds the runtime config one batch flies, plus each
+// member's tag segment.
+func (s *Scheduler) missionConfig(batch []*mission) (runtime.Config, []tagSegment) {
+	head := batch[0]
+	region := Regions[head.req.Region]
+	seed := head.req.Seed
+	if seed == 0 {
+		// Arrival-sequence derived: distinct per batch, reproducible
+		// from the mission record.
+		seed = 0x9E3779B97F4A7C15 ^ head.seq
+	}
+	ch := head.req.ChannelHz
+	if ch == 0 {
+		ch = DefaultChannelHz
+	}
+
+	cfg := runtime.DefaultConfig(seed)
+	cfg.Sorties = s.cfg.Sorties
+	cfg.TicksPerSortie = s.cfg.TicksPerSortie
+	cfg.CorridorLengthM = region.CorridorLengthM
+	cfg.CorridorWidthM = region.CorridorWidthM
+	cfg.ReaderPos = region.ReaderPos
+	cfg.RelayPos = region.RelayPos
+	cfg.ShadowSigmaDB = region.ShadowSigmaDB
+	cfg.ChannelHz = ch
+	cfg.SARPointsPerSortie = head.req.SARPoints
+	cfg.Schedule.Events = nil
+
+	// Service missions jitter their retry backoff by default: with a
+	// worker per shard retrying in lockstep scale, synchronized backoff
+	// windows would re-collide (the audit in reader/retry.go); the
+	// draws come from each deployment's own stream, so shards never
+	// share RNG state.
+	pol := reader.DefaultRetryPolicy()
+	pol.JitterSlots = 2
+	if s.cfg.Retry.Set {
+		pol = reader.RetryPolicy{
+			MaxRetries:      s.cfg.Retry.MaxRetries,
+			BackoffSlots:    s.cfg.Retry.BackoffSlots,
+			MaxBackoffSlots: s.cfg.Retry.MaxBackoff,
+			JitterSlots:     s.cfg.Retry.JitterSlots,
+		}
+	}
+	cfg.Retry = pol
+
+	cfg.Tags = cfg.Tags[:0]
+	segs := make([]tagSegment, len(batch))
+	for i, m := range batch {
+		segs[i] = tagSegment{off: len(cfg.Tags), n: len(m.req.Tags)}
+		cfg.Tags = append(cfg.Tags, m.req.Tags...)
+	}
+	return cfg, segs
+}
+
+// batchBound computes the sortie context's deadline: the hard
+// per-mission cap, tightened to the latest member deadline when every
+// member carries one (a looser member keeps the sortie alive for the
+// others).
+func (s *Scheduler) batchBound(batch []*mission, now time.Time) time.Time {
+	bound := now.Add(s.cfg.MaxMissionTime)
+	latest := time.Time{}
+	all := true
+	for _, m := range batch {
+		if m.req.Deadline.IsZero() {
+			all = false
+			break
+		}
+		if m.req.Deadline.After(latest) {
+			latest = m.req.Deadline
+		}
+	}
+	if all && latest.Before(bound) {
+		bound = latest
+	}
+	return bound
+}
+
+// runBatch flies one batch on its shard and resolves every member.
+func (s *Scheduler) runBatch(shard int, batch []*mission) {
+	start := time.Now()
+	cfg, segs := s.missionConfig(batch)
+	ctx, cancel := context.WithDeadline(s.runCtx, s.batchBound(batch, start))
+	defer cancel()
+	bs := &batchState{cancel: cancel, live: len(batch)}
+
+	s.mu.Lock()
+	for _, m := range batch {
+		m.status = StatusRunning
+		m.started = start
+		m.shard = shard
+		m.batchSize = len(batch)
+		m.batch = bs
+		s.m.wait.observe(start.Sub(m.submitted))
+	}
+	s.mu.Unlock()
+	s.m.batches.Add(1)
+	s.m.batchSizeSum.Add(int64(len(batch)))
+	if len(batch) > 1 {
+		s.m.batchedRequests.Add(int64(len(batch)))
+	}
+
+	var res runtime.MissionResult
+	var tagReads []uint32
+	lease, runErr := s.lessor.Lease(shard, cfg)
+	if runErr == nil {
+		res, runErr = lease.Engine().Run(ctx)
+		tagReads = lease.Engine().TagReads()
+		// Release between sorties only: Run has returned, so the engine
+		// sits at a committed boundary (rolled back there on error).
+		lease.Release()
+	}
+	elapsed := time.Since(start)
+	s.m.run.observe(elapsed)
+	s.m.shardBusyNs[shard].Add(elapsed.Nanoseconds())
+
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := float64(elapsed) / float64(time.Millisecond)
+	if s.ewmaBatchMs == 0 {
+		s.ewmaBatchMs = ms
+	} else {
+		s.ewmaBatchMs = 0.7*s.ewmaBatchMs + 0.3*ms
+	}
+	totalAttempts := 0
+	for _, sr := range res.Sorties {
+		totalAttempts += sr.Attempts
+	}
+	for i, m := range batch {
+		switch {
+		case m.canceled:
+			s.finishLocked(m, StatusCanceled, nil, "canceled in flight")
+		case runErr != nil && errors.Is(runErr, context.DeadlineExceeded):
+			s.finishLocked(m, StatusExpired, nil, "mission deadline exceeded: "+runErr.Error())
+		case runErr != nil:
+			s.finishLocked(m, StatusFailed, nil, runErr.Error())
+		case !m.req.Deadline.IsZero() && now.After(m.req.Deadline):
+			s.finishLocked(m, StatusExpired, nil, "completed after request deadline")
+		default:
+			s.finishLocked(m, StatusDone, demux(m, segs[i], res, tagReads, totalAttempts, len(cfg.Tags)), "")
+		}
+	}
+}
+
+// demux slices one member's outcome out of the batch mission result.
+func demux(m *mission, seg tagSegment, res runtime.MissionResult, tagReads []uint32,
+	totalAttempts, totalTags int) *Outcome {
+	out := &Outcome{Sorties: len(res.Sorties)}
+	if seg.off+seg.n <= len(tagReads) {
+		out.TagReads = append([]uint32(nil), tagReads[seg.off:seg.off+seg.n]...)
+		for _, n := range out.TagReads {
+			out.Reads += int(n)
+		}
+	}
+	if totalTags > 0 {
+		// Attempts are round-robin across the batch tag table; this
+		// member's share is proportional to its tag count.
+		out.Attempts = totalAttempts * seg.n / totalTags
+	}
+	// The mission localizes the lead tag; that belongs to the batch
+	// head (segment offset zero).
+	if res.LocOK && seg.off == 0 {
+		out.LocOK = true
+		out.LocX, out.LocY = res.LocX, res.LocY
+	}
+	return out
+}

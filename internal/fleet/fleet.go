@@ -1,0 +1,370 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rfly/internal/runtime"
+)
+
+// Config shapes the scheduler.
+type Config struct {
+	// Shards is the worker-pool size: how many sorties fly concurrently.
+	Shards int
+	// QueueCap bounds the admission queue; a full queue rejects with
+	// ErrBacklog. Zero defaults to 16×Shards.
+	QueueCap int
+	// MaxBatch caps how many compatible requests one sortie serves.
+	MaxBatch int
+	// MaxTagsPerRequest bounds a single request's tag list.
+	MaxTagsPerRequest int
+	// Sorties and TicksPerSortie shape each service mission; the service
+	// flies short missions so per-request latency stays bounded.
+	Sorties        int
+	TicksPerSortie int
+	// Retry is the per-read retry policy every service mission uses.
+	// Its jitter draws come from each shard's own deterministic stream,
+	// which is what keeps the worker pool race-free (see
+	// reader.RetryPolicy.JitterSlots).
+	Retry RetryOverride
+	// MaxMissionTime is a hard per-batch wall-clock bound applied even
+	// when no member carries a deadline. Zero defaults to 30s.
+	MaxMissionTime time.Duration
+}
+
+// RetryOverride optionally replaces the mission default retry policy.
+type RetryOverride struct {
+	Set                                               bool
+	MaxRetries, BackoffSlots, MaxBackoff, JitterSlots int
+}
+
+func (c *Config) defaults() error {
+	if c.Shards <= 0 {
+		return fmt.Errorf("fleet: need a positive shard count, got %d", c.Shards)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16 * c.Shards
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxTagsPerRequest <= 0 {
+		c.MaxTagsPerRequest = 8
+	}
+	if c.Sorties <= 0 {
+		c.Sorties = 1
+	}
+	if c.TicksPerSortie <= 0 {
+		c.TicksPerSortie = 12
+	}
+	if c.MaxMissionTime <= 0 {
+		c.MaxMissionTime = 30 * time.Second
+	}
+	return nil
+}
+
+// batchState tracks one in-flight sortie's membership so cancellation
+// can propagate: when every member has been canceled, the batch context
+// is canceled and the engine rolls back at the next tick.
+type batchState struct {
+	cancel context.CancelFunc
+	live   int
+}
+
+// Scheduler owns the admission queue, the batcher, and the shard
+// workers. Build with New, then call Start to launch the workers (the
+// split lets tests and the experiments scenario pre-fill the queue so
+// coalescing is deterministic).
+type Scheduler struct {
+	cfg    Config
+	lessor *runtime.Lessor
+	m      *Metrics
+
+	// runCtx gates in-flight sorties: Drain leaves it alone (in-flight
+	// work finishes), Stop cancels it.
+	runCtx  context.Context
+	runStop context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    prioQueue
+	records  map[string]*mission
+	seq      uint64
+	started  bool
+	draining bool
+	// ewmaBatchMs is the smoothed batch service time feeding the
+	// Retry-After estimate.
+	ewmaBatchMs float64
+
+	wg sync.WaitGroup
+}
+
+// New validates cfg and builds a stopped scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	lessor, err := runtime.NewLessor(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		lessor:  lessor,
+		m:       newMetrics(cfg.Shards),
+		runCtx:  ctx,
+		runStop: cancel,
+		records: make(map[string]*mission),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Config returns the (defaulted) scheduler config.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Metrics returns the live counter set.
+func (s *Scheduler) Metrics() *Metrics { return s.m }
+
+// Lessor exposes the engine lessor (the drain path reads its
+// checkpoints).
+func (s *Scheduler) Lessor() *runtime.Lessor { return s.lessor }
+
+// Start launches the shard workers. Starting twice is a no-op.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Shards; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+}
+
+// Submit admits a request. It returns the mission ID immediately; the
+// caller polls Get (or waits on Done) for the outcome. A full queue
+// fails fast with ErrBacklog; a draining scheduler with ErrDraining.
+func (s *Scheduler) Submit(req Request) (string, error) {
+	if err := req.validate(s.cfg.MaxTagsPerRequest); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.submitted.Add(1)
+	if s.draining {
+		s.m.draining.Add(1)
+		return "", ErrDraining{}
+	}
+	if s.queue.Len() >= s.cfg.QueueCap {
+		s.m.rejected.Add(1)
+		return "", ErrBacklog{Depth: s.queue.Len(), RetryAfter: s.retryAfterLocked()}
+	}
+	s.seq++
+	m := &mission{
+		id:        fmt.Sprintf("m-%06d", s.seq),
+		seq:       s.seq,
+		req:       req,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		shard:     -1,
+		done:      make(chan struct{}),
+	}
+	s.records[m.id] = m
+	s.queue.push(m)
+	s.m.accepted.Add(1)
+	s.m.queueDepth.Store(int64(s.queue.Len()))
+	s.cond.Signal()
+	return m.id, nil
+}
+
+// retryAfterLocked estimates how long until a queue slot frees: the
+// time for the shards to chew through the current backlog, floored at
+// one second. Callers hold s.mu.
+func (s *Scheduler) retryAfterLocked() time.Duration {
+	batchMs := s.ewmaBatchMs
+	if batchMs <= 0 {
+		batchMs = 50 // cold-start guess, ~one small mission
+	}
+	perSlot := batchMs / float64(s.cfg.MaxBatch)
+	est := time.Duration(float64(s.queue.Len()) * perSlot / float64(s.cfg.Shards) * float64(time.Millisecond))
+	if est < time.Second {
+		est = time.Second
+	}
+	return est.Round(time.Second)
+}
+
+// Get returns a snapshot of the mission record.
+func (s *Scheduler) Get(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.records[id]
+	if !ok {
+		return View{}, false
+	}
+	return m.view(), true
+}
+
+// Done returns a channel that closes when the mission reaches a
+// terminal status (nil if the ID is unknown).
+func (s *Scheduler) Done(id string) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.records[id]; ok {
+		return m.done
+	}
+	return nil
+}
+
+// Cancel cancels a mission. A queued mission is dequeued lazily; for a
+// running one, cancellation takes effect when every member of its batch
+// has canceled (the sortie serves the remaining tenants otherwise). It
+// reports whether the mission existed and was not already terminal.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.records[id]
+	if !ok || m.status.Terminal() || m.canceled {
+		return false
+	}
+	m.canceled = true
+	if m.status == StatusQueued {
+		s.finishLocked(m, StatusCanceled, nil, "canceled by client")
+		return true
+	}
+	// Running: drop out of the batch; the last member out cancels the
+	// sortie context. Status resolves when the batch returns.
+	if m.batch != nil {
+		m.batch.live--
+		if m.batch.live <= 0 {
+			m.batch.cancel()
+		}
+	}
+	return true
+}
+
+// finishLocked moves a record to a terminal state. Callers hold s.mu.
+func (s *Scheduler) finishLocked(m *mission, st Status, out *Outcome, errMsg string) {
+	if m.status.Terminal() {
+		return
+	}
+	m.status = st
+	m.outcome = out
+	m.errMsg = errMsg
+	m.finished = time.Now()
+	m.batch = nil
+	switch st {
+	case StatusDone:
+		s.m.completed.Add(1)
+	case StatusFailed:
+		s.m.failed.Add(1)
+	case StatusCanceled:
+		s.m.canceled.Add(1)
+	case StatusExpired:
+		s.m.expired.Add(1)
+	}
+	if !m.submitted.IsZero() {
+		s.m.e2e.observe(m.finished.Sub(m.submitted))
+	}
+	close(m.done)
+}
+
+// Draining reports whether a drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission, cancels the queued backlog (a queued request
+// has not flown; the client retries against the next instance), lets
+// in-flight sorties finish and checkpoint, and waits for the workers to
+// exit — bounded by ctx.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for {
+		m := s.queue.pop()
+		if m == nil {
+			break
+		}
+		if !m.status.Terminal() {
+			s.finishLocked(m, StatusCanceled, nil, "scheduler draining")
+		}
+	}
+	s.m.queueDepth.Store(0)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: drain timed out with %d sorties in flight: %w",
+			s.lessor.InFlight(), ctx.Err())
+	}
+}
+
+// Stop hard-stops the scheduler: in-flight sorties are canceled (their
+// engines roll back to the last sortie boundary) and the workers are
+// drained.
+func (s *Scheduler) Stop(ctx context.Context) error {
+	s.runStop()
+	return s.Drain(ctx)
+}
+
+// nextBatch blocks until work is available, then forms a batch: the
+// best queued mission plus up to MaxBatch-1 compatible ones. It returns
+// nil when the scheduler is draining and the queue is empty.
+func (s *Scheduler) nextBatch() []*mission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 && s.draining {
+			return nil
+		}
+		head := s.queue.pop()
+		if head == nil {
+			continue
+		}
+		if head.canceled || head.status.Terminal() {
+			// Reaped lazily; Cancel already finished the record.
+			s.m.queueDepth.Store(int64(s.queue.Len()))
+			continue
+		}
+		if dl := head.req.Deadline; !dl.IsZero() && time.Now().After(dl) {
+			s.finishLocked(head, StatusExpired, nil, "deadline passed while queued")
+			s.m.queueDepth.Store(int64(s.queue.Len()))
+			continue
+		}
+		batch := append([]*mission{head},
+			s.queue.takeCompatible(head.req.batchKey(), s.cfg.MaxBatch-1)...)
+		s.m.queueDepth.Store(int64(s.queue.Len()))
+		return batch
+	}
+}
+
+// worker is one shard's dispatch loop.
+func (s *Scheduler) worker(shard int) {
+	defer s.wg.Done()
+	for {
+		batch := s.nextBatch()
+		if batch == nil {
+			return
+		}
+		s.runBatch(shard, batch)
+	}
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rfly/internal/runtime"
+)
+
+// HTTP/JSON front end. cmd/rfly-serve mounts this handler; it lives in
+// the package so the API tests (and rfly-load's in-process spawn mode)
+// exercise exactly the bytes the daemon serves.
+//
+//	POST   /v1/missions      submit (202, or 429 + Retry-After, or 503 draining)
+//	GET    /v1/missions/{id} poll a mission record
+//	DELETE /v1/missions/{id} cancel
+//	GET    /healthz          liveness + drain state
+//	GET    /metrics          counter snapshot (queue depth, shard
+//	                         utilization, batch + latency histograms)
+
+// SubmitRequest is the POST /v1/missions body.
+type SubmitRequest struct {
+	Region    string     `json:"region"`
+	ChannelHz float64    `json:"channel_hz,omitempty"`
+	Tags      []TagInput `json:"tags"`
+	Priority  int        `json:"priority,omitempty"`
+	Seed      uint64     `json:"seed,omitempty"`
+	// DeadlineMs is a relative deadline for the whole request; it maps
+	// onto the mission context's deadline.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	SARPoints  int   `json:"sar_points,omitempty"`
+}
+
+// TagInput places one inventory target in region coordinates.
+type TagInput struct {
+	ID uint16  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	Z  float64 `json:"z"`
+}
+
+// SubmitResponse is the 202 body.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterS accompanies 429s (the Retry-After header carries the
+	// same value).
+	RetryAfterS int64 `json:"retry_after_s,omitempty"`
+}
+
+// MissionResponse is the GET body.
+type MissionResponse struct {
+	ID        string   `json:"id"`
+	Region    string   `json:"region"`
+	Status    Status   `json:"status"`
+	Error     string   `json:"error,omitempty"`
+	BatchSize int      `json:"batch_size,omitempty"`
+	Shard     *int     `json:"shard,omitempty"`
+	WaitMs    float64  `json:"wait_ms,omitempty"`
+	RunMs     float64  `json:"run_ms,omitempty"`
+	Outcome   *Outcome `json:"outcome,omitempty"`
+}
+
+// NewHandler wraps the scheduler in the service's HTTP API.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/missions", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/missions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleGet(s, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/missions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleCancel(s, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": s.Config().Shards})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics().Snapshot())
+	})
+	return mux
+}
+
+func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	var in SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	req := Request{
+		Region:    in.Region,
+		ChannelHz: in.ChannelHz,
+		Priority:  in.Priority,
+		Seed:      in.Seed,
+		SARPoints: in.SARPoints,
+	}
+	for _, t := range in.Tags {
+		req.Tags = append(req.Tags, runtime.TagSpec{ID: t.ID, X: t.X, Y: t.Y, Z: t.Z})
+	}
+	if in.DeadlineMs < 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "deadline_ms must be non-negative"})
+		return
+	}
+	if in.DeadlineMs > 0 {
+		req.Deadline = time.Now().Add(time.Duration(in.DeadlineMs) * time.Millisecond)
+	}
+
+	id, err := s.Submit(req)
+	var backlog ErrBacklog
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, Status: StatusQueued})
+	case errors.As(err, &backlog):
+		secs := int64(backlog.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error(), RetryAfterS: secs})
+	case errors.As(err, &ErrDraining{}):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	}
+}
+
+func handleGet(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown mission id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, viewResponse(v))
+}
+
+func handleCancel(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown mission id"})
+		return
+	}
+	if !s.Cancel(id) {
+		v, _ := s.Get(id)
+		writeJSON(w, http.StatusConflict, viewResponse(v))
+		return
+	}
+	v, _ := s.Get(id)
+	writeJSON(w, http.StatusOK, viewResponse(v))
+}
+
+func viewResponse(v View) MissionResponse {
+	out := MissionResponse{
+		ID:        v.ID,
+		Region:    v.Region,
+		Status:    v.Status,
+		Error:     v.Err,
+		BatchSize: v.BatchSize,
+		Outcome:   v.Outcome,
+	}
+	if v.Shard >= 0 {
+		sh := v.Shard
+		out.Shard = &sh
+	}
+	if !v.Started.IsZero() {
+		out.WaitMs = float64(v.Started.Sub(v.Submitted)) / float64(time.Millisecond)
+		end := v.Finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		out.RunMs = float64(end.Sub(v.Started)) / float64(time.Millisecond)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do but note it.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}

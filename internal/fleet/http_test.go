@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func postMission(t *testing.T, ts *httptest.Server, body SubmitRequest) *http.Response {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/missions", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func tagInputs(id uint16) []TagInput {
+	return []TagInput{{ID: id, X: 29, Y: 1.5, Z: 1.0}}
+}
+
+// TestHTTPOverfill429 is the acceptance test for backpressure at the
+// HTTP boundary: overfilling the bounded queue must yield 429 with a
+// Retry-After header and a structured error body.
+func TestHTTPOverfill429(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.QueueCap = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scheduler deliberately not started: nothing dequeues, so the
+	// fifth submit must overflow.
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		resp := postMission(t, ts, SubmitRequest{Region: "dock", Tags: tagInputs(uint16(i + 1))})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp := postMission(t, ts, SubmitRequest{Region: "dock", Tags: tagInputs(9)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfill status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", ra)
+	}
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	if eresp.Error == "" || eresp.RetryAfterS < 1 {
+		t.Fatalf("error body %+v, want message and retry_after_s >= 1", eresp)
+	}
+}
+
+func TestHTTPSubmitPollDone(t *testing.T) {
+	s, err := New(fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp := postMission(t, ts, SubmitRequest{
+		Region:     "corridor-east",
+		Tags:       tagInputs(7),
+		DeadlineMs: 30_000,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.ID == "" || sr.Status != StatusQueued {
+		t.Fatalf("submit response %+v", sr)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/missions/" + sr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		var mr MissionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if mr.Status.Terminal() {
+			if mr.Status != StatusDone {
+				t.Fatalf("mission ended %s (%s)", mr.Status, mr.Error)
+			}
+			if mr.Outcome == nil || len(mr.Outcome.TagReads) != 1 {
+				t.Fatalf("terminal response missing demuxed outcome: %+v", mr.Outcome)
+			}
+			if mr.Shard == nil {
+				t.Fatal("terminal response missing shard assignment")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mission did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	s, err := New(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown region", `{"region":"atlantis","tags":[{"id":1,"x":1,"y":1,"z":1}]}`},
+		{"no tags", `{"region":"dock"}`},
+		{"unknown field", `{"region":"dock","tags":[{"id":1,"x":1,"y":1,"z":1}],"warp":9}`},
+		{"negative deadline", `{"region":"dock","tags":[{"id":1,"x":1,"y":1,"z":1}],"deadline_ms":-5}`},
+		{"malformed json", `{"region":`},
+	}
+	for _, tc := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/missions", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/missions/m-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown mission status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPCancel(t *testing.T) {
+	s, err := New(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: the mission stays queued so the cancel always lands.
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp := postMission(t, ts, SubmitRequest{Region: "dock", Tags: tagInputs(1)})
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/missions/"+sr.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", dresp.StatusCode)
+	}
+	var mr MissionResponse
+	if err := json.NewDecoder(dresp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if mr.Status != StatusCanceled {
+		t.Fatalf("post-cancel status %s", mr.Status)
+	}
+
+	// Second cancel: mission already terminal — conflict.
+	dresp2, err := ts.Client().Do(req.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp2.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel status %d, want 409", dresp2.StatusCode)
+	}
+	dresp2.Body.Close()
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	s, err := New(fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if snap.Shards != 2 {
+		t.Fatalf("metrics shards %d, want 2", snap.Shards)
+	}
+	if len(snap.ShardBusyS) != 2 {
+		t.Fatalf("shard_busy_s has %d entries, want 2", len(snap.ShardBusyS))
+	}
+
+	// Draining flips healthz to 503.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", hresp.StatusCode)
+	}
+	hresp.Body.Close()
+
+	// Submissions during drain surface as 503 too.
+	sresp := postMission(t, ts, SubmitRequest{Region: "dock", Tags: tagInputs(2)})
+	if sresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit status %d, want 503", sresp.StatusCode)
+	}
+	sresp.Body.Close()
+}

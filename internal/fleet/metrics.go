@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics are the service's expvar-style counters: monotonic atomics
+// plus fixed-bucket histograms, cheap enough to bump on every request
+// and rendered as one JSON document at GET /metrics. Everything here is
+// cumulative since process start; rates are the scraper's job.
+
+// histBoundsMs are the latency histogram bucket upper bounds, in
+// milliseconds; the last bucket is unbounded.
+var histBoundsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000}
+
+// hist is a fixed-bucket histogram safe for concurrent observation.
+type hist struct {
+	buckets []atomic.Int64 // len(histBoundsMs)+1, last is overflow
+	count   atomic.Int64
+	sumMs   atomic.Int64 // microsecond-scaled to keep an integer sum
+}
+
+func (h *hist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(histBoundsMs) && ms > histBoundsMs[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMs.Add(d.Microseconds())
+}
+
+// quantile returns an upper-bound estimate of the q-quantile in ms
+// (the bucket boundary at or above the rank; the overflow bucket
+// reports the largest boundary).
+func (h *hist) quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n-1)) + 1
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(histBoundsMs) {
+				return histBoundsMs[i]
+			}
+			return histBoundsMs[len(histBoundsMs)-1]
+		}
+	}
+	return histBoundsMs[len(histBoundsMs)-1]
+}
+
+func (h *hist) snapshot() HistSnapshot {
+	n := h.count.Load()
+	s := HistSnapshot{
+		Count:    n,
+		BoundsMs: histBoundsMs,
+		Buckets:  make([]int64, len(h.buckets)),
+		P50Ms:    h.quantile(0.50),
+		P95Ms:    h.quantile(0.95),
+		P99Ms:    h.quantile(0.99),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if n > 0 {
+		s.MeanMs = float64(h.sumMs.Load()) / 1000 / float64(n)
+	}
+	return s
+}
+
+// HistSnapshot is a histogram's JSON rendering. Quantiles are bucket
+// upper bounds (conservative estimates).
+type HistSnapshot struct {
+	Count    int64     `json:"count"`
+	MeanMs   float64   `json:"mean_ms"`
+	P50Ms    float64   `json:"p50_ms"`
+	P95Ms    float64   `json:"p95_ms"`
+	P99Ms    float64   `json:"p99_ms"`
+	BoundsMs []float64 `json:"bounds_ms"`
+	Buckets  []int64   `json:"buckets"`
+}
+
+// Metrics is the scheduler's counter set.
+type Metrics struct {
+	start time.Time
+
+	submitted atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64 // backpressure rejections (429s)
+	draining  atomic.Int64 // submissions refused because draining
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	expired   atomic.Int64
+
+	queueDepth atomic.Int64
+
+	batches atomic.Int64
+	// batchedRequests counts requests that shared a sortie with at
+	// least one other request — the coalescing win.
+	batchedRequests atomic.Int64
+	batchSizeSum    atomic.Int64
+
+	shardBusyNs []atomic.Int64
+
+	wait hist // admission → sortie start
+	run  hist // sortie start → finish
+	e2e  hist // admission → terminal
+}
+
+func newMetrics(shards int) *Metrics {
+	m := &Metrics{start: time.Now(), shardBusyNs: make([]atomic.Int64, shards)}
+	m.wait.buckets = make([]atomic.Int64, len(histBoundsMs)+1)
+	m.run.buckets = make([]atomic.Int64, len(histBoundsMs)+1)
+	m.e2e.buckets = make([]atomic.Int64, len(histBoundsMs)+1)
+	return m
+}
+
+// Snapshot is the /metrics JSON document.
+type Snapshot struct {
+	UptimeS    float64 `json:"uptime_s"`
+	Shards     int     `json:"shards"`
+	QueueDepth int64   `json:"queue_depth"`
+
+	Submitted        int64 `json:"submitted"`
+	Accepted         int64 `json:"accepted"`
+	Rejected         int64 `json:"rejected"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+	Canceled         int64 `json:"canceled"`
+	Expired          int64 `json:"expired"`
+
+	Batches         int64   `json:"batches"`
+	BatchedRequests int64   `json:"batched_requests"`
+	MeanBatchSize   float64 `json:"mean_batch_size"`
+
+	// ShardBusyPct is the fraction of the fleet's shard-seconds spent
+	// flying sorties since start.
+	ShardBusyPct float64   `json:"shard_busy_pct"`
+	ShardBusyS   []float64 `json:"shard_busy_s"`
+
+	WaitLatency HistSnapshot `json:"wait_latency"`
+	RunLatency  HistSnapshot `json:"run_latency"`
+	E2ELatency  HistSnapshot `json:"e2e_latency"`
+}
+
+// Snapshot renders the counters.
+func (m *Metrics) Snapshot() Snapshot {
+	up := time.Since(m.start).Seconds()
+	s := Snapshot{
+		UptimeS:          up,
+		Shards:           len(m.shardBusyNs),
+		QueueDepth:       m.queueDepth.Load(),
+		Submitted:        m.submitted.Load(),
+		Accepted:         m.accepted.Load(),
+		Rejected:         m.rejected.Load(),
+		RejectedDraining: m.draining.Load(),
+		Completed:        m.completed.Load(),
+		Failed:           m.failed.Load(),
+		Canceled:         m.canceled.Load(),
+		Expired:          m.expired.Load(),
+		Batches:          m.batches.Load(),
+		BatchedRequests:  m.batchedRequests.Load(),
+		WaitLatency:      m.wait.snapshot(),
+		RunLatency:       m.run.snapshot(),
+		E2ELatency:       m.e2e.snapshot(),
+	}
+	if s.Batches > 0 {
+		s.MeanBatchSize = float64(m.batchSizeSum.Load()) / float64(s.Batches)
+	}
+	var busy float64
+	s.ShardBusyS = make([]float64, len(m.shardBusyNs))
+	for i := range m.shardBusyNs {
+		sec := float64(m.shardBusyNs[i].Load()) / 1e9
+		s.ShardBusyS[i] = sec
+		busy += sec
+	}
+	if up > 0 && len(m.shardBusyNs) > 0 {
+		s.ShardBusyPct = 100 * busy / (up * float64(len(m.shardBusyNs)))
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The committed BENCH_*.json artifacts are contracts: CI scripts and the
+// bench-trajectory tooling parse them by key. These tests pin each file
+// to its Go record type — decode with unknown-field rejection, then
+// re-marshal and require the canonical key order — so a drive-by edit to
+// either the struct tags or the artifacts shows up as a test failure,
+// and rfly-load cannot drift away from the shared ServeReport shape.
+
+func decodeStrict(t *testing.T, path string, v any) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", path))
+	if err != nil {
+		t.Skipf("artifact %s not present: %v", path, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("%s does not match its record type: %v", path, err)
+	}
+	return data
+}
+
+func TestBenchDSPSchemaRoundTrip(t *testing.T) {
+	var rep Report
+	decodeStrict(t, "BENCH_dsp.json", &rep)
+	if rep.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs %d", rep.GOMAXPROCS)
+	}
+	if len(rep.Results) < 7 {
+		t.Fatalf("only %d result rows", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("malformed row %+v", r)
+		}
+	}
+
+	// Round-trip: marshal → decode must reproduce the same report.
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	dec := json.NewDecoder(bytes.NewReader(out))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if back.GOMAXPROCS != rep.GOMAXPROCS || len(back.Results) != len(rep.Results) {
+		t.Fatal("round-trip lost fields")
+	}
+	for i := range rep.Results {
+		if back.Results[i] != rep.Results[i] {
+			t.Fatalf("row %d changed in round-trip: %+v vs %+v", i, back.Results[i], rep.Results[i])
+		}
+	}
+}
+
+func TestBenchServeSchemaRoundTrip(t *testing.T) {
+	var rep ServeReport
+	decodeStrict(t, "BENCH_serve.json", &rep)
+	if rep.Shards < 1 || rep.Concurrency < 1 || rep.Completed < 1 {
+		t.Fatalf("degenerate serve report: %+v", rep)
+	}
+	if rep.ThroughputRPS <= 0 || rep.LatencyP50Ms <= 0 {
+		t.Fatalf("missing rate/latency fields: %+v", rep)
+	}
+	if rep.LatencyP99Ms < rep.LatencyP95Ms || rep.LatencyP95Ms < rep.LatencyP50Ms {
+		t.Fatalf("latency quantiles out of order: p50 %v p95 %v p99 %v",
+			rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms)
+	}
+
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServeReport
+	dec := json.NewDecoder(bytes.NewReader(out))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if back != rep {
+		t.Fatalf("round-trip changed report:\n%+v\nvs\n%+v", back, rep)
+	}
+}
+
+// TestServeReportKeySet pins the exact JSON key set rfly-load emits, so
+// any tag rename is a deliberate, test-visible schema change.
+func TestServeReportKeySet(t *testing.T) {
+	data, err := json.Marshal(ServeReport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"shards", "queue_cap", "max_batch",
+		"concurrency", "requests",
+		"completed", "failed", "expired", "rejections", "rejection_rate_pct",
+		"throughput_rps", "duration_s",
+		"latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+		"batches", "mean_batch_size", "batched_requests",
+		"gomaxprocs",
+	}
+	if len(m) != len(want) {
+		t.Fatalf("ServeReport emits %d keys, want %d: %v", len(m), len(want), m)
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("ServeReport missing key %q", k)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package perf
+
+// Serving benchmark records. rfly-load (the closed-loop generator
+// driving rfly-serve) and the experiments service scenario both emit
+// this shape, and BENCH_serve.json is its serialized form — one shared
+// type so the schema cannot drift between producers. Latency quantiles
+// are end-to-end (submit → terminal status) in milliseconds; throughput
+// counts completed missions only.
+
+// ServeReport is the BENCH_serve.json document.
+type ServeReport struct {
+	// Fleet shape.
+	Shards   int `json:"shards"`
+	QueueCap int `json:"queue_cap"`
+	MaxBatch int `json:"max_batch"`
+
+	// Offered load.
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+
+	// Outcomes.
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Expired   int `json:"expired"`
+	// Rejections counts 429 backpressure responses; closed-loop workers
+	// retry after the advertised Retry-After, so one request can
+	// contribute several rejections before admission.
+	Rejections       int     `json:"rejections"`
+	RejectionRatePct float64 `json:"rejection_rate_pct"`
+
+	// Service rates.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	DurationS     float64 `json:"duration_s"`
+
+	// End-to-end latency of completed missions, milliseconds.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// Batching effectiveness, from the server's /metrics counters.
+	Batches         int64   `json:"batches"`
+	MeanBatchSize   float64 `json:"mean_batch_size"`
+	BatchedRequests int64   `json:"batched_requests"`
+
+	GOMAXPROCS int `json:"gomaxprocs"`
+}

@@ -20,6 +20,18 @@ type RetryPolicy struct {
 	// time to act before the reader burns another round into a dark relay.
 	BackoffSlots    int
 	MaxBackoffSlots int
+	// JitterSlots, when positive, adds a uniform draw from [0,
+	// JitterSlots] to every backoff gap. Concurrency audit: the repo has
+	// no math/rand on any hot path — all randomness flows through
+	// explicit *rng.Source streams — and jitter keeps that discipline:
+	// the draw comes from the retrying component's own source (the
+	// reader's decode stream here, the deployment's stream in
+	// sim.ReadAttemptRetryCtx), never shared state, so the fleet's
+	// per-shard workers stay race-free under -race. Zero (the default)
+	// draws nothing, leaving every pre-existing deterministic stream
+	// untouched. The point of the jitter itself is the classic one:
+	// shard workers that back off in lockstep re-collide in lockstep.
+	JitterSlots int
 }
 
 // DefaultRetryPolicy matches the fault experiments' tick scale: up to 3
@@ -80,9 +92,13 @@ func (r *Reader) RunInventoryRoundWithRetryCtx(ctx context.Context, m Medium, se
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		out.IdleSlots += backoff
+		gap := backoff
+		if pol.JitterSlots > 0 {
+			gap += r.src.Intn(pol.JitterSlots + 1)
+		}
+		out.IdleSlots += gap
 		if onIdle != nil {
-			onIdle(backoff)
+			onIdle(gap)
 		}
 		backoff *= 2
 		if pol.MaxBackoffSlots > 0 && backoff > pol.MaxBackoffSlots {

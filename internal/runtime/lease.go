@@ -1,0 +1,132 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Engine leasing: the fleet scheduler (internal/fleet) runs a fixed pool
+// of shard workers, each of which needs exactly one mission engine at a
+// time. A Lessor enforces that discipline — at most one live Lease per
+// shard — and captures a checkpoint of every engine at release, so a
+// graceful drain can persist the final state of each shard's last
+// mission without reaching into a worker's goroutine. Engines are not
+// safe for concurrent use; the lease is what makes "one engine, one
+// worker" an invariant instead of a convention.
+
+// Lessor rents mission engines to a fixed set of shard workers.
+// It is safe for concurrent use.
+type Lessor struct {
+	mu     sync.Mutex
+	active []bool
+	// last holds the checkpoint captured at each shard's most recent
+	// Release — the drain artifact.
+	last     [][]byte
+	inFlight int
+	leases   uint64
+}
+
+// NewLessor returns a lessor for the given number of shards.
+func NewLessor(shards int) (*Lessor, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("runtime: lessor needs a positive shard count, got %d", shards)
+	}
+	return &Lessor{active: make([]bool, shards), last: make([][]byte, shards)}, nil
+}
+
+// Shards returns the pool size.
+func (l *Lessor) Shards() int { return len(l.active) }
+
+// Lease builds a fresh engine for cfg and binds it to shard. It fails if
+// the shard is out of range or already holds a live lease (a double
+// lease is a scheduler bug, not a condition to wait out).
+func (l *Lessor) Lease(shard int, cfg Config) (*Lease, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return l.bind(shard, e)
+}
+
+// LeaseFrom is Lease resuming from a checkpoint taken by Engine.Snapshot
+// — the path a restarted service uses to finish a drained shard's
+// mission.
+func (l *Lessor) LeaseFrom(shard int, cfg Config, ckpt []byte) (*Lease, error) {
+	e, err := Restore(cfg, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	return l.bind(shard, e)
+}
+
+func (l *Lessor) bind(shard int, e *Engine) (*Lease, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if shard < 0 || shard >= len(l.active) {
+		return nil, fmt.Errorf("runtime: shard %d out of range [0,%d)", shard, len(l.active))
+	}
+	if l.active[shard] {
+		return nil, fmt.Errorf("runtime: shard %d already holds a live lease", shard)
+	}
+	l.active[shard] = true
+	l.inFlight++
+	l.leases++
+	return &Lease{l: l, shard: shard, eng: e}, nil
+}
+
+// InFlight returns how many leases are currently live.
+func (l *Lessor) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inFlight
+}
+
+// Leases returns how many leases have ever been issued.
+func (l *Lessor) Leases() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.leases
+}
+
+// Checkpoint returns a copy of the checkpoint captured at shard's most
+// recent Release, or nil if the shard has never released an engine.
+func (l *Lessor) Checkpoint(shard int) []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if shard < 0 || shard >= len(l.last) || l.last[shard] == nil {
+		return nil
+	}
+	return append([]byte(nil), l.last[shard]...)
+}
+
+// Lease is one shard's exclusive hold on a mission engine. The owning
+// worker is the only goroutine that may touch Engine(); Release returns
+// the hold and records the engine's final checkpoint.
+type Lease struct {
+	l        *Lessor
+	shard    int
+	eng      *Engine
+	released bool
+}
+
+// Engine returns the leased engine.
+func (le *Lease) Engine() *Engine { return le.eng }
+
+// Shard returns the shard the lease is bound to.
+func (le *Lease) Shard() int { return le.shard }
+
+// Release captures the engine's checkpoint (a sortie-boundary snapshot —
+// the worker calls Release only between sorties, never mid-run) and
+// frees the shard for its next lease. Releasing twice is a no-op.
+func (le *Lease) Release() {
+	if le.released {
+		return
+	}
+	le.released = true
+	ckpt := le.eng.Snapshot()
+	le.l.mu.Lock()
+	le.l.last[le.shard] = ckpt
+	le.l.active[le.shard] = false
+	le.l.inFlight--
+	le.l.mu.Unlock()
+}

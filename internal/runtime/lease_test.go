@@ -1,0 +1,144 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+func leaseTestConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Sorties = 1
+	cfg.TicksPerSortie = 4
+	return cfg
+}
+
+func TestLessorExclusivePerShard(t *testing.T) {
+	l, err := NewLessor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := l.Lease(0, leaseTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Lease(0, leaseTestConfig(2)); err == nil {
+		t.Fatal("double lease on shard 0 succeeded")
+	}
+	if _, err := l.Lease(2, leaseTestConfig(3)); err == nil {
+		t.Fatal("out-of-range shard leased")
+	}
+	if _, err := l.Lease(-1, leaseTestConfig(3)); err == nil {
+		t.Fatal("negative shard leased")
+	}
+	if got := l.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+	le.Release()
+	le.Release() // idempotent
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+	if _, err := l.Lease(0, leaseTestConfig(4)); err != nil {
+		t.Fatalf("re-lease after release: %v", err)
+	}
+}
+
+// TestLeaseCheckpointRoundTrip: Release captures the engine's snapshot;
+// LeaseFrom resumes from it and finishes the mission identically to an
+// uninterrupted run.
+func TestLeaseCheckpointRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Sorties = 2
+	cfg.TicksPerSortie = 6
+
+	// Reference: uninterrupted mission.
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := NewLessor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := l.Lease(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := le.Engine().RunSortie(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	le.Release()
+	ckpt := l.Checkpoint(0)
+	if ckpt == nil {
+		t.Fatal("no checkpoint captured at release")
+	}
+	if !bytes.Equal(ckpt, l.Checkpoint(0)) {
+		t.Fatal("Checkpoint not stable")
+	}
+
+	le2, err := l.LeaseFrom(0, cfg, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := le2.Engine().SortiesDone(); got != 1 {
+		t.Fatalf("resumed engine at %d sorties, want 1", got)
+	}
+	res, err := le2.Engine().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	le2.Release()
+	if res.CSV() != refRes.CSV() {
+		t.Fatalf("lease-resumed mission diverged:\n%s\nvs\n%s", res.CSV(), refRes.CSV())
+	}
+}
+
+// TestLessorConcurrentShards drives every shard from its own goroutine
+// — the -race gate for the fleet's leasing pattern.
+func TestLessorConcurrentShards(t *testing.T) {
+	const shards = 4
+	l, err := NewLessor(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				le, err := l.Lease(shard, leaseTestConfig(uint64(shard*10+k)))
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				if _, err := le.Engine().Run(context.Background()); err != nil {
+					errs[shard] = err
+				}
+				le.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	if got := l.Leases(); got != shards*3 {
+		t.Fatalf("Leases = %d, want %d", got, shards*3)
+	}
+	for i := 0; i < shards; i++ {
+		if l.Checkpoint(i) == nil {
+			t.Fatalf("shard %d has no drain checkpoint", i)
+		}
+	}
+}

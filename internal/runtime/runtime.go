@@ -60,6 +60,11 @@ type Config struct {
 	RelayPos        geom.Point
 	ShadowSigmaDB   float64
 
+	// ChannelHz is the mission's channel plan: the carrier the
+	// end-of-mission SAR solve assumes. The fleet scheduler batches only
+	// requests that share it. Zero defaults to the US band center.
+	ChannelHz float64
+
 	Tags []TagSpec
 
 	// Schedule's event Start ticks are on the GLOBAL mission clock; each
@@ -119,6 +124,9 @@ func (c *Config) defaults() error {
 	if c.StationKeepStepM <= 0 {
 		c.StationKeepStepM = 2
 	}
+	if c.ChannelHz <= 0 {
+		c.ChannelHz = 915e6
+	}
 	c.Supervisor.defaults()
 	if err := c.Schedule.Validate(); err != nil {
 		return err
@@ -129,18 +137,18 @@ func (c *Config) defaults() error {
 // hash fingerprints the config for checkpoint compatibility checks.
 func (c Config) hash() uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d|%d|%g|%g|%v|%v|%g|%d|%g|%d|", c.Seed, c.Sorties, c.TicksPerSortie,
+	fmt.Fprintf(h, "%d|%d|%d|%g|%g|%v|%v|%g|%g|%d|%g|%d|", c.Seed, c.Sorties, c.TicksPerSortie,
 		c.CorridorLengthM, c.CorridorWidthM, c.ReaderPos, c.RelayPos, c.ShadowSigmaDB,
-		c.SwapDelayTicks, c.StationKeepStepM, c.SARPointsPerSortie)
+		c.ChannelHz, c.SwapDelayTicks, c.StationKeepStepM, c.SARPointsPerSortie)
 	for _, t := range c.Tags {
 		fmt.Fprintf(h, "t%d:%g,%g,%g|", t.ID, t.X, t.Y, t.Z)
 	}
 	for _, e := range c.Schedule.Sorted() {
 		fmt.Fprintf(h, "e%d:%d:%d:%g:%g|", int(e.Class), e.Start, e.Duration, e.Severity, e.Param)
 	}
-	fmt.Fprintf(h, "r%d:%d:%d|s%d:%d:%d:%d", c.Retry.MaxRetries, c.Retry.BackoffSlots,
-		c.Retry.MaxBackoffSlots, c.Supervisor.RelockTicks, c.Supervisor.MaxRecoveryFailures,
-		c.Supervisor.CooldownTicks, c.Supervisor.MaxBreakerTrips)
+	fmt.Fprintf(h, "r%d:%d:%d:%d|s%d:%d:%d:%d", c.Retry.MaxRetries, c.Retry.BackoffSlots,
+		c.Retry.MaxBackoffSlots, c.Retry.JitterSlots, c.Supervisor.RelockTicks,
+		c.Supervisor.MaxRecoveryFailures, c.Supervisor.CooldownTicks, c.Supervisor.MaxBreakerTrips)
 	return h.Sum64()
 }
 
@@ -594,7 +602,7 @@ func (e *Engine) ResultCtx(ctx context.Context) MissionResult {
 		for _, m := range e.sar {
 			traj.Points = append(traj.Points, m.Pos)
 		}
-		lcfg := loc.DefaultConfig(915e6)
+		lcfg := loc.DefaultConfig(e.cfg.ChannelHz)
 		x0, y0, x1, _ := traj.Bounds()
 		lcfg.Region = &loc.Region{X0: x0 - 4, Y0: y0 - 4, X1: x1 + 4, Y1: y0 + 6}
 		if lr, err := loc.LocalizeRobustCtx(ctx, e.sar, traj, lcfg); err == nil {

@@ -162,8 +162,16 @@ func (d *Deployment) ReadAttemptRetryCtx(ctx context.Context, t *tag.Tag, pol re
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
+		gap := backoff
+		if pol.JitterSlots > 0 {
+			// Jitter draws come from the deployment's own deterministic
+			// stream (see reader.RetryPolicy.JitterSlots): per-engine,
+			// never shared across fleet shards, and absent entirely at
+			// the zero default so legacy streams are unperturbed.
+			gap += d.src.Intn(pol.JitterSlots + 1)
+		}
 		if onIdle != nil {
-			onIdle(backoff)
+			onIdle(gap)
 		}
 		backoff *= 2
 		if pol.MaxBackoffSlots > 0 && backoff > pol.MaxBackoffSlots {
