@@ -4,9 +4,13 @@
 // ≤1e-9; striped grid search bit-identical to serial), so CI can run it
 // as a correctness smoke as well as a perf artifact.
 //
+// It also runs the observability-overhead harness (disabled-span cost,
+// recording cost, metric primitives, trace encoding) and writes it to a
+// second report, gated on the disabled-span budget.
+//
 // Usage:
 //
-//	rfly-bench [-short] [-out BENCH_dsp.json]
+//	rfly-bench [-short] [-out BENCH_dsp.json] [-obs-out BENCH_obs.json]
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 func main() {
 	short := flag.Bool("short", false, "CI-smoke scale: smaller buffers and a coarser grid")
 	out := flag.String("out", "BENCH_dsp.json", "report path")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "observability-overhead report path (empty = skip)")
 	flag.Parse()
 
 	rep, err := perf.Run(*short)
@@ -28,16 +33,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
-		os.Exit(1)
-	}
+	writeReport(*out, rep)
 	for _, r := range rep.Results {
 		line := fmt.Sprintf("%-32s %12.0f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
 		if r.SpeedupVsDirect > 0 {
@@ -46,4 +42,37 @@ func main() {
 		fmt.Println(line)
 	}
 	fmt.Printf("report written to %s (GOMAXPROCS=%d)\n", *out, rep.GOMAXPROCS)
+
+	if *obsOut == "" {
+		return
+	}
+	orep, err := perf.RunObs(*short)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
+		os.Exit(1)
+	}
+	writeReport(*obsOut, orep)
+	for _, r := range orep.Results {
+		fmt.Printf("%-32s %12.1f ns/op %6d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("obs report written to %s (disabled span %.1f ns/op, budget %.0f)\n",
+		*obsOut, orep.DisabledSpanNsPerOp, perf.DisabledSpanBudgetNs)
+	if orep.DisabledSpanNsPerOp > 10*perf.DisabledSpanBudgetNs {
+		fmt.Fprintf(os.Stderr, "rfly-bench: disabled-span cost %.1f ns/op blows the %.0f ns/op budget tenfold\n",
+			orep.DisabledSpanNsPerOp, perf.DisabledSpanBudgetNs)
+		os.Exit(1)
+	}
+}
+
+func writeReport(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "rfly-bench: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -7,6 +7,7 @@
 //	rfly-sim [-scene open|corridor|warehouse|facility] [-tags N]
 //	         [-seed N] [-norelay] [-mission] [-faults] [-v]
 //	rfly-sim -checkpoint FILE [-seed N]   # supervised mission, resumable
+//	rfly-sim -trace FILE [-seed N]        # supervised mission, Chrome trace JSON
 //	rfly-sim -chaos N [-seed N]           # chaos invariant campaign
 package main
 
@@ -40,6 +41,7 @@ func main() {
 	faults := flag.Bool("faults", false, "inject a seeded fault schedule and compare a recovery-enabled survey against a nominal one")
 	chaosSeeds := flag.Int("chaos", 0, "run a chaos campaign over N randomized fault schedules and kill/resume points")
 	ckptPath := flag.String("checkpoint", "", "run the supervised mission, persisting (and resuming from) this checkpoint file")
+	tracePath := flag.String("trace", "", "run the supervised mission under a flight recorder and write Chrome trace_event JSON here (Perfetto / chrome://tracing)")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
@@ -64,8 +66,8 @@ func main() {
 	if *chaosSeeds > 0 {
 		os.Exit(runChaos(ctx, *chaosSeeds, *seed))
 	}
-	if *ckptPath != "" {
-		os.Exit(runMission(ctx, *seed, *ckptPath))
+	if *ckptPath != "" || *tracePath != "" {
+		os.Exit(runMission(ctx, *seed, *ckptPath, *tracePath))
 	}
 
 	var scene *rfly.Scene

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"rfly/internal/experiments"
+	"rfly/internal/obs"
 	"rfly/internal/runtime"
 	"rfly/internal/runtime/chaos"
 )
@@ -19,12 +20,22 @@ import (
 
 // runMission runs the canonical supervised mission with checkpoint
 // persistence: if ckptPath exists the mission resumes from it;
-// otherwise it starts fresh. The checkpoint is rewritten after every
-// sortie and on interruption.
-func runMission(ctx context.Context, seed uint64, ckptPath string) int {
+// otherwise it starts fresh (an empty ckptPath disables persistence —
+// the -trace-only mode). The checkpoint is rewritten after every sortie
+// and on interruption. A non-empty tracePath runs the mission under a
+// flight recorder and writes the span dump as Chrome trace_event JSON,
+// loadable in Perfetto or chrome://tracing.
+func runMission(ctx context.Context, seed uint64, ckptPath, tracePath string) int {
 	cfg := experiments.DefaultMissionConfig(seed)
+
+	var rec *obs.Recorder
+	if tracePath != "" {
+		rec = obs.NewRecorder(0)
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+
 	var e *runtime.Engine
-	if data, err := os.ReadFile(ckptPath); err == nil {
+	if data, err := os.ReadFile(ckptPath); ckptPath != "" && err == nil {
 		e, err = runtime.Restore(cfg, data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "checkpoint %s unusable: %v\n", ckptPath, err)
@@ -40,7 +51,10 @@ func runMission(ctx context.Context, seed uint64, ckptPath string) int {
 	}
 
 	flush := func() {
-		if err := os.WriteFile(ckptPath, e.Snapshot(), 0o644); err != nil {
+		if ckptPath == "" {
+			return
+		}
+		if err := os.WriteFile(ckptPath, e.SnapshotCtx(ctx), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "checkpoint write: %v\n", err)
 		}
 	}
@@ -60,19 +74,45 @@ func runMission(ctx context.Context, seed uint64, ckptPath string) int {
 	// state a later run resumes from.
 	flush()
 
-	res := e.Result()
+	// ResultCtx so the end-of-mission SAR solve lands in the trace too.
+	res := e.ResultCtx(ctx)
 	res.Interrupted = runErr != nil
 	fmt.Print(res.CSV())
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace write: %v\n", err)
+			return 1
+		}
+		werr := obs.WriteTrace(f, rec.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "trace write: %v\n", werr)
+			return 1
+		}
+		fmt.Printf("trace: %d spans (%d dropped) written to %s\n", rec.Len(), rec.Dropped(), tracePath)
+	}
 	if runErr != nil {
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
-			fmt.Fprintf(os.Stderr, "mission interrupted (%d/%d sorties); checkpoint saved to %s\n",
-				e.SortiesDone(), cfg.Sorties, ckptPath)
+			if ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "mission interrupted (%d/%d sorties); checkpoint saved to %s\n",
+					e.SortiesDone(), cfg.Sorties, ckptPath)
+			} else {
+				fmt.Fprintf(os.Stderr, "mission interrupted (%d/%d sorties)\n", e.SortiesDone(), cfg.Sorties)
+			}
 		} else {
 			fmt.Fprintln(os.Stderr, runErr)
 		}
 		return 1
 	}
-	fmt.Printf("mission complete: %d sorties; checkpoint %s\n", e.SortiesDone(), ckptPath)
+	if ckptPath != "" {
+		fmt.Printf("mission complete: %d sorties; checkpoint %s\n", e.SortiesDone(), ckptPath)
+	} else {
+		fmt.Printf("mission complete: %d sorties\n", e.SortiesDone())
+	}
 	return 0
 }
 

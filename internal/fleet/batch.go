@@ -3,8 +3,10 @@ package fleet
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
+	"rfly/internal/obs"
 	"rfly/internal/reader"
 	"rfly/internal/runtime"
 )
@@ -98,12 +100,22 @@ func (s *Scheduler) batchBound(batch []*mission, now time.Time) time.Time {
 }
 
 // runBatch flies one batch on its shard and resolves every member.
+// Every batch flies under its own flight recorder: a "fleet.batch" root
+// span encloses per-member "fleet.admit" spans, the engine's sortie
+// spans (the recorder rides the run context), and the final
+// "fleet.demux" span; the snapshot is stored on every member so GET
+// /v1/missions/{id}/trace can replay the sortie.
 func (s *Scheduler) runBatch(shard int, batch []*mission) {
 	start := time.Now()
 	cfg, segs := s.missionConfig(batch)
 	ctx, cancel := context.WithDeadline(s.runCtx, s.batchBound(batch, start))
 	defer cancel()
 	bs := &batchState{cancel: cancel, live: len(batch)}
+
+	head := batch[0]
+	rec := obs.NewRecorder(s.cfg.TraceCap)
+	bctx, bspan := obs.StartSpan(obs.WithRecorder(ctx, rec), "fleet.batch")
+	bspan.Str("region", head.req.Region).Int("shard", int64(shard)).Int("size", int64(len(batch)))
 
 	s.mu.Lock()
 	for _, m := range batch {
@@ -112,7 +124,11 @@ func (s *Scheduler) runBatch(shard int, batch []*mission) {
 		m.shard = shard
 		m.batchSize = len(batch)
 		m.batch = bs
-		s.m.wait.observe(start.Sub(m.submitted))
+		wait := start.Sub(m.submitted)
+		s.m.wait.ObserveDuration(wait)
+		_, adm := obs.StartSpan(bctx, "fleet.admit")
+		adm.Str("mission", m.id).Float("wait_ms", float64(wait)/float64(time.Millisecond))
+		adm.End()
 	}
 	s.mu.Unlock()
 	s.m.batches.Add(1)
@@ -125,14 +141,18 @@ func (s *Scheduler) runBatch(shard int, batch []*mission) {
 	var tagReads []uint32
 	lease, runErr := s.lessor.Lease(shard, cfg)
 	if runErr == nil {
-		res, runErr = lease.Engine().Run(ctx)
+		// pprof label propagation: CPU samples taken during the sortie
+		// carry the mission/region/shard labels.
+		obs.Labeled(bctx, func(rctx context.Context) {
+			res, runErr = lease.Engine().Run(rctx)
+		}, "rfly_mission", head.id, "rfly_region", head.req.Region, "rfly_shard", strconv.Itoa(shard))
 		tagReads = lease.Engine().TagReads()
 		// Release between sorties only: Run has returned, so the engine
 		// sits at a committed boundary (rolled back there on error).
 		lease.Release()
 	}
 	elapsed := time.Since(start)
-	s.m.run.observe(elapsed)
+	s.m.run.ObserveDuration(elapsed)
 	s.m.shardBusyNs[shard].Add(elapsed.Nanoseconds())
 
 	now := time.Now()
@@ -148,6 +168,8 @@ func (s *Scheduler) runBatch(shard int, batch []*mission) {
 	for _, sr := range res.Sorties {
 		totalAttempts += sr.Attempts
 	}
+	_, dspan := obs.StartSpan(bctx, "fleet.demux")
+	dspan.Int("members", int64(len(batch)))
 	for i, m := range batch {
 		switch {
 		case m.canceled:
@@ -161,6 +183,12 @@ func (s *Scheduler) runBatch(shard int, batch []*mission) {
 		default:
 			s.finishLocked(m, StatusDone, demux(m, segs[i], res, tagReads, totalAttempts, len(cfg.Tags)), "")
 		}
+	}
+	dspan.End()
+	bspan.Bool("failed", runErr != nil).End()
+	trace := rec.Snapshot()
+	for _, m := range batch {
+		m.trace = trace
 	}
 }
 

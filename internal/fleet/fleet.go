@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"rfly/internal/obs"
 	"rfly/internal/runtime"
 )
 
@@ -32,6 +33,9 @@ type Config struct {
 	// MaxMissionTime is a hard per-batch wall-clock bound applied even
 	// when no member carries a deadline. Zero defaults to 30s.
 	MaxMissionTime time.Duration
+	// TraceCap bounds the per-batch flight-recorder ring (spans kept per
+	// sortie trace). Zero uses obs.DefaultCap.
+	TraceCap int
 }
 
 // RetryOverride optionally replaces the mission default retry policy.
@@ -210,6 +214,21 @@ func (s *Scheduler) Get(id string) (View, bool) {
 	return m.view(), true
 }
 
+// Trace returns the mission's flight-recorder spans: the trace of the
+// batch sortie that served it, captured when the batch resolved. The
+// second return distinguishes "unknown mission" and "no trace yet"
+// (ok=false) from an empty-but-present trace. The slice is shared with
+// other members of the same batch; callers must not mutate it.
+func (s *Scheduler) Trace(id string) ([]obs.SpanRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.records[id]
+	if !ok || m.trace == nil {
+		return nil, false
+	}
+	return m.trace, true
+}
+
 // Done returns a channel that closes when the mission reaches a
 // terminal status (nil if the ID is unknown).
 func (s *Scheduler) Done(id string) <-chan struct{} {
@@ -269,7 +288,7 @@ func (s *Scheduler) finishLocked(m *mission, st Status, out *Outcome, errMsg str
 		s.m.expired.Add(1)
 	}
 	if !m.submitted.IsZero() {
-		s.m.e2e.observe(m.finished.Sub(m.submitted))
+		s.m.e2e.ObserveDuration(m.finished.Sub(m.submitted))
 	}
 	close(m.done)
 }

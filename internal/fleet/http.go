@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"rfly/internal/obs"
 	"rfly/internal/runtime"
 )
 
@@ -15,12 +16,15 @@ import (
 // the package so the API tests (and rfly-load's in-process spawn mode)
 // exercise exactly the bytes the daemon serves.
 //
-//	POST   /v1/missions      submit (202, or 429 + Retry-After, or 503 draining)
-//	GET    /v1/missions/{id} poll a mission record
-//	DELETE /v1/missions/{id} cancel
-//	GET    /healthz          liveness + drain state
-//	GET    /metrics          counter snapshot (queue depth, shard
-//	                         utilization, batch + latency histograms)
+//	POST   /v1/missions            submit (202, or 429 + Retry-After, or 503 draining)
+//	GET    /v1/missions/{id}       poll a mission record
+//	GET    /v1/missions/{id}/trace flight-recorder span dump for the batch
+//	                               sortie that served the mission
+//	DELETE /v1/missions/{id}       cancel
+//	GET    /healthz                liveness + drain state
+//	GET    /metrics                counter snapshot (queue depth, shard
+//	                               utilization, batch + latency histograms,
+//	                               plus the process-wide obs registry)
 
 // SubmitRequest is the POST /v1/missions body.
 type SubmitRequest struct {
@@ -70,6 +74,21 @@ type MissionResponse struct {
 	Outcome   *Outcome `json:"outcome,omitempty"`
 }
 
+// TraceResponse is the GET /v1/missions/{id}/trace body.
+type TraceResponse struct {
+	ID     string           `json:"id"`
+	Status Status           `json:"status"`
+	Spans  []obs.SpanRecord `json:"spans"`
+}
+
+// MetricsResponse is the GET /metrics body: the scheduler snapshot plus
+// the process-wide obs registry (relay/reader counters bumped by the
+// instrumented hot paths).
+type MetricsResponse struct {
+	Snapshot
+	Obs obs.RegistrySnapshot `json:"obs"`
+}
+
 // NewHandler wraps the scheduler in the service's HTTP API.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
@@ -78,6 +97,9 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/missions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleGet(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/missions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		handleTrace(s, w, r)
 	})
 	mux.HandleFunc("DELETE /v1/missions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleCancel(s, w, r)
@@ -90,7 +112,10 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": s.Config().Shards})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Metrics().Snapshot())
+		writeJSON(w, http.StatusOK, MetricsResponse{
+			Snapshot: s.Metrics().Snapshot(),
+			Obs:      obs.Default().Snapshot(),
+		})
 	})
 	return mux
 }
@@ -147,6 +172,21 @@ func handleGet(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, viewResponse(v))
+}
+
+func handleTrace(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown mission id"})
+		return
+	}
+	spans, ok := s.Trace(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "mission has no trace yet (not flown)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{ID: id, Status: v.Status, Spans: spans})
 }
 
 func handleCancel(s *Scheduler, w http.ResponseWriter, r *http.Request) {

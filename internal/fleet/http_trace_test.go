@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rfly/internal/obs"
+)
+
+// HTTP error paths and the trace endpoint, exercised against the real
+// mux exactly as the daemon serves it.
+
+func httpDelete(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPCancelErrorPaths(t *testing.T) {
+	s, err := New(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// DELETE of a mission that never existed: 404 with a structured body.
+	resp := httpDelete(t, ts, "/v1/missions/m-999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete unknown mission: status %d, want 404", resp.StatusCode)
+	}
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if eresp.Error == "" {
+		t.Fatal("404 body missing error message")
+	}
+
+	// Cancel after completion: the record is terminal, so the cancel is
+	// a conflict, and the body shows the mission's actual final state.
+	sresp := postMission(t, ts, SubmitRequest{Region: "dock", Tags: tagInputs(3)})
+	var sr SubmitResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	waitDone(t, s, sr.ID)
+
+	cresp := httpDelete(t, ts, "/v1/missions/"+sr.ID)
+	if cresp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel-after-completion: status %d, want 409", cresp.StatusCode)
+	}
+	var mr MissionResponse
+	if err := json.NewDecoder(cresp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if mr.Status != StatusDone {
+		t.Fatalf("conflict body reports status %s, want %s", mr.Status, StatusDone)
+	}
+}
+
+func TestHTTPTraceEndpoint(t *testing.T) {
+	cfg := fastConfig(1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	// Unknown mission: 404.
+	resp, err := ts.Client().Get(ts.URL + "/v1/missions/m-999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace of unknown mission: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Queued mission (scheduler not started): known, but never flew — a
+	// 404 distinct from the unknown-ID case.
+	qresp := postMission(t, ts, SubmitRequest{Region: "dock", Tags: tagInputs(1)})
+	var sr SubmitResponse
+	if err := json.NewDecoder(qresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	tresp, err := ts.Client().Get(ts.URL + "/v1/missions/" + sr.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace of unflown mission: status %d, want 404", tresp.StatusCode)
+	}
+	tresp.Body.Close()
+
+	// Fly it and fetch the trace: the span dump must rebuild into a
+	// well-formed tree whose fleet.batch root encloses the engine's
+	// sortie spans and the demux.
+	s.Start()
+	defer s.Drain(context.Background())
+	waitDone(t, s, sr.ID)
+
+	fresp, err := ts.Client().Get(ts.URL + "/v1/missions/" + sr.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace of flown mission: status %d, want 200", fresp.StatusCode)
+	}
+	var tr TraceResponse
+	if err := json.NewDecoder(fresp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if tr.ID != sr.ID || len(tr.Spans) == 0 {
+		t.Fatalf("trace response %s with %d spans", tr.ID, len(tr.Spans))
+	}
+	tree, err := obs.BuildTree(tr.Spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckEnclosure(); err != nil {
+		t.Fatal(err)
+	}
+	batches := tree.Find("fleet.batch")
+	if len(batches) != 1 {
+		t.Fatalf("trace has %d fleet.batch spans, want 1", len(batches))
+	}
+	for _, name := range []string{"fleet.admit", "fleet.demux", "runtime.sortie"} {
+		nodes := tree.Find(name)
+		if len(nodes) == 0 {
+			t.Fatalf("trace has no %s span", name)
+		}
+		for _, n := range nodes {
+			if tree.Ancestor(n, "fleet.batch") == nil {
+				t.Errorf("%s span %d is not nested under fleet.batch", name, n.ID)
+			}
+		}
+	}
+}
+
+func TestHTTPMetricsIncludesObs(t *testing.T) {
+	s, err := New(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Shards int             `json:"shards"`
+		Obs    json.RawMessage `json:"obs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Shards != 1 {
+		t.Fatalf("metrics shards %d, want 1", body.Shards)
+	}
+	if len(body.Obs) == 0 {
+		t.Fatal("/metrics missing the obs registry section")
+	}
+	var reg obs.RegistrySnapshot
+	if err := json.Unmarshal(body.Obs, &reg); err != nil {
+		t.Fatalf("obs section does not decode as a registry snapshot: %v", err)
+	}
+}

@@ -3,74 +3,35 @@ package fleet
 import (
 	"sync/atomic"
 	"time"
+
+	"rfly/internal/obs"
 )
 
 // Metrics are the service's expvar-style counters: monotonic atomics
 // plus fixed-bucket histograms, cheap enough to bump on every request
 // and rendered as one JSON document at GET /metrics. Everything here is
-// cumulative since process start; rates are the scraper's job.
+// cumulative since process start; rates are the scraper's job. The
+// histograms are obs.Histogram instances (the generalized form of the
+// fixed-bucket histogram that used to live here); HistSnapshot keeps
+// the original ms-suffixed JSON shape so /metrics consumers see no
+// change.
 
 // histBoundsMs are the latency histogram bucket upper bounds, in
 // milliseconds; the last bucket is unbounded.
 var histBoundsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000}
 
-// hist is a fixed-bucket histogram safe for concurrent observation.
-type hist struct {
-	buckets []atomic.Int64 // len(histBoundsMs)+1, last is overflow
-	count   atomic.Int64
-	sumMs   atomic.Int64 // microsecond-scaled to keep an integer sum
-}
-
-func (h *hist) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(histBoundsMs) && ms > histBoundsMs[i] {
-		i++
+// histSnap renders an obs latency histogram in the fleet's JSON shape.
+func histSnap(h *obs.Histogram) HistSnapshot {
+	s := h.Snapshot()
+	return HistSnapshot{
+		Count:    s.Count,
+		MeanMs:   s.Mean,
+		P50Ms:    s.P50,
+		P95Ms:    s.P95,
+		P99Ms:    s.P99,
+		BoundsMs: s.Bounds,
+		Buckets:  s.Buckets,
 	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumMs.Add(d.Microseconds())
-}
-
-// quantile returns an upper-bound estimate of the q-quantile in ms
-// (the bucket boundary at or above the rank; the overflow bucket
-// reports the largest boundary).
-func (h *hist) quantile(q float64) float64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	rank := int64(q*float64(n-1)) + 1
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			if i < len(histBoundsMs) {
-				return histBoundsMs[i]
-			}
-			return histBoundsMs[len(histBoundsMs)-1]
-		}
-	}
-	return histBoundsMs[len(histBoundsMs)-1]
-}
-
-func (h *hist) snapshot() HistSnapshot {
-	n := h.count.Load()
-	s := HistSnapshot{
-		Count:    n,
-		BoundsMs: histBoundsMs,
-		Buckets:  make([]int64, len(h.buckets)),
-		P50Ms:    h.quantile(0.50),
-		P95Ms:    h.quantile(0.95),
-		P99Ms:    h.quantile(0.99),
-	}
-	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
-	}
-	if n > 0 {
-		s.MeanMs = float64(h.sumMs.Load()) / 1000 / float64(n)
-	}
-	return s
 }
 
 // HistSnapshot is a histogram's JSON rendering. Quantiles are bucket
@@ -108,17 +69,19 @@ type Metrics struct {
 
 	shardBusyNs []atomic.Int64
 
-	wait hist // admission → sortie start
-	run  hist // sortie start → finish
-	e2e  hist // admission → terminal
+	wait *obs.Histogram // admission → sortie start
+	run  *obs.Histogram // sortie start → finish
+	e2e  *obs.Histogram // admission → terminal
 }
 
 func newMetrics(shards int) *Metrics {
-	m := &Metrics{start: time.Now(), shardBusyNs: make([]atomic.Int64, shards)}
-	m.wait.buckets = make([]atomic.Int64, len(histBoundsMs)+1)
-	m.run.buckets = make([]atomic.Int64, len(histBoundsMs)+1)
-	m.e2e.buckets = make([]atomic.Int64, len(histBoundsMs)+1)
-	return m
+	return &Metrics{
+		start:       time.Now(),
+		shardBusyNs: make([]atomic.Int64, shards),
+		wait:        obs.NewHistogram(histBoundsMs),
+		run:         obs.NewHistogram(histBoundsMs),
+		e2e:         obs.NewHistogram(histBoundsMs),
+	}
 }
 
 // Snapshot is the /metrics JSON document.
@@ -167,9 +130,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Expired:          m.expired.Load(),
 		Batches:          m.batches.Load(),
 		BatchedRequests:  m.batchedRequests.Load(),
-		WaitLatency:      m.wait.snapshot(),
-		RunLatency:       m.run.snapshot(),
-		E2ELatency:       m.e2e.snapshot(),
+		WaitLatency:      histSnap(m.wait),
+		RunLatency:       histSnap(m.run),
+		E2ELatency:       histSnap(m.e2e),
 	}
 	if s.Batches > 0 {
 		s.MeanBatchSize = float64(m.batchSizeSum.Load()) / float64(s.Batches)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rfly/internal/geom"
+	"rfly/internal/obs"
 	"rfly/internal/runtime"
 )
 
@@ -173,6 +174,11 @@ type mission struct {
 	// batch is set while the mission is riding a live sortie; used to
 	// propagate cancellation when every member has canceled.
 	batch *batchState
+
+	// trace is the batch sortie's flight-recorder span dump, captured
+	// when the batch resolves (shared across the batch's members; nil
+	// until the mission has flown).
+	trace []obs.SpanRecord
 
 	// done closes when the record reaches a terminal status.
 	done chan struct{}

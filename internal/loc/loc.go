@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"rfly/internal/geom"
+	"rfly/internal/obs"
 	"rfly/internal/signal"
 	"rfly/internal/stats"
 )
@@ -194,6 +195,9 @@ func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, 
 
 	cols := int(math.Ceil((x1-x0)/cfg.CoarseRes)) + 1
 	rows := int(math.Ceil((y1-y0)/cfg.CoarseRes)) + 1
+	ctx, span := obs.StartSpan(ctx, "loc.solve")
+	span.Int("rows", int64(rows)).Int("cols", int64(cols)).Int("meas", int64(len(meas)))
+	defer span.End()
 	hm := stats.NewHeatmap(x0, y0, cfg.CoarseRes, cfg.CoarseRes, cols, rows)
 	err := stripeRows(ctx, rows, cfg.Workers, func(r int) {
 		for c := 0; c < cols; c++ {
@@ -206,6 +210,7 @@ func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, 
 	}
 	peaks := localMaxima(hm, cfg.PeakThreshold, cfg.MaxCandidates,
 		suppressRadiusCells(cfg.Freq, cfg.CoarseRes))
+	span.Int("peaks", int64(len(peaks)))
 	if len(peaks) == 0 {
 		return nil, fmt.Errorf("loc: no peaks above threshold")
 	}
@@ -404,6 +409,9 @@ func Localize3DCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory
 	nx := gridCount(x1-x0, cfg.CoarseRes)
 	ny := gridCount(y1-y0, cfg.CoarseRes)
 	nz := gridCount(z1-z0, cfg.CoarseRes)
+	ctx, span := obs.StartSpan(ctx, "loc.solve3d")
+	span.Int("nx", int64(nx)).Int("ny", int64(ny)).Int("nz", int64(nz)).Int("meas", int64(len(meas)))
+	defer span.End()
 
 	type lineBest struct {
 		v       float64

@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"rfly/internal/obs"
 )
 
 // Parallel grid execution for the SAR search. The heatmap is partitioned
@@ -33,6 +35,9 @@ func stripeRows(ctx context.Context, rows, workers int, fn func(r int)) error {
 		workers = rows
 	}
 	if workers <= 1 {
+		_, sp := obs.StartSpan(ctx, "loc.stripe")
+		sp.Int("row_lo", 0).Int("row_hi", int64(rows))
+		defer sp.End()
 		for r := 0; r < rows; r++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -55,8 +60,14 @@ func stripeRows(ctx context.Context, rows, workers int, fn func(r int)) error {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			// The stripe span ends before wg.Done, so every stripe is
+			// fully enclosed by the solve span that is still open on the
+			// caller's goroutine — the invariant the trace tests assert.
+			_, sp := obs.StartSpan(ctx, "loc.stripe")
+			sp.Int("row_lo", int64(lo)).Int("row_hi", int64(hi)).SetTrack(w + 1)
+			defer sp.End()
 			for r := lo; r < hi; r++ {
 				if err := ctx.Err(); err != nil {
 					mu.Lock()
@@ -68,7 +79,7 @@ func stripeRows(ctx context.Context, rows, workers int, fn func(r int)) error {
 				}
 				fn(r)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	return firstErr

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"rfly/internal/geom"
+	"rfly/internal/obs"
 )
 
 // RobustResult is LocalizeRobust's outcome: the solve over the surviving
@@ -51,7 +52,10 @@ func LocalizeRobust(meas []Measurement, traj geom.Trajectory, cfg Config) (*Robu
 // LocalizeRobustCtx is LocalizeRobust with the deadline threaded through
 // to the underlying grid search.
 func LocalizeRobustCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, cfg Config) (*RobustResult, error) {
+	ctx, span := obs.StartSpan(ctx, "loc.robust")
+	defer span.End()
 	kept, _ := RejectUnlocked(meas)
+	span.Int("total", int64(len(meas))).Int("kept", int64(len(kept)))
 	if len(kept) < 3 {
 		return nil, fmt.Errorf("loc: only %d/%d measurements survived lock rejection",
 			len(kept), len(meas))

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// FuzzTraceRoundTrip throws arbitrary bytes at the trace_event parser.
+// Invariants: ParseTrace never panics; any document it accepts must
+// re-encode, and the re-encoded document must parse to the same span
+// structure (IDs, names, parent links, attr keys) — i.e. the encoding
+// is lossless for everything the tree invariant tests depend on.
+// Timestamps are excluded: they ride as float microseconds and may
+// round by a nanosecond at extreme magnitudes.
+func FuzzTraceRoundTrip(f *testing.F) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx1, root := StartSpan(ctx, "runtime.sortie")
+	root.Int("sortie", 0)
+	_, child := StartSpan(ctx1, "relay.relock")
+	child.Float("freq_hz", 920e6).Str("why", "carrier hop").Bool("ok", true)
+	child.End()
+	root.End()
+	seed, err := EncodeTrace(rec.Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"traceEvents":[],"displayTimeUnit":"ms"}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"args":{"id":1}}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ParseTrace(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeTrace(recs)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		back, err := ParseTrace(out)
+		if err != nil {
+			t.Fatalf("own output failed to parse: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round-trip changed record count: %d -> %d", len(recs), len(back))
+		}
+		// Compare structure in a canonical order (encoder sorts by
+		// start time, which can reorder equal-ID-free inputs).
+		key := func(r SpanRecord) string {
+			var b bytes.Buffer
+			b.WriteString(r.Name)
+			for _, a := range r.Attrs {
+				b.WriteByte(';')
+				b.WriteString(a.Key)
+			}
+			return b.String()
+		}
+		orig := make(map[uint64]string, len(recs))
+		pars := make(map[uint64]uint64, len(recs))
+		for _, r := range recs {
+			if _, dup := orig[r.ID]; dup {
+				return // ambiguous input; round-trip identity not defined
+			}
+			orig[r.ID] = key(r)
+			pars[r.ID] = r.Parent
+		}
+		for _, r := range back {
+			want, ok := orig[r.ID]
+			if !ok {
+				t.Fatalf("round-trip invented span id %d", r.ID)
+			}
+			if key(r) != want {
+				t.Fatalf("span %d structure changed: %q -> %q", r.ID, want, key(r))
+			}
+			if pars[r.ID] != r.Parent {
+				t.Fatalf("span %d parent changed: %d -> %d", r.ID, pars[r.ID], r.Parent)
+			}
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The metric registry: typed counters, gauges, and fixed-bucket
+// histograms, all atomics, safe to bump from any goroutine. This is the
+// generalization of the counter set internal/fleet grew ad hoc — fleet's
+// latency histograms are obs.Histograms now — plus a process-wide
+// Default registry the instrumented packages feed (relay re-locks,
+// reader retry rounds, SAR solves) and rfly-serve surfaces under the
+// "obs" key of /metrics.
+
+// Counter is a monotonic int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram safe for concurrent
+// observation. Bucket i counts observations v with
+// bounds[i-1] < v <= bounds[i]; the last bucket is unbounded overflow.
+// The sum is kept as a milli-unit integer so the mean needs no
+// floating-point accumulation.
+type Histogram struct {
+	bounds   []float64
+	buckets  []atomic.Int64 // len(bounds)+1, last is overflow
+	count    atomic.Int64
+	sumMilli atomic.Int64 // observed value × 1000, truncated
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds. The bounds slice is retained; do not mutate it.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.bucketFor(v).Add(1)
+	h.count.Add(1)
+	h.sumMilli.Add(int64(v * 1000))
+}
+
+// ObserveDuration records a duration in milliseconds, with the exact
+// integer-sum semantics the fleet latency histograms always had
+// (microsecond-truncated sum), so the /metrics JSON is bit-stable
+// across the refactor.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.bucketFor(float64(d) / float64(time.Millisecond)).Add(1)
+	h.count.Add(1)
+	h.sumMilli.Add(d.Microseconds())
+}
+
+func (h *Histogram) bucketFor(v float64) *atomic.Int64 {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return &h.buckets[i]
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumMilli.Load()) / 1000 / float64(n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (the
+// bucket boundary at or above the rank; the overflow bucket reports the
+// largest boundary). Returns 0 when the histogram is empty or has no
+// bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n-1)) + 1
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a histogram's JSON rendering; quantiles are
+// bucket upper bounds (conservative estimates).
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Mean    float64   `json:"mean"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// Snapshot renders the histogram. The bucket counts are loaded one at a
+// time, so a snapshot taken under concurrent observation is a
+// near-consistent view, the same guarantee /metrics always gave.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P95:     h.Quantile(0.95),
+		P99:     h.Quantile(0.99),
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Registry is a named set of metrics. Lookups are get-or-create and
+// mutex-guarded; the returned metric pointers are cached by callers who
+// care about the lookup cost, and the metrics themselves are atomics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later bounds arguments are ignored).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is a registry's JSON rendering. Map keys marshal in
+// sorted order, so the document is deterministic.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot renders every metric in the registry.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := RegistrySnapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			s.Histograms[k] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// std is the process-wide default registry the instrumented packages
+// feed; rfly-serve surfaces it in /metrics.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCap is the flight recorder's default ring capacity. At the
+// instrumentation density of a supervised mission (a few hundred spans
+// per sortie) this holds tens of sorties before the ring wraps.
+const DefaultCap = 8192
+
+// Recorder is the flight recorder: a fixed-capacity ring buffer of
+// completed spans. When full, the oldest record is overwritten — the
+// recorder keeps the most recent window, which is the window that
+// matters when a sortie dies. All methods are safe for concurrent use.
+type Recorder struct {
+	epoch  time.Time
+	nextID atomic.Uint64
+	drops  atomic.Int64
+
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int  // ring write index
+	full bool // buf has wrapped at least once
+}
+
+// NewRecorder returns a recorder holding at most capacity completed
+// spans; capacity <= 0 selects DefaultCap.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Recorder{
+		epoch: time.Now(),
+		buf:   make([]SpanRecord, 0, capacity),
+	}
+}
+
+// now is the monotonic offset from the recorder's epoch in nanoseconds.
+func (r *Recorder) now() int64 { return time.Since(r.epoch).Nanoseconds() }
+
+// start opens a span; called only via obs.StartSpan.
+func (r *Recorder) start(name string, parent uint64) *Span {
+	s := &Span{
+		parent:  parent,
+		name:    name,
+		startNs: r.now(),
+	}
+	s.sc = spanCtx{rec: r, id: r.nextID.Add(1)}
+	return s
+}
+
+// push commits a completed record, evicting the oldest when full.
+func (r *Recorder) push(rec SpanRecord) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % len(r.buf)
+		r.full = true
+		r.drops.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of records currently held.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped reports how many records were evicted because the ring was
+// full; nonzero means Snapshot is a suffix of the true span stream.
+func (r *Recorder) Dropped() int64 { return r.drops.Load() }
+
+// Snapshot copies out the recorded spans, oldest first (by end time —
+// spans are committed when they End, so a parent appears after its
+// children). The returned slice is independent of the ring.
+func (r *Recorder) Snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package obs
+
+// AttrKind tags which field of an Attr is live.
+type AttrKind string
+
+const (
+	KindStr   AttrKind = "str"
+	KindInt   AttrKind = "int"
+	KindFloat AttrKind = "float"
+	KindBool  AttrKind = "bool"
+)
+
+// Attr is one typed key/value attached to a span. Int and Bool values
+// ride in Num (0/1 for bools) so the record stays a flat struct the
+// trace encoder can emit without reflection.
+type Attr struct {
+	Key  string   `json:"key"`
+	Kind AttrKind `json:"kind"`
+	Str  string   `json:"str,omitempty"`
+	Num  float64  `json:"num,omitempty"`
+}
+
+// SpanRecord is a completed span as stored in the flight recorder.
+// Timestamps are nanoseconds since the recorder's epoch (monotonic), so
+// records from one recorder are mutually comparable and carry no wall
+// clock — two runs with the same seed differ only in Start/Dur.
+type SpanRecord struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"` // 0 = root
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Track   int    `json:"track,omitempty"` // display lane hint (Chrome tid)
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// EndNs is the span's end offset (StartNs + DurNs).
+func (r SpanRecord) EndNs() int64 { return r.StartNs + r.DurNs }
+
+// Attr returns the attribute with the given key, if present.
+func (r SpanRecord) Attr(key string) (Attr, bool) {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Span is an open span. A nil *Span is the no-op span: every method,
+// End included, is safe to call on it and does nothing, which is what
+// StartSpan hands out when the context carries no recorder.
+//
+// A Span is owned by the goroutine that started it; its setters are not
+// synchronized. End is idempotent.
+type Span struct {
+	sc      spanCtx // embedded so child contexts can point at it without a second allocation
+	parent  uint64
+	name    string
+	startNs int64
+	track   int
+	ended   bool
+	attrs   []Attr
+}
+
+// Str attaches a string attribute. Returns the span for chaining.
+func (s *Span) Str(key, v string) *Span {
+	if s == nil || s.ended {
+		return s
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindStr, Str: v})
+	return s
+}
+
+// Int attaches an integer attribute.
+func (s *Span) Int(key string, v int64) *Span {
+	if s == nil || s.ended {
+		return s
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindInt, Num: float64(v)})
+	return s
+}
+
+// Float attaches a float attribute.
+func (s *Span) Float(key string, v float64) *Span {
+	if s == nil || s.ended {
+		return s
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindFloat, Num: v})
+	return s
+}
+
+// Bool attaches a boolean attribute.
+func (s *Span) Bool(key string, v bool) *Span {
+	if s == nil || s.ended {
+		return s
+	}
+	n := 0.0
+	if v {
+		n = 1.0
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindBool, Num: n})
+	return s
+}
+
+// SetTrack assigns the span to a display lane (Chrome trace tid); lane 0
+// renders as the default track. Used by parallel stages (SAR stripes)
+// so concurrent spans do not stack on one row in Perfetto.
+func (s *Span) SetTrack(n int) *Span {
+	if s == nil || s.ended {
+		return s
+	}
+	s.track = n
+	return s
+}
+
+// End closes the span and commits its record to the recorder. Idempotent
+// and nil-safe.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := s.sc.rec
+	rec.push(SpanRecord{
+		ID:      s.sc.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNs: s.startNs,
+		DurNs:   rec.now() - s.startNs,
+		Track:   s.track,
+		Attrs:   s.attrs,
+	})
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Chrome trace_event encoding: the JSON Object Format understood by
+// Perfetto and chrome://tracing. Every span becomes one complete event
+// (ph "X") with microsecond ts/dur; the span's ID, parent link, and
+// attributes ride in args so the file is lossless — ParseTrace rebuilds
+// the SpanRecords (and therefore the span tree) from it, which is how
+// the invariant tests validate rfly-sim -trace output end to end.
+
+// TraceEvent is one entry of the traceEvents array.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	TsUS  float64        `json:"ts"`
+	DurUS float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level trace_event JSON object.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// tracePID is the synthetic process ID all events share; the "process"
+// is the mission.
+const tracePID = 1
+
+// ToTraceEvents converts span records to Chrome trace events, sorted by
+// start time as the format recommends.
+func ToTraceEvents(recs []SpanRecord) []TraceEvent {
+	sorted := make([]SpanRecord, len(recs))
+	copy(sorted, recs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].StartNs < sorted[j].StartNs })
+
+	evs := make([]TraceEvent, 0, len(sorted))
+	for _, r := range sorted {
+		args := make(map[string]any, len(r.Attrs)+2)
+		args["id"] = r.ID
+		if r.Parent != 0 {
+			args["parent"] = r.Parent
+		}
+		for _, a := range r.Attrs {
+			switch a.Kind {
+			case KindStr:
+				args["attr."+a.Key] = a.Str
+			case KindBool:
+				args["attr."+a.Key] = a.Num != 0
+			default:
+				args["attr."+a.Key] = a.Num
+			}
+		}
+		evs = append(evs, TraceEvent{
+			Name:  r.Name,
+			Cat:   "rfly",
+			Ph:    "X",
+			TsUS:  float64(r.StartNs) / 1e3,
+			DurUS: float64(r.DurNs) / 1e3,
+			PID:   tracePID,
+			TID:   r.Track + 1, // tid 0 confuses some viewers
+			Args:  args,
+		})
+	}
+	return evs
+}
+
+// EncodeTrace renders span records as an indented Chrome trace_event
+// JSON document.
+func EncodeTrace(recs []SpanRecord) ([]byte, error) {
+	return json.MarshalIndent(TraceFile{
+		TraceEvents:     ToTraceEvents(recs),
+		DisplayTimeUnit: "ms",
+	}, "", " ")
+}
+
+// WriteTrace writes the Chrome trace_event document for recs to w.
+func WriteTrace(w io.Writer, recs []SpanRecord) error {
+	data, err := EncodeTrace(recs)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ParseTrace decodes a Chrome trace_event document produced by
+// EncodeTrace back into span records. Attribute kinds are recovered
+// from the JSON value types (numbers come back as floats; the int/float
+// distinction is not preserved). Unknown event phases are skipped;
+// missing or non-numeric span IDs are an error.
+func ParseTrace(data []byte) ([]SpanRecord, error) {
+	var tf TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("trace_event: %w", err)
+	}
+	recs := make([]SpanRecord, 0, len(tf.TraceEvents))
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		r := SpanRecord{
+			Name:    ev.Name,
+			StartNs: int64(math.Round(ev.TsUS * 1e3)),
+			DurNs:   int64(math.Round(ev.DurUS * 1e3)),
+			Track:   ev.TID - 1,
+		}
+		id, ok := traceArgUint(ev.Args, "id")
+		if !ok {
+			return nil, fmt.Errorf("trace_event %d (%q): missing args.id", i, ev.Name)
+		}
+		r.ID = id
+		if p, ok := traceArgUint(ev.Args, "parent"); ok {
+			r.Parent = p
+		}
+		// Recover attrs in sorted key order for determinism.
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			if len(k) > 5 && k[:5] == "attr." {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a := Attr{Key: k[5:]}
+			switch v := ev.Args[k].(type) {
+			case string:
+				a.Kind, a.Str = KindStr, v
+			case bool:
+				a.Kind = KindBool
+				if v {
+					a.Num = 1
+				}
+			case float64:
+				a.Kind, a.Num = KindFloat, v
+			default:
+				continue
+			}
+			r.Attrs = append(r.Attrs, a)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+func traceArgUint(args map[string]any, key string) (uint64, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64:
+		if n < 0 {
+			return 0, false
+		}
+		return uint64(n), true
+	case json.Number:
+		u, err := n.Int64()
+		if err != nil || u < 0 {
+			return 0, false
+		}
+		return uint64(u), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span-tree helpers: rebuild the parent/child structure from a flat
+// record slice so tests can assert invariants ("every relay re-lock
+// nests under a sortie", "no SAR stripe outlives its solve") against a
+// recorder snapshot or a parsed trace file interchangeably.
+
+// Node is a span plus its resolved children.
+type Node struct {
+	SpanRecord
+	Children []*Node
+}
+
+// Tree is the reconstructed span forest. A span whose parent was
+// evicted from the ring (or was never ended) surfaces as a root.
+type Tree struct {
+	Nodes map[uint64]*Node
+	Roots []*Node
+}
+
+// BuildTree reconstructs the span forest from records. Duplicate span
+// IDs are an error (they would make parent resolution ambiguous).
+func BuildTree(recs []SpanRecord) (*Tree, error) {
+	t := &Tree{Nodes: make(map[uint64]*Node, len(recs))}
+	for _, r := range recs {
+		if _, dup := t.Nodes[r.ID]; dup {
+			return nil, fmt.Errorf("duplicate span id %d (%q)", r.ID, r.Name)
+		}
+		t.Nodes[r.ID] = &Node{SpanRecord: r}
+	}
+	for _, n := range t.Nodes {
+		if p, ok := t.Nodes[n.Parent]; ok && n.Parent != 0 {
+			p.Children = append(p.Children, n)
+		} else {
+			t.Roots = append(t.Roots, n)
+		}
+	}
+	// Deterministic ordering regardless of map iteration: children and
+	// roots by start time, then ID.
+	byStart := func(nodes []*Node) {
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].StartNs != nodes[j].StartNs {
+				return nodes[i].StartNs < nodes[j].StartNs
+			}
+			return nodes[i].ID < nodes[j].ID
+		})
+	}
+	byStart(t.Roots)
+	for _, n := range t.Nodes {
+		byStart(n.Children)
+	}
+	return t, nil
+}
+
+// Walk visits every node depth-first with its parent (nil for roots).
+func (t *Tree) Walk(fn func(n, parent *Node)) {
+	var rec func(n, p *Node)
+	rec = func(n, p *Node) {
+		fn(n, p)
+		for _, c := range n.Children {
+			rec(c, n)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r, nil)
+	}
+}
+
+// Find returns every node with the given span name, in walk order.
+func (t *Tree) Find(name string) []*Node {
+	var out []*Node
+	t.Walk(func(n, _ *Node) {
+		if n.Name == name {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Ancestor returns the nearest ancestor of n with the given name, or
+// nil if none exists in the tree.
+func (t *Tree) Ancestor(n *Node, name string) *Node {
+	for cur := t.Nodes[n.Parent]; cur != nil; cur = t.Nodes[cur.Parent] {
+		if cur.Name == name {
+			return cur
+		}
+		if cur.Parent == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// CheckEnclosure verifies that every child span's interval lies within
+// its parent's: child.Start >= parent.Start and child.End <= parent.End.
+// This is the structural invariant End() discipline guarantees; a
+// violation means a span leaked past its parent's End.
+func (t *Tree) CheckEnclosure() error {
+	var err error
+	t.Walk(func(n, p *Node) {
+		if err != nil || p == nil {
+			return
+		}
+		if n.StartNs < p.StartNs || n.EndNs() > p.EndNs() {
+			err = fmt.Errorf("span %q [%d,%d] escapes parent %q [%d,%d]",
+				n.Name, n.StartNs, n.EndNs(), p.Name, p.StartNs, p.EndNs())
+		}
+	})
+	return err
+}
+
+// Shape serializes the forest's structure — names and parent/child
+// edges only, no timestamps, IDs, or attrs — as a canonical string.
+// Sibling subtrees are sorted by their own shape, so two runs of a
+// deterministic mission produce equal shapes even when parallel
+// workers ended their spans in a different order.
+func (t *Tree) Shape() string {
+	var shape func(n *Node) string
+	shape = func(n *Node) string {
+		if len(n.Children) == 0 {
+			return n.Name
+		}
+		kids := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = shape(c)
+		}
+		sort.Strings(kids)
+		return n.Name + "(" + strings.Join(kids, ",") + ")"
+	}
+	roots := make([]string, len(t.Roots))
+	for i, r := range t.Roots {
+		roots[i] = shape(r)
+	}
+	sort.Strings(roots)
+	return strings.Join(roots, "\n")
+}

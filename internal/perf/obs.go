@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"rfly/internal/obs"
+)
+
+// Observability-overhead harness: the flight recorder's contract is
+// that an *uninstrumented* context makes every span call a no-op cheap
+// enough to leave in the hot chain (sim tick, relay forward, SAR
+// stripe) permanently. This harness measures that disabled path, the
+// enabled recording path, the metric primitives, and the trace encoder;
+// cmd/rfly-bench emits the rows as BENCH_obs.json.
+
+// DisabledSpanBudgetNs is the contract ceiling for a StartSpan+End pair
+// on a recorder-free context. The committed BENCH_obs.json is gated
+// against it by the schema test.
+const DisabledSpanBudgetNs = 25.0
+
+// ObsReport is the BENCH_obs.json document.
+type ObsReport struct {
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	Short      bool `json:"short"`
+	// DisabledSpanNsPerOp duplicates the span_disabled row's ns/op so
+	// gating scripts can read one scalar.
+	DisabledSpanNsPerOp float64  `json:"disabled_span_ns_per_op"`
+	BudgetNs            float64  `json:"budget_ns"`
+	Results             []Result `json:"results"`
+}
+
+// sampleSpans records a small representative trace for the encoder row.
+func sampleSpans(n int) []obs.SpanRecord {
+	rec := obs.NewRecorder(n + 8)
+	ctx := obs.WithRecorder(context.Background(), rec)
+	ctx, root := obs.StartSpan(ctx, "runtime.sortie")
+	for i := 0; i < n; i++ {
+		_, s := obs.StartSpan(ctx, "sim.read")
+		s.Int("attempts", int64(i%4)).Bool("ok", i%3 == 0)
+		s.End()
+	}
+	root.End()
+	return rec.Snapshot()
+}
+
+// RunObs executes the observability harness. short trims the encoder's
+// span count to CI-smoke scale.
+func RunObs(short bool) (*ObsReport, error) {
+	report := &ObsReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Short: short, BudgetNs: DisabledSpanBudgetNs}
+
+	// Disabled path: a context with no recorder. This is what the hot
+	// chain pays in production when tracing is off.
+	bg := context.Background()
+	disabled := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, s := obs.StartSpan(bg, "sim.read")
+			s.Int("attempts", 1)
+			s.End()
+		}
+	})
+	dr := row("span_disabled", disabled)
+	dr.Note = "StartSpan+attr+End on a recorder-free context; the always-on cost"
+	report.Results = append(report.Results, dr)
+	report.DisabledSpanNsPerOp = dr.NsPerOp
+
+	// Enabled path: recording into the ring (steady-state: overwriting).
+	rec := obs.NewRecorder(1024)
+	rctx := obs.WithRecorder(bg, rec)
+	enabled := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, s := obs.StartSpan(rctx, "sim.read")
+			s.Int("attempts", 1)
+			s.End()
+		}
+	})
+	er := row("span_enabled", enabled)
+	er.Note = "recording into a 1024-slot ring, overwrite-oldest steady state"
+	report.Results = append(report.Results, er)
+
+	// Metric primitives at fleet cardinality.
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_total")
+	counter := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+		}
+	})
+	cr := row("counter_inc", counter)
+	report.Results = append(report.Results, cr)
+
+	h := obs.NewHistogram([]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000})
+	histo := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.ObserveDuration(time.Duration(i%5000) * time.Microsecond)
+		}
+	})
+	hr := row("histogram_observe_duration", histo)
+	hr.Note = "14-bucket latency histogram, the fleet /metrics shape"
+	report.Results = append(report.Results, hr)
+
+	// Trace encoding: spans → Chrome trace_event JSON.
+	nSpans := 2048
+	if short {
+		nSpans = 256
+	}
+	spans := sampleSpans(nSpans)
+	encode := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := obs.EncodeTrace(spans); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	tr := row(fmt.Sprintf("trace_encode_spans%d", len(spans)), encode)
+	report.Results = append(report.Results, tr)
+
+	return report, nil
+}

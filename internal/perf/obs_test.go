@@ -1,0 +1,79 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunObsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run is itself the short-mode payload")
+	}
+	rep, err := RunObs(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS < 1 || len(rep.Results) < 5 {
+		t.Fatalf("report %d procs, %d rows", rep.GOMAXPROCS, len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("malformed row %+v", r)
+		}
+	}
+	// Live gate with generous headroom for loaded CI machines: the
+	// committed artifact is held to the real DisabledSpanBudgetNs by the
+	// schema test; here we only catch order-of-magnitude regressions
+	// (an accidental allocation or lock on the disabled path).
+	if rep.DisabledSpanNsPerOp > 10*DisabledSpanBudgetNs {
+		t.Fatalf("disabled span costs %.1f ns/op, budget %v ns/op (10x headroom exceeded)",
+			rep.DisabledSpanNsPerOp, DisabledSpanBudgetNs)
+	}
+	if disabled := rep.Results[0]; disabled.AllocsPerOp != 0 {
+		t.Fatalf("disabled span path allocates %d/op; must be alloc-free", disabled.AllocsPerOp)
+	}
+}
+
+func TestBenchObsSchemaRoundTrip(t *testing.T) {
+	var rep ObsReport
+	decodeStrict(t, "BENCH_obs.json", &rep)
+	if rep.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs %d", rep.GOMAXPROCS)
+	}
+	if len(rep.Results) < 5 {
+		t.Fatalf("only %d result rows", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("malformed row %+v", r)
+		}
+	}
+	// The committed artifact must honor the disabled-span contract.
+	if rep.DisabledSpanNsPerOp <= 0 || rep.DisabledSpanNsPerOp > DisabledSpanBudgetNs {
+		t.Fatalf("committed disabled-span cost %.2f ns/op exceeds the %v ns/op budget",
+			rep.DisabledSpanNsPerOp, DisabledSpanBudgetNs)
+	}
+	if rep.BudgetNs != DisabledSpanBudgetNs {
+		t.Fatalf("artifact budget %v, code budget %v", rep.BudgetNs, DisabledSpanBudgetNs)
+	}
+
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ObsReport
+	dec := json.NewDecoder(bytes.NewReader(out))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if back.GOMAXPROCS != rep.GOMAXPROCS || len(back.Results) != len(rep.Results) {
+		t.Fatal("round-trip lost fields")
+	}
+	for i := range rep.Results {
+		if back.Results[i] != rep.Results[i] {
+			t.Fatalf("row %d changed in round-trip: %+v vs %+v", i, back.Results[i], rep.Results[i])
+		}
+	}
+}

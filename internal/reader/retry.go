@@ -4,7 +4,10 @@ import (
 	"context"
 
 	"rfly/internal/epc"
+	"rfly/internal/obs"
 )
+
+var mRetryRounds = obs.Default().Counter("reader_retry_rounds_total")
 
 // RetryPolicy bounds how hard the reader tries to turn a silent or
 // undecodable inventory round into reads before giving up. Real Gen2
@@ -78,7 +81,15 @@ func (r *Reader) RunInventoryRoundWithRetryCtx(ctx context.Context, m Medium, se
 		backoff = 1
 	}
 	var out RetryOutcome
+	ctx, span := obs.StartSpan(ctx, "reader.round")
+	defer func() {
+		span.Int("attempts", int64(out.Attempts)).
+			Int("reads", int64(len(out.Stats.Reads))).
+			Int("idle_slots", int64(out.IdleSlots))
+		span.End()
+	}()
 	for {
+		mRetryRounds.Inc()
 		stats := r.RunInventoryRound(m, sess, target, qalg)
 		out.Attempts++
 		out.Stats.Slots += stats.Slots

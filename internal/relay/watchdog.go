@@ -4,7 +4,16 @@ import (
 	"context"
 	"fmt"
 
+	"rfly/internal/obs"
 	"rfly/internal/signal"
+)
+
+// Watchdog telemetry in the process-wide registry; cached so a tick
+// costs one atomic add, not a map lookup.
+var (
+	mLossEvents = obs.Default().Counter("relay_loss_events_total")
+	mResweeps   = obs.Default().Counter("relay_resweeps_total")
+	mRelocks    = obs.Default().Counter("relay_relocks_total")
 )
 
 // CarrierSense abstracts "what does the relay's front end hear right
@@ -130,6 +139,15 @@ func (w *Watchdog) Healthy() bool { return w.relay.Locked() && !w.lostCurrent }
 //	           accumulated CFO — retuning the PLLs is the repair); else
 //	           double the backoff up to the cap.
 func (w *Watchdog) Tick(sense CarrierSense) bool {
+	return w.TickCtx(context.Background(), sense)
+}
+
+// TickCtx is Tick with flight-recorder instrumentation: when ctx
+// carries an obs recorder, a loss of lock emits a "relay.lock_loss"
+// instant span and a successful re-sweep emits a "relay.relock" span
+// nested under whatever span the caller has open (the sortie, during a
+// mission). The state machine itself is identical to Tick.
+func (w *Watchdog) TickCtx(ctx context.Context, sense CarrierSense) bool {
 	freq, pow, ok := sense.Sense()
 	carrier := ok && pow >= w.Cfg.ThresholdDBm
 
@@ -150,6 +168,10 @@ func (w *Watchdog) Tick(sense CarrierSense) bool {
 		}
 		// Loss of lock.
 		w.stats.LossEvents++
+		mLossEvents.Inc()
+		_, sp := obs.StartSpan(ctx, "relay.lock_loss")
+		sp.Bool("carrier", carrier).Float("cfo_hz", w.relay.CFOHz())
+		sp.End()
 		w.lostCurrent = true
 		w.relay.Unlock()
 		w.backoff = w.Cfg.BaseBackoffTicks
@@ -162,9 +184,14 @@ func (w *Watchdog) Tick(sense CarrierSense) bool {
 		return false
 	}
 	w.stats.Resweeps++
+	mResweeps.Inc()
 	if carrier {
 		w.relay.Lock(freq)
 		w.stats.Relocks++
+		mRelocks.Inc()
+		_, sp := obs.StartSpan(ctx, "relay.relock")
+		sp.Float("freq_hz", freq).Float("power_dbm", pow).Int("resweeps", int64(w.stats.Resweeps))
+		sp.End()
 		w.lostCurrent = false
 		w.badTicks = 0
 		w.backoff = 0
@@ -191,7 +218,7 @@ func (w *Watchdog) AwaitLock(ctx context.Context, sense CarrierSense, maxTicks i
 		if err := ctx.Err(); err != nil {
 			return tick, fmt.Errorf("relay: lock wait abandoned after %d ticks: %w", tick, err)
 		}
-		if w.Tick(sense) {
+		if w.TickCtx(ctx, sense) {
 			return tick + 1, nil
 		}
 	}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -8,6 +9,7 @@ import (
 
 	"rfly/internal/geom"
 	"rfly/internal/loc"
+	"rfly/internal/obs"
 	"rfly/internal/rng"
 )
 
@@ -117,6 +119,19 @@ func (r *ckptReader) length(what string) int {
 // boundary it is exact: Restore followed by the remaining sorties
 // produces byte-identical results to the uninterrupted mission.
 func (e *Engine) Snapshot() []byte {
+	return e.SnapshotCtx(context.Background())
+}
+
+// SnapshotCtx is Snapshot with flight-recorder instrumentation: when
+// ctx carries an obs recorder the encode is bracketed by a
+// "runtime.checkpoint" span. Checkpoints happen only at sortie
+// boundaries, so in a recorded mission the checkpoint spans interleave
+// with — never overlap — the sortie spans and the escalations inside
+// them; the trace invariant tests assert exactly that bracketing. The
+// encoded bytes are identical to Snapshot's.
+func (e *Engine) SnapshotCtx(ctx context.Context) []byte {
+	_, span := obs.StartSpan(ctx, "runtime.checkpoint")
+	defer span.End()
 	w := &ckptWriter{}
 	w.buf = append(w.buf, ckptMagic...)
 	w.u16(ckptVersion)

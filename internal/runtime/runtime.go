@@ -28,6 +28,7 @@ import (
 	"rfly/internal/fault"
 	"rfly/internal/geom"
 	"rfly/internal/loc"
+	"rfly/internal/obs"
 	"rfly/internal/reader"
 	"rfly/internal/relay"
 	"rfly/internal/rng"
@@ -391,7 +392,30 @@ func clipSchedule(s fault.Schedule, base, ticks int) fault.Schedule {
 // context nothing commits: the engine (including its RNG stream) is
 // rolled back to the sortie boundary, so a later RunSortie — or a resume
 // from the last checkpoint — replays the sortie bit-identically.
+//
+// When ctx carries an obs recorder the sortie runs under a
+// "runtime.sortie" span that parents every re-lock, escalation, read,
+// and SAR span below it, and the whole sortie executes under
+// runtime/pprof labels so CPU profiles attribute samples to the stage.
+// Spans never touch the deterministic RNG streams: tracing a mission
+// cannot change its bits.
 func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
+	ctx, span := obs.StartSpan(ctx, "runtime.sortie")
+	span.Int("sortie", int64(e.cur))
+	var res SortieResult
+	var err error
+	obs.Labeled(ctx, func(ctx context.Context) {
+		res, err = e.runSortie(ctx)
+	}, "rfly_stage", "sortie")
+	span.Bool("aborted", res.Aborted).
+		Int("reads", int64(res.Reads)).
+		Int("relocks", int64(res.Relocks)).
+		Int("sar_points", int64(res.SARPoints))
+	span.End()
+	return res, err
+}
+
+func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 	if e.cur >= e.cfg.Sorties {
 		return SortieResult{}, fmt.Errorf("runtime: mission already complete (%d sorties)", e.cur)
 	}
@@ -428,8 +452,11 @@ func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
 	// previous sortie gets a bounded re-acquisition window before the
 	// clock starts burning read attempts.
 	if d.RelayPowered() && !d.RelayLockHealthy() {
-		n, _ := wd.AwaitLock(ctx, d, sup.Cfg.RelockTicks)
+		lctx, lspan := obs.StartSpan(ctx, "runtime.launch_relock")
+		n, _ := wd.AwaitLock(lctx, d, sup.Cfg.RelockTicks)
 		res.LaunchRelockTicks = n
+		lspan.Int("ticks", int64(n)).Bool("locked", d.RelayLockHealthy())
+		lspan.End()
 		if err := ctx.Err(); err != nil {
 			rollback()
 			return SortieResult{}, err
@@ -445,7 +472,7 @@ func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
 				res.Sortie, tick, err)
 		}
 		inj.Step()
-		h := sup.Tick(d, wd, e.cfg.SwapDelayTicks, e.cfg.StationKeepStepM)
+		h := sup.TickCtx(ctx, d, wd, e.cfg.SwapDelayTicks, e.cfg.StationKeepStepM)
 		if h.Abort {
 			res.Aborted = true
 			break
@@ -541,6 +568,8 @@ func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
 // sarPass flies a short aperture line through the relay's plan position
 // and captures the first tag's disentangled channels.
 func (e *Engine) sarPass(ctx context.Context, d *sim.Deployment, tg *tag.Tag, sortieSeed uint64) (*sim.SARCapture, error) {
+	ctx, span := obs.StartSpan(ctx, "runtime.sar_pass")
+	defer span.End()
 	n := e.cfg.SARPointsPerSortie
 	p0 := geom.P(e.cfg.RelayPos.X-1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
 	p1 := geom.P(e.cfg.RelayPos.X+1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
@@ -605,10 +634,12 @@ func (e *Engine) ResultCtx(ctx context.Context) MissionResult {
 		lcfg := loc.DefaultConfig(e.cfg.ChannelHz)
 		x0, y0, x1, _ := traj.Bounds()
 		lcfg.Region = &loc.Region{X0: x0 - 4, Y0: y0 - 4, X1: x1 + 4, Y1: y0 + 6}
-		if lr, err := loc.LocalizeRobustCtx(ctx, e.sar, traj, lcfg); err == nil {
-			res.LocX, res.LocY = lr.Location.X, lr.Location.Y
-			res.LocOK = true
-		}
+		obs.Labeled(ctx, func(ctx context.Context) {
+			if lr, err := loc.LocalizeRobustCtx(ctx, e.sar, traj, lcfg); err == nil {
+				res.LocX, res.LocY = lr.Location.X, lr.Location.Y
+				res.LocOK = true
+			}
+		}, "rfly_stage", "sar-solve")
 	}
 	return res
 }

@@ -1,6 +1,9 @@
 package runtime
 
 import (
+	"context"
+
+	"rfly/internal/obs"
 	"rfly/internal/relay"
 	"rfly/internal/sim"
 )
@@ -175,6 +178,15 @@ func (s *Supervisor) probe(d *sim.Deployment) Health {
 // come from the mission config (they are properties of the airframe and
 // ground crew, not of the escalation policy).
 func (s *Supervisor) Tick(d *sim.Deployment, wd *relay.Watchdog, swapDelayTicks int, stationKeepStepM float64) Health {
+	return s.TickCtx(context.Background(), d, wd, swapDelayTicks, stationKeepStepM)
+}
+
+// TickCtx is Tick with flight-recorder instrumentation: every unhealthy
+// tick that reaches the escalation ladder records a "runtime.escalation"
+// span (nested under the sortie span when the engine is being traced)
+// covering the recovery rungs, with the probe state and outcome as
+// attributes. The escalation policy itself is identical to Tick.
+func (s *Supervisor) TickCtx(ctx context.Context, d *sim.Deployment, wd *relay.Watchdog, swapDelayTicks int, stationKeepStepM float64) Health {
 	h := s.probe(d)
 	if h.Healthy {
 		s.brk.onSuccess()
@@ -198,6 +210,9 @@ func (s *Supervisor) Tick(d *sim.Deployment, wd *relay.Watchdog, swapDelayTicks 
 	// replan (station-keep + gain reprogramming). Each unhealthy tick
 	// advances every rung that applies — the rungs act on disjoint state,
 	// so running them together costs nothing and recovers fastest.
+	ctx, esc := obs.StartSpan(ctx, "runtime.escalation")
+	esc.Bool("powered", h.Powered).Bool("lock_healthy", h.LockHealthy).
+		Bool("plan_stable", h.PlanStable).Bool("on_station", h.OnStation)
 	if !h.Powered {
 		s.sagTicks++
 		if s.sagTicks >= swapDelayTicks {
@@ -206,7 +221,7 @@ func (s *Supervisor) Tick(d *sim.Deployment, wd *relay.Watchdog, swapDelayTicks 
 			s.stats.BatterySwaps++
 		}
 	}
-	wd.Tick(d)
+	wd.TickCtx(ctx, d)
 	d.StationKeep(stationKeepStepM)
 	if !d.RelayPlanStable() {
 		d.ReprogramGains()
@@ -228,5 +243,7 @@ func (s *Supervisor) Tick(d *sim.Deployment, wd *relay.Watchdog, swapDelayTicks 
 		}
 	}
 	h.Breaker = s.brk.state
+	esc.Bool("recovered", h.Recovered).Bool("abort", h.Abort).Str("breaker", h.Breaker.String())
+	esc.End()
 	return h
 }

@@ -7,6 +7,7 @@ import (
 
 	"rfly/internal/drone"
 	"rfly/internal/loc"
+	"rfly/internal/obs"
 	"rfly/internal/reader"
 	"rfly/internal/signal"
 	"rfly/internal/tag"
@@ -51,7 +52,13 @@ func (d *Deployment) CollectSARStepsCtx(ctx context.Context, f drone.Flight, tar
 	if d.Relay == nil {
 		return nil, fmt.Errorf("sim: SAR collection requires a relay")
 	}
+	ctx, span := obs.StartSpan(ctx, "sim.sar_collect")
+	span.Int("flight_points", int64(len(f.True)))
 	cap := &SARCapture{}
+	defer func() {
+		span.Int("captures", int64(len(cap.Target)))
+		span.End()
+	}()
 	var snrSum float64
 	for i, truePos := range f.True {
 		if err := ctx.Err(); err != nil {
@@ -152,8 +159,17 @@ func (d *Deployment) ReadAttemptRetryCtx(ctx context.Context, t *tag.Tag, pol re
 	if backoff <= 0 {
 		backoff = 1
 	}
+	ctx, span := obs.StartSpan(ctx, "sim.read")
+	attempts := 0
+	var got bool
+	defer func() {
+		span.Int("attempts", int64(attempts)).Bool("ok", got)
+		span.End()
+	}()
 	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
 		if d.ReadAttempt(t) {
+			got = true
 			return true, nil
 		}
 		if attempt >= pol.MaxRetries {
