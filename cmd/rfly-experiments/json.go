@@ -122,7 +122,7 @@ func writeJSON(path string, seed uint64) error {
 	rep.IsolationRange = experiments.IsolationRangeTable()
 	rep.PowerBudget = experiments.PowerBudgetTable()
 	rep.AntiCollision = experiments.AntiCollision([]int{1, 8, 32}, seed)
-	rep.DaisyChain = experiments.DaisyChainRange(3, seed)
+	rep.DaisyChain = experiments.DaisyChainRange(experiments.DaisyChainSuiteHops, seed)
 
 	sl := experiments.SelfLocalization(20, seed)
 	rep.SelfLocalization.MedianM = stats.Quantile(sl.ErrorsM, 0.5)

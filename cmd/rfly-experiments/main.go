@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller, faults, mission, service)")
+	fig := flag.String("fig", "all", "which figure/table to regenerate (all, 6, 9, 10, 11, 12, 13, 14, range, power, aloha, selfloc, chain, 3d, ablation, floor, coverage, miller, faults, mission, service, swarm)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	trials := flag.Int("trials", 0, "override trial count (0 = paper's count)")
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
@@ -127,6 +127,10 @@ func main() {
 	}
 	if run("service") {
 		service(*seed, *csvDir)
+		wrote = true
+	}
+	if run("swarm") {
+		swarmMatrix(*trials, *seed, *csvDir)
 		wrote = true
 	}
 	if !wrote {
@@ -249,6 +253,30 @@ func faultMatrix(trials int, seed uint64, csvDir string) {
 	}
 }
 
+func swarmMatrix(trials int, seed uint64, csvDir string) {
+	header("Swarm resilience — inventory and localization vs fleet size × relay kills")
+	cfg := experiments.DefaultSwarmMatrixConfig()
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	res := experiments.SwarmMatrix(cfg, seed)
+	fmt.Printf("%-7s %-6s %-10s %-7s %-7s %-7s %-9s %-11s %s\n",
+		"relays", "kills", "complete%", "read%", "tags%", "locOK%", "loc-err m", "promotions", "latency")
+	for _, r := range res.Rows {
+		loc := "-"
+		if !math.IsNaN(r.LocErrM) {
+			loc = fmt.Sprintf("%.2f", r.LocErrM)
+		}
+		fmt.Printf("%-7d %-6d %-10.1f %-7.1f %-7.1f %-7.1f %-9s %-11.2f %.2f\n",
+			r.Relays, r.Kills, r.CompletionPct, r.ReadPct, r.TagsPct, r.LocOKPct,
+			loc, r.MeanPromotions, r.MeanLatencyTicks)
+	}
+	fmt.Println("each kill destroys the serving primary at a random tick; shadows are hot (pre-locked)")
+	if csvDir != "" {
+		writeCSV(csvDir, "swarm_matrix.csv", res.CSV())
+	}
+}
+
 func figure12(trials int, seed uint64) {
 	header("Figure 12 — Localization error CDF across the facility")
 	res := experiments.Figure12(count(trials, 100), seed)
@@ -327,7 +355,7 @@ func selfLoc(trials int, seed uint64) {
 
 func daisyChain(seed uint64) {
 	header("Extension — daisy-chained relay range (§4.3/§9)")
-	rows := experiments.DaisyChainRange(4, seed)
+	rows := experiments.DaisyChainRange(experiments.DaisyChainSuiteHops, seed)
 	fmt.Printf("%-6s %-14s %-12s %-16s\n", "hops", "total range m", "tag dBm", "per-leg cap m")
 	for _, r := range rows {
 		fmt.Printf("%-6d %-14.1f %-12.1f %-16.1f\n", r.Hops, r.TotalRangeM, r.TagRxDBm, r.StabilityCapM)

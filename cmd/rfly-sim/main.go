@@ -9,6 +9,9 @@
 //	rfly-sim -checkpoint FILE [-seed N]   # supervised mission, resumable
 //	rfly-sim -trace FILE [-seed N]        # supervised mission, Chrome trace JSON
 //	rfly-sim -chaos N [-seed N]           # chaos invariant campaign
+//	rfly-sim -swarm N [-kill-relay-at T]  # N-drone relay fleet; optionally
+//	                                      # destroy the primary at tick T and
+//	                                      # fail over to a hot shadow mid-sortie
 package main
 
 import (
@@ -40,6 +43,8 @@ func main() {
 	mission := flag.Bool("mission", false, "print the coverage/battery plan for the scene before flying")
 	faults := flag.Bool("faults", false, "inject a seeded fault schedule and compare a recovery-enabled survey against a nominal one")
 	chaosSeeds := flag.Int("chaos", 0, "run a chaos campaign over N randomized fault schedules and kill/resume points")
+	swarmRelays := flag.Int("swarm", 0, "fly the supervised mission with an N-drone relay fleet (leader election + hot-spare shadows)")
+	killRelayAt := flag.Int("kill-relay-at", -1, "destroy the serving primary at this absolute mission tick (requires -swarm)")
 	ckptPath := flag.String("checkpoint", "", "run the supervised mission, persisting (and resuming from) this checkpoint file")
 	tracePath := flag.String("trace", "", "run the supervised mission under a flight recorder and write Chrome trace_event JSON here (Perfetto / chrome://tracing)")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
@@ -66,8 +71,12 @@ func main() {
 	if *chaosSeeds > 0 {
 		os.Exit(runChaos(ctx, *chaosSeeds, *seed))
 	}
-	if *ckptPath != "" || *tracePath != "" {
-		os.Exit(runMission(ctx, *seed, *ckptPath, *tracePath))
+	if *killRelayAt >= 0 && *swarmRelays <= 0 {
+		fmt.Fprintln(os.Stderr, "-kill-relay-at needs a fleet: pass -swarm N")
+		os.Exit(2)
+	}
+	if *ckptPath != "" || *tracePath != "" || *swarmRelays > 0 {
+		os.Exit(runMission(ctx, *seed, *ckptPath, *tracePath, *swarmRelays, *killRelayAt))
 	}
 
 	var scene *rfly.Scene

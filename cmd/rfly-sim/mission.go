@@ -7,9 +7,11 @@ import (
 	"os"
 
 	"rfly/internal/experiments"
+	"rfly/internal/fault"
 	"rfly/internal/obs"
 	"rfly/internal/runtime"
 	"rfly/internal/runtime/chaos"
+	"rfly/internal/swarm"
 )
 
 // Supervised-mission and chaos modes. Both run under the signal-aware
@@ -25,8 +27,20 @@ import (
 // and on interruption. A non-empty tracePath runs the mission under a
 // flight recorder and writes the span dump as Chrome trace_event JSON,
 // loadable in Perfetto or chrome://tracing.
-func runMission(ctx context.Context, seed uint64, ckptPath, tracePath string) int {
+// swarmRelays > 0 flies the mission with an N-drone fleet under the
+// swarm coordinator; killRelayAt >= 0 additionally destroys the serving
+// primary at that absolute tick, demonstrating mid-sortie failover.
+func runMission(ctx context.Context, seed uint64, ckptPath, tracePath string, swarmRelays, killRelayAt int) int {
 	cfg := experiments.DefaultMissionConfig(seed)
+	if swarmRelays > 0 {
+		cfg.Swarm = swarm.Config{Relays: swarmRelays}
+	}
+	if killRelayAt >= 0 {
+		cfg.Schedule = fault.Schedule{Events: append(
+			append([]fault.Event(nil), cfg.Schedule.Events...),
+			fault.Event{Class: fault.RelayDeath, Start: killRelayAt, Severity: 1},
+		)}
+	}
 
 	var rec *obs.Recorder
 	if tracePath != "" {
@@ -66,8 +80,16 @@ func runMission(ctx context.Context, seed uint64, ckptPath, tracePath string) in
 			break
 		}
 		flush()
-		fmt.Printf("sortie %d: %d/%d reads, %d relocks, %d recoveries, %d swaps, aborted=%t\n",
+		line := fmt.Sprintf("sortie %d: %d/%d reads, %d relocks, %d recoveries, %d swaps, aborted=%t",
 			s.Sortie, s.Reads, s.Attempts, s.Relocks, s.Recoveries, s.BatterySwaps, s.Aborted)
+		if swarmRelays > 0 {
+			line += fmt.Sprintf(", %d promotions", s.Promotions)
+			for _, h := range s.Handoffs {
+				line += fmt.Sprintf(" [handoff term %d: drone %d -> %d at tick %d, %d SAR captured, latency %d, prelocked=%t]",
+					h.Term, h.FromID, h.ToID, h.Tick, h.SARCaptured, h.LatencyTicks, h.PreLocked)
+			}
+		}
+		fmt.Println(line)
 	}
 	// Flush the final checkpoint even on interruption: the engine rolled
 	// back to the last sortie boundary, so what we write is exactly the

@@ -80,6 +80,12 @@ type DaisyChainRow struct {
 	StabilityCapM float64
 }
 
+// DaisyChainSuiteHops is the hop depth the standard suite sweeps to —
+// both the -fig extensions table and the JSON report use it, so the two
+// outputs always describe the same chain. Four hops is where the §9
+// linear-growth story flattens against the per-leg stability cap.
+const DaisyChainSuiteHops = 4
+
 // DaisyChainRange evaluates the §4.3/§9 multi-relay extension at the
 // link-budget level. The single-relay range is not power-limited — free
 // space would allow hundreds of meters — but STABILITY-limited: Eq. 3

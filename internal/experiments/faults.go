@@ -131,7 +131,7 @@ func matrixEvent(c fault.Class, start, dur int) fault.Event {
 func FaultMatrix(cfg FaultMatrixConfig, seed uint64) FaultMatrixResult {
 	var res FaultMatrixResult
 	var cleanSum float64
-	for _, c := range fault.Classes() {
+	for _, c := range fault.CoreClasses() {
 		ev := matrixEvent(c, cfg.FaultStart, cfg.FaultDuration)
 		row := FaultRow{Class: c, Event: ev}
 		base := seed ^ (uint64(c+1) << 24)

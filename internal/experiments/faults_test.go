@@ -49,8 +49,8 @@ func TestFaultMatrixDeterministic(t *testing.T) {
 
 func TestFaultMatrixRecoveryBeatsNominal(t *testing.T) {
 	res := sharedMatrix()
-	if len(res.Rows) != len(fault.Classes()) {
-		t.Fatalf("matrix has %d rows, want one per class (%d)", len(res.Rows), len(fault.Classes()))
+	if len(res.Rows) != len(fault.CoreClasses()) {
+		t.Fatalf("matrix has %d rows, want one per class (%d)", len(res.Rows), len(fault.CoreClasses()))
 	}
 	for _, r := range res.Rows {
 		if r.RecoveryPct <= r.NominalPct {

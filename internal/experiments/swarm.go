@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"rfly/internal/fault"
+	"rfly/internal/rng"
+	"rfly/internal/runtime"
+	"rfly/internal/swarm"
+)
+
+// Swarm resilience matrix: mission outcomes versus fleet size × failure
+// rate. Each cell flies the supervised corridor mission with an N-drone
+// relay fleet while destroying K serving primaries at random mission
+// ticks (fault.RelayDeath, always aimed at whoever is serving). The
+// readout is the tentpole's value proposition measured end to end: tags
+// inventoried, sorties completed, and the SAR localization error as a
+// function of how much redundancy the fleet carries — a lone drone dies
+// with its sortie, while a fleet with hot shadows absorbs the same kills
+// for free.
+
+// SwarmMatrixConfig shapes the sweep.
+type SwarmMatrixConfig struct {
+	// Trials is how many seeded missions each (relays, kills) cell flies.
+	Trials int
+	// Relays are the fleet sizes to sweep.
+	Relays []int
+	// Kills are the per-mission destroyed-primary counts to sweep.
+	Kills []int
+	// Sorties/TicksPerSortie/SARPointsPerSortie shape the mission.
+	Sorties            int
+	TicksPerSortie     int
+	SARPointsPerSortie int
+}
+
+// DefaultSwarmMatrixConfig mirrors the relay-kill chaos mission.
+func DefaultSwarmMatrixConfig() SwarmMatrixConfig {
+	return SwarmMatrixConfig{
+		Trials:             5,
+		Relays:             []int{1, 2, 3, 4},
+		Kills:              []int{0, 1, 2},
+		Sorties:            3,
+		TicksPerSortie:     24,
+		SARPointsPerSortie: 8,
+	}
+}
+
+// SwarmRow is one (relays, kills) cell's pooled outcomes.
+type SwarmRow struct {
+	Relays int
+	Kills  int
+	// CompletionPct is the share of sorties that landed un-aborted.
+	CompletionPct float64
+	// ReadPct is the pooled read rate across all attempts.
+	ReadPct float64
+	// TagsPct is the share of tags inventoried (read at least once).
+	TagsPct float64
+	// LocOKPct is the share of missions whose SAR solve converged.
+	LocOKPct float64
+	// LocErrM is the mean 2-D localization error over converged
+	// missions; NaN when none converged.
+	LocErrM float64
+	// MeanPromotions/MeanLatencyTicks summarize the failover activity.
+	MeanPromotions   float64
+	MeanLatencyTicks float64
+}
+
+// SwarmMatrixResult is the full sweep.
+type SwarmMatrixResult struct {
+	Rows []SwarmRow
+}
+
+// CSV renders the matrix deterministically.
+func (r SwarmMatrixResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("relays,kills,completion_pct,read_pct,tags_pct,loc_ok_pct,loc_err_m,mean_promotions,mean_latency_ticks\n")
+	for _, row := range r.Rows {
+		loc := "-"
+		if !math.IsNaN(row.LocErrM) {
+			loc = fmt.Sprintf("%.3f", row.LocErrM)
+		}
+		fmt.Fprintf(&b, "%d,%d,%.1f,%.1f,%.1f,%.1f,%s,%.2f,%.2f\n",
+			row.Relays, row.Kills, row.CompletionPct, row.ReadPct, row.TagsPct,
+			row.LocOKPct, loc, row.MeanPromotions, row.MeanLatencyTicks)
+	}
+	return b.String()
+}
+
+// swarmMissionConfig is the per-trial mission: the supervised corridor
+// with a fleet, environmental faults only (the kills are the sweep's
+// own persistent damage).
+func swarmMissionConfig(cfg SwarmMatrixConfig, relays int, seed uint64) runtime.Config {
+	m := runtime.DefaultConfig(seed)
+	m.Sorties = cfg.Sorties
+	m.TicksPerSortie = cfg.TicksPerSortie
+	m.SARPointsPerSortie = cfg.SARPointsPerSortie
+	m.Swarm = swarm.Config{Relays: relays}
+	m.Schedule = fault.Schedule{Events: []fault.Event{
+		{Class: fault.WindGust, Start: 5, Duration: 4, Severity: 0.8, Param: 1.1},
+		{Class: fault.GainDroop, Start: 30, Duration: 6, Severity: 0.5, Param: 9},
+	}}
+	return m
+}
+
+// SwarmMatrix runs the sweep. Deterministic for a fixed seed: mission
+// seeds and kill ticks derive from named splits, never from cell order.
+func SwarmMatrix(cfg SwarmMatrixConfig, seed uint64) SwarmMatrixResult {
+	if cfg.Trials <= 0 {
+		cfg.Trials = DefaultSwarmMatrixConfig().Trials
+	}
+	var res SwarmMatrixResult
+	ctx := context.Background()
+	for _, relays := range cfg.Relays {
+		for _, kills := range cfg.Kills {
+			row := SwarmRow{Relays: relays, Kills: kills, LocErrM: math.NaN()}
+			var sorties, aborted, attempts, reads, tagsSeen, tagsTotal int
+			var locOK int
+			var locErrSum float64
+			var promotions, latencySum, handoffs int
+			for trial := 0; trial < cfg.Trials; trial++ {
+				src := rng.New(seed).Split(fmt.Sprintf("swarm-matrix-%d-%d-%d", relays, kills, trial))
+				m := swarmMissionConfig(cfg, relays, src.Uint64())
+				total := m.Sorties * m.TicksPerSortie
+				evs := append([]fault.Event(nil), m.Schedule.Events...)
+				for k := 0; k < kills; k++ {
+					evs = append(evs, fault.Event{
+						Class: fault.RelayDeath, Start: src.Intn(total), Severity: 1,
+					})
+				}
+				m.Schedule = fault.Schedule{Events: evs}
+				e, err := runtime.New(m)
+				if err != nil {
+					continue
+				}
+				mr, err := e.Run(ctx)
+				if err != nil {
+					continue
+				}
+				for _, s := range mr.Sorties {
+					sorties++
+					if s.Aborted {
+						aborted++
+					}
+					attempts += s.Attempts
+					reads += s.Reads
+					promotions += s.Promotions
+					for _, h := range s.Handoffs {
+						handoffs++
+						latencySum += h.LatencyTicks
+					}
+				}
+				for _, n := range e.TagReads() {
+					tagsTotal++
+					if n > 0 {
+						tagsSeen++
+					}
+				}
+				if mr.LocOK {
+					locOK++
+					tg := m.Tags[0]
+					locErrSum += math.Hypot(mr.LocX-tg.X, mr.LocY-tg.Y)
+				}
+			}
+			if sorties > 0 {
+				row.CompletionPct = 100 * float64(sorties-aborted) / float64(sorties)
+			}
+			if attempts > 0 {
+				row.ReadPct = 100 * float64(reads) / float64(attempts)
+			}
+			if tagsTotal > 0 {
+				row.TagsPct = 100 * float64(tagsSeen) / float64(tagsTotal)
+			}
+			row.LocOKPct = 100 * float64(locOK) / float64(cfg.Trials)
+			if locOK > 0 {
+				row.LocErrM = locErrSum / float64(locOK)
+			}
+			row.MeanPromotions = float64(promotions) / float64(cfg.Trials)
+			if handoffs > 0 {
+				row.MeanLatencyTicks = float64(latencySum) / float64(handoffs)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}

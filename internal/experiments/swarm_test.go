@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The swarm matrix is the paper-style readout of the failover tentpole:
+// deterministic, and redundancy must visibly pay — a full fleet under
+// kills completes what a lone relay cannot.
+func TestSwarmMatrixDeterministicAndRedundancyPays(t *testing.T) {
+	cfg := DefaultSwarmMatrixConfig()
+	cfg.Trials = 2
+	cfg.Relays = []int{1, 3}
+	cfg.Kills = []int{0, 2}
+	a := SwarmMatrix(cfg, 5)
+	b := SwarmMatrix(cfg, 5)
+	if a.CSV() != b.CSV() {
+		t.Fatalf("same seed, different matrix:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("want 4 cells, got %d", len(a.Rows))
+	}
+	cell := func(relays, kills int) SwarmRow {
+		for _, r := range a.Rows {
+			if r.Relays == relays && r.Kills == kills {
+				return r
+			}
+		}
+		t.Fatalf("cell (%d,%d) missing", relays, kills)
+		return SwarmRow{}
+	}
+	lone := cell(1, 2)
+	fleet := cell(3, 2)
+	if fleet.CompletionPct != 100 {
+		t.Errorf("3-drone fleet under 2 kills should complete every sortie, got %.1f%%", fleet.CompletionPct)
+	}
+	if lone.CompletionPct >= fleet.CompletionPct {
+		t.Errorf("redundancy did not pay: lone %.1f%% vs fleet %.1f%%", lone.CompletionPct, fleet.CompletionPct)
+	}
+	if fleet.MeanPromotions < 1 {
+		t.Errorf("fleet under kills should promote, got %.2f per mission", fleet.MeanPromotions)
+	}
+	if lone.MeanPromotions != 0 {
+		t.Errorf("lone relay has no shadow to promote, got %.2f", lone.MeanPromotions)
+	}
+	if math.IsNaN(fleet.LocErrM) || fleet.LocErrM > 10 {
+		t.Errorf("fleet localization unusable: %v m", fleet.LocErrM)
+	}
+}

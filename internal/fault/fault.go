@@ -70,12 +70,47 @@ const (
 	// in dBm. Reverting switches it off.
 	BurstInterference
 
+	// RelayDeath destroys a relay airframe outright (motor failure, a
+	// bird strike, a crash): the member is permanently gone and no
+	// battery swap revives it. Param selects the fleet member (0 = the
+	// current primary, k ≥ 1 = member k−1); only a swarm coordinator can
+	// absorb this class — a bare single-relay deployment has nothing to
+	// fail over to and rejects it.
+	RelayDeath
+	// RelayBrownOut drops one fleet member's supply rail for the event
+	// window (a sagging cell under load). Unlike RelayDeath the airframe
+	// survives: reverting restores power, but the PLLs lost state, so the
+	// member comes back unlocked and must re-acquire. Param selects the
+	// member as for RelayDeath.
+	RelayBrownOut
+	// MeshPartition severs the swarm's cross-cell control links for the
+	// event window: shadows outside the serving cell cannot be promoted
+	// while the partition holds. Reverting heals the mesh.
+	MeshPartition
+
 	numClasses
 )
+
+// numCoreClasses is where the original single-relay classes end; the
+// swarm-directed classes follow. Plan's default class set stops here so
+// pre-swarm schedules replay bit-identically.
+const numCoreClasses = BurstInterference + 1
 
 // Classes returns all injectable classes in declaration order.
 func Classes() []Class {
 	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// CoreClasses returns the single-relay classes every deployment can
+// absorb — the swarm-directed classes (RelayDeath, RelayBrownOut,
+// MeshPartition) need a coordinator target and are excluded. Plan
+// defaults to this set, which keeps legacy schedules bit-identical.
+func CoreClasses() []Class {
+	out := make([]Class, numCoreClasses)
 	for i := range out {
 		out[i] = Class(i)
 	}
@@ -99,6 +134,12 @@ func (c Class) String() string {
 		return "carrier-hop"
 	case BurstInterference:
 		return "burst-interference"
+	case RelayDeath:
+		return "relay-death"
+	case RelayBrownOut:
+		return "relay-brownout"
+	case MeshPartition:
+		return "mesh-partition"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -197,7 +238,9 @@ func (s Schedule) String() string {
 
 // PlanConfig parameterizes Plan's random schedule generation.
 type PlanConfig struct {
-	// Classes to draw events for; nil means all classes.
+	// Classes to draw events for; nil means CoreClasses (the swarm-directed
+	// classes are opt-in — they error against targets without a
+	// coordinator).
 	Classes []Class
 	// Ticks is the timeline length events must start within.
 	Ticks int
@@ -213,7 +256,7 @@ type PlanConfig struct {
 
 func (c *PlanConfig) defaults() {
 	if c.Classes == nil {
-		c.Classes = Classes()
+		c.Classes = CoreClasses()
 	}
 	if c.EventsPerClass <= 0 {
 		c.EventsPerClass = 1

@@ -125,8 +125,13 @@ func TestPlanDeterministic(t *testing.T) {
 	if reflect.DeepEqual(a, c) {
 		t.Fatal("different seeds produced identical schedules")
 	}
-	if len(a.Events) != len(Classes()) {
-		t.Fatalf("planned %d events, want one per class (%d)", len(a.Events), len(Classes()))
+	if len(a.Events) != len(CoreClasses()) {
+		t.Fatalf("planned %d events, want one per core class (%d)", len(a.Events), len(CoreClasses()))
+	}
+	for _, e := range a.Events {
+		if e.Class >= numCoreClasses {
+			t.Fatalf("default plan drew swarm-directed event %v", e)
+		}
 	}
 	for _, e := range a.Events {
 		if e.Start < 0 || e.Start >= cfg.Ticks {

@@ -2,10 +2,17 @@ package relay
 
 import (
 	"fmt"
+	"math"
 
 	"rfly/internal/radio"
 	"rfly/internal/signal"
 )
+
+// minCarrierSepHz is the spacing below which two plan carriers count as
+// duplicates: a sweep cannot tell them apart, so a chain whose hops
+// shift onto each other (zero or canceling shifts) is rejected at
+// bring-up rather than mis-locked.
+const minCarrierSepHz = 1.0
 
 // DaisyChain is the §4.3/§9 multi-relay extension: relays placed between
 // the reader and the tag population, each forwarding the previous hop's
@@ -30,20 +37,39 @@ func NewDaisyChain(readerFreq float64, rx []complex128, relays ...*Relay) (*Dais
 	if len(relays) == 0 {
 		return nil, fmt.Errorf("relay: empty daisy chain")
 	}
+	// Validate the whole frequency plan up front. The bring-up sweep
+	// disambiguates "carrier stalled upstream" from "carrier arrived" by
+	// frequency alone, so the plan is only usable if every carrier in it
+	// is finite, inside Nyquist (complex baseband is symmetric — bound
+	// both edges), and distinct from every other.
+	cands := chainCarriers(readerFreq, relays)
+	for i, r := range relays {
+		out := cands[i+1]
+		if math.IsNaN(out) || math.IsInf(out, 0) {
+			return nil, fmt.Errorf("relay: hop %d output carrier is not finite", i)
+		}
+		// Leave a guard for the backscatter sidebands (±BLF plus filter BW).
+		if abs(out)+r.Cfg.BPFCenter+r.Cfg.BPFHalfBW >= r.Cfg.Fs/2 {
+			return nil, fmt.Errorf("relay: hop %d output %.2f MHz exceeds Nyquist at fs %.0f MHz",
+				i, out/1e6, r.Cfg.Fs/1e6)
+		}
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if abs(cands[i]-cands[j]) < minCarrierSepHz {
+				return nil, fmt.Errorf("relay: ambiguous frequency plan: carriers %d and %d both at %+.3f MHz",
+					i, j, cands[i]/1e6)
+			}
+		}
+	}
 	f := readerFreq
 	x := rx
 	for i, r := range relays {
 		out := f + r.Cfg.ShiftHz
-		// Leave a guard for the backscatter sidebands (±BLF plus filter BW).
-		if out+r.Cfg.BPFCenter+r.Cfg.BPFHalfBW >= r.Cfg.Fs/2 {
-			return nil, fmt.Errorf("relay: hop %d output %.2f MHz exceeds Nyquist at fs %.0f MHz",
-				i, out/1e6, r.Cfg.Fs/1e6)
-		}
 		// Sweep the hop's input for the expected carrier. The candidate set
 		// spans every carrier in the chain's frequency plan, so a carrier
 		// that stalled at an earlier hop is detected as "strongest
 		// elsewhere" rather than mistaken for the expected one.
-		cands := chainCarriers(readerFreq, relays)
 		best, err := r.DetectCarrier(x, cands)
 		if err != nil {
 			return nil, fmt.Errorf("relay: hop %d sweep: %w", i, err)

@@ -51,6 +51,25 @@ func TestNewDaisyChainRejectsNyquistOverflow(t *testing.T) {
 	}
 }
 
+func TestNewDaisyChainRejectsDuplicateCarriers(t *testing.T) {
+	// A zero shift puts a hop's output on top of its input: the bring-up
+	// sweep could never tell the two apart, so the plan must be rejected
+	// before any hop locks.
+	r1 := New(chainConfig(0), rng.New(30))
+	if _, err := NewDaisyChain(0, chainCapture(0, r1.Cfg.Fs), r1); err == nil {
+		t.Fatal("zero-shift chain accepted")
+	}
+	if r1.Locked() {
+		t.Fatal("rejected plan left a hop locked")
+	}
+	// Canceling shifts collide two non-adjacent carriers the same way.
+	r2 := New(chainConfig(1.2e6), rng.New(31))
+	r3 := New(chainConfig(-1.2e6), rng.New(32))
+	if _, err := NewDaisyChain(0, chainCapture(0, r2.Cfg.Fs), r2, r3); err == nil {
+		t.Fatal("canceling-shift chain accepted")
+	}
+}
+
 func TestDaisyChainForwardsThroughTwoHops(t *testing.T) {
 	r1 := New(chainConfig(1.2e6), rng.New(5))
 	r2 := New(chainConfig(1.0e6), rng.New(6))

@@ -1,0 +1,86 @@
+package relay
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rfly/internal/rng"
+	"rfly/internal/signal"
+)
+
+// FuzzDaisyChainPlan throws arbitrary frequency plans at NewDaisyChain.
+// Bring-up faces whatever a mission planner hands it — zero-relay
+// chains, cumulative shifts past Nyquist, zero or canceling shifts that
+// collide two plan carriers — and must reject every unusable plan with
+// an error instead of panicking or mis-locking. The oracle is
+// one-sided: a plan we can prove invalid must be rejected, and any
+// chain that does come up must be fully locked with the cascaded
+// output frequency its plan promises. (Valid plans may still fail
+// bring-up for signal-level reasons, e.g. the forwarded capture fading
+// below the sweep floor — that is an error return, not a bug.)
+func FuzzDaisyChainPlan(f *testing.F) {
+	f.Add(0.0, 1.2e6, 1.0e6, uint8(2))  // the canonical healthy 2-hop plan
+	f.Add(0.0, 2e6, 2e6, uint8(2))      // default shifts: 4 MHz = Nyquist at 8 MS/s
+	f.Add(100e3, 1e6, 1e6, uint8(0))    // zero relays
+	f.Add(0.0, 1.2e6, -1.2e6, uint8(2)) // canceling shifts → duplicate carriers
+	f.Add(0.0, 0.0, 1e6, uint8(1))      // zero shift duplicates its own input
+	f.Fuzz(func(t *testing.T, readerFreq, shiftA, shiftB float64, n uint8) {
+		hops := int(n % 5)
+		relays := make([]*Relay, 0, hops)
+		src := rng.New(97)
+		for i := 0; i < hops; i++ {
+			cfg := DefaultConfig()
+			cfg.SynthPPM = 0
+			if i%2 == 0 {
+				cfg.ShiftHz = shiftA
+			} else {
+				cfg.ShiftHz = shiftB
+			}
+			relays = append(relays, New(cfg, src.Split(fmt.Sprintf("hop-%d", i))))
+		}
+		var rx []complex128
+		if !math.IsNaN(readerFreq) && !math.IsInf(readerFreq, 0) {
+			rx = signal.Tone(4096, readerFreq, DefaultConfig().Fs, 0.1, 1e-3)
+		}
+
+		c, err := NewDaisyChain(readerFreq, rx, relays...)
+
+		// Recompute the plan the way the validator must see it.
+		cands := chainCarriers(readerFreq, relays)
+		invalid := hops == 0
+		for i, r := range relays {
+			out := cands[i+1]
+			if math.IsNaN(out) || math.IsInf(out, 0) ||
+				abs(out)+r.Cfg.BPFCenter+r.Cfg.BPFHalfBW >= r.Cfg.Fs/2 {
+				invalid = true
+			}
+		}
+		for i := 0; i < len(cands) && !invalid; i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if abs(cands[i]-cands[j]) < minCarrierSepHz {
+					invalid = true
+				}
+			}
+		}
+		if invalid {
+			if err == nil {
+				t.Fatalf("invalid plan accepted: reader %v, shifts (%v, %v), %d hops",
+					readerFreq, shiftA, shiftB, hops)
+			}
+			return
+		}
+		if err != nil {
+			return // valid plan, signal-level bring-up failure: allowed
+		}
+		// The chain came up: every hop locked, output where the plan says.
+		for i, r := range c.Relays {
+			if !r.Locked() {
+				t.Fatalf("hop %d unlocked in a brought-up chain", i)
+			}
+		}
+		if got, want := c.OutputFreq(), cands[len(cands)-1]; math.Abs(got-want) > 1e-6 {
+			t.Fatalf("output freq %v, plan says %v", got, want)
+		}
+	})
+}

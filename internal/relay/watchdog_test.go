@@ -129,6 +129,48 @@ func TestWatchdogExponentialBackoff(t *testing.T) {
 	}
 }
 
+// Regression: a successful re-lock must reset the re-sweep backoff to
+// BaseBackoffTicks. If the interval carried over from a previous outage,
+// a relay that had once backed off to the cap would respond to every
+// later loss at cap latency — exactly the sluggishness the exponential
+// schedule is meant to reserve for sustained outages.
+func TestWatchdogBackoffResetsAfterRelock(t *testing.T) {
+	// Drive one outage long enough to escalate past the base interval,
+	// heal it, then measure the sweep cadence of a second outage.
+	episodeGaps := func(w *Watchdog) []int {
+		w.Tick(silence())
+		w.Tick(silence()) // loss + immediate sweep
+		var gaps []int
+		last, lastTick := w.Stats().Resweeps, 0
+		for tick := 1; tick <= 20; tick++ {
+			w.Tick(silence())
+			if s := w.Stats().Resweeps; s != last {
+				gaps = append(gaps, tick-lastTick)
+				last, lastTick = s, tick
+			}
+		}
+		return gaps
+	}
+	r, w := newWatchdogRelay(t, 8)
+	first := episodeGaps(w)
+	// Heal: the next re-sweep window finds the carrier again.
+	for i := 0; i < 20 && !w.Tick(carrier(0)); i++ {
+	}
+	if !r.Locked() || !w.Healthy() {
+		t.Fatal("relay never re-locked between outages")
+	}
+	second := episodeGaps(w)
+	if len(first) < 3 || len(second) < 3 {
+		t.Fatalf("too few sweeps observed: first %v, second %v", first, second)
+	}
+	for i, want := range []int{2, 3, 5} {
+		if second[i] != want {
+			t.Fatalf("second outage gaps %v: gap %d = %d, want %d (backoff did not reset to base; first outage %v)",
+				second, i, second[i], want, first)
+		}
+	}
+}
+
 func TestWatchdogCFOBeyondToleranceDropsLock(t *testing.T) {
 	r, w := newWatchdogRelay(t, 5)
 	// Accumulated LO drift beyond the LPF cutoff: energy is still present

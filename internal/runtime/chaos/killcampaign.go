@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+
+	"rfly/internal/fault"
+	"rfly/internal/obs"
+	"rfly/internal/rng"
+	"rfly/internal/runtime"
+	"rfly/internal/swarm"
+)
+
+// Relay-kill campaign: the swarm coordinator's chaos harness. For each
+// seed it draws a random kill tick anywhere in the mission, destroys the
+// serving primary there (fault.RelayDeath), and runs the fleet mission
+// against an uninterrupted twin. The invariants are the tentpole's
+// promises:
+//
+//   - every mission completes — no sortie aborts, because a hot shadow
+//     is promoted in place of the destroyed primary;
+//   - the promotion is visible in the trace, nested inside the sortie
+//     span it interrupted;
+//   - zero SAR samples are lost across the handoff: when the incoming
+//     shadow was pre-locked, the mission's localization (and every
+//     per-sortie read count) is bit-identical to the twin that never
+//     lost a drone.
+
+// KillCampaignConfig shapes a relay-kill campaign.
+type KillCampaignConfig struct {
+	// Seeds is how many randomized kill points to run (default 30).
+	Seeds int
+	// BaseSeed roots the campaign's derivations.
+	BaseSeed uint64
+	// Mission is the fleet mission template; its Swarm config must ask
+	// for at least two relays. Zero value → DefaultKillMission.
+	Mission runtime.Config
+	// Logf, when set, receives one line per completed run.
+	Logf func(format string, args ...any)
+}
+
+// DefaultKillMission is the canonical campaign mission: a three-drone
+// fleet flying the supervised corridor mission with only revertible
+// environmental faults in the base schedule, so the kill event is the
+// only persistent damage and the zero-loss comparison is exact.
+func DefaultKillMission(seed uint64) runtime.Config {
+	cfg := runtime.DefaultConfig(seed)
+	cfg.Sorties = 3
+	cfg.TicksPerSortie = 24
+	cfg.SARPointsPerSortie = 8
+	cfg.Swarm = swarm.Config{Relays: 3}
+	cfg.Schedule = fault.Schedule{Events: []fault.Event{
+		{Class: fault.WindGust, Start: 5, Duration: 4, Severity: 0.8, Param: 1.1},
+		{Class: fault.GainDroop, Start: 30, Duration: 6, Severity: 0.5, Param: 9},
+	}}
+	return cfg
+}
+
+// KillCampaignResult summarizes a campaign.
+type KillCampaignResult struct {
+	Runs         int
+	Promotions   int
+	HotHandoffs  int // handoffs whose incoming shadow was pre-locked
+	BitIdentical int // runs whose localization matched the twin exactly
+	Violations   []Violation
+}
+
+// RunKillCampaign executes the campaign. Violations are collected, not
+// fatal; the error return is only for a cancelled context or an
+// unbuildable mission.
+func RunKillCampaign(ctx context.Context, cfg KillCampaignConfig) (KillCampaignResult, error) {
+	var res KillCampaignResult
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 30
+	}
+	mission := cfg.Mission
+	if mission.Sorties == 0 {
+		mission = DefaultKillMission(0)
+	}
+	if mission.Swarm.Relays < 2 {
+		return res, fmt.Errorf("chaos: relay-kill campaign needs a fleet of at least 2, got %d",
+			mission.Swarm.Relays)
+	}
+	total := mission.Sorties * mission.TicksPerSortie
+
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		src := rng.New(cfg.BaseSeed).Split(fmt.Sprintf("relay-kill-%d", seed))
+		m := mission
+		m.Seed = src.Uint64()
+		killTick := src.Intn(total)
+
+		v, stats, err := runKillPair(ctx, seed, m, killTick)
+		if err != nil {
+			return res, err
+		}
+		res.Runs++
+		res.Promotions += stats.promotions
+		res.HotHandoffs += stats.hot
+		res.BitIdentical += stats.bitIdentical
+		res.Violations = append(res.Violations, v...)
+		if cfg.Logf != nil {
+			cfg.Logf("relay-kill seed %3d: kill@%3d, %d promotions (%d hot), identical=%d, %d violations",
+				seed, killTick, stats.promotions, stats.hot, stats.bitIdentical, len(v))
+		}
+	}
+	return res, nil
+}
+
+type killStats struct {
+	promotions   int
+	hot          int
+	bitIdentical int
+}
+
+// runKillPair runs one seed: the uninterrupted twin, then the killed
+// mission under the invariant checker and a flight recorder, then the
+// zero-loss diff.
+func runKillPair(ctx context.Context, seed int, m runtime.Config, killTick int) ([]Violation, killStats, error) {
+	var stats killStats
+
+	twinEng, err := runtime.New(m)
+	if err != nil {
+		return nil, stats, fmt.Errorf("chaos: seed %d: %w", seed, err)
+	}
+	twin, err := twinEng.Run(ctx)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	km := m
+	km.Schedule = fault.Schedule{Events: append(
+		append([]fault.Event(nil), m.Schedule.Events...),
+		fault.Event{Class: fault.RelayDeath, Start: killTick, Severity: 1},
+	)}
+	chk := &checker{seed: seed, ticksPerSortie: km.TicksPerSortie, lastClock: -1}
+	eng, err := runtime.New(km)
+	if err != nil {
+		return nil, stats, err
+	}
+	eng.Observer = chk.observe
+	rec := obs.NewRecorder(8192)
+	killed, err := eng.Run(obs.WithRecorder(ctx, rec))
+	if err != nil {
+		return chk.violations, stats, err
+	}
+	violations := chk.violations
+
+	// Completion via promotion: no sortie may abort, and the kill must
+	// have been answered by exactly one handoff.
+	var handoffs []swarm.HandoffRecord
+	readsEqual, sarEqual := true, true
+	for i, s := range killed.Sorties {
+		if s.Aborted {
+			violations = append(violations, Violation{seed, "mission-completion",
+				fmt.Sprintf("sortie %d aborted after kill@%d", i, killTick)})
+		}
+		stats.promotions += s.Promotions
+		handoffs = append(handoffs, s.Handoffs...)
+		if i < len(twin.Sorties) {
+			if s.Reads != twin.Sorties[i].Reads {
+				readsEqual = false
+			}
+			if s.SARPoints != twin.Sorties[i].SARPoints {
+				sarEqual = false
+			}
+		}
+	}
+	if len(handoffs) != 1 {
+		violations = append(violations, Violation{seed, "shadow-promotion",
+			fmt.Sprintf("kill@%d produced %d handoffs, want 1", killTick, len(handoffs))})
+	}
+
+	// The promotion span must sit inside the sortie it interrupted.
+	tree, err := obs.BuildTree(rec.Snapshot())
+	if err != nil {
+		violations = append(violations, Violation{seed, "trace", err.Error()})
+	} else {
+		promoted := 0
+		for _, p := range tree.Find("swarm.promotion") {
+			if a, ok := p.Attr("promoted"); !ok || a.Num == 0 {
+				continue
+			}
+			promoted++
+			if tree.Ancestor(p, "runtime.sortie") == nil {
+				violations = append(violations, Violation{seed, "trace",
+					"promotion span not nested inside a sortie span"})
+			}
+		}
+		if promoted != stats.promotions {
+			violations = append(violations, Violation{seed, "trace",
+				fmt.Sprintf("%d promotion spans for %d promotions", promoted, stats.promotions)})
+		}
+	}
+
+	// Zero-loss: a hot (pre-locked) handoff must cost nothing — reads,
+	// SAR samples, and the final localization all match the twin bit for
+	// bit.
+	if len(handoffs) == 1 {
+		h := handoffs[0]
+		if h.PreLocked {
+			stats.hot++
+			if !readsEqual || !sarEqual {
+				violations = append(violations, Violation{seed, "zero-loss",
+					fmt.Sprintf("hot handoff kill@%d changed reads/SAR (reads equal=%v, sar equal=%v)",
+						killTick, readsEqual, sarEqual)})
+			}
+			if !killed.LocOK || !twin.LocOK {
+				violations = append(violations, Violation{seed, "zero-loss",
+					fmt.Sprintf("localization lost: killed=%v twin=%v", killed.LocOK, twin.LocOK)})
+			} else if killed.LocX != twin.LocX || killed.LocY != twin.LocY {
+				violations = append(violations, Violation{seed, "zero-loss",
+					fmt.Sprintf("localization diverged: (%v,%v) vs (%v,%v)",
+						killed.LocX, killed.LocY, twin.LocX, twin.LocY)})
+			} else {
+				stats.bitIdentical++
+			}
+		}
+	}
+	return violations, stats, nil
+}

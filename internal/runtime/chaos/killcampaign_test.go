@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRelayKillCampaign is the swarm acceptance campaign: ≥30 seeds
+// (8 in -short), each destroying the serving primary at a random sortie
+// tick. Every mission must complete through a shadow promotion, every
+// promotion span must nest inside its sortie span, and every hot
+// handoff must be lossless — localization bit-identical to the
+// uninterrupted twin.
+func TestRelayKillCampaign(t *testing.T) {
+	seeds := 32
+	if testing.Short() {
+		seeds = 8
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := RunKillCampaign(ctx, KillCampaignConfig{
+		Seeds:    seeds,
+		BaseSeed: 2017,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.Runs != seeds {
+		t.Fatalf("campaign ran %d/%d seeds", res.Runs, seeds)
+	}
+	if res.Promotions != seeds {
+		t.Fatalf("want one promotion per seed, got %d/%d", res.Promotions, seeds)
+	}
+	// The default fleet flies hot shadows: every handoff should be
+	// pre-locked, and every pre-locked handoff bit-identical.
+	if res.HotHandoffs != seeds {
+		t.Fatalf("want every handoff hot, got %d/%d", res.HotHandoffs, seeds)
+	}
+	if res.BitIdentical != res.HotHandoffs {
+		t.Fatalf("only %d/%d hot handoffs were lossless", res.BitIdentical, res.HotHandoffs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rfly/internal/loc"
 	"rfly/internal/obs"
 	"rfly/internal/rng"
+	"rfly/internal/swarm"
 )
 
 // Checkpoint codec: a versioned, checksummed binary snapshot of mission
@@ -22,9 +23,16 @@ import (
 // resume; anything the engine reconstructs deterministically (the
 // deployment, the supervisor, the watchdog) is deliberately absent.
 
+// Version history:
+//
+//	1 — single-relay missions.
+//	2 — adds the swarm fleet block (term, primary, per-member state) and
+//	    per-sortie election/promotion counters plus handoff records. The
+//	    blocks are written unconditionally (empty for non-swarm missions)
+//	    so the codec keeps exactly one canonical form per version.
 const (
 	ckptMagic   = "RFC1"
-	ckptVersion = uint16(1)
+	ckptVersion = uint16(2)
 )
 
 type ckptWriter struct{ buf []byte }
@@ -165,6 +173,28 @@ func (e *Engine) SnapshotCtx(ctx context.Context) []byte {
 	w.f64(c.RelayPos.Y)
 	w.f64(c.RelayPos.Z)
 
+	// Swarm fleet block: the election term, the primary, and every
+	// member's carryover state. Empty (hasSwarm = false) for single-relay
+	// missions.
+	hasSwarm := len(c.Swarm.Members) > 0
+	w.boolean(hasSwarm)
+	if hasSwarm {
+		w.u64(c.Swarm.Term)
+		w.u32(uint32(c.Swarm.Primary))
+		w.u32(uint32(len(c.Swarm.Members)))
+		for _, m := range c.Swarm.Members {
+			w.u32(uint32(m.Cell))
+			w.boolean(m.Alive)
+			w.boolean(m.Powered)
+			w.boolean(m.Locked)
+			w.f64(m.ReaderFreq)
+			w.f64(m.CFOHz)
+			w.f64(m.Pos.X)
+			w.f64(m.Pos.Y)
+			w.f64(m.Pos.Z)
+		}
+	}
+
 	w.u32(uint32(len(e.tagReads)))
 	for _, n := range e.tagReads {
 		w.u32(n)
@@ -191,6 +221,18 @@ func (e *Engine) SnapshotCtx(ctx context.Context) []byte {
 		w.boolean(s.Aborted)
 		w.u32(uint32(s.SARPoints))
 		w.f64(s.MeanSNRdB)
+		w.u32(uint32(s.Elections))
+		w.u32(uint32(s.Promotions))
+		w.u32(uint32(len(s.Handoffs)))
+		for _, h := range s.Handoffs {
+			w.u64(h.Term)
+			w.u32(uint32(h.FromID))
+			w.u32(uint32(h.ToID))
+			w.u32(uint32(h.Tick))
+			w.u32(uint32(h.SARCaptured))
+			w.u32(uint32(h.LatencyTicks))
+			w.boolean(h.PreLocked)
+		}
 	}
 
 	w.u32(uint32(len(e.sar)))
@@ -269,6 +311,37 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 	c.RelayPos.Y = r.f64()
 	c.RelayPos.Z = r.f64()
 
+	if hasSwarm := r.boolean(); hasSwarm && r.err == nil {
+		if !e.cfg.Swarm.Enabled() {
+			return nil, fmt.Errorf("runtime: checkpoint carries a swarm fleet but the mission config has none")
+		}
+		c.Swarm.Term = r.u64()
+		c.Swarm.Primary = int(r.u32())
+		nMem := r.length("swarm members")
+		if r.err == nil && nMem != e.cfg.Swarm.Relays {
+			return nil, fmt.Errorf("runtime: checkpoint fleet has %d members, config has %d",
+				nMem, e.cfg.Swarm.Relays)
+		}
+		if r.err == nil && c.Swarm.Primary >= nMem {
+			return nil, fmt.Errorf("runtime: checkpoint primary %d out of fleet range %d",
+				c.Swarm.Primary, nMem)
+		}
+		for i := 0; i < nMem && r.err == nil; i++ {
+			var m swarm.MemberState
+			m.Cell = int(r.u32())
+			m.Alive = r.boolean()
+			m.Powered = r.boolean()
+			m.Locked = r.boolean()
+			m.ReaderFreq = r.f64()
+			m.CFOHz = r.f64()
+			m.Pos = geom.P(r.f64(), r.f64(), r.f64())
+			c.Swarm.Members = append(c.Swarm.Members, m)
+		}
+		if r.err == nil && len(c.Swarm.Members) == 0 {
+			return nil, fmt.Errorf("runtime: checkpoint swarm block is empty")
+		}
+	}
+
 	nTags := r.length("tag table")
 	if r.err == nil && nTags != len(e.cfg.Tags) {
 		return nil, fmt.Errorf("runtime: checkpoint has %d tags, config has %d", nTags, len(e.cfg.Tags))
@@ -301,6 +374,20 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		s.Aborted = r.boolean()
 		s.SARPoints = int(r.u32())
 		s.MeanSNRdB = r.f64()
+		s.Elections = int(r.u32())
+		s.Promotions = int(r.u32())
+		nh := r.length("handoff records")
+		for j := 0; j < nh && r.err == nil; j++ {
+			var h swarm.HandoffRecord
+			h.Term = r.u64()
+			h.FromID = int(r.u32())
+			h.ToID = int(r.u32())
+			h.Tick = int(r.u32())
+			h.SARCaptured = int(r.u32())
+			h.LatencyTicks = int(r.u32())
+			h.PreLocked = r.boolean()
+			s.Handoffs = append(s.Handoffs, h)
+		}
 		results = append(results, s)
 	}
 

@@ -33,6 +33,7 @@ import (
 	"rfly/internal/relay"
 	"rfly/internal/rng"
 	"rfly/internal/sim"
+	"rfly/internal/swarm"
 	"rfly/internal/tag"
 	"rfly/internal/world"
 )
@@ -87,6 +88,15 @@ type Config struct {
 	// sorties (and through checkpoints) into the mission's localization
 	// aperture.
 	SARPointsPerSortie int
+
+	// Swarm, when enabled (Relays > 0), flies a coordinated relay fleet
+	// instead of a single airframe: per-cell leader election, hot-spare
+	// shadows pre-locked on the frequency plan, and mid-sortie failover.
+	// In swarm mode the SAR aperture is flown INSIDE the tick loop (the
+	// last SARPointsPerSortie ticks of each sortie) so the supervisor's
+	// failover rung covers the capture too. The zero value keeps the
+	// single-relay engine bit-identical to its pre-swarm behavior.
+	Swarm swarm.Config
 }
 
 // DefaultConfig returns a small but fully-featured mission.
@@ -129,6 +139,16 @@ func (c *Config) defaults() error {
 		c.ChannelHz = 915e6
 	}
 	c.Supervisor.defaults()
+	if c.Swarm.Enabled() {
+		c.Swarm.Defaults()
+		if err := c.Swarm.Validate(); err != nil {
+			return err
+		}
+		if c.SARPointsPerSortie > c.TicksPerSortie {
+			return fmt.Errorf("runtime: swarm missions fly the aperture in-loop; %d SAR points do not fit %d ticks",
+				c.SARPointsPerSortie, c.TicksPerSortie)
+		}
+	}
 	if err := c.Schedule.Validate(); err != nil {
 		return err
 	}
@@ -150,6 +170,10 @@ func (c Config) hash() uint64 {
 	fmt.Fprintf(h, "r%d:%d:%d:%d|s%d:%d:%d:%d", c.Retry.MaxRetries, c.Retry.BackoffSlots,
 		c.Retry.MaxBackoffSlots, c.Retry.JitterSlots, c.Supervisor.RelockTicks,
 		c.Supervisor.MaxRecoveryFailures, c.Supervisor.CooldownTicks, c.Supervisor.MaxBreakerTrips)
+	if c.Swarm.Enabled() {
+		fmt.Fprintf(h, "|w%d:%d:%d:%t:%g", c.Swarm.Relays, c.Swarm.Cells,
+			int(c.Swarm.Topology), c.Swarm.ColdSpares, c.Swarm.CellSpacingM)
+	}
 	return h.Sum64()
 }
 
@@ -172,6 +196,9 @@ type Carryover struct {
 	// displaced it); the next sortie launches from there and
 	// station-keeps back to plan.
 	RelayPos geom.Point
+	// Swarm carries the fleet across sorties (election term, primary,
+	// per-member state); empty for single-relay missions.
+	Swarm swarm.State
 }
 
 // SortieResult is one sortie's committed outcome.
@@ -195,6 +222,12 @@ type SortieResult struct {
 	SARPoints int
 	// MeanSNRdB averages the finite supervision-budget SNRs.
 	MeanSNRdB float64
+	// Elections/Promotions count the swarm coordinator's activity (zero
+	// for single-relay missions).
+	Elections  int
+	Promotions int
+	// Handoffs are the sortie's mid-flight failover records, in order.
+	Handoffs []swarm.HandoffRecord
 }
 
 // TickObs is what the engine shows an observer each tick: enough to
@@ -231,7 +264,7 @@ func (r MissionResult) CSV() string {
 	var b strings.Builder
 	b.WriteString("sortie,start_tick,attempts,reads,read_rate_pct,relocks,resweeps,loss_events," +
 		"recoveries,failed_recoveries,breaker_trips,battery_swaps,launch_relock_ticks,aborted," +
-		"sar_points,mean_snr_db,tag_reads\n")
+		"sar_points,mean_snr_db,elections,promotions,tag_reads\n")
 	for _, s := range r.Sorties {
 		rate := 0.0
 		if s.Attempts > 0 {
@@ -241,11 +274,11 @@ func (r MissionResult) CSV() string {
 		for i, n := range s.TagReads {
 			tr[i] = fmt.Sprintf("%d", n)
 		}
-		fmt.Fprintf(&b, "%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%t,%d,%.3f,%s\n",
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%t,%d,%.3f,%d,%d,%s\n",
 			s.Sortie, s.StartTick, s.Attempts, s.Reads, rate,
 			s.Relocks, s.Resweeps, s.LossEvents, s.Recoveries, s.FailedRecoveries,
 			s.BreakerTrips, s.BatterySwaps, s.LaunchRelockTicks, s.Aborted,
-			s.SARPoints, s.MeanSNRdB, strings.Join(tr, ";"))
+			s.SARPoints, s.MeanSNRdB, s.Elections, s.Promotions, strings.Join(tr, ";"))
 	}
 	if r.LocOK {
 		fmt.Fprintf(&b, "# loc,%.4f,%.4f\n", r.LocX, r.LocY)
@@ -428,18 +461,61 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 	}
 
 	d, tags := e.buildDeployment(sortieSeed)
-	wd, err := relay.NewWatchdog(d.Relay, relay.WatchdogConfig{})
-	if err != nil {
-		rollback()
-		return SortieResult{}, err
+	var coord *swarm.Coordinator
+	var wd *relay.Watchdog
+	var err error
+	if e.cfg.Swarm.Enabled() {
+		// The coordinator replaces the deployment's relay with the elected
+		// primary's hardware; its member builds draw only from named splits
+		// of the deployment stream, so non-swarm missions are unperturbed.
+		coord, err = swarm.NewCoordinator(ctx, e.cfg.Swarm, d, e.carry.Swarm, e.cfg.Seed)
+		if err != nil {
+			rollback()
+			return SortieResult{}, err
+		}
+		wd = coord.PrimaryWatchdog()
+	} else {
+		wd, err = relay.NewWatchdog(d.Relay, relay.WatchdogConfig{})
+		if err != nil {
+			rollback()
+			return SortieResult{}, err
+		}
 	}
 	base := e.cur * e.cfg.TicksPerSortie
-	inj, err := fault.NewInjector(clipSchedule(e.cfg.Schedule, base, e.cfg.TicksPerSortie), d)
+	var injTarget fault.Target = d
+	if coord != nil {
+		// The coordinator absorbs the swarm-directed classes and passes
+		// everything else through to the deployment.
+		injTarget = coord
+	}
+	inj, err := fault.NewInjector(clipSchedule(e.cfg.Schedule, base, e.cfg.TicksPerSortie), injTarget)
 	if err != nil {
 		rollback()
 		return SortieResult{}, err
 	}
 	sup := NewSupervisor(e.cfg.Supervisor)
+	if coord != nil {
+		sup.Failover = coord
+	}
+
+	// Swarm missions fly the SAR aperture INSIDE the tick loop: the last
+	// SARPointsPerSortie ticks are capture ticks. That puts the capture
+	// under the supervisor's escalation ladder — a relay killed mid-
+	// aperture hands off to a shadow and the buffer keeps filling — which
+	// the end-of-sortie pass (kept for non-swarm missions, bit-identical)
+	// cannot do.
+	sarStart := e.cfg.TicksPerSortie + 1
+	var flight drone.Flight
+	var capTgt, capEmb []loc.Measurement
+	if coord != nil && e.cfg.SARPointsPerSortie > 0 {
+		sarStart = e.cfg.TicksPerSortie - e.cfg.SARPointsPerSortie
+		flight, err = e.sarFlight(ctx, sortieSeed)
+		if err != nil {
+			rollback()
+			return SortieResult{}, err
+		}
+		coord.OnHandoff = func(h *swarm.HandoffRecord) { h.SARCaptured = len(capTgt) }
+	}
 
 	res := SortieResult{
 		Sortie:    e.cur,
@@ -471,7 +547,18 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 			return SortieResult{}, fmt.Errorf("runtime: sortie %d cancelled at tick %d: %w",
 				res.Sortie, tick, err)
 		}
+		// Aperture ticks steer the relay along the planned SAR flight;
+		// OptiTrack drop-outs shorten the flight, so out-of-range ticks
+		// hover in place.
+		sarIdx := -1
+		if tick >= sarStart && tick-sarStart < len(flight.True) {
+			sarIdx = tick - sarStart
+			d.MoveRelay(flight.True[sarIdx])
+		}
 		inj.Step()
+		if coord != nil {
+			coord.TickCtx(ctx)
+		}
 		h := sup.TickCtx(ctx, d, wd, e.cfg.SwapDelayTicks, e.cfg.StationKeepStepM)
 		if h.Abort {
 			res.Aborted = true
@@ -487,6 +574,12 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 			snrN++
 		}
 		lockForReads := d.RelayLockHealthy()
+		if sarIdx >= 0 {
+			if mT, mE, _, ok := d.CaptureSARPoint(tags[0], flight.Measured[sarIdx]); ok {
+				capTgt = append(capTgt, mT)
+				capEmb = append(capEmb, mE)
+			}
+		}
 		reads := 0
 		for ti, tg := range tags {
 			res.Attempts++
@@ -521,9 +614,11 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 	}
 
 	// End-of-sortie SAR pass (skipped for an aborted sortie: the drone
-	// went straight home).
+	// went straight home). Swarm missions already captured in-loop; they
+	// disentangle whatever the (possibly handed-off) buffer holds.
 	var newSAR []loc.Measurement
-	if e.cfg.SARPointsPerSortie > 0 && !res.Aborted {
+	switch {
+	case coord == nil && e.cfg.SARPointsPerSortie > 0 && !res.Aborted:
 		cap, err := e.sarPass(ctx, d, tags[0], sortieSeed)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -535,9 +630,21 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 			newSAR = cap.Disentangled
 			res.SARPoints = len(newSAR)
 		}
+	case coord != nil && len(capTgt) > 0 && !res.Aborted:
+		dis, err := sim.DisentangleCapture(capTgt, capEmb)
+		if err == nil {
+			newSAR = dis
+			res.SARPoints = len(newSAR)
+		}
 	}
 
 	ws := wd.Stats()
+	if coord != nil {
+		// Fleet-wide watchdog activity: the shadows' re-sweeps count too.
+		ws = coord.WatchdogStats()
+		res.Elections, res.Promotions = coord.Counts()
+		res.Handoffs = append([]swarm.HandoffRecord(nil), coord.Handoffs()...)
+	}
 	ss := sup.Stats()
 	res.Relocks = ws.Relocks
 	res.Resweeps = ws.Resweeps
@@ -555,6 +662,11 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 		carry.RelayPowered = true
 		carry.RelayLocked = false
 	}
+	if coord != nil {
+		st := coord.State()
+		st.LandAndSwap()
+		carry.Swarm = st
+	}
 	e.carry = carry
 	for i, n := range res.TagReads {
 		e.tagReads[i] += n
@@ -570,16 +682,24 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 func (e *Engine) sarPass(ctx context.Context, d *sim.Deployment, tg *tag.Tag, sortieSeed uint64) (*sim.SARCapture, error) {
 	ctx, span := obs.StartSpan(ctx, "runtime.sar_pass")
 	defer span.End()
+	flight, err := e.sarFlight(ctx, sortieSeed)
+	if err != nil {
+		return nil, err
+	}
+	return d.CollectSARStepsCtx(ctx, flight, tg, nil)
+}
+
+// sarFlight plans and flies the sortie's aperture line (a ±1 m pass
+// through the relay station). The flight draws from the same named split
+// of the sortie seed whether the capture happens end-of-sortie or
+// in-loop, so both capture paths see identical trajectories.
+func (e *Engine) sarFlight(ctx context.Context, sortieSeed uint64) (drone.Flight, error) {
 	n := e.cfg.SARPointsPerSortie
 	p0 := geom.P(e.cfg.RelayPos.X-1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
 	p1 := geom.P(e.cfg.RelayPos.X+1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
 	plan := geom.Line(p0, p1, n)
 	fsrc := rng.New(sortieSeed).Split("sar-flight")
-	flight, err := drone.Bebop2().FlyCtx(ctx, plan, drone.DefaultOptiTrack(), fsrc)
-	if err != nil {
-		return nil, err
-	}
-	return d.CollectSARStepsCtx(ctx, flight, tg, nil)
+	return drone.Bebop2().FlyCtx(ctx, plan, drone.DefaultOptiTrack(), fsrc)
 }
 
 // RunSorties runs up to n further sorties, stopping early on a cancelled

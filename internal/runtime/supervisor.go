@@ -140,11 +140,31 @@ type SupervisorStats struct {
 	BatterySwaps   int
 }
 
+// FailoverAuthority is the swarm coordinator's face to the supervisor:
+// an extra escalation rung that can replace the serving relay outright.
+// The supervisor consults it when the relay's supply is lost — lock
+// trouble on a live airframe stays with the watchdog rung.
+type FailoverAuthority interface {
+	// FailoverCtx promotes a standby if one is eligible, reporting
+	// whether the primaryship moved.
+	FailoverCtx(ctx context.Context) bool
+	// PrimaryWatchdog returns the watchdog bound to the CURRENT primary,
+	// so the re-lock rung always drives the relay that is serving.
+	PrimaryWatchdog() *relay.Watchdog
+	// PrimaryAlive reports whether the serving airframe still exists; a
+	// battery swap on a destroyed one is forbidden.
+	PrimaryAlive() bool
+}
+
 // Supervisor drives one sortie's escalation policy. It is rebuilt fresh
 // each sortie (the landing between sorties resets the link), so none of
 // its state needs checkpointing.
 type Supervisor struct {
 	Cfg SupervisorConfig
+
+	// Failover, when set (swarm missions), adds a promotion rung to the
+	// escalation ladder and lets the ladder follow the primaryship.
+	Failover FailoverAuthority
 
 	brk      breaker
 	sagTicks int
@@ -206,14 +226,22 @@ func (s *Supervisor) TickCtx(ctx context.Context, d *sim.Deployment, wd *relay.W
 		return h
 	}
 
-	// Escalation: battery swap (mission-level), re-lock (watchdog),
-	// replan (station-keep + gain reprogramming). Each unhealthy tick
-	// advances every rung that applies — the rungs act on disjoint state,
-	// so running them together costs nothing and recovers fastest.
+	// Escalation: failover (swarm), battery swap (mission-level), re-lock
+	// (watchdog), replan (station-keep + gain reprogramming). Each
+	// unhealthy tick advances every rung that applies — the rungs act on
+	// disjoint state, so running them together costs nothing and recovers
+	// fastest.
 	ctx, esc := obs.StartSpan(ctx, "runtime.escalation")
 	esc.Bool("powered", h.Powered).Bool("lock_healthy", h.LockHealthy).
 		Bool("plan_stable", h.PlanStable).Bool("on_station", h.OnStation)
-	if !h.Powered {
+	if s.Failover != nil {
+		if !d.RelayPowered() {
+			s.Failover.FailoverCtx(ctx)
+		}
+		// The promotion may have moved the primaryship; follow it.
+		wd = s.Failover.PrimaryWatchdog()
+	}
+	if !d.RelayPowered() && (s.Failover == nil || s.Failover.PrimaryAlive()) {
 		s.sagTicks++
 		if s.sagTicks >= swapDelayTicks {
 			d.SetRelayPowered(true)

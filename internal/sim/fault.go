@@ -119,6 +119,10 @@ func (d *Deployment) ApplyFault(ev fault.Event) error {
 		}
 		d.faultIntf[ev] = intf
 		d.AddInterferer(intf)
+	case fault.RelayDeath, fault.RelayBrownOut, fault.MeshPartition:
+		// Swarm-directed classes target a fleet, not a single deployment:
+		// with nothing to fail over to, a lone relay cannot absorb them.
+		return fmt.Errorf("sim: %v fault needs a swarm coordinator", ev.Class)
 	default:
 		return fmt.Errorf("sim: unknown fault class %v", ev.Class)
 	}
@@ -157,6 +161,8 @@ func (d *Deployment) RevertFault(ev fault.Event) error {
 		}
 	case fault.SynthDrift, fault.IsolationCollapse, fault.BatterySag, fault.CarrierHop:
 		// persistent damage: no-op
+	case fault.RelayDeath, fault.RelayBrownOut, fault.MeshPartition:
+		// Apply already rejected these; nothing to undo.
 	default:
 		return fmt.Errorf("sim: unknown fault class %v", ev.Class)
 	}
@@ -312,12 +318,20 @@ func (d *Deployment) Sense() (float64, float64, bool) {
 	if d.Relay == nil || d.relayOff {
 		return 0, 0, false
 	}
+	return d.SenseAt(d.RelayPos)
+}
+
+// SenseAt is Sense evaluated at an arbitrary front-end position, for
+// receivers that are not the serving relay — a shadow relay holding a
+// pre-lock from its own station. It ignores the serving relay's power
+// state (each airframe has its own supply); callers gate on their own.
+func (d *Deployment) SenseAt(pos geom.Point) (float64, float64, bool) {
 	rcfg := d.Reader.Cfg
-	pow := d.Model.ReceivedPowerDBm(d.ReaderPos, d.RelayPos, rcfg.TxPowerDBm,
+	pow := d.Model.ReceivedPowerDBm(d.ReaderPos, pos, rcfg.TxPowerDBm,
 		rcfg.AntennaGainDB, 2)
 	best := d.readerHopHz
 	for _, i := range d.Interferers {
-		theirs := d.Model.ReceivedPowerDBm(i.Pos, d.RelayPos, i.TxPowerDBm,
+		theirs := d.Model.ReceivedPowerDBm(i.Pos, pos, i.TxPowerDBm,
 			i.AntennaGainDB, 2)
 		if theirs > pow {
 			pow, best = theirs, i.FreqOffset

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"rfly/internal/drone"
+	"rfly/internal/geom"
 	"rfly/internal/loc"
 	"rfly/internal/obs"
 	"rfly/internal/reader"
@@ -68,44 +69,81 @@ func (d *Deployment) CollectSARStepsCtx(ctx context.Context, f drone.Flight, tar
 		if onPoint != nil {
 			onPoint(i)
 		}
-		bud := d.LinkBudget(target)
-		if !bud.Powered || !bud.RelayStable {
+		mT, mE, snr, ok := d.CaptureSARPoint(target, f.Measured[i])
+		if !ok {
 			continue
 		}
-		// A capture requires decoding the tag's response; low-SNR points
-		// drop out of the synthetic aperture.
-		if !d.Reader.DrawDecodeSuccess(bud.SNRdB, 128) {
-			continue
-		}
-		hT, err := d.channelTo(target, bud.SNRdB)
-		if err != nil {
-			continue
-		}
-		ebud := d.embeddedBudget()
-		if !ebud.Powered {
-			continue
-		}
-		hE, err := d.embeddedChannel(ebud.SNRdB)
-		if err != nil {
-			continue
-		}
-		// The localizer sees the OptiTrack-measured position. Captures
-		// taken under a degraded carrier lock (residual CFO) carry no
-		// usable phase; tag them so LocalizeRobust can reject them.
-		mp := f.Measured[i]
-		unlocked := d.Relay.CFOHz() != 0 || !d.RelayLockHealthy()
-		cap.Target = append(cap.Target, loc.Measurement{Pos: mp, H: hT, Unlocked: unlocked})
-		cap.Embedded = append(cap.Embedded, loc.Measurement{Pos: mp, H: hE, Unlocked: unlocked})
-		snrSum += bud.SNRdB
+		cap.Target = append(cap.Target, mT)
+		cap.Embedded = append(cap.Embedded, mE)
+		snrSum += snr
 	}
 	if len(cap.Target) == 0 {
 		return nil, fmt.Errorf("sim: no usable captures along the flight")
 	}
-	tgt := signal.GetIQ(len(cap.Target))
-	ref := signal.GetIQ(len(cap.Embedded))
-	for i := range cap.Target {
-		tgt[i] = cap.Target[i].H
-		ref[i] = cap.Embedded[i].H
+	dis, err := DisentangleCapture(cap.Target, cap.Embedded)
+	if err != nil {
+		return nil, err
+	}
+	cap.Disentangled = dis
+	cap.MeanSNRdB = snrSum / float64(len(cap.Target))
+	return cap, nil
+}
+
+// CaptureSARPoint attempts one synthetic-aperture capture of target at
+// the relay's CURRENT position, pairing it with the embedded tag's
+// reference capture. measuredPos is the OptiTrack measurement of the
+// point (what the localizer will see). It returns ok = false when the
+// point contributes nothing — the tag is unpowered, the relay unstable,
+// or the decode fails — exactly the drop-out cases a real flight skips.
+// The draw order is load-bearing: it is the same sequence
+// CollectSARStepsCtx has always made, so the two capture paths (the
+// end-of-sortie pass and the swarm engine's in-loop aperture ticks)
+// produce bit-identical streams.
+func (d *Deployment) CaptureSARPoint(target *tag.Tag, measuredPos geom.Point) (loc.Measurement, loc.Measurement, float64, bool) {
+	var zero loc.Measurement
+	bud := d.LinkBudget(target)
+	if !bud.Powered || !bud.RelayStable {
+		return zero, zero, 0, false
+	}
+	// A capture requires decoding the tag's response; low-SNR points
+	// drop out of the synthetic aperture.
+	if !d.Reader.DrawDecodeSuccess(bud.SNRdB, 128) {
+		return zero, zero, 0, false
+	}
+	hT, err := d.channelTo(target, bud.SNRdB)
+	if err != nil {
+		return zero, zero, 0, false
+	}
+	ebud := d.embeddedBudget()
+	if !ebud.Powered {
+		return zero, zero, 0, false
+	}
+	hE, err := d.embeddedChannel(ebud.SNRdB)
+	if err != nil {
+		return zero, zero, 0, false
+	}
+	// The localizer sees the OptiTrack-measured position. Captures
+	// taken under a degraded carrier lock (residual CFO) carry no
+	// usable phase; tag them so LocalizeRobust can reject them.
+	unlocked := d.Relay.CFOHz() != 0 || !d.RelayLockHealthy()
+	mT := loc.Measurement{Pos: measuredPos, H: hT, Unlocked: unlocked}
+	mE := loc.Measurement{Pos: measuredPos, H: hE, Unlocked: unlocked}
+	return mT, mE, bud.SNRdB, true
+}
+
+// DisentangleCapture divides per-point target captures by their paired
+// embedded-tag references (Eq. 10) and returns the disentangled
+// measurements the localizer consumes. Both slices must be point-aligned.
+func DisentangleCapture(target, embedded []loc.Measurement) ([]loc.Measurement, error) {
+	if len(target) == 0 || len(target) != len(embedded) {
+		return nil, fmt.Errorf("sim: disentangle needs aligned captures (got %d target, %d embedded)",
+			len(target), len(embedded))
+	}
+	tgt := signal.GetIQ(len(target))
+	ref := signal.GetIQ(len(embedded))
+	for i := range target {
+		tgt[i] = target[i].H
+		ref[i] = embedded[i].H
 	}
 	dis, err := loc.Disentangle(tgt, ref)
 	signal.PutIQ(tgt)
@@ -113,16 +151,15 @@ func (d *Deployment) CollectSARStepsCtx(ctx context.Context, f drone.Flight, tar
 	if err != nil {
 		return nil, err
 	}
-	cap.Disentangled = make([]loc.Measurement, len(dis))
+	out := make([]loc.Measurement, len(dis))
 	for i := range dis {
-		cap.Disentangled[i] = loc.Measurement{
-			Pos:      cap.Target[i].Pos,
+		out[i] = loc.Measurement{
+			Pos:      target[i].Pos,
 			H:        dis[i],
-			Unlocked: cap.Target[i].Unlocked,
+			Unlocked: target[i].Unlocked,
 		}
 	}
-	cap.MeanSNRdB = snrSum / float64(len(cap.Target))
-	return cap, nil
+	return out, nil
 }
 
 // ReadAttempt performs one complete read attempt of a tag at the current

@@ -138,6 +138,12 @@ func New(cfg Config, seed uint64) *Deployment {
 	return d
 }
 
+// Stream returns a named deterministic split of the deployment's root
+// RNG stream. Splitting never consumes parent state (see rng.Split), so
+// a new consumer — the swarm coordinator building its fleet members —
+// cannot perturb any draw the deployment itself makes.
+func (d *Deployment) Stream(name string) *rng.Source { return d.src.Split(name) }
+
 // AddTag places a tag in the scene and returns it.
 func (d *Deployment) AddTag(e epc.EPC, pos geom.Point) *tag.Tag {
 	t := tag.New(e, pos, tag.DefaultConfig(), d.src.Split("tag-"+e.String()))

@@ -1,0 +1,182 @@
+// Package swarm is the mission-scoped multi-relay coordinator: it
+// manages a fleet of relay drones as a routed mesh over the existing
+// relay machinery, elects a primary per coverage cell with a
+// deterministic, seeded, term-numbered election, keeps shadow relays
+// pre-locked on the reader's frequency plan through the relay.Watchdog
+// carrier-sense path, and — when the primary dies mid-sortie — promotes
+// a shadow in place so the SAR capture continues over a seamless buffer.
+//
+// Determinism is the same contract the rest of the repo keeps: every
+// election draw comes from a pure function of (mission seed, term,
+// member ID), never from iteration order or wall clock, so a chaos run
+// that kills the primary at a random tick replays bit-identically.
+package swarm
+
+import (
+	"fmt"
+
+	"rfly/internal/geom"
+)
+
+// Topology selects which members of the mesh can donate a shadow to the
+// serving cell, mirroring the relay-connectivity configurations of the
+// multi-relay evaluation (MINIMAL / CROSS_ROW / ALL_CONNECT).
+type Topology int
+
+const (
+	// TopoMinimal: only members stationed in the serving cell are
+	// promotion candidates (MINIMAL connectivity).
+	TopoMinimal Topology = iota
+	// TopoCrossRow: the serving cell plus its adjacent cells can donate
+	// (CROSS_ROW connectivity).
+	TopoCrossRow
+	// TopoAllConnect: any live member anywhere in the mesh can be
+	// promoted (ALL_CONNECT connectivity).
+	TopoAllConnect
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case TopoMinimal:
+		return "minimal"
+	case TopoCrossRow:
+		return "cross-row"
+	case TopoAllConnect:
+		return "all-connect"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// ParseTopology converts a string (as produced by String) to a Topology.
+func ParseTopology(s string) (Topology, error) {
+	for _, t := range []Topology{TopoMinimal, TopoCrossRow, TopoAllConnect} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("swarm: unknown topology %q", s)
+}
+
+// Config shapes the fleet. The zero value disables the swarm entirely
+// (single-relay missions are byte-identical to the pre-swarm engine).
+type Config struct {
+	// Relays is the fleet size; 0 disables the coordinator, 1 flies the
+	// fleet machinery with no shadow to fail over to.
+	Relays int
+	// Cells is how many coverage cells the fleet spreads over (default 1).
+	// Members are assigned round-robin; cell 0 is the serving cell, where
+	// the mission's relay station is.
+	Cells int
+	// Topology bounds shadow donation across cells.
+	Topology Topology
+	// ColdSpares, when true, leaves shadows unlocked (cold standby): a
+	// promoted spare must re-acquire the carrier before it serves, which
+	// is exactly the latency the hot pre-lock buys back.
+	ColdSpares bool
+	// CellSpacingM is the distance between adjacent cell stations along
+	// the corridor (default 8 m).
+	CellSpacingM float64
+}
+
+// Enabled reports whether the config asks for a coordinated fleet.
+func (c Config) Enabled() bool { return c.Relays > 0 }
+
+// Defaults fills zero fields in place.
+func (c *Config) Defaults() {
+	if c.Cells <= 0 {
+		c.Cells = 1
+	}
+	if c.CellSpacingM <= 0 {
+		c.CellSpacingM = 8
+	}
+}
+
+// Validate rejects unusable fleet shapes.
+func (c Config) Validate() error {
+	if c.Relays < 0 {
+		return fmt.Errorf("swarm: negative fleet size %d", c.Relays)
+	}
+	if c.Topology < TopoMinimal || c.Topology > TopoAllConnect {
+		return fmt.Errorf("swarm: unknown topology %d", int(c.Topology))
+	}
+	if c.Cells > c.Relays && c.Relays > 0 {
+		return fmt.Errorf("swarm: %d cells cannot be covered by %d relays", c.Cells, c.Relays)
+	}
+	return nil
+}
+
+// MemberState is one fleet member's serializable state — everything a
+// checkpoint must carry so a resumed mission rebuilds the same fleet.
+type MemberState struct {
+	// Cell is the coverage cell the member is stationed in.
+	Cell int
+	// Alive is false once the airframe is destroyed (RelayDeath); dead
+	// members never come back, not even through a battery swap.
+	Alive bool
+	// Powered is the member's own supply rail (RelayBrownOut drops it).
+	Powered bool
+	// Locked/ReaderFreq/CFOHz mirror the member relay's carrier lock.
+	Locked     bool
+	ReaderFreq float64
+	CFOHz      float64
+	// Pos is the airframe's physical position.
+	Pos geom.Point
+}
+
+// State is the coordinator's carryover: the election term, the current
+// primary, and every member's state. It crosses sortie boundaries (and
+// checkpoints) exactly like runtime.Carryover.
+type State struct {
+	// Term is the monotone election term; it never resets within a
+	// mission, so re-elections across sorties stay ordered.
+	Term uint64
+	// Primary indexes Members.
+	Primary int
+	// Members is the fleet, index-aligned with member IDs.
+	Members []MemberState
+}
+
+// LandAndSwap applies the between-sorties ground turnaround to the fleet:
+// every surviving member gets a fresh battery (powered, but unlocked —
+// PLLs lose state through a power cycle), while destroyed airframes stay
+// gone. It mirrors what the engine's commit does for the single relay.
+func (s *State) LandAndSwap() {
+	for i := range s.Members {
+		m := &s.Members[i]
+		if !m.Alive {
+			m.Powered = false
+			m.Locked = false
+			continue
+		}
+		if !m.Powered {
+			m.Powered = true
+			m.Locked = false
+			m.ReaderFreq = 0
+			m.CFOHz = 0
+		}
+	}
+}
+
+// HandoffRecord is the checkpoint event a mid-sortie failover emits: it
+// snapshots where the SAR capture buffer stood when the shadow took
+// over, so the zero-loss invariant (no capture sample dropped across the
+// handoff) is checkable after the fact.
+type HandoffRecord struct {
+	// Term is the election term the promotion opened.
+	Term uint64
+	// FromID/ToID are the outgoing and incoming primaries' member IDs.
+	FromID int
+	ToID   int
+	// Tick is the coordinator tick (sortie-relative) of the promotion.
+	Tick int
+	// SARCaptured is the capture-buffer length at the handoff.
+	SARCaptured int
+	// LatencyTicks is how many ticks the cell went unserved before the
+	// promotion (0 = same-tick failover).
+	LatencyTicks int
+	// PreLocked records whether the incoming primary already held a
+	// healthy carrier lock (a hot shadow) at promotion.
+	PreLocked bool
+}

@@ -1,0 +1,257 @@
+package swarm
+
+import (
+	"context"
+	"testing"
+
+	"rfly/internal/fault"
+	"rfly/internal/geom"
+	"rfly/internal/sim"
+	"rfly/internal/world"
+)
+
+// rig builds a healthy relay deployment (reader far enough that tags
+// need the relay) and a coordinator over it.
+func rig(t *testing.T, cfg Config, seed uint64) (*sim.Deployment, *Coordinator) {
+	t.Helper()
+	d := sim.New(sim.Config{
+		Scene:     world.OpenSpace(),
+		ReaderPos: geom.P2(-12, 1),
+		UseRelay:  true,
+		RelayPos:  geom.P2(0, 0),
+	}, seed)
+	c, err := NewCoordinator(context.Background(), cfg, d, State{}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Relays: -1},
+		{Relays: 2, Topology: Topology(9)},
+		{Relays: 2, Cells: 3},
+	}
+	for _, c := range bad {
+		c.Defaults()
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+	good := Config{Relays: 3, Cells: 2, Topology: TopoCrossRow}
+	good.Defaults()
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if !good.Enabled() || (Config{}).Enabled() {
+		t.Error("Enabled should track Relays > 0")
+	}
+}
+
+func TestParseTopologyRoundTrip(t *testing.T) {
+	for _, topo := range []Topology{TopoMinimal, TopoCrossRow, TopoAllConnect} {
+		got, err := ParseTopology(topo.String())
+		if err != nil || got != topo {
+			t.Errorf("round trip of %v: got %v, %v", topo, got, err)
+		}
+	}
+	if _, err := ParseTopology("full-mesh"); err == nil {
+		t.Error("unknown topology parsed")
+	}
+}
+
+func TestFirstElectionDeterministic(t *testing.T) {
+	_, a := rig(t, Config{Relays: 4}, 42)
+	_, b := rig(t, Config{Relays: 4}, 42)
+	if a.Primary() != b.Primary() || a.Term() != b.Term() {
+		t.Fatalf("same seed elected differently: %d/%d vs %d/%d",
+			a.Primary(), a.Term(), b.Primary(), b.Term())
+	}
+	if a.Term() != 1 {
+		t.Fatalf("first election should open term 1, got %d", a.Term())
+	}
+}
+
+// kill destroys the current primary and returns the fault event so the
+// test can revert it.
+func kill(t *testing.T, c *Coordinator) fault.Event {
+	t.Helper()
+	ev := fault.Event{Class: fault.RelayDeath, Start: 1, Severity: 1}
+	if err := c.ApplyFault(ev); err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestTopologyBoundsPromotion(t *testing.T) {
+	ctx := context.Background()
+
+	// Minimal connectivity: members in other cells cannot donate. With
+	// the serving cell's only member dead, there is no successor.
+	_, c := rig(t, Config{Relays: 3, Cells: 3, Topology: TopoMinimal}, 7)
+	if c.Primary() != 0 {
+		t.Fatalf("serving-cell member should win the first election, got %d", c.Primary())
+	}
+	kill(t, c)
+	if c.FailoverCtx(ctx) {
+		t.Fatal("minimal topology promoted across cells")
+	}
+
+	// Cross-row: the adjacent cell's member is the only candidate.
+	_, c = rig(t, Config{Relays: 3, Cells: 3, Topology: TopoCrossRow}, 7)
+	kill(t, c)
+	if !c.FailoverCtx(ctx) || c.Primary() != 1 {
+		t.Fatalf("cross-row should promote the adjacent cell's member 1, got %d", c.Primary())
+	}
+
+	// All-connect: every live member is a candidate; the nearer cell
+	// still wins the distance rank.
+	_, c = rig(t, Config{Relays: 3, Cells: 3, Topology: TopoAllConnect}, 7)
+	kill(t, c)
+	if !c.FailoverCtx(ctx) || c.Primary() != 1 {
+		t.Fatalf("all-connect should promote nearest member 1, got %d", c.Primary())
+	}
+	// Kill again: only the far cell remains.
+	kill(t, c)
+	if !c.FailoverCtx(ctx) || c.Primary() != 2 {
+		t.Fatalf("second failover should reach cell 2's member, got %d", c.Primary())
+	}
+}
+
+func TestMeshPartitionSeversDonation(t *testing.T) {
+	ctx := context.Background()
+	_, c := rig(t, Config{Relays: 3, Cells: 3, Topology: TopoAllConnect}, 7)
+	part := fault.Event{Class: fault.MeshPartition, Start: 1, Duration: 5, Severity: 1}
+	if err := c.ApplyFault(part); err != nil {
+		t.Fatal(err)
+	}
+	kill(t, c)
+	if c.FailoverCtx(ctx) {
+		t.Fatal("partitioned mesh still donated a cross-cell shadow")
+	}
+	if err := c.RevertFault(part); err != nil {
+		t.Fatal(err)
+	}
+	if !c.FailoverCtx(ctx) {
+		t.Fatal("healed partition should allow the promotion")
+	}
+	if e, p := c.Counts(); e != 2 || p != 1 {
+		t.Fatalf("want 2 elections, 1 promotion; got %d, %d", e, p)
+	}
+}
+
+func TestDeathIsPermanentBrownOutIsNot(t *testing.T) {
+	d, c := rig(t, Config{Relays: 3}, 7)
+
+	// Brown-out on the primary drops the deployment rail; the revert
+	// heals the member it hit (pinned at apply time), even though the
+	// primaryship moved in between.
+	brown := fault.Event{Class: fault.RelayBrownOut, Start: 1, Duration: 3, Severity: 1}
+	old := c.Primary()
+	if err := c.ApplyFault(brown); err != nil {
+		t.Fatal(err)
+	}
+	if d.RelayPowered() {
+		t.Fatal("primary brown-out left the deployment rail up")
+	}
+	if !c.FailoverCtx(context.Background()) {
+		t.Fatal("no promotion after primary brown-out")
+	}
+	if !d.RelayPowered() {
+		t.Fatal("promotion should restore service")
+	}
+	if err := c.RevertFault(brown); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	if !st.Members[old].Powered {
+		t.Fatal("brown-out revert did not heal the member it hit")
+	}
+	if c.Primary() == old {
+		t.Fatal("revert must not snap the primaryship back")
+	}
+
+	// Death is forever: the revert is a no-op.
+	death := fault.Event{Class: fault.RelayDeath, Start: 5, Duration: 2, Severity: 1, Param: float64(old) + 1}
+	if err := c.ApplyFault(death); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RevertFault(death); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.State(); st.Members[old].Alive || st.Members[old].Powered {
+		t.Fatal("destroyed airframe revived on revert")
+	}
+}
+
+func TestNonSwarmFaultsDelegate(t *testing.T) {
+	d, c := rig(t, Config{Relays: 2}, 7)
+	gust := fault.Event{Class: fault.WindGust, Start: 1, Duration: 2, Severity: 1, Param: 2}
+	before := d.RelayPos
+	if err := c.ApplyFault(gust); err != nil {
+		t.Fatal(err)
+	}
+	if d.RelayPos == before {
+		t.Fatal("delegated gust did not displace the relay")
+	}
+	if err := c.RevertFault(gust); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwarmFaultsNeedCoordinator(t *testing.T) {
+	d := sim.New(sim.Config{
+		Scene:     world.OpenSpace(),
+		ReaderPos: geom.P2(-12, 1),
+		UseRelay:  true,
+		RelayPos:  geom.P2(0, 0),
+	}, 7)
+	ev := fault.Event{Class: fault.RelayDeath, Start: 0, Severity: 1}
+	if err := d.ApplyFault(ev); err == nil {
+		t.Fatal("bare deployment accepted a swarm-directed fault")
+	}
+	if err := d.RevertFault(ev); err != nil {
+		t.Fatalf("revert of a rejected apply should be a no-op, got %v", err)
+	}
+}
+
+func TestRestoreReElectsWhenCarriedPrimaryDead(t *testing.T) {
+	d, c := rig(t, Config{Relays: 3}, 7)
+	kill(t, c)
+	st := c.State()
+	st.LandAndSwap()
+	c2, err := NewCoordinator(context.Background(), Config{Relays: 3}, d, st, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Primary() == c.Primary() {
+		t.Fatal("restore kept a dead primary")
+	}
+	if c2.Term() != c.Term()+1 {
+		t.Fatalf("restore election should advance the carried term: %d after %d", c2.Term(), c.Term())
+	}
+	if !c2.PrimaryAlive() {
+		t.Fatal("restored primary is dead")
+	}
+}
+
+func TestLandAndSwap(t *testing.T) {
+	st := State{Members: []MemberState{
+		{Alive: true, Powered: true, Locked: true, ReaderFreq: 915e6},
+		{Alive: true, Powered: false, Locked: true, ReaderFreq: 915e6, CFOHz: 100},
+		{Alive: false, Powered: false, Locked: true},
+	}}
+	st.LandAndSwap()
+	if !st.Members[0].Locked {
+		t.Fatal("powered member should keep its lock through the turnaround")
+	}
+	m1 := st.Members[1]
+	if !m1.Powered || m1.Locked || m1.ReaderFreq != 0 || m1.CFOHz != 0 {
+		t.Fatalf("dark member should get a fresh battery and a cold PLL: %+v", m1)
+	}
+	m2 := st.Members[2]
+	if m2.Powered || m2.Locked {
+		t.Fatalf("dead member revived by the ground crew: %+v", m2)
+	}
+}
