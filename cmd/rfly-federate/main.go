@@ -1,0 +1,158 @@
+// rfly-federate is the federation coordinator daemon: it fronts a
+// fleet of rfly-serve nodes, placing missions on consistent-hash ring
+// owners, replicating sortie checkpoints to a successor node, and
+// re-leasing in-flight missions when the health detector declares a
+// node dead.
+//
+//	POST /v1/missions      submit (202; 503 when read-only or no node
+//	                       can take the work)
+//	GET  /v1/missions/{id} poll a federated mission
+//	GET  /v1/missions      list federated missions
+//	GET  /v1/nodes         per-node health, gossiped load, read-only flag
+//	GET  /healthz          liveness (503 while degraded to read-only)
+//	GET  /metrics          routing/replication/failover counters
+//
+// Nodes come from -nodes (comma-separated base URLs of running
+// rfly-serve instances) or -spawn N, which starts N in-process fleet
+// nodes on loopback ports — a self-contained federation for demos and
+// CI smoke runs.
+//
+// Usage:
+//
+//	rfly-federate -nodes http://a:8080,http://b:8080 [-addr :8090]
+//	rfly-federate -spawn 3 [-shards 1] [-sorties 2] [-ticks 24]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rfly/internal/federation"
+	"rfly/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "coordinator HTTP listen address")
+	nodeList := flag.String("nodes", "", "comma-separated rfly-serve base URLs")
+	spawn := flag.Int("spawn", 0, "start N in-process fleet nodes on loopback ports")
+	shards := flag.Int("shards", 1, "(spawn) shards per node")
+	queueCap := flag.Int("queue", 0, "(spawn) admission queue capacity (0 = 16×shards)")
+	maxBatch := flag.Int("batch", 8, "(spawn) max batch size per node")
+	sorties := flag.Int("sorties", 1, "(spawn) sorties per mission")
+	ticks := flag.Int("ticks", 12, "(spawn) ticks per sortie")
+	seed := flag.Uint64("seed", 1, "coordinator seed (retry jitter, derived mission seeds)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "health probe period")
+	suspectAfter := flag.Duration("suspect-after", 0, "silence before a node is suspect (0 = 3×heartbeat)")
+	deadAfter := flag.Duration("dead-after", 0, "silence before a node is dead (0 = 10×heartbeat)")
+	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "per-forwarded-request timeout")
+	flag.Parse()
+
+	var nodes []string
+	if *nodeList != "" {
+		for _, n := range strings.Split(*nodeList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	var spawned []*fleet.Scheduler
+	if *spawn > 0 {
+		for i := 0; i < *spawn; i++ {
+			sched, err := fleet.New(fleet.Config{
+				Shards:         *shards,
+				QueueCap:       *queueCap,
+				MaxBatch:       *maxBatch,
+				Sorties:        *sorties,
+				TicksPerSortie: *ticks,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			sched.Start()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			srv := &http.Server{
+				Handler:           fleet.NewHandler(sched),
+				ReadHeaderTimeout: 5 * time.Second,
+				IdleTimeout:       120 * time.Second,
+			}
+			go srv.Serve(ln)
+			defer srv.Close()
+			spawned = append(spawned, sched)
+			nodes = append(nodes, "http://"+ln.Addr().String())
+			fmt.Printf("spawned node %d on %s (%d shards)\n", i, ln.Addr(), *shards)
+		}
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "rfly-federate: need -nodes or -spawn")
+		os.Exit(2)
+	}
+
+	coord, err := federation.New(federation.Config{
+		Nodes:          nodes,
+		Seed:           *seed,
+		Heartbeat:      *heartbeat,
+		SuspectAfter:   *suspectAfter,
+		DeadAfter:      *deadAfter,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	coord.Start()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           fleet.WithRequestTimeout(federation.NewHandler(coord), *reqTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Printf("rfly-federate on %s fronting %d nodes\n", *addr, len(nodes))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "rfly-federate:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("rfly-federate: shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "rfly-federate: http shutdown:", err)
+	}
+	coord.Stop()
+	for _, s := range spawned {
+		if err := s.Stop(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rfly-federate:", err)
+		}
+	}
+	snap := coord.Metrics().Snapshot()
+	fmt.Printf("stopped: %d routed, %d spilled, %d replicated, %d failovers, %d completed\n",
+		snap.Routed, snap.Spilled, snap.Replicated, snap.Failovers, snap.Completed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfly-federate:", err)
+	os.Exit(1)
+}

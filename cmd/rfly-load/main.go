@@ -11,14 +11,22 @@
 // With -spawn the generator starts an in-process fleet + HTTP server on
 // a loopback port first, so CI gets a self-contained smoke run.
 //
+// With -federation the generator instead sweeps the federated tier's
+// scaling curve: it spawns 1-, 2-, and 4-node in-process fleets, fronts
+// each with a federation coordinator, drives the same closed-loop
+// workload through the coordinator's HTTP API, and writes the combined
+// perf.FederationReport to -out (BENCH_federation.json).
+//
 // Usage:
 //
 //	rfly-load -addr host:port [-n 256] [-c 64] [-out BENCH_serve.json]
 //	rfly-load -spawn [-shards 4] [-queue 64] [-batch 8] ...
+//	rfly-load -federation [-n 48] [-c 8] [-out BENCH_federation.json]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rfly/internal/federation"
 	"rfly/internal/fleet"
 	"rfly/internal/perf"
 )
@@ -49,8 +58,21 @@ func main() {
 	ticks := flag.Int("ticks", 12, "(spawn) ticks per sortie")
 	deadlineMs := flag.Int("deadline-ms", 0, "per-request deadline in ms (0 = none)")
 	pollEvery := flag.Duration("poll", 10*time.Millisecond, "status poll interval")
-	out := flag.String("out", "BENCH_serve.json", "report path")
+	fed := flag.Bool("federation", false, "sweep 1-, 2-, and 4-node federated fleets instead of one server")
+	out := flag.String("out", "", "report path (default BENCH_serve.json, or BENCH_federation.json with -federation)")
 	flag.Parse()
+
+	if *out == "" {
+		*out = "BENCH_serve.json"
+		if *fed {
+			*out = "BENCH_federation.json"
+		}
+	}
+	if *fed {
+		runFederation(*n, *c, *shards, *queueCap, *maxBatch, *sorties, *ticks,
+			*deadlineMs, *pollEvery, *out)
+		return
+	}
 
 	var sched *fleet.Scheduler
 	if *spawn {
@@ -230,6 +252,15 @@ func driveOne(client *http.Client, base, region string, worker, deadlineMs int,
 			}
 			time.Sleep(retryAfter)
 			continue
+		case http.StatusServiceUnavailable:
+			// The federation coordinator 503s when every node shed the
+			// work; a closed-loop generator's job is to keep pressure
+			// on, so back off briefly and resubmit.
+			rejections.Add(1)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(100 * time.Millisecond)
+			continue
 		default:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -279,6 +310,171 @@ func quantile(xs []float64, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// fleetSizes is the scaling curve the federation benchmark sweeps.
+var fleetSizes = []int{1, 2, 4}
+
+// runFederation drives the same closed-loop workload through 1-, 2-,
+// and 4-node federated fleets and writes the combined scaling curve.
+func runFederation(n, c, shards, queueCap, maxBatch, sorties, ticks, deadlineMs int,
+	pollEvery time.Duration, out string) {
+	rep := perf.FederationReport{
+		Requests:      n,
+		Concurrency:   c,
+		ShardsPerNode: shards,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	for _, size := range fleetSizes {
+		pt, err := driveFleet(size, n, c, shards, queueCap, maxBatch, sorties, ticks,
+			deadlineMs, pollEvery)
+		if err != nil {
+			fatal(err)
+		}
+		if len(rep.Fleets) == 0 {
+			pt.SpeedupVsSolo = 1
+		} else if solo := rep.Fleets[0].ThroughputRPS; solo > 0 {
+			pt.SpeedupVsSolo = pt.ThroughputRPS / solo
+		}
+		rep.Fleets = append(rep.Fleets, pt)
+		fmt.Printf("%d node(s): %d/%d completed in %.2fs, %.1f missions/s (%.2fx solo), p50 %.0f ms, p99 %.0f ms, %d spilled\n",
+			pt.Nodes, pt.Completed, n, pt.DurationS, pt.ThroughputRPS, pt.SpeedupVsSolo,
+			pt.LatencyP50Ms, pt.LatencyP99Ms, pt.Spilled)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("report written to %s\n", out)
+	for _, pt := range rep.Fleets {
+		if pt.Completed == 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// driveFleet spawns size in-process fleet nodes behind a federation
+// coordinator, pushes the closed-loop workload through the
+// coordinator's HTTP API, and returns the point's measurements.
+func driveFleet(size, n, c, shards, queueCap, maxBatch, sorties, ticks, deadlineMs int,
+	pollEvery time.Duration) (perf.FederationPoint, error) {
+	var pt perf.FederationPoint
+	pt.Nodes = size
+
+	var (
+		nodeURLs []string
+		scheds   []*fleet.Scheduler
+		servers  []*http.Server
+	)
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, s := range scheds {
+			s.Stop(ctx)
+		}
+	}()
+	for i := 0; i < size; i++ {
+		sched, err := fleet.New(fleet.Config{
+			Shards:         shards,
+			QueueCap:       queueCap,
+			MaxBatch:       maxBatch,
+			Sorties:        sorties,
+			TicksPerSortie: ticks,
+		})
+		if err != nil {
+			return pt, err
+		}
+		sched.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return pt, err
+		}
+		srv := &http.Server{Handler: fleet.NewHandler(sched)}
+		go srv.Serve(ln)
+		scheds = append(scheds, sched)
+		servers = append(servers, srv)
+		nodeURLs = append(nodeURLs, "http://"+ln.Addr().String())
+	}
+
+	// Generous detector timings: the benchmark saturates the CPU with
+	// sorties, and a slow /metrics answer must read as load, not death.
+	coord, err := federation.New(federation.Config{
+		Nodes:          nodeURLs,
+		Seed:           1,
+		Heartbeat:      250 * time.Millisecond,
+		PollEvery:      pollEvery,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return pt, err
+	}
+	coord.Start()
+	defer coord.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return pt, err
+	}
+	fsrv := &http.Server{Handler: federation.NewHandler(coord)}
+	go fsrv.Serve(ln)
+	defer fsrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	regions := []string{"corridor-east", "corridor-west", "dock"}
+	var (
+		submitted  atomic.Int64
+		rejections atomic.Int64
+		completed  atomic.Int64
+		failed     atomic.Int64
+		mu         sync.Mutex
+		latencies  []float64
+	)
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for submitted.Add(1) <= int64(n) {
+				region := regions[worker%len(regions)]
+				lat, outcome := driveOne(client, base, region, worker, deadlineMs, pollEvery, &rejections)
+				if outcome == "done" {
+					completed.Add(1)
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	pt.Completed = int(completed.Load())
+	pt.Failed = int(failed.Load())
+	pt.DurationS = dur.Seconds()
+	if dur > 0 {
+		pt.ThroughputRPS = float64(pt.Completed) / dur.Seconds()
+	}
+	sort.Float64s(latencies)
+	pt.LatencyP50Ms = quantile(latencies, 0.50)
+	pt.LatencyP95Ms = quantile(latencies, 0.95)
+	pt.LatencyP99Ms = quantile(latencies, 0.99)
+	snap := coord.Metrics().Snapshot()
+	pt.Spilled = snap.Spilled
+	pt.Replicated = snap.Replicated
+	pt.Failovers = snap.Failovers
+	return pt, nil
 }
 
 func fatal(err error) {

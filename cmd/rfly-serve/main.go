@@ -19,6 +19,7 @@
 //
 //	rfly-serve [-addr :8080] [-shards 4] [-queue 64] [-batch 8]
 //	           [-sorties 1] [-ticks 12] [-ckpt-dir DIR] [-pprof ADDR]
+//	           [-req-timeout 10s]
 package main
 
 import (
@@ -47,6 +48,7 @@ func main() {
 	ckptDir := flag.String("ckpt-dir", "", "directory for drain-time shard checkpoints (empty = skip)")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful drain bound")
+	reqTimeout := flag.Duration("req-timeout", 10*time.Second, "per-request handler timeout (0 = unbounded)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -73,7 +75,18 @@ func main() {
 	}
 	sched.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: fleet.NewHandler(sched)}
+	// A stalled or hostile client must not pin a connection forever:
+	// ReadHeaderTimeout bounds the slow-loris window, IdleTimeout reaps
+	// parked keep-alives, and the per-request context timeout cuts off
+	// any handler a dead client would otherwise hold open. Shard workers
+	// never block on a request context, so a timed-out request costs
+	// only its own goroutine.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           fleet.WithRequestTimeout(fleet.NewHandler(sched), *reqTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

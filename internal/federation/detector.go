@@ -1,0 +1,234 @@
+package federation
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Failure detection: one prober goroutine per node sends heartbeats on
+// a fixed cadence and times how long the node has gone unheard. A node
+// is alive while heartbeats land, suspect once silence passes
+// SuspectAfter (routing avoids it but nothing is re-leased — suspicion
+// tolerates a GC pause or a dropped packet), and dead once silence
+// passes DeadAfter, at which point the OnDead callback fires exactly
+// once per down-transition and the coordinator starts failover. A node
+// that answers again after death is readmitted with a bumped
+// incarnation, so a flapping node cannot double-fire its death.
+//
+// Each heartbeat piggybacks the node's load (its admission queue depth)
+// — the one piece of gossip the shedding path needs to pick the
+// next-least-loaded node without extra round trips.
+
+// NodeState is a probed node's health classification.
+type NodeState int
+
+const (
+	StateAlive NodeState = iota
+	StateSuspect
+	StateDead
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Probe is one heartbeat: it returns the node's current load, or an
+// error when the node is unreachable (or draining).
+type Probe func(ctx context.Context, node string) (Load, error)
+
+// Load is the gossip a heartbeat carries back.
+type Load struct {
+	// QueueDepth is the node's admission backlog.
+	QueueDepth int64
+	// InFlightHint counts work the coordinator has routed there and not
+	// yet seen finish; the detector stores what the probe reports and
+	// the coordinator folds in its own view.
+	InFlightHint int64
+}
+
+// DetectorConfig shapes a Detector.
+type DetectorConfig struct {
+	Heartbeat    time.Duration
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// ProbeTimeout bounds a single heartbeat. It is deliberately NOT the
+	// heartbeat period: a node that answers slowly (CPU-saturated by a
+	// sortie, single-core box) is alive, and declaring it dead would
+	// trade a slow mission for a spurious failover. Zero defaults to
+	// DeadAfter — a real death still fails fast (connection refused),
+	// while a slow answer inside the death window resets the clock.
+	ProbeTimeout time.Duration
+	Probe        Probe
+	// OnDead fires (from the prober goroutine) once per down-transition.
+	OnDead func(node string)
+	// OnAlive fires when a dead node answers again.
+	OnAlive func(node string)
+}
+
+type nodeHealth struct {
+	state       NodeState
+	lastOK      time.Time
+	load        Load
+	incarnation uint64
+}
+
+// Detector runs the heartbeat probers. Build with NewDetector, call
+// Start, and Stop when done.
+type Detector struct {
+	cfg DetectorConfig
+
+	mu    sync.Mutex
+	nodes map[string]*nodeHealth
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewDetector builds a stopped detector over the node set.
+func NewDetector(nodes []string, cfg DetectorConfig) *Detector {
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Detector{cfg: cfg, nodes: make(map[string]*nodeHealth, len(nodes)), ctx: ctx, cancel: cancel}
+	now := time.Now()
+	for _, n := range nodes {
+		// Nodes start alive: the fleet was presumably just launched, and
+		// declaring everyone dead before the first heartbeat would trip
+		// read-only mode at startup.
+		d.nodes[n] = &nodeHealth{state: StateAlive, lastOK: now}
+	}
+	return d
+}
+
+// Start launches one prober per node.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for n := range d.nodes {
+		d.wg.Add(1)
+		go d.probeLoop(n)
+	}
+}
+
+// Stop halts the probers and waits for them.
+func (d *Detector) Stop() {
+	d.cancel()
+	d.wg.Wait()
+}
+
+func (d *Detector) probeLoop(node string) {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		d.probeOnce(node)
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (d *Detector) probeOnce(node string) {
+	to := d.cfg.ProbeTimeout
+	if to <= 0 {
+		to = d.cfg.DeadAfter
+	}
+	ctx, cancel := context.WithTimeout(d.ctx, to)
+	load, err := d.cfg.Probe(ctx, node)
+	cancel()
+
+	var fire func(string)
+	d.mu.Lock()
+	h := d.nodes[node]
+	now := time.Now()
+	if err == nil {
+		if h.state == StateDead {
+			h.incarnation++
+			fire = d.cfg.OnAlive
+		}
+		h.state = StateAlive
+		h.lastOK = now
+		h.load = load
+	} else {
+		silent := now.Sub(h.lastOK)
+		switch {
+		case h.state != StateDead && silent >= d.cfg.DeadAfter:
+			h.state = StateDead
+			fire = d.cfg.OnDead
+		case h.state == StateAlive && silent >= d.cfg.SuspectAfter:
+			h.state = StateSuspect
+		}
+	}
+	d.mu.Unlock()
+	if fire != nil {
+		fire(node)
+	}
+}
+
+// State returns a node's current classification.
+func (d *Detector) State(node string) NodeState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if h, ok := d.nodes[node]; ok {
+		return h.state
+	}
+	return StateDead
+}
+
+// Load returns a node's last gossiped load.
+func (d *Detector) Load(node string) Load {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if h, ok := d.nodes[node]; ok {
+		return h.load
+	}
+	return Load{}
+}
+
+// AliveCount returns how many nodes are not dead (suspects still count:
+// routing avoids them, but they do not push the coordinator into
+// read-only mode by themselves).
+func (d *Detector) AliveCount() (alive, total int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, h := range d.nodes {
+		if h.state != StateDead {
+			alive++
+		}
+	}
+	return alive, len(d.nodes)
+}
+
+// Snapshot returns every node's state and load, for the status API.
+func (d *Detector) Snapshot() map[string]NodeView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]NodeView, len(d.nodes))
+	for n, h := range d.nodes {
+		out[n] = NodeView{
+			State:       h.state.String(),
+			QueueDepth:  h.load.QueueDepth,
+			Incarnation: h.incarnation,
+			SilentMs:    float64(time.Since(h.lastOK)) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+// NodeView is one node's health as served by the status API.
+type NodeView struct {
+	State       string  `json:"state"`
+	QueueDepth  int64   `json:"queue_depth"`
+	Incarnation uint64  `json:"incarnation"`
+	SilentMs    float64 `json:"silent_ms"`
+}

@@ -1,0 +1,113 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeProbe is a switchable heartbeat target.
+type fakeProbe struct {
+	mu   sync.Mutex
+	fail map[string]bool
+	load map[string]Load
+}
+
+func (f *fakeProbe) probe(_ context.Context, node string) (Load, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail[node] {
+		return Load{}, errors.New("down")
+	}
+	return f.load[node], nil
+}
+
+func (f *fakeProbe) set(node string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail[node] = down
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestDetectorLifecycle walks one node through alive → suspect → dead →
+// alive and checks the callbacks fire exactly once per transition.
+func TestDetectorLifecycle(t *testing.T) {
+	fp := &fakeProbe{fail: map[string]bool{}, load: map[string]Load{"n1": {QueueDepth: 7}}}
+	var deaths, revivals atomic.Int64
+	d := NewDetector([]string{"n1", "n2"}, DetectorConfig{
+		Heartbeat:    5 * time.Millisecond,
+		SuspectAfter: 15 * time.Millisecond,
+		DeadAfter:    40 * time.Millisecond,
+		Probe:        fp.probe,
+		OnDead:       func(string) { deaths.Add(1) },
+		OnAlive:      func(string) { revivals.Add(1) },
+	})
+	d.Start()
+	defer d.Stop()
+
+	waitFor(t, time.Second, "initial alive", func() bool {
+		return d.State("n1") == StateAlive && d.Load("n1").QueueDepth == 7
+	})
+
+	fp.set("n1", true)
+	waitFor(t, time.Second, "suspicion", func() bool { return d.State("n1") == StateSuspect })
+	waitFor(t, time.Second, "death", func() bool { return d.State("n1") == StateDead })
+	if got := deaths.Load(); got != 1 {
+		t.Fatalf("OnDead fired %d times", got)
+	}
+	if alive, total := d.AliveCount(); alive != 1 || total != 2 {
+		t.Fatalf("alive count %d/%d", alive, total)
+	}
+
+	// Silence while already dead must not re-fire the callback.
+	time.Sleep(60 * time.Millisecond)
+	if got := deaths.Load(); got != 1 {
+		t.Fatalf("OnDead re-fired while dead (%d)", got)
+	}
+
+	fp.set("n1", false)
+	waitFor(t, time.Second, "revival", func() bool { return d.State("n1") == StateAlive })
+	if got := revivals.Load(); got != 1 {
+		t.Fatalf("OnAlive fired %d times", got)
+	}
+	snap := d.Snapshot()
+	if snap["n1"].Incarnation != 1 {
+		t.Fatalf("incarnation %d after one death/revival", snap["n1"].Incarnation)
+	}
+
+	// A second death on the new incarnation fires again.
+	fp.set("n1", true)
+	waitFor(t, time.Second, "second death", func() bool { return deaths.Load() == 2 })
+}
+
+// TestDetectorSuspectDoesNotCountAsDead: suspicion alone must not push
+// the fleet toward read-only.
+func TestDetectorSuspectDoesNotCountAsDead(t *testing.T) {
+	fp := &fakeProbe{fail: map[string]bool{"n1": true}, load: map[string]Load{}}
+	d := NewDetector([]string{"n1"}, DetectorConfig{
+		Heartbeat:    5 * time.Millisecond,
+		SuspectAfter: 10 * time.Millisecond,
+		DeadAfter:    10 * time.Second,
+		Probe:        fp.probe,
+	})
+	d.Start()
+	defer d.Stop()
+	waitFor(t, time.Second, "suspicion", func() bool { return d.State("n1") == StateSuspect })
+	if alive, _ := d.AliveCount(); alive != 1 {
+		t.Fatalf("suspect counted as dead (alive=%d)", alive)
+	}
+}

@@ -1,0 +1,52 @@
+package federation
+
+import "sync/atomic"
+
+// Metrics is the coordinator's counter set, served at GET /metrics.
+type Metrics struct {
+	// routed counts missions placed on their ring owner; spilled counts
+	// missions shed to another node (busy or dead owner).
+	routed  atomic.Int64
+	spilled atomic.Int64
+	// readOnlyRejected counts submits refused while degraded.
+	readOnlyRejected atomic.Int64
+
+	// replicated counts checkpoint pushes to a successor.
+	replicated atomic.Int64
+	// failovers counts node-death re-leases; resumed of those restored a
+	// replicated checkpoint, reran flew from scratch under the same seed.
+	failovers atomic.Int64
+	resumed   atomic.Int64
+	reran     atomic.Int64
+
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// MetricsSnapshot is the JSON rendering.
+type MetricsSnapshot struct {
+	Routed           int64 `json:"routed"`
+	Spilled          int64 `json:"spilled"`
+	ReadOnlyRejected int64 `json:"read_only_rejected"`
+	Replicated       int64 `json:"replicated"`
+	Failovers        int64 `json:"failovers"`
+	Resumed          int64 `json:"resumed"`
+	Reran            int64 `json:"reran"`
+	Completed        int64 `json:"completed"`
+	Failed           int64 `json:"failed"`
+}
+
+// Snapshot renders the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Routed:           m.routed.Load(),
+		Spilled:          m.spilled.Load(),
+		ReadOnlyRejected: m.readOnlyRejected.Load(),
+		Replicated:       m.replicated.Load(),
+		Failovers:        m.failovers.Load(),
+		Resumed:          m.resumed.Load(),
+		Reran:            m.reran.Load(),
+		Completed:        m.completed.Load(),
+		Failed:           m.failed.Load(),
+	}
+}

@@ -1,0 +1,127 @@
+package federation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Consistent-hash ring with virtual nodes. Each physical node projects
+// VNodes points onto a 64-bit circle; a key's owner is the first point
+// clockwise from the key's hash, and its successor is the next point
+// owned by a *different* physical node — the replica holder. Virtual
+// nodes smooth the arc sizes so a three-node fleet splits regions
+// roughly evenly, and removing a node hands only its own arcs to the
+// survivors (the property that keeps failover from stampeding every
+// region at once).
+//
+// The ring is not goroutine-safe; the coordinator's mutex guards it.
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is the placement table.
+type Ring struct {
+	vnodes int
+	points []ringPoint
+	nodes  map[string]bool
+}
+
+// NewRing builds an empty ring with the given virtual-node count.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a node's virtual points. Adding twice is a no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(fmt.Sprintf("%s#%d", node, i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node's points, reporting whether it was present.
+func (r *Ring) Remove(node string) bool {
+	if !r.nodes[node] {
+		return false
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Len returns the physical node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the member set in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning key, or ok=false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(key)].node, true
+}
+
+// OwnerAndSuccessor returns the key's owner plus the next distinct node
+// clockwise — the replica holder. On a one-node ring the successor
+// equals the owner (there is nowhere else to replicate).
+func (r *Ring) OwnerAndSuccessor(key string) (owner, succ string, ok bool) {
+	if len(r.points) == 0 {
+		return "", "", false
+	}
+	i := r.search(key)
+	owner = r.points[i].node
+	succ = owner
+	for j := 1; j < len(r.points); j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if p.node != owner {
+			succ = p.node
+			break
+		}
+	}
+	return owner, succ, true
+}
+
+// search finds the index of the first point at or clockwise of key's
+// hash.
+func (r *Ring) search(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

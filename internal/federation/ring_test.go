@@ -1,0 +1,106 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerStable(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	keys := []string{"corridor-east", "corridor-west", "dock", "mezzanine", "cold-store"}
+	first := make(map[string]string)
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %s", k)
+		}
+		first[k] = o
+	}
+	// Lookups are pure: a second pass agrees.
+	for _, k := range keys {
+		if o, _ := r.Owner(k); o != first[k] {
+			t.Fatalf("owner of %s moved with no membership change: %s -> %s", k, first[k], o)
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyOrphans is the consistent-hashing property:
+// removing one node must not move any key owned by a survivor.
+func TestRingRemovalMovesOnlyOrphans(t *testing.T) {
+	r := NewRing(64)
+	nodes := []string{"node-0", "node-1", "node-2", "node-3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 500
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+	victim := "node-2"
+	if !r.Remove(victim) {
+		t.Fatal("remove of member failed")
+	}
+	moved, orphans := 0, 0
+	for i := range before {
+		after, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		if before[i] == victim {
+			orphans++
+			if after == victim {
+				t.Fatalf("key-%d still owned by removed node", i)
+			}
+			continue
+		}
+		if after != before[i] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by survivors moved on an unrelated removal", moved)
+	}
+	if orphans == 0 {
+		t.Fatal("victim owned no keys; distribution is degenerate")
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	counts := make(map[string]int)
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		counts[o]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.0f%% of keys; virtual nodes are not smoothing", n, 100*frac)
+		}
+	}
+}
+
+func TestRingSuccessorDistinct(t *testing.T) {
+	r := NewRing(64)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	for i := 0; i < 200; i++ {
+		owner, succ, ok := r.OwnerAndSuccessor(fmt.Sprintf("key-%d", i))
+		if !ok || owner == succ {
+			t.Fatalf("key-%d: owner %s successor %s", i, owner, succ)
+		}
+	}
+	// A one-node ring has nowhere else to replicate.
+	solo := NewRing(8)
+	solo.Add("only")
+	owner, succ, _ := solo.OwnerAndSuccessor("k")
+	if owner != "only" || succ != "only" {
+		t.Fatalf("solo ring: owner %s succ %s", owner, succ)
+	}
+}

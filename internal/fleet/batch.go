@@ -22,32 +22,42 @@ import (
 // tagSegment records where a member's tags landed in the batch config.
 type tagSegment struct{ off, n int }
 
-// missionConfig builds the runtime config one batch flies, plus each
-// member's tag segment.
-func (s *Scheduler) missionConfig(batch []*mission) (runtime.Config, []tagSegment) {
-	head := batch[0]
-	region := Regions[head.req.Region]
-	seed := head.req.Seed
+// MissionConfig builds the runtime config a single request flies under
+// scheduler config c. seq stands in for an unset seed (the batch head's
+// arrival sequence); a request with an explicit Seed ignores it. This is
+// exported because the federation tier's failover proof needs to fly the
+// exact config a node would — an in-process twin built from the same
+// (Config, Request) pair is the bit-identical reference for a resumed
+// mission.
+func MissionConfig(c Config, req Request, seq uint64) runtime.Config {
+	region := Regions[req.Region]
+	seed := req.Seed
 	if seed == 0 {
 		// Arrival-sequence derived: distinct per batch, reproducible
 		// from the mission record.
-		seed = 0x9E3779B97F4A7C15 ^ head.seq
+		seed = 0x9E3779B97F4A7C15 ^ seq
 	}
-	ch := head.req.ChannelHz
+	ch := req.ChannelHz
 	if ch == 0 {
 		ch = DefaultChannelHz
 	}
 
 	cfg := runtime.DefaultConfig(seed)
-	cfg.Sorties = s.cfg.Sorties
-	cfg.TicksPerSortie = s.cfg.TicksPerSortie
+	cfg.Sorties = c.Sorties
+	if cfg.Sorties <= 0 {
+		cfg.Sorties = 1
+	}
+	cfg.TicksPerSortie = c.TicksPerSortie
+	if cfg.TicksPerSortie <= 0 {
+		cfg.TicksPerSortie = 12
+	}
 	cfg.CorridorLengthM = region.CorridorLengthM
 	cfg.CorridorWidthM = region.CorridorWidthM
 	cfg.ReaderPos = region.ReaderPos
 	cfg.RelayPos = region.RelayPos
 	cfg.ShadowSigmaDB = region.ShadowSigmaDB
 	cfg.ChannelHz = ch
-	cfg.SARPointsPerSortie = head.req.SARPoints
+	cfg.SARPointsPerSortie = req.SARPoints
 	cfg.Schedule.Events = nil
 
 	// Service missions jitter their retry backoff by default: with a
@@ -57,20 +67,30 @@ func (s *Scheduler) missionConfig(batch []*mission) (runtime.Config, []tagSegmen
 	// share RNG state.
 	pol := reader.DefaultRetryPolicy()
 	pol.JitterSlots = 2
-	if s.cfg.Retry.Set {
+	if c.Retry.Set {
 		pol = reader.RetryPolicy{
-			MaxRetries:      s.cfg.Retry.MaxRetries,
-			BackoffSlots:    s.cfg.Retry.BackoffSlots,
-			MaxBackoffSlots: s.cfg.Retry.MaxBackoff,
-			JitterSlots:     s.cfg.Retry.JitterSlots,
+			MaxRetries:      c.Retry.MaxRetries,
+			BackoffSlots:    c.Retry.BackoffSlots,
+			MaxBackoffSlots: c.Retry.MaxBackoff,
+			JitterSlots:     c.Retry.JitterSlots,
 		}
 	}
 	cfg.Retry = pol
 
-	cfg.Tags = cfg.Tags[:0]
+	cfg.Tags = append(cfg.Tags[:0], req.Tags...)
+	return cfg
+}
+
+// missionConfig builds the runtime config one batch flies, plus each
+// member's tag segment: the head's single-request config with the other
+// members' tag lists appended.
+func (s *Scheduler) missionConfig(batch []*mission) (runtime.Config, []tagSegment) {
+	head := batch[0]
+	cfg := MissionConfig(s.cfg, head.req, head.seq)
 	segs := make([]tagSegment, len(batch))
-	for i, m := range batch {
-		segs[i] = tagSegment{off: len(cfg.Tags), n: len(m.req.Tags)}
+	segs[0] = tagSegment{off: 0, n: len(head.req.Tags)}
+	for i, m := range batch[1:] {
+		segs[i+1] = tagSegment{off: len(cfg.Tags), n: len(m.req.Tags)}
 		cfg.Tags = append(cfg.Tags, m.req.Tags...)
 	}
 	return cfg, segs
@@ -139,8 +159,33 @@ func (s *Scheduler) runBatch(shard int, batch []*mission) {
 
 	var res runtime.MissionResult
 	var tagReads []uint32
-	lease, runErr := s.lessor.Lease(shard, cfg)
+	var lease *runtime.Lease
+	var runErr error
+	if len(head.req.Resume) > 0 {
+		// Failover path: restore the engine from a checkpoint flown
+		// elsewhere and fly only the remaining sorties. Resume requests
+		// are exclusive, so the batch is this one mission.
+		lease, runErr = s.lessor.LeaseFrom(shard, cfg, head.req.Resume)
+		if runErr == nil {
+			s.m.resumed.Add(1)
+		}
+	} else {
+		lease, runErr = s.lessor.Lease(shard, cfg)
+	}
 	if runErr == nil {
+		// Publish each committed sortie's checkpoint on the batch
+		// records as the engine flies, so the replication path (GET
+		// /v1/missions/{id}/checkpoint) always sees the latest
+		// committed boundary, not just the end-of-mission drain blob.
+		lease.Engine().CheckpointSink = func(done int, ckpt []byte) {
+			s.m.checkpoints.Add(1)
+			s.mu.Lock()
+			for _, m := range batch {
+				m.ckpt = ckpt
+				m.ckptSortie = done
+			}
+			s.mu.Unlock()
+		}
 		// pprof label propagation: CPU samples taken during the sortie
 		// carry the mission/region/shard labels.
 		obs.Labeled(bctx, func(rctx context.Context) {

@@ -36,6 +36,11 @@ type Config struct {
 	// TraceCap bounds the per-batch flight-recorder ring (spans kept per
 	// sortie trace). Zero uses obs.DefaultCap.
 	TraceCap int
+	// MaxReplicas / MaxReplicaBytes bound the node's replica store (the
+	// checkpoints it holds on behalf of federation peers). Zeros default
+	// to 256 replicas / 16 MiB.
+	MaxReplicas     int
+	MaxReplicaBytes int64
 }
 
 // RetryOverride optionally replaces the mission default retry policy.
@@ -65,6 +70,12 @@ func (c *Config) defaults() error {
 	}
 	if c.MaxMissionTime <= 0 {
 		c.MaxMissionTime = 30 * time.Second
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 256
+	}
+	if c.MaxReplicaBytes <= 0 {
+		c.MaxReplicaBytes = 16 << 20
 	}
 	return nil
 }
@@ -102,6 +113,12 @@ type Scheduler struct {
 	// Retry-After estimate.
 	ewmaBatchMs float64
 
+	// replicas holds checkpoints this node keeps on behalf of
+	// federation peers (it is never read by the local scheduler; a
+	// coordinator fetches a replica back out to resume the mission on
+	// this node after the primary dies).
+	replicas *replicaStore
+
 	wg sync.WaitGroup
 }
 
@@ -116,12 +133,13 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
-		cfg:     cfg,
-		lessor:  lessor,
-		m:       newMetrics(cfg.Shards),
-		runCtx:  ctx,
-		runStop: cancel,
-		records: make(map[string]*mission),
+		cfg:      cfg,
+		lessor:   lessor,
+		m:        newMetrics(cfg.Shards),
+		runCtx:   ctx,
+		runStop:  cancel,
+		records:  make(map[string]*mission),
+		replicas: newReplicaStore(cfg.MaxReplicas, cfg.MaxReplicaBytes),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -157,6 +175,16 @@ func (s *Scheduler) Start() {
 func (s *Scheduler) Submit(req Request) (string, error) {
 	if err := req.validate(s.cfg.MaxTagsPerRequest); err != nil {
 		return "", err
+	}
+	if len(req.Resume) > 0 {
+		// Reject a corrupt or mismatched checkpoint at admission, not on
+		// the shard: a dry-run Restore against the exact config the
+		// mission would fly surfaces truncation, CRC damage, and config
+		// drift as a 400, and the coordinator falls back to a fresh
+		// same-seed run.
+		if _, err := runtime.Restore(MissionConfig(s.cfg, req, 0), req.Resume); err != nil {
+			return "", fmt.Errorf("fleet: resume checkpoint rejected: %w", err)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -227,6 +255,52 @@ func (s *Scheduler) Trace(id string) ([]obs.SpanRecord, bool) {
 		return nil, false
 	}
 	return m.trace, true
+}
+
+// Checkpoint returns the mission's latest published sortie-boundary
+// checkpoint and how many sorties it covers. ok is false until the
+// mission's engine has committed its first sortie (there is nothing to
+// replicate before that; a fresh same-seed re-run is bit-identical
+// anyway). The returned slice is the engine's own published blob;
+// callers must not mutate it.
+func (s *Scheduler) Checkpoint(id string) (data []byte, sortie int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, okk := s.records[id]
+	if !okk || m.ckpt == nil {
+		return nil, 0, false
+	}
+	return m.ckpt, m.ckptSortie, true
+}
+
+// PutReplica stores a checkpoint this node holds on behalf of a
+// federation peer. It never inspects the bytes — a replica is opaque
+// until a coordinator fetches it back to resume the mission here.
+func (s *Scheduler) PutReplica(id string, sortie int, data []byte) error {
+	err := s.replicas.put(id, sortie, data)
+	if err == nil {
+		s.m.replicaPuts.Add(1)
+		held, bytes := s.replicas.stats()
+		s.m.replicasHeld.Store(held)
+		s.m.replicaBytes.Store(bytes)
+	}
+	return err
+}
+
+// GetReplica returns a held replica's sortie count and bytes.
+func (s *Scheduler) GetReplica(id string) (sortie int, data []byte, ok bool) {
+	return s.replicas.get(id)
+}
+
+// DropReplica discards a held replica, reporting whether it existed.
+func (s *Scheduler) DropReplica(id string) bool {
+	ok := s.replicas.drop(id)
+	if ok {
+		held, bytes := s.replicas.stats()
+		s.m.replicasHeld.Store(held)
+		s.m.replicaBytes.Store(bytes)
+	}
+	return ok
 }
 
 // Done returns a channel that closes when the mission reaches a
@@ -369,8 +443,11 @@ func (s *Scheduler) nextBatch() []*mission {
 			s.m.queueDepth.Store(int64(s.queue.Len()))
 			continue
 		}
-		batch := append([]*mission{head},
-			s.queue.takeCompatible(head.req.batchKey(), s.cfg.MaxBatch-1)...)
+		batch := []*mission{head}
+		if !head.req.exclusive() {
+			batch = append(batch,
+				s.queue.takeCompatible(head.req.batchKey(), s.cfg.MaxBatch-1)...)
+		}
 		s.m.queueDepth.Store(int64(s.queue.Len()))
 		return batch
 	}

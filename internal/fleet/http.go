@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,15 +18,20 @@ import (
 // the package so the API tests (and rfly-load's in-process spawn mode)
 // exercise exactly the bytes the daemon serves.
 //
-//	POST   /v1/missions            submit (202, or 429 + Retry-After, or 503 draining)
-//	GET    /v1/missions/{id}       poll a mission record
-//	GET    /v1/missions/{id}/trace flight-recorder span dump for the batch
-//	                               sortie that served the mission
-//	DELETE /v1/missions/{id}       cancel
-//	GET    /healthz                liveness + drain state
-//	GET    /metrics                counter snapshot (queue depth, shard
-//	                               utilization, batch + latency histograms,
-//	                               plus the process-wide obs registry)
+//	POST   /v1/missions                 submit (202, or 429 + Retry-After, or 503 draining)
+//	GET    /v1/missions/{id}            poll a mission record
+//	GET    /v1/missions/{id}/trace      flight-recorder span dump for the batch
+//	                                    sortie that served the mission
+//	GET    /v1/missions/{id}/checkpoint latest committed sortie-boundary
+//	                                    checkpoint (the replication source)
+//	DELETE /v1/missions/{id}            cancel
+//	PUT    /v1/replicas/{id}            hold a peer mission's checkpoint
+//	GET    /v1/replicas/{id}            fetch a held replica
+//	DELETE /v1/replicas/{id}            discard a held replica
+//	GET    /healthz                     liveness + drain state
+//	GET    /metrics                     counter snapshot (queue depth, shard
+//	                                    utilization, batch + latency histograms,
+//	                                    plus the process-wide obs registry)
 
 // SubmitRequest is the POST /v1/missions body.
 type SubmitRequest struct {
@@ -37,6 +44,14 @@ type SubmitRequest struct {
 	// onto the mission context's deadline.
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 	SARPoints  int   `json:"sar_points,omitempty"`
+	// Exclusive keeps the mission out of batch coalescing — the
+	// federation tier sets it so per-mission checkpoints stay
+	// relocatable (see Request.Exclusive).
+	Exclusive bool `json:"exclusive,omitempty"`
+	// ResumeB64 is a base64 sortie-boundary checkpoint to restore from
+	// (the failover path); it requires an explicit seed and implies
+	// exclusive.
+	ResumeB64 string `json:"resume_b64,omitempty"`
 }
 
 // TagInput places one inventory target in region coordinates.
@@ -101,8 +116,24 @@ func NewHandler(s *Scheduler) http.Handler {
 	mux.HandleFunc("GET /v1/missions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		handleTrace(s, w, r)
 	})
+	mux.HandleFunc("GET /v1/missions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		handleCheckpoint(s, w, r)
+	})
 	mux.HandleFunc("DELETE /v1/missions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleCancel(s, w, r)
+	})
+	mux.HandleFunc("PUT /v1/replicas/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleReplicaPut(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/replicas/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleReplicaGet(s, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/replicas/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.DropReplica(r.PathValue("id")) {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no replica held for that id"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dropped": true})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
@@ -134,6 +165,15 @@ func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		Priority:  in.Priority,
 		Seed:      in.Seed,
 		SARPoints: in.SARPoints,
+		Exclusive: in.Exclusive,
+	}
+	if in.ResumeB64 != "" {
+		blob, err := base64.StdEncoding.DecodeString(in.ResumeB64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad resume_b64: " + err.Error()})
+			return
+		}
+		req.Resume = blob
 	}
 	for _, t := range in.Tags {
 		req.Tags = append(req.Tags, runtime.TagSpec{ID: t.ID, X: t.X, Y: t.Y, Z: t.Z})
@@ -189,6 +229,68 @@ func handleTrace(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, TraceResponse{ID: id, Status: v.Status, Spans: spans})
 }
 
+// CheckpointResponse is the GET /v1/missions/{id}/checkpoint body.
+type CheckpointResponse struct {
+	ID string `json:"id"`
+	// Sortie is how many sorties the checkpoint covers.
+	Sortie        int    `json:"sortie"`
+	CheckpointB64 string `json:"checkpoint_b64"`
+}
+
+// ReplicaPut is the PUT /v1/replicas/{id} body.
+type ReplicaPut struct {
+	Sortie        int    `json:"sortie"`
+	CheckpointB64 string `json:"checkpoint_b64"`
+}
+
+func handleCheckpoint(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown mission id"})
+		return
+	}
+	data, sortie, ok := s.Checkpoint(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "mission has no committed checkpoint yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{
+		ID: id, Sortie: sortie, CheckpointB64: base64.StdEncoding.EncodeToString(data),
+	})
+}
+
+func handleReplicaPut(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	var in ReplicaPut
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	blob, err := base64.StdEncoding.DecodeString(in.CheckpointB64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad checkpoint_b64: " + err.Error()})
+		return
+	}
+	if err := s.PutReplica(r.PathValue("id"), in.Sortie, blob); err != nil {
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"held": true, "sortie": in.Sortie})
+}
+
+func handleReplicaGet(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sortie, data, ok := s.GetReplica(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no replica held for that id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{
+		ID: id, Sortie: sortie, CheckpointB64: base64.StdEncoding.EncodeToString(data),
+	})
+}
+
 func handleCancel(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.Get(id); !ok {
@@ -226,6 +328,23 @@ func viewResponse(v View) MissionResponse {
 		out.RunMs = float64(end.Sub(v.Started)) / float64(time.Millisecond)
 	}
 	return out
+}
+
+// WithRequestTimeout bounds every request's context: a handler stuck
+// behind a slow scheduler (or a client that stops reading) is cut off
+// after d instead of pinning its goroutine. Mission deadlines are
+// separate — this is the HTTP tier's own guard, so d should comfortably
+// exceed the poll/submit path's worst case (those handlers only touch
+// in-memory state; the missions themselves fly asynchronously).
+func WithRequestTimeout(h http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -272,3 +272,128 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	}
 	sresp.Body.Close()
 }
+
+// TestHTTPCheckpointAndReplica drives the federation-facing endpoints
+// end to end over real HTTP: submit exclusive, read the published
+// checkpoint, hold it as a replica (as a successor node would), fetch
+// it back, resubmit it as a resume mission, and drop it.
+func TestHTTPCheckpointAndReplica(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.Sorties = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp := postMission(t, ts, SubmitRequest{
+		Region: "dock", Tags: tagInputs(4), Seed: 77, Exclusive: true,
+	})
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := sub.ID; id == "" {
+		t.Fatal("submit returned no mission id")
+	}
+	// Wait for completion, then the checkpoint is final.
+	<-s.Done(sub.ID)
+
+	cresp, err := ts.Client().Get(ts.URL + "/v1/missions/" + sub.ID + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt CheckpointResponse
+	if err := json.NewDecoder(cresp.Body).Decode(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK || ckpt.Sortie != 2 || ckpt.CheckpointB64 == "" {
+		t.Fatalf("checkpoint fetch: status %d, sortie %d", cresp.StatusCode, ckpt.Sortie)
+	}
+
+	// Hold it as a replica under the coordinator's mission id.
+	body, _ := json.Marshal(ReplicaPut{Sortie: ckpt.Sortie, CheckpointB64: ckpt.CheckpointB64})
+	preq, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/replicas/fed-001", bytes.NewReader(body))
+	presp, err := ts.Client().Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("replica put status %d", presp.StatusCode)
+	}
+
+	rresp, err := ts.Client().Get(ts.URL + "/v1/replicas/fed-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep CheckpointResponse
+	if err := json.NewDecoder(rresp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rep.CheckpointB64 != ckpt.CheckpointB64 {
+		t.Fatal("replica bytes differ from the published checkpoint")
+	}
+
+	// The replica resumes as a mission (trivially: all sorties done, the
+	// engine just reports its final state).
+	resp = postMission(t, ts, SubmitRequest{
+		Region: "dock", Tags: tagInputs(4), Seed: 77, ResumeB64: rep.CheckpointB64,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume submit status %d", resp.StatusCode)
+	}
+	var rsub SubmitResponse
+	json.NewDecoder(resp.Body).Decode(&rsub)
+	resp.Body.Close()
+	<-s.Done(rsub.ID)
+	if v, _ := s.Get(rsub.ID); v.Status != StatusDone {
+		t.Fatalf("resumed mission finished %s: %s", v.Status, v.Err)
+	}
+
+	dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/replicas/fed-001", nil)
+	dresp, err := ts.Client().Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("replica delete status %d", dresp.StatusCode)
+	}
+	dresp2, err := ts.Client().Do(dreq)
+	if err == nil {
+		if dresp2.StatusCode != http.StatusNotFound {
+			t.Fatalf("second delete status %d, want 404", dresp2.StatusCode)
+		}
+		dresp2.Body.Close()
+	}
+}
+
+// TestWithRequestTimeout: a handler that outlives the per-request
+// budget sees its context canceled.
+func TestWithRequestTimeout(t *testing.T) {
+	var sawDeadline bool
+	h := WithRequestTimeout(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			sawDeadline = true
+		case <-time.After(5 * time.Second):
+		}
+	}), 20*time.Millisecond)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !sawDeadline {
+		t.Fatal("request context never hit the per-request timeout")
+	}
+}

@@ -67,6 +67,18 @@ type Metrics struct {
 	batchedRequests atomic.Int64
 	batchSizeSum    atomic.Int64
 
+	// checkpoints counts sortie-boundary checkpoints published for
+	// replication; resumed counts missions restored from a peer's
+	// checkpoint (the failover landings).
+	checkpoints atomic.Int64
+	resumed     atomic.Int64
+
+	// replicaPuts counts accepted replica writes; replicasHeld and
+	// replicaBytes gauge the store.
+	replicaPuts  atomic.Int64
+	replicasHeld atomic.Int64
+	replicaBytes atomic.Int64
+
 	shardBusyNs []atomic.Int64
 
 	wait *obs.Histogram // admission → sortie start
@@ -103,6 +115,12 @@ type Snapshot struct {
 	BatchedRequests int64   `json:"batched_requests"`
 	MeanBatchSize   float64 `json:"mean_batch_size"`
 
+	Checkpoints  int64 `json:"checkpoints"`
+	Resumed      int64 `json:"resumed"`
+	ReplicaPuts  int64 `json:"replica_puts"`
+	ReplicasHeld int64 `json:"replicas_held"`
+	ReplicaBytes int64 `json:"replica_bytes"`
+
 	// ShardBusyPct is the fraction of the fleet's shard-seconds spent
 	// flying sorties since start.
 	ShardBusyPct float64   `json:"shard_busy_pct"`
@@ -130,6 +148,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		Expired:          m.expired.Load(),
 		Batches:          m.batches.Load(),
 		BatchedRequests:  m.batchedRequests.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		Resumed:          m.resumed.Load(),
+		ReplicaPuts:      m.replicaPuts.Load(),
+		ReplicasHeld:     m.replicasHeld.Load(),
+		ReplicaBytes:     m.replicaBytes.Load(),
 		WaitLatency:      histSnap(m.wait),
 		RunLatency:       histSnap(m.run),
 		E2ELatency:       histSnap(m.e2e),

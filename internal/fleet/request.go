@@ -86,7 +86,22 @@ type Request struct {
 	// that many aperture captures (0 = inventory only; localization is
 	// reported for the batch head's first tag).
 	SARPoints int
+	// Exclusive keeps the request out of batch coalescing: it flies a
+	// single-tenant sortie. The federation tier sets this on every
+	// forwarded mission so the per-mission checkpoint is a complete,
+	// relocatable engine snapshot (a coalesced sortie's checkpoint spans
+	// the whole batch's tag table and cannot be resumed per-tenant).
+	Exclusive bool
+	// Resume, when set, is a sortie-boundary checkpoint taken by an
+	// engine that flew this same request elsewhere (same seed, region,
+	// channel, tags, and fleet shape). The mission restores from it and
+	// flies only the remaining sorties — the node-death failover path.
+	// Resume implies Exclusive and requires an explicit Seed.
+	Resume []byte
 }
+
+// exclusive reports whether the request must fly a single-tenant sortie.
+func (r Request) exclusive() bool { return r.Exclusive || len(r.Resume) > 0 }
 
 // batchKey is the coalescing identity: requests with equal keys may
 // share a sortie.
@@ -110,6 +125,9 @@ func (r Request) validate(maxTags int) error {
 	}
 	if r.SARPoints < 0 || r.SARPoints > 64 {
 		return fmt.Errorf("fleet: sar_points %d out of range [0,64]", r.SARPoints)
+	}
+	if len(r.Resume) > 0 && r.Seed == 0 {
+		return fmt.Errorf("fleet: a resume request needs an explicit seed (the checkpoint was taken under one)")
 	}
 	return nil
 }
@@ -179,6 +197,12 @@ type mission struct {
 	// when the batch resolves (shared across the batch's members; nil
 	// until the mission has flown).
 	trace []obs.SpanRecord
+
+	// ckpt is the engine's latest sortie-boundary checkpoint, published
+	// live while the batch flies (the replication source). ckptSortie is
+	// how many sorties it covers.
+	ckpt       []byte
+	ckptSortie int
 
 	// done closes when the record reaches a terminal status.
 	done chan struct{}

@@ -1,0 +1,58 @@
+package perf
+
+// Federation benchmark records. rfly-load -federation spawns 1-, 2-,
+// and 4-node in-process fleets behind a federation coordinator and
+// drives the same closed-loop workload through each, so one artifact
+// (BENCH_federation.json) holds the whole scaling curve. Latency
+// quantiles are end-to-end through the coordinator (submit → terminal
+// status) in milliseconds; throughput counts completed missions only.
+
+// FederationReport is the BENCH_federation.json document.
+type FederationReport struct {
+	// Offered load, identical for every fleet size.
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+
+	// Per-node fleet shape (each node is its own sharded scheduler).
+	ShardsPerNode int `json:"shards_per_node"`
+
+	// Fleets is the scaling curve, one point per fleet size in the
+	// order driven (1, 2, 4 nodes).
+	Fleets []FederationPoint `json:"fleets"`
+
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// FederationPoint is one fleet size's measurement.
+type FederationPoint struct {
+	Nodes int `json:"nodes"`
+
+	// Outcomes.
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+
+	// Coordinator counters: how placement behaved under this load.
+	// Spilled counts missions shed off their ring owner onto a less
+	// loaded node; Replicated counts checkpoint boundaries copied to a
+	// successor; Failovers counts node-death re-leases (zero in a
+	// clean benchmark run).
+	Spilled    int64 `json:"spilled"`
+	Replicated int64 `json:"replicated"`
+	Failovers  int64 `json:"failovers"`
+
+	// Service rates.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	DurationS     float64 `json:"duration_s"`
+
+	// End-to-end latency of completed missions, milliseconds.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// SpeedupVsSolo is this point's throughput over the 1-node
+	// point's (1.0 for the first point by construction). On a
+	// single-core host the curve is flat — the solve is CPU-bound and
+	// federation buys fault isolation, not parallelism — so the field
+	// records what the hardware actually delivered.
+	SpeedupVsSolo float64 `json:"speedup_vs_solo"`
+}

@@ -94,6 +94,79 @@ func TestBenchServeSchemaRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBenchFederationSchemaRoundTrip(t *testing.T) {
+	var rep FederationReport
+	decodeStrict(t, "BENCH_federation.json", &rep)
+	if rep.Requests < 1 || rep.Concurrency < 1 || rep.ShardsPerNode < 1 {
+		t.Fatalf("degenerate federation report: %+v", rep)
+	}
+	if len(rep.Fleets) < 3 {
+		t.Fatalf("scaling curve has %d points, want >= 3 (1, 2, 4 nodes)", len(rep.Fleets))
+	}
+	wantNodes := []int{1, 2, 4}
+	for i, p := range rep.Fleets {
+		if i < len(wantNodes) && p.Nodes != wantNodes[i] {
+			t.Fatalf("point %d is %d nodes, want %d", i, p.Nodes, wantNodes[i])
+		}
+		if p.Completed < 1 || p.ThroughputRPS <= 0 || p.DurationS <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		if p.LatencyP99Ms < p.LatencyP95Ms || p.LatencyP95Ms < p.LatencyP50Ms {
+			t.Fatalf("point %d latency quantiles out of order: %+v", i, p)
+		}
+		if p.SpeedupVsSolo <= 0 {
+			t.Fatalf("point %d has no speedup ratio: %+v", i, p)
+		}
+	}
+
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FederationReport
+	dec := json.NewDecoder(bytes.NewReader(out))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if back.Requests != rep.Requests || len(back.Fleets) != len(rep.Fleets) {
+		t.Fatal("round-trip lost fields")
+	}
+	for i := range rep.Fleets {
+		if back.Fleets[i] != rep.Fleets[i] {
+			t.Fatalf("point %d changed in round-trip: %+v vs %+v", i, back.Fleets[i], rep.Fleets[i])
+		}
+	}
+}
+
+// TestFederationPointKeySet pins the per-point JSON key set, so any tag
+// rename is a deliberate, test-visible schema change.
+func TestFederationPointKeySet(t *testing.T) {
+	data, err := json.Marshal(FederationPoint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"nodes", "completed", "failed",
+		"spilled", "replicated", "failovers",
+		"throughput_rps", "duration_s",
+		"latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+		"speedup_vs_solo",
+	}
+	if len(m) != len(want) {
+		t.Fatalf("FederationPoint emits %d keys, want %d: %v", len(m), len(want), m)
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("FederationPoint missing key %q", k)
+		}
+	}
+}
+
 // TestServeReportKeySet pins the exact JSON key set rfly-load emits, so
 // any tag rename is a deliberate, test-visible schema change.
 func TestServeReportKeySet(t *testing.T) {

@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -35,6 +36,27 @@ const (
 	ckptVersion = uint16(2)
 )
 
+// Typed rejection classes. Every Restore failure wraps
+// ErrInvalidCheckpoint, so callers holding bytes of unknown provenance
+// (the fuzz harness, the federation replica path) can classify "this is
+// not a usable checkpoint" without string matching; the narrower
+// sentinels distinguish storage corruption (torn write, bit rot) from a
+// checkpoint that is intact but belongs to a different mission.
+var (
+	// ErrInvalidCheckpoint is the root class: the bytes cannot restore an
+	// engine under the given config.
+	ErrInvalidCheckpoint = errors.New("runtime: invalid checkpoint")
+	// ErrCheckpointTruncated marks a frame that ends before its declared
+	// content (torn write).
+	ErrCheckpointTruncated = fmt.Errorf("checkpoint truncated: %w", ErrInvalidCheckpoint)
+	// ErrCheckpointCRC marks a trailer checksum mismatch (bit rot or a
+	// flipped byte anywhere in the frame).
+	ErrCheckpointCRC = fmt.Errorf("checkpoint CRC mismatch: %w", ErrInvalidCheckpoint)
+	// ErrCheckpointConfigMismatch marks an intact checkpoint taken under
+	// different mission parameters.
+	ErrCheckpointConfigMismatch = fmt.Errorf("checkpoint config mismatch: %w", ErrInvalidCheckpoint)
+)
+
 type ckptWriter struct{ buf []byte }
 
 func (w *ckptWriter) u8(v uint8)    { w.buf = append(w.buf, v) }
@@ -61,8 +83,8 @@ func (r *ckptReader) need(n int) bool {
 		return false
 	}
 	if r.off+n > len(r.buf) {
-		r.err = fmt.Errorf("runtime: checkpoint truncated at offset %d (need %d of %d bytes)",
-			r.off, n, len(r.buf))
+		r.err = fmt.Errorf("runtime: checkpoint truncated at offset %d (need %d of %d bytes): %w",
+			r.off, n, len(r.buf), ErrCheckpointTruncated)
 		return false
 	}
 	return true
@@ -115,7 +137,7 @@ const ckptMaxSlice = 1 << 20
 func (r *ckptReader) length(what string) int {
 	n := int(r.u32())
 	if r.err == nil && n > ckptMaxSlice {
-		r.err = fmt.Errorf("runtime: checkpoint %s length %d exceeds limit", what, n)
+		r.err = fmt.Errorf("runtime: checkpoint %s length %d exceeds limit: %w", what, n, ErrInvalidCheckpoint)
 	}
 	if r.err != nil {
 		return 0
@@ -254,11 +276,11 @@ func (e *Engine) SnapshotCtx(ctx context.Context) []byte {
 // hash that does not match cfg, any truncation, or a CRC mismatch.
 func Restore(cfg Config, data []byte) (*Engine, error) {
 	if len(data) < len(ckptMagic)+2+8+4 {
-		return nil, fmt.Errorf("runtime: checkpoint too short (%d bytes)", len(data))
+		return nil, fmt.Errorf("runtime: checkpoint too short (%d bytes): %w", len(data), ErrCheckpointTruncated)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
-		return nil, fmt.Errorf("runtime: checkpoint CRC mismatch (%08x != %08x)", got, want)
+		return nil, fmt.Errorf("runtime: checkpoint CRC %08x != computed %08x: %w", got, want, ErrCheckpointCRC)
 	}
 
 	r := &ckptReader{buf: body}
@@ -268,10 +290,10 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		r.off += len(magic)
 	}
 	if r.err == nil && string(magic) != ckptMagic {
-		return nil, fmt.Errorf("runtime: bad checkpoint magic %q", magic)
+		return nil, fmt.Errorf("runtime: bad checkpoint magic %q: %w", magic, ErrInvalidCheckpoint)
 	}
 	if v := r.u16(); r.err == nil && v != ckptVersion {
-		return nil, fmt.Errorf("runtime: unsupported checkpoint version %d", v)
+		return nil, fmt.Errorf("runtime: unsupported checkpoint version %d: %w", v, ErrInvalidCheckpoint)
 	}
 
 	e, err := New(cfg)
@@ -279,8 +301,8 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		return nil, err
 	}
 	if h := r.u64(); r.err == nil && h != e.cfg.hash() {
-		return nil, fmt.Errorf("runtime: checkpoint config hash %016x does not match mission config %016x",
-			h, e.cfg.hash())
+		return nil, fmt.Errorf("runtime: checkpoint config hash %016x does not match mission config %016x: %w",
+			h, e.cfg.hash(), ErrCheckpointConfigMismatch)
 	}
 	cur := int(r.u32())
 
@@ -313,18 +335,19 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 
 	if hasSwarm := r.boolean(); hasSwarm && r.err == nil {
 		if !e.cfg.Swarm.Enabled() {
-			return nil, fmt.Errorf("runtime: checkpoint carries a swarm fleet but the mission config has none")
+			return nil, fmt.Errorf("runtime: checkpoint carries a swarm fleet but the mission config has none: %w",
+				ErrCheckpointConfigMismatch)
 		}
 		c.Swarm.Term = r.u64()
 		c.Swarm.Primary = int(r.u32())
 		nMem := r.length("swarm members")
 		if r.err == nil && nMem != e.cfg.Swarm.Relays {
-			return nil, fmt.Errorf("runtime: checkpoint fleet has %d members, config has %d",
-				nMem, e.cfg.Swarm.Relays)
+			return nil, fmt.Errorf("runtime: checkpoint fleet has %d members, config has %d: %w",
+				nMem, e.cfg.Swarm.Relays, ErrCheckpointConfigMismatch)
 		}
 		if r.err == nil && c.Swarm.Primary >= nMem {
-			return nil, fmt.Errorf("runtime: checkpoint primary %d out of fleet range %d",
-				c.Swarm.Primary, nMem)
+			return nil, fmt.Errorf("runtime: checkpoint primary %d out of fleet range %d: %w",
+				c.Swarm.Primary, nMem, ErrInvalidCheckpoint)
 		}
 		for i := 0; i < nMem && r.err == nil; i++ {
 			var m swarm.MemberState
@@ -338,13 +361,14 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 			c.Swarm.Members = append(c.Swarm.Members, m)
 		}
 		if r.err == nil && len(c.Swarm.Members) == 0 {
-			return nil, fmt.Errorf("runtime: checkpoint swarm block is empty")
+			return nil, fmt.Errorf("runtime: checkpoint swarm block is empty: %w", ErrInvalidCheckpoint)
 		}
 	}
 
 	nTags := r.length("tag table")
 	if r.err == nil && nTags != len(e.cfg.Tags) {
-		return nil, fmt.Errorf("runtime: checkpoint has %d tags, config has %d", nTags, len(e.cfg.Tags))
+		return nil, fmt.Errorf("runtime: checkpoint has %d tags, config has %d: %w",
+			nTags, len(e.cfg.Tags), ErrCheckpointConfigMismatch)
 	}
 	tagReads := make([]uint32, 0, nTags)
 	for i := 0; i < nTags && r.err == nil; i++ {
@@ -405,16 +429,16 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		return nil, r.err
 	}
 	if r.off != len(r.buf) {
-		return nil, fmt.Errorf("runtime: checkpoint has %d trailing bytes", len(r.buf)-r.off)
+		return nil, fmt.Errorf("runtime: checkpoint has %d trailing bytes: %w", len(r.buf)-r.off, ErrInvalidCheckpoint)
 	}
 	if cur > e.cfg.Sorties || len(results) != cur {
-		return nil, fmt.Errorf("runtime: checkpoint cursor %d inconsistent with %d results (config allows %d)",
-			cur, len(results), e.cfg.Sorties)
+		return nil, fmt.Errorf("runtime: checkpoint cursor %d inconsistent with %d results (config allows %d): %w",
+			cur, len(results), e.cfg.Sorties, ErrInvalidCheckpoint)
 	}
 
 	src, err := rng.Restore(st)
 	if err != nil {
-		return nil, fmt.Errorf("runtime: checkpoint RNG state: %w", err)
+		return nil, fmt.Errorf("runtime: checkpoint RNG state: %v: %w", err, ErrInvalidCheckpoint)
 	}
 	e.cur = cur
 	e.carry = c

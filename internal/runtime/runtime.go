@@ -308,6 +308,14 @@ type Engine struct {
 	// It does not participate in determinism: the engine computes the
 	// observation unconditionally whether or not anyone is watching.
 	Observer func(TickObs)
+
+	// CheckpointSink, when set, receives a snapshot after every sortie
+	// commit: sortiesDone is the committed count and ckpt the exact bytes
+	// Snapshot would return at that boundary. The fleet scheduler uses it
+	// to publish mid-flight checkpoints for replication; like Observer it
+	// does not participate in determinism (encoding a snapshot reads, but
+	// never advances, the mission streams).
+	CheckpointSink func(sortiesDone int, ckpt []byte)
 }
 
 // New validates cfg and builds an engine at the mission's start.
@@ -433,18 +441,24 @@ func clipSchedule(s fault.Schedule, base, ticks int) fault.Schedule {
 // Spans never touch the deterministic RNG streams: tracing a mission
 // cannot change its bits.
 func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
-	ctx, span := obs.StartSpan(ctx, "runtime.sortie")
+	sctx, span := obs.StartSpan(ctx, "runtime.sortie")
 	span.Int("sortie", int64(e.cur))
 	var res SortieResult
 	var err error
-	obs.Labeled(ctx, func(ctx context.Context) {
-		res, err = e.runSortie(ctx)
+	obs.Labeled(sctx, func(sctx context.Context) {
+		res, err = e.runSortie(sctx)
 	}, "rfly_stage", "sortie")
 	span.Bool("aborted", res.Aborted).
 		Int("reads", int64(res.Reads)).
 		Int("relocks", int64(res.Relocks)).
 		Int("sar_points", int64(res.SARPoints))
 	span.End()
+	// The sink fires outside the sortie span, on the outer context: the
+	// checkpoint span it records interleaves with — never overlaps — the
+	// sortie spans, exactly like a caller-driven boundary snapshot.
+	if err == nil && e.CheckpointSink != nil {
+		e.CheckpointSink(e.cur, e.SnapshotCtx(ctx))
+	}
 	return res, err
 }
 
