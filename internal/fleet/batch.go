@@ -186,6 +186,14 @@ func (s *Scheduler) runBatch(shard int, batch []*mission) {
 			}
 			s.mu.Unlock()
 		}
+		// Live mid-flight estimates ride the same commit boundary. The
+		// solve localizes the batch's lead tag, so the estimate belongs
+		// to the head record alone (mirroring demux's Loc ownership).
+		lease.Engine().EstimateSink = func(est runtime.LiveEstimate) {
+			s.mu.Lock()
+			head.est = &est
+			s.mu.Unlock()
+		}
 		// pprof label propagation: CPU samples taken during the sortie
 		// carry the mission/region/shard labels.
 		obs.Labeled(bctx, func(rctx context.Context) {

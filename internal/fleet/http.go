@@ -19,7 +19,8 @@ import (
 // exercise exactly the bytes the daemon serves.
 //
 //	POST   /v1/missions                 submit (202, or 429 + Retry-After, or 503 draining)
-//	GET    /v1/missions/{id}            poll a mission record
+//	GET    /v1/missions/{id}            poll a mission record (includes a live
+//	                                    "estimate" block while a SAR mission flies)
 //	GET    /v1/missions/{id}/trace      flight-recorder span dump for the batch
 //	                                    sortie that served the mission
 //	GET    /v1/missions/{id}/checkpoint latest committed sortie-boundary
@@ -87,6 +88,24 @@ type MissionResponse struct {
 	WaitMs    float64  `json:"wait_ms,omitempty"`
 	RunMs     float64  `json:"run_ms,omitempty"`
 	Outcome   *Outcome `json:"outcome,omitempty"`
+	// Estimate is the streaming accumulator's latest mid-flight
+	// localization of the batch's lead tag, refreshed at every committed
+	// sortie boundary. Present once enough aperture has accumulated;
+	// after completion it matches the outcome's final solve.
+	Estimate *EstimateBlock `json:"estimate,omitempty"`
+}
+
+// EstimateBlock is the live-estimate section of a mission record.
+type EstimateBlock struct {
+	Sorties int     `json:"sorties"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	SigmaX  float64 `json:"sigma_x"`
+	SigmaY  float64 `json:"sigma_y"`
+	// Total/Kept account the aperture: captures integrated vs captures
+	// surviving robust lock rejection.
+	Total int `json:"total"`
+	Kept  int `json:"kept"`
 }
 
 // TraceResponse is the GET /v1/missions/{id}/trace body.
@@ -318,6 +337,17 @@ func viewResponse(v View) MissionResponse {
 	if v.Shard >= 0 {
 		sh := v.Shard
 		out.Shard = &sh
+	}
+	if v.Estimate != nil {
+		out.Estimate = &EstimateBlock{
+			Sorties: v.Estimate.SortiesDone,
+			X:       v.Estimate.X,
+			Y:       v.Estimate.Y,
+			SigmaX:  v.Estimate.SigmaX,
+			SigmaY:  v.Estimate.SigmaY,
+			Total:   v.Estimate.Total,
+			Kept:    v.Estimate.Kept,
+		}
 	}
 	if !v.Started.IsZero() {
 		out.WaitMs = float64(v.Started.Sub(v.Submitted)) / float64(time.Millisecond)

@@ -397,3 +397,124 @@ func TestWithRequestTimeout(t *testing.T) {
 		t.Fatal("request context never hit the per-request timeout")
 	}
 }
+
+// TestHTTPLiveEstimate: a SAR mission's record grows an "estimate" block
+// once enough aperture commits, and the terminal record's estimate
+// agrees exactly with the outcome's final solve — same accumulator, same
+// bits, one read through JSON.
+func TestHTTPLiveEstimate(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.Sorties = 3
+	cfg.TicksPerSortie = 8
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp := postMission(t, ts, SubmitRequest{
+		Region:    "corridor-east",
+		Tags:      tagInputs(7),
+		Seed:      11,
+		SARPoints: 16,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	var mr MissionResponse
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/missions/" + sr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if mr.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mission did not finish")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if mr.Status != StatusDone {
+		t.Fatalf("mission ended %s (%s)", mr.Status, mr.Error)
+	}
+	if mr.Estimate == nil {
+		t.Fatal("terminal SAR mission record has no estimate block")
+	}
+	est := mr.Estimate
+	if est.Sorties != cfg.Sorties {
+		t.Fatalf("estimate covers %d sorties, mission flew %d", est.Sorties, cfg.Sorties)
+	}
+	if est.SigmaX <= 0 || est.SigmaY <= 0 {
+		t.Fatalf("estimate σ (%v, %v), want positive", est.SigmaX, est.SigmaY)
+	}
+	if est.Kept <= 0 || est.Kept > est.Total {
+		t.Fatalf("estimate accounting kept=%d total=%d", est.Kept, est.Total)
+	}
+	if mr.Outcome == nil || !mr.Outcome.LocOK {
+		t.Fatalf("outcome missing localization: %+v", mr.Outcome)
+	}
+	if est.X != mr.Outcome.LocX || est.Y != mr.Outcome.LocY {
+		t.Fatalf("final estimate (%.17g, %.17g) != outcome solve (%.17g, %.17g)",
+			est.X, est.Y, mr.Outcome.LocX, mr.Outcome.LocY)
+	}
+}
+
+// TestHTTPNoEstimateWithoutSAR: an inventory-only mission never grows an
+// estimate block.
+func TestHTTPNoEstimateWithoutSAR(t *testing.T) {
+	s, err := New(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	resp := postMission(t, ts, SubmitRequest{Region: "dock", Tags: tagInputs(3)})
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/missions/" + sr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mr MissionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if mr.Status.Terminal() {
+			if mr.Estimate != nil {
+				t.Fatalf("inventory-only mission grew an estimate block: %+v", mr.Estimate)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mission did not finish")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

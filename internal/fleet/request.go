@@ -204,6 +204,13 @@ type mission struct {
 	ckpt       []byte
 	ckptSortie int
 
+	// est is the engine's latest live localization estimate, published
+	// after each sortie commit while the batch flies. Like the outcome's
+	// Loc fields it localizes the batch's lead tag, so only the batch
+	// head's record carries one. Nil until the accumulated aperture
+	// supports a solve.
+	est *runtime.LiveEstimate
+
 	// done closes when the record reaches a terminal status.
 	done chan struct{}
 }
@@ -221,6 +228,10 @@ type View struct {
 	Submitted time.Time
 	Started   time.Time
 	Finished  time.Time
+	// Estimate is the latest mid-flight localization estimate (batch
+	// head only, once enough aperture has committed); nil otherwise. It
+	// keeps updating while the mission runs and freezes at completion.
+	Estimate *runtime.LiveEstimate
 }
 
 func (m *mission) view() View {
@@ -239,6 +250,10 @@ func (m *mission) view() View {
 		o := *m.outcome
 		o.TagReads = append([]uint32(nil), m.outcome.TagReads...)
 		v.Outcome = &o
+	}
+	if m.est != nil {
+		e := *m.est
+		v.Estimate = &e
 	}
 	return v
 }

@@ -130,3 +130,59 @@ func TestGridCount(t *testing.T) {
 		t.Fatalf("gridCount(1.0, 0.1) = %d", got)
 	}
 }
+
+// TestGridCountExactMultipleSpans pins the coarse-bounds cases the old
+// Ceil-based sizing in LocalizeCtx got wrong: a span that is an exact
+// multiple of the step must produce exactly span/step + 1 lattice points,
+// regardless of which way the float division rounds. 0.9/0.3 rounds UP
+// (3.0000000000000004) — Ceil sizing invented an extra boundary row —
+// while 4.0/0.1 rounds down; both must land on the exact count.
+func TestGridCountExactMultipleSpans(t *testing.T) {
+	cases := []struct {
+		span, step float64
+		want       int
+	}{
+		{4.0, 0.10, 41}, // the default coarse grid over a 4 m aisle
+		{0.9, 0.3, 4},   // 0.9/0.3 > 3 in float64: Ceil+1 said 5
+		{9.0, 0.3, 31},  // 9.0/0.3 > 30 in float64: Ceil+1 said 32
+		{5.0, 0.10, 51},
+		{4.8, 0.10, 49},
+	}
+	for _, c := range cases {
+		if got := gridCount(c.span, c.step); got != c.want {
+			t.Fatalf("gridCount(%v, %v) = %d, want %d", c.span, c.step, got, c.want)
+		}
+	}
+}
+
+// TestLocalizeCoarseGridUsesGridCount is the end-to-end regression for
+// the unified sizing: the coarse heatmap of a solve over an
+// exact-multiple Region must have gridCount dimensions. With the old
+// int(Ceil(span/CoarseRes))+1 sizing, a 9 m span at 0.3 m picked up a
+// 32nd column (9/0.3 rounds up in float64), so the coarse lattice
+// disagreed with every other grid in the package.
+func TestLocalizeCoarseGridUsesGridCount(t *testing.T) {
+	traj := geom.Line(geom.P2(0, 0.3), geom.P2(3, 0.3), 40)
+	meas := synthChannels(traj, geom.P2(1.5, 2.0), f900, nil, 0, 0, nil)
+	cfg := DefaultConfig(f900)
+	cfg.CoarseRes = 0.3
+	cfg.Region = &Region{X0: -3, Y0: 0.5, X1: 6, Y1: 5} // X span 9.0, Y span 4.5
+	res, err := Localize(meas, traj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heatmap.Cols != 31 || res.Heatmap.Rows != 16 {
+		t.Fatalf("coarse grid %d×%d, want 31×16 (gridCount over exact-multiple spans)",
+			res.Heatmap.Cols, res.Heatmap.Rows)
+	}
+	// And at the default 0.10 m pitch over a 4 m-wide exact region.
+	cfg = DefaultConfig(f900)
+	cfg.Region = &Region{X0: 0, Y0: 0.5, X1: 4, Y1: 4.5}
+	res, err = Localize(meas, traj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Heatmap.Cols != 41 || res.Heatmap.Rows != 41 {
+		t.Fatalf("default-pitch grid %d×%d, want 41×41", res.Heatmap.Cols, res.Heatmap.Rows)
+	}
+}

@@ -100,6 +100,19 @@ type Config struct {
 	// harness's serial-vs-parallel comparison and for embedding in an
 	// already-saturated host.
 	Workers int
+	// MultiRes enables the coarse-to-fine scan (multires.go): the coarse
+	// pass first samples a super-grid at MultiResFactor× the cell pitch,
+	// then fills the CoarseRes lattice only inside the top TopKBasins
+	// basins. The refined tail is shared with the exhaustive scan, and the
+	// multires gate test asserts the same final argmax on the testbed
+	// scenarios; the heatmap it returns is sparse (unvisited cells zero).
+	MultiRes bool
+	// MultiResFactor is the super-grid pitch in coarse cells (values < 2
+	// mean the default 4).
+	MultiResFactor int
+	// TopKBasins bounds how many super-grid basins are filled at CoarseRes
+	// (≤ 0 means MaxCandidates + 2, floored at 4).
+	TopKBasins int
 }
 
 // DefaultConfig returns the reproduction's localizer settings.
@@ -193,29 +206,51 @@ func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, 
 	}
 	x0, y0, x1, y1 := cfg.searchBounds(traj)
 
-	cols := int(math.Ceil((x1-x0)/cfg.CoarseRes)) + 1
-	rows := int(math.Ceil((y1-y0)/cfg.CoarseRes)) + 1
+	// The coarse lattice is sized by the shared gridCount helper like every
+	// other grid in the package: Ceil-based sizing gained or lost a
+	// boundary row/column to float error on exact-multiple spans.
+	cols := gridCount(x1-x0, cfg.CoarseRes)
+	rows := gridCount(y1-y0, cfg.CoarseRes)
 	ctx, span := obs.StartSpan(ctx, "loc.solve")
-	span.Int("rows", int64(rows)).Int("cols", int64(cols)).Int("meas", int64(len(meas)))
+	span.Int("rows", int64(rows)).Int("cols", int64(cols)).Int("meas", int64(len(meas))).Bool("multires", cfg.MultiRes)
 	defer span.End()
 	hm := stats.NewHeatmap(x0, y0, cfg.CoarseRes, cfg.CoarseRes, cols, rows)
-	err := stripeRows(ctx, rows, cfg.Workers, func(r int) {
-		for c := 0; c < cols; c++ {
-			x, y := hm.CellCenter(c, r)
-			hm.Set(c, r, projection(meas, x, y, 0, cfg.Freq))
+	var peaks []gridPeak
+	if cfg.MultiRes {
+		var err error
+		peaks, err = multiResScan(ctx, meas, cfg, hm)
+		if err != nil {
+			return nil, err
 		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("loc: search abandoned mid-grid (%d rows): %w", rows, err)
+	} else {
+		err := stripeRows(ctx, rows, cfg.Workers, func(r int) {
+			for c := 0; c < cols; c++ {
+				x, y := hm.CellCenter(c, r)
+				hm.Set(c, r, projection(meas, x, y, 0, cfg.Freq))
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loc: search abandoned mid-grid (%d rows): %w", rows, err)
+		}
+		peaks = localMaxima(hm, cfg.PeakThreshold, cfg.MaxCandidates,
+			suppressRadiusCells(cfg.Freq, cfg.CoarseRes))
 	}
-	peaks := localMaxima(hm, cfg.PeakThreshold, cfg.MaxCandidates,
-		suppressRadiusCells(cfg.Freq, cfg.CoarseRes))
 	span.Int("peaks", int64(len(peaks)))
+	return refineAndPick(ctx, meas, traj, cfg, hm, peaks)
+}
+
+// refineAndPick is the shared tail of every 2D solve — exhaustive,
+// multi-resolution, and streaming finalize all funnel through it, which is
+// what lets the equivalence gates compare whole Results rather than just
+// argmaxes. Each coarse peak is hill-refined on the fine lattice, then the
+// multipath rule (§5.2) picks the answer: among candidates within threshold
+// of the best, choose the one closest to the trajectory — but only consider
+// candidates far enough from the global maximum to be genuine ghost images
+// rather than sidelobes of the same peak.
+func refineAndPick(ctx context.Context, meas []Measurement, traj geom.Trajectory, cfg Config, hm *stats.Heatmap, peaks []gridPeak) (*Result, error) {
 	if len(peaks) == 0 {
 		return nil, fmt.Errorf("loc: no peaks above threshold")
 	}
-
-	// Refine each coarse peak on a fine grid around it.
 	cands := make([]Candidate, 0, len(peaks))
 	for _, p := range peaks {
 		if err := ctx.Err(); err != nil {
@@ -231,10 +266,6 @@ func LocalizeCtx(ctx context.Context, meas []Measurement, traj geom.Trajectory, 
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Value > cands[j].Value })
-	// Multipath rule (§5.2): among candidates within threshold of the
-	// best, choose the one closest to the trajectory — but only consider
-	// candidates far enough from the global maximum to be genuine ghost
-	// images rather than sidelobes of the same peak.
 	best := cands[0]
 	for _, c := range cands[1:] {
 		if c.Value >= cfg.PeakThreshold*cands[0].Value &&
@@ -270,7 +301,10 @@ func refine2D(meas []Measurement, cx, cy, coarseRes, fineRes, freq float64) (x, 
 }
 
 // normalizeAmplitudes returns measurements scaled to unit magnitude
-// (zero-amplitude entries dropped).
+// (zero-amplitude entries dropped). The Unlocked flag rides along: a
+// carrier-unlocked capture is still unlocked at unit amplitude, and
+// dropping the flag here would launder it past LocalizeRobust's rejection
+// whenever PhaseOnly mode re-enters the solve.
 func normalizeAmplitudes(meas []Measurement) []Measurement {
 	out := make([]Measurement, 0, len(meas))
 	for _, m := range meas {
@@ -278,7 +312,7 @@ func normalizeAmplitudes(meas []Measurement) []Measurement {
 		if a <= 0 {
 			continue
 		}
-		out = append(out, Measurement{Pos: m.Pos, H: m.H / complex(a, 0)})
+		out = append(out, Measurement{Pos: m.Pos, H: m.H / complex(a, 0), Unlocked: m.Unlocked})
 	}
 	return out
 }
@@ -352,8 +386,13 @@ func localMaxima(h *stats.Heatmap, threshold float64, maxN, radius int) []gridPe
 			}
 		}
 	}
+	return dedupPeaks(peaks, maxN, radius)
+}
+
+// dedupPeaks sorts peaks descending and suppresses near-duplicates
+// (plateaus) within the given radius, keeping at most maxN.
+func dedupPeaks(peaks []gridPeak, maxN, radius int) []gridPeak {
 	sort.Slice(peaks, func(i, j int) bool { return peaks[i].v > peaks[j].v })
-	// Suppress near-duplicates (plateaus) at the same radius.
 	var out []gridPeak
 	for _, p := range peaks {
 		dup := false

@@ -1,0 +1,264 @@
+package loc
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"rfly/internal/stats"
+)
+
+// Coarse-to-fine multi-resolution scan. The exhaustive coarse pass is
+// O(cells × measurements); on the default grid most of those cells are
+// nowhere near a lobe. The multires pass first samples a super-grid at
+// MultiResFactor× the coarse pitch — the samples land on the *same*
+// CoarseRes lattice points, so every value is directly reusable — ranks
+// the super-samples, and fills the CoarseRes lattice only inside the top
+// TopKBasins basins (a ±factor-cell window around each selected sample).
+// Peak extraction is then border-aware: a cell only counts as a local
+// maximum if its entire suppression neighborhood was actually evaluated,
+// so window edges against unvisited (zero) cells cannot fake peaks.
+//
+// The λ/2 fringes of P(x,y) (~1.6 coarse cells at the default 915 MHz /
+// 0.10 m grid) are undersampled by a 4× super-grid: a single sample per
+// super-cell lands on an essentially arbitrary fringe phase, and around
+// the true lobe every sample can hit a null while distant clutter happens
+// to hit ridges — the lobe then never makes the top-K basins and the scan
+// finds nothing (observed on the Fig. 12 testbed aperture). Each
+// super-cell is therefore probed at three lattice points — the corner
+// plus half-pitch offsets along each axis — and ranked by the strongest
+// probe: whatever the local fringe orientation, at least one probe pair
+// is separated by a non-degenerate fraction of the fringe period, so the
+// probes cannot all sit in nulls. Basin selection stays deliberately
+// generous — value-ranked rather than maxima-ranked, with only adjacent
+// super-samples suppressed — and if peak extraction still comes up empty
+// the scan falls back to filling the remaining cells, making multires
+// degrade to the exhaustive cost rather than fail where the exhaustive
+// scan would succeed. Correctness is held by the
+// same-argmax-vs-exhaustive gate (multires_test.go and the perf
+// harness's Fig. 12 gate) rather than by construction.
+
+// defaultMultiResFactor is the super-grid pitch in coarse cells.
+const defaultMultiResFactor = 4
+
+// multiResFactor resolves the configured super-grid pitch.
+func (cfg Config) multiResFactor() int {
+	if cfg.MultiResFactor > 1 {
+		return cfg.MultiResFactor
+	}
+	return defaultMultiResFactor
+}
+
+// topKBasins resolves how many basins the refine pass fills.
+func (cfg Config) topKBasins() int {
+	if cfg.TopKBasins > 0 {
+		return cfg.TopKBasins
+	}
+	k := cfg.MaxCandidates + 2
+	if k < 4 {
+		k = 4
+	}
+	return k
+}
+
+// multiResScan fills hm sparsely (super-samples + top-K basin windows) and
+// returns the border-aware local maxima of the evaluated region. The
+// caller owns hm; unvisited cells remain zero.
+func multiResScan(ctx context.Context, meas []Measurement, cfg Config, hm *stats.Heatmap) ([]gridPeak, error) {
+	factor := cfg.multiResFactor()
+	topK := cfg.topKBasins()
+	cols, rows := hm.Cols, hm.Rows
+	eval := make([]bool, cols*rows)
+
+	// Super pass: every factor-th lattice point plus the two half-pitch
+	// probes, striped like the exhaustive scan. Workers write disjoint
+	// rows of hm and eval: super row j owns grid rows j·factor and
+	// j·factor+half, and half < factor keeps those sets disjoint across j.
+	superCols := (cols + factor - 1) / factor
+	superRows := (rows + factor - 1) / factor
+	half := factor / 2
+	sample := func(c, r int) {
+		x, y := hm.CellCenter(c, r)
+		hm.Set(c, r, projection(meas, x, y, 0, cfg.Freq))
+		eval[r*cols+c] = true
+	}
+	err := stripeRows(ctx, superRows, cfg.Workers, func(j int) {
+		r := j * factor
+		for i := 0; i < superCols; i++ {
+			c := i * factor
+			sample(c, r)
+			if half > 0 && c+half < cols {
+				sample(c+half, r)
+			}
+			if half > 0 && r+half < rows {
+				sample(c, r+half)
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loc: multires search abandoned in super pass (%d rows): %w", superRows, err)
+	}
+
+	// Rank the super-samples by value and keep the top K, suppressing only
+	// immediately adjacent samples (same basin); distant rivals — the
+	// multipath ghosts the §5.2 rule needs to see — survive.
+	type superCell struct {
+		i, j int
+		v    float64
+	}
+	cells := make([]superCell, 0, superCols*superRows)
+	for j := 0; j < superRows; j++ {
+		for i := 0; i < superCols; i++ {
+			c, r := i*factor, j*factor
+			v := hm.At(c, r)
+			if half > 0 && c+half < cols && hm.At(c+half, r) > v {
+				v = hm.At(c+half, r)
+			}
+			if half > 0 && r+half < rows && hm.At(c, r+half) > v {
+				v = hm.At(c, r+half)
+			}
+			cells = append(cells, superCell{i, j, v})
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].v > cells[b].v })
+	basins := make([]superCell, 0, topK)
+	for _, sc := range cells {
+		dup := false
+		for _, b := range basins {
+			if abs(sc.i-b.i) <= 1 && abs(sc.j-b.j) <= 1 {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		basins = append(basins, sc)
+		if len(basins) >= topK {
+			break
+		}
+	}
+
+	// Refine pass: fill every not-yet-evaluated CoarseRes cell within
+	// ±factor cells of each selected super-sample. Windows may overlap;
+	// the need mask makes each cell cost one projection at most.
+	need := make([]bool, cols*rows)
+	rowHas := make([]bool, rows)
+	var needRows []int
+	for _, b := range basins {
+		c0, c1 := b.i*factor-factor, b.i*factor+factor
+		r0, r1 := b.j*factor-factor, b.j*factor+factor
+		if c0 < 0 {
+			c0 = 0
+		}
+		if r0 < 0 {
+			r0 = 0
+		}
+		if c1 > cols-1 {
+			c1 = cols - 1
+		}
+		if r1 > rows-1 {
+			r1 = rows - 1
+		}
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				idx := r*cols + c
+				if eval[idx] || need[idx] {
+					continue
+				}
+				need[idx] = true
+				if !rowHas[r] {
+					rowHas[r] = true
+					needRows = append(needRows, r)
+				}
+			}
+		}
+	}
+	sort.Ints(needRows)
+	err = stripeRows(ctx, len(needRows), cfg.Workers, func(k int) {
+		r := needRows[k]
+		for c := 0; c < cols; c++ {
+			idx := r*cols + c
+			if !need[idx] {
+				continue
+			}
+			x, y := hm.CellCenter(c, r)
+			hm.Set(c, r, projection(meas, x, y, 0, cfg.Freq))
+			eval[idx] = true
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loc: multires search abandoned in basin pass (%d rows): %w", len(needRows), err)
+	}
+	radius := suppressRadiusCells(cfg.Freq, cfg.CoarseRes)
+	peaks := maskedMaxima(hm, eval, cfg.PeakThreshold, cfg.MaxCandidates, radius)
+	if len(peaks) > 0 {
+		return peaks, nil
+	}
+	// Exhaustive fallback: basin selection missed every lobe (the fringe
+	// pattern can defeat any sub-Nyquist sampling). Fill the remaining
+	// cells so the scan degrades to the exhaustive cost instead of
+	// failing where the exhaustive scan would find the tag.
+	err = stripeRows(ctx, rows, cfg.Workers, func(r int) {
+		for c := 0; c < cols; c++ {
+			if !eval[r*cols+c] {
+				sample(c, r)
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loc: multires search abandoned in fallback pass (%d rows): %w", rows, err)
+	}
+	return maskedMaxima(hm, eval, cfg.PeakThreshold, cfg.MaxCandidates, radius), nil
+}
+
+// maskedMaxima is localMaxima restricted to the evaluated cells of a
+// sparse heatmap: the global maximum (and so the threshold floor) is taken
+// over evaluated cells only, and a peak must dominate a *fully evaluated*
+// in-grid neighborhood — a cell at a window border, whose unvisited
+// neighbors hold zero, is never eligible.
+func maskedMaxima(h *stats.Heatmap, eval []bool, threshold float64, maxN, radius int) []gridPeak {
+	if radius < 1 {
+		radius = 1
+	}
+	global := math.Inf(-1)
+	for i, ok := range eval {
+		if ok && h.Data[i] > global {
+			global = h.Data[i]
+		}
+	}
+	floor := threshold * global
+	var peaks []gridPeak
+	for r := 0; r < h.Rows; r++ {
+		for c := 0; c < h.Cols; c++ {
+			if !eval[r*h.Cols+c] {
+				continue
+			}
+			v := h.At(c, r)
+			if v < floor {
+				continue
+			}
+			isMax := true
+			for dr := -radius; dr <= radius && isMax; dr++ {
+				for dc := -radius; dc <= radius; dc++ {
+					if dr == 0 && dc == 0 {
+						continue
+					}
+					nc, nr := c+dc, r+dr
+					if nc < 0 || nr < 0 || nc >= h.Cols || nr >= h.Rows {
+						continue
+					}
+					if !eval[nr*h.Cols+nc] || h.At(nc, nr) > v {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				peaks = append(peaks, gridPeak{c, r, v})
+			}
+		}
+	}
+	return dedupPeaks(peaks, maxN, radius)
+}

@@ -1,0 +1,136 @@
+package loc
+
+import (
+	"context"
+	"testing"
+
+	"rfly/internal/geom"
+	"rfly/internal/rng"
+	"rfly/internal/stats"
+)
+
+// sparseGrid builds an empty heatmap plus its evaluated-cell mask.
+func sparseGrid(cols, rows int) (*stats.Heatmap, []bool) {
+	return stats.NewHeatmap(0, 0, 1, 1, cols, rows), make([]bool, cols*rows)
+}
+
+func set(h *stats.Heatmap, eval []bool, c, r int, v float64) {
+	h.Set(c, r, v)
+	eval[r*h.Cols+c] = true
+}
+
+// TestMultiResSameArgmaxAsExhaustive is the coarse-to-fine gate: on every
+// testbed scenario — clean LoS, noise, a rivaling multipath ghost, dense
+// double-bounce clutter — the multires scan must land on the same final
+// argmax as the exhaustive coarse pass. Same argmax means bitwise: the
+// winning coarse cell feeds the identical fine refinement.
+func TestMultiResSameArgmaxAsExhaustive(t *testing.T) {
+	for _, sc := range append(streamScenarios(), streamScenario{
+		name: "double-bounce",
+		meas: synthChannels(geom.Line(geom.P2(0, 0), geom.P2(3, 0), 40), geom.P2(1.5, 1.6), f900,
+			[]geom.Point{geom.P2(1.5, 4.4), geom.P2(1.5, -3.6)}, 0.6, 0.2, rng.New(5)),
+		cfg: regionAbove(f900),
+	}) {
+		traj := trajOf(sc.meas)
+		exhaustive, err := LocalizeCtx(context.Background(), sc.meas, traj, sc.cfg)
+		if err != nil {
+			t.Fatalf("%s: exhaustive: %v", sc.name, err)
+		}
+		cfg := sc.cfg
+		cfg.MultiRes = true
+		multi, err := LocalizeCtx(context.Background(), sc.meas, traj, cfg)
+		if err != nil {
+			t.Fatalf("%s: multires: %v", sc.name, err)
+		}
+		if multi.Location != exhaustive.Location {
+			t.Fatalf("%s: multires argmax %v != exhaustive %v",
+				sc.name, multi.Location, exhaustive.Location)
+		}
+		if multi.Peak != exhaustive.Peak {
+			t.Fatalf("%s: multires peak %.17g != exhaustive %.17g",
+				sc.name, multi.Peak, exhaustive.Peak)
+		}
+	}
+}
+
+// TestMultiResHeatmapIsSparse pins that the coarse-to-fine pass actually
+// skips work: the returned heatmap must contain unvisited (zero) cells,
+// where the exhaustive scan's is dense.
+func TestMultiResHeatmapIsSparse(t *testing.T) {
+	sc := streamScenarios()[0]
+	traj := trajOf(sc.meas)
+	cfg := sc.cfg
+	cfg.MultiRes = true
+	multi, err := LocalizeCtx(context.Background(), sc.meas, traj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	for _, v := range multi.Heatmap.Data {
+		if v == 0 {
+			zero++
+		}
+	}
+	cells := len(multi.Heatmap.Data)
+	if zero == 0 {
+		t.Fatal("multires heatmap is dense; the coarse-to-fine pass saved nothing")
+	}
+	t.Logf("multires evaluated %d/%d cells (%.0f%%)",
+		cells-zero, cells, 100*float64(cells-zero)/float64(cells))
+	exhaustive, err := LocalizeCtx(context.Background(), sc.meas, traj, sc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range exhaustive.Heatmap.Data {
+		if v == 0 {
+			t.Fatal("exhaustive heatmap has a zero cell; sparsity check is meaningless")
+		}
+	}
+}
+
+// TestMultiResWorkersBitIdentical: like the exhaustive scan, the multires
+// scan must not depend on the worker count.
+func TestMultiResWorkersBitIdentical(t *testing.T) {
+	sc := streamScenarios()[1]
+	traj := trajOf(sc.meas)
+	cfg := sc.cfg
+	cfg.MultiRes = true
+	cfg.Workers = 1
+	serial, err := LocalizeCtx(context.Background(), sc.meas, traj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		cfg.Workers = w
+		par, err := LocalizeCtx(context.Background(), sc.meas, traj, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "multires workers", serial, par)
+	}
+}
+
+// TestMaskedMaximaIgnoresWindowBorders: a cell at the edge of an evaluated
+// window (bordered by unvisited zeros) must never count as a peak, and the
+// threshold floor must come from evaluated cells only.
+func TestMaskedMaximaIgnoresWindowBorders(t *testing.T) {
+	h, eval := sparseGrid(9, 9)
+	// Evaluated 3×3 window at (1..3, 1..3) with a hot border cell, and a
+	// fully-covered interior peak at (6,6) inside a 5×5 window (4..8).
+	for r := 1; r <= 3; r++ {
+		for c := 1; c <= 3; c++ {
+			set(h, eval, c, r, 1)
+		}
+	}
+	set(h, eval, 3, 2, 5) // window border: unvisited neighbors at c=4
+	for r := 4; r <= 8; r++ {
+		for c := 4; c <= 8; c++ {
+			set(h, eval, c, r, 1)
+		}
+	}
+	set(h, eval, 6, 6, 4)
+	peaks := maskedMaxima(h, eval, 0.5, 8, 1)
+	if len(peaks) != 1 || peaks[0].c != 6 || peaks[0].r != 6 {
+		t.Fatalf("peaks = %+v, want only the covered interior peak (6,6)", peaks)
+	}
+}

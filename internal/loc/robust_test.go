@@ -129,6 +129,58 @@ func TestLocalizeRobustFailsWhenMostlyDark(t *testing.T) {
 	}
 }
 
+// TestNormalizeAmplitudesPreservesUnlocked is the flag-laundering
+// regression: rebuilding measurements at unit amplitude must not scrub
+// the Unlocked flag, or phase-only pipelines feed carrier-unlocked
+// captures past every downstream robust rejection.
+func TestNormalizeAmplitudesPreservesUnlocked(t *testing.T) {
+	meas, _, _ := robustScenario(40, 12, 41)
+	norm := normalizeAmplitudes(meas)
+	if len(norm) != len(meas) {
+		t.Fatalf("normalize dropped %d non-zero measurements", len(meas)-len(norm))
+	}
+	for i := range norm {
+		if norm[i].Unlocked != meas[i].Unlocked {
+			t.Fatalf("measurement %d: Unlocked %v became %v after normalization",
+				i, meas[i].Unlocked, norm[i].Unlocked)
+		}
+	}
+	kept, rejected := RejectUnlocked(norm)
+	if rejected != 12 || len(kept) != 28 {
+		t.Fatalf("post-normalization rejection kept %d / rejected %d, want 28/12", len(kept), rejected)
+	}
+}
+
+// TestPhaseOnlyRobustRejectsUnlocked composes PhaseOnly with
+// LocalizeRobust: the unit-amplitude rebuild inside the solve must not
+// launder unlocked captures back into the aperture, so the accounting
+// (and the σ widening it drives) matches the amplitude-weighted path.
+func TestPhaseOnlyRobustRejectsUnlocked(t *testing.T) {
+	meas, traj, tagPos := robustScenario(45, 15, 42)
+	cfg := robustCfg(915e6)
+	cfg.PhaseOnly = true
+	rob, err := LocalizeRobust(meas, traj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob.Total != 45 || rob.Kept != 30 {
+		t.Fatalf("phase-only robust accounting %d/%d, want 30/45", rob.Kept, rob.Total)
+	}
+	if e := rob.Location.Dist2D(tagPos); e > 0.5 {
+		t.Fatalf("phase-only robust error = %v m", e)
+	}
+	// The rejection penalty must be present in σ: widened by sqrt(45/30).
+	kept, _ := RejectUnlocked(meas)
+	raw, err := Localize(kept, traj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, _ := Uncertainty(kept, raw, cfg)
+	if want := sx * math.Sqrt(45.0/30.0); math.Abs(rob.SigmaX-want) > 1e-12 {
+		t.Fatalf("phase-only σx = %v, want %v", rob.SigmaX, want)
+	}
+}
+
 func TestLocalizeRobustCleanMatchesLocalize(t *testing.T) {
 	meas, traj, _ := robustScenario(45, 0, 35)
 	cfg := robustCfg(915e6)

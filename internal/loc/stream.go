@@ -1,0 +1,248 @@
+package loc
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+
+	"rfly/internal/geom"
+	"rfly/internal/obs"
+	"rfly/internal/signal"
+	"rfly/internal/stats"
+)
+
+// StreamSolver accumulates the SAR matched filter (Eq. 12) incrementally:
+// each capture is folded into the coarse grid's per-cell complex partial
+// sums as it arrives, so the end-of-mission "solve" collapses to an argmax
+// over |sums| plus the usual top-K fine refinement — and a live position
+// estimate with error bars is available at any point mid-flight via
+// Snapshot.
+//
+// The finalize invariant, asserted by the equivalence tests: Snapshot over
+// a stream of measurements is bit-identical to the batch path
+// (LocalizeCtx, or LocalizeRobustCtx for a robust solver) over the same
+// measurements in the same order, with the trajectory built from their
+// positions. It holds because per-cell accumulation order equals arrival
+// order — exactly the order of projection()'s inner loop — and the row
+// striping of AddBatch never reorders additions within a cell. For the
+// same reason two separately accumulated grids must never be merged:
+// float addition is not associative across interleavings, so a restore
+// installs a serialized grid verbatim (Restore) rather than summing.
+type StreamSolver struct {
+	cfg    Config
+	robust bool
+	x0, y0 float64
+	res    float64
+	cols   int
+	rows   int
+	k      float64 // phase per meter of one-way distance ×2
+
+	mu   sync.Mutex
+	sum  []complex128 // per-cell partial sums, row-major like stats.Heatmap
+	traj []geom.Point // every added position, locked or not (the aperture)
+	kept []Measurement
+	// total counts every Add; len(kept) is what survived robust rejection.
+	total int
+}
+
+// NewStreamSolver builds a streaming accumulator whose Snapshot matches
+// batch LocalizeCtx. cfg.Region must be set: the lattice is fixed before
+// any data arrives, so trajectory-derived bounds are unavailable.
+func NewStreamSolver(cfg Config) (*StreamSolver, error) {
+	return newStreamSolver(cfg, false)
+}
+
+// NewRobustStreamSolver builds a streaming accumulator whose Snapshot
+// matches batch LocalizeRobustCtx: carrier-unlocked captures are rejected
+// at Add time (they never enter the partial sums) and the reported σ is
+// widened by the aperture loss.
+func NewRobustStreamSolver(cfg Config) (*StreamSolver, error) {
+	return newStreamSolver(cfg, true)
+}
+
+func newStreamSolver(cfg Config, robust bool) (*StreamSolver, error) {
+	if cfg.Region == nil {
+		return nil, fmt.Errorf("loc: streaming solve needs a fixed Region (trajectory bounds are unknown up front)")
+	}
+	if cfg.CoarseRes <= 0 || cfg.FineRes <= 0 {
+		return nil, fmt.Errorf("loc: non-positive grid resolution")
+	}
+	cols := gridCount(cfg.Region.X1-cfg.Region.X0, cfg.CoarseRes)
+	rows := gridCount(cfg.Region.Y1-cfg.Region.Y0, cfg.CoarseRes)
+	return &StreamSolver{
+		cfg:    cfg,
+		robust: robust,
+		x0:     cfg.Region.X0,
+		y0:     cfg.Region.Y0,
+		res:    cfg.CoarseRes,
+		cols:   cols,
+		rows:   rows,
+		k:      4 * math.Pi * cfg.Freq / signal.C,
+		sum:    make([]complex128, cols*rows),
+	}, nil
+}
+
+// Add folds one capture into the partial sums. Safe for concurrent use
+// with AddBatch and Snapshot.
+func (s *StreamSolver) Add(m Measurement) {
+	s.AddBatch(context.Background(), []Measurement{m})
+}
+
+// AddBatch folds a batch of captures into the partial sums, striping the
+// grid rows across the worker pool (cfg.Workers, like LocalizeCtx). The
+// batch is always integrated whole: a half-applied batch would leave the
+// accumulator matching no measurement prefix, so integration ignores ctx
+// cancellation (a batch is microseconds of work); ctx carries the obs
+// recorder for the loc.stream.add span.
+func (s *StreamSolver) AddBatch(ctx context.Context, meas []Measurement) {
+	if len(meas) == 0 {
+		return
+	}
+	ctx, span := obs.StartSpan(ctx, "loc.stream.add")
+	defer span.End()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Filter exactly as the batch pipeline would: robust rejection first
+	// (LocalizeRobustCtx), then phase-only normalization (LocalizeCtx).
+	add := make([]Measurement, 0, len(meas))
+	for _, m := range meas {
+		s.total++
+		s.traj = append(s.traj, m.Pos)
+		if s.robust && m.Unlocked {
+			continue
+		}
+		s.kept = append(s.kept, m)
+		if s.cfg.PhaseOnly {
+			a := cmplx.Abs(m.H)
+			if a <= 0 {
+				continue
+			}
+			m.H = m.H / complex(a, 0)
+		}
+		add = append(add, m)
+	}
+	span.Int("batch", int64(len(meas))).Int("integrated", int64(len(add))).Int("total", int64(s.total))
+	if len(add) == 0 {
+		return
+	}
+	stripeRows(context.WithoutCancel(ctx), s.rows, s.cfg.Workers, func(r int) {
+		base := r * s.cols
+		y := s.y0 + (float64(r)+0.5)*s.res
+		for c := 0; c < s.cols; c++ {
+			x := s.x0 + (float64(c)+0.5)*s.res
+			acc := s.sum[base+c]
+			for _, m := range add {
+				dx, dy, dz := x-m.Pos.X, y-m.Pos.Y, -m.Pos.Z
+				d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				sn, cs := math.Sincos(s.k * d)
+				acc += m.H * complex(cs, sn)
+			}
+			s.sum[base+c] = acc
+		}
+	})
+}
+
+// Total returns how many measurements have been added (including any a
+// robust solver rejected).
+func (s *StreamSolver) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Kept returns how many measurements survived rejection and entered the
+// partial sums' filter chain.
+func (s *StreamSolver) Kept() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.kept)
+}
+
+// Grid returns the lattice geometry and a copy of the per-cell partial
+// sums, for checkpointing. The copy is row-major like stats.Heatmap.
+func (s *StreamSolver) Grid() (x0, y0, res float64, cols, rows int, sum []complex128) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.x0, s.y0, s.res, s.cols, s.rows, append([]complex128(nil), s.sum...)
+}
+
+// Restore installs a previously serialized accumulator: the grid is taken
+// verbatim (never re-summed — float addition is not associative across
+// interleavings) and the bookkeeping (trajectory, kept list, counts) is
+// rebuilt by replaying the measurement history through the same filters
+// Add applies. history must be the full, ordered list of measurements the
+// serialized grid was accumulated from.
+func (s *StreamSolver) Restore(sum []complex128, history []Measurement) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(sum) != s.cols*s.rows {
+		return fmt.Errorf("loc: restored grid has %d cells, lattice wants %d×%d", len(sum), s.cols, s.rows)
+	}
+	s.sum = append(s.sum[:0], sum...)
+	s.traj = s.traj[:0]
+	s.kept = s.kept[:0]
+	s.total = 0
+	for _, m := range history {
+		s.total++
+		s.traj = append(s.traj, m.Pos)
+		if s.robust && m.Unlocked {
+			continue
+		}
+		s.kept = append(s.kept, m)
+	}
+	return nil
+}
+
+// Snapshot finalizes the current stream without consuming it: the partial
+// sums become a heatmap (one |·| per cell), peak extraction and fine
+// refinement run exactly as in the batch path, and the σ error bars come
+// from Uncertainty — widened by sqrt(total/kept) for a robust solver, a
+// no-op factor of 1 otherwise. Later Adds keep accumulating; the returned
+// Result (heatmap included) is a detached copy. The multires knobs are
+// ignored here: the coarse grid is already materialized, so there is
+// nothing for a coarse-to-fine pass to save.
+func (s *StreamSolver) Snapshot(ctx context.Context) (*RobustResult, error) {
+	ctx, span := obs.StartSpan(ctx, "loc.stream.snapshot")
+	defer span.End()
+	s.mu.Lock()
+	total := s.total
+	kept := append([]Measurement(nil), s.kept...)
+	traj := geom.Trajectory{Points: append([]geom.Point(nil), s.traj...)}
+	hm := stats.NewHeatmap(s.x0, s.y0, s.res, s.res, s.cols, s.rows)
+	for i, z := range s.sum {
+		hm.Data[i] = cmplx.Abs(z)
+	}
+	s.mu.Unlock()
+	span.Int("total", int64(total)).Int("kept", int64(len(kept)))
+	if s.robust && len(kept) < 3 {
+		return nil, fmt.Errorf("loc: only %d/%d measurements survived lock rejection", len(kept), total)
+	}
+	if len(kept) < 3 {
+		return nil, fmt.Errorf("loc: need at least 3 measurements, have %d", len(kept))
+	}
+	meas := kept
+	if s.cfg.PhaseOnly {
+		meas = normalizeAmplitudes(meas)
+	}
+	peaks := localMaxima(hm, s.cfg.PeakThreshold, s.cfg.MaxCandidates,
+		suppressRadiusCells(s.cfg.Freq, s.cfg.CoarseRes))
+	span.Int("peaks", int64(len(peaks)))
+	res, err := refineAndPick(ctx, meas, traj, s.cfg, hm, peaks)
+	if err != nil {
+		return nil, err
+	}
+	// Uncertainty gets the pre-normalization kept list, exactly as
+	// LocalizeRobustCtx passes it (it re-normalizes internally under
+	// PhaseOnly), so the σ bits match the batch path.
+	sx, sy := Uncertainty(kept, res, s.cfg)
+	widen := math.Sqrt(float64(total) / float64(len(kept)))
+	return &RobustResult{
+		Result: res,
+		Total:  total,
+		Kept:   len(kept),
+		SigmaX: sx * widen,
+		SigmaY: sy * widen,
+	}, nil
+}

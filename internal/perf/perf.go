@@ -9,6 +9,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -137,6 +138,86 @@ func CheckParallelEquivalence() error {
 	return nil
 }
 
+// CheckStreamEquivalence asserts the streaming accumulator's finalize is
+// bit-identical to the batch grid search on the testbed aperture —
+// location, peak, and every heatmap cell — for every worker count and
+// regardless of how the capture stream is chopped into batches. The
+// batch boundaries exercise the invariant the checkpoint codec leans on:
+// per-cell accumulation order is arrival order, so chopping never moves
+// a bit.
+func CheckStreamEquivalence() error {
+	meas, traj, err := testbed()
+	if err != nil {
+		return err
+	}
+	cfg := gridConfig()
+	cfg.Workers = 1
+	batch, err := loc.Localize(meas, traj, cfg)
+	if err != nil {
+		return err
+	}
+	chops := [][]int{{len(meas)}, {1, 7, len(meas) - 8}}
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		scfg := gridConfig()
+		scfg.Workers = workers
+		for ci, chop := range chops {
+			s, err := loc.NewStreamSolver(scfg)
+			if err != nil {
+				return err
+			}
+			off := 0
+			for _, n := range chop {
+				s.AddBatch(context.Background(), meas[off:off+n])
+				off += n
+			}
+			snap, err := s.Snapshot(context.Background())
+			if err != nil {
+				return fmt.Errorf("perf: stream finalize (workers=%d chop=%d): %w", workers, ci, err)
+			}
+			if snap.Location != batch.Location || snap.Peak != batch.Peak {
+				return fmt.Errorf("perf: stream (workers=%d chop=%d) location %+v peak %v != batch %+v peak %v",
+					workers, ci, snap.Location, snap.Peak, batch.Location, batch.Peak)
+			}
+			for i := range snap.Heatmap.Data {
+				if snap.Heatmap.Data[i] != batch.Heatmap.Data[i] {
+					return fmt.Errorf("perf: stream (workers=%d chop=%d) heatmap cell %d differs: %v vs %v",
+						workers, ci, i, snap.Heatmap.Data[i], batch.Heatmap.Data[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMultiResEquivalence asserts the coarse-to-fine scan lands on the
+// same refined answer as the exhaustive grid on the testbed aperture.
+// The heatmaps differ by design (multires leaves unvisited cells zero),
+// so the gate is the final location and peak, which both paths reach
+// through the shared refineAndPick tail.
+func CheckMultiResEquivalence() error {
+	meas, traj, err := testbed()
+	if err != nil {
+		return err
+	}
+	cfg := gridConfig()
+	cfg.Workers = 1
+	exhaustive, err := loc.Localize(meas, traj, cfg)
+	if err != nil {
+		return err
+	}
+	mcfg := cfg
+	mcfg.MultiRes = true
+	mr, err := loc.Localize(meas, traj, mcfg)
+	if err != nil {
+		return err
+	}
+	if mr.Location != exhaustive.Location || mr.Peak != exhaustive.Peak {
+		return fmt.Errorf("perf: multires location %+v peak %v != exhaustive %+v peak %v",
+			mr.Location, mr.Peak, exhaustive.Location, exhaustive.Peak)
+	}
+	return nil
+}
+
 // row converts a testing.BenchmarkResult into a report row.
 func row(name string, r testing.BenchmarkResult) Result {
 	return Result{
@@ -175,6 +256,12 @@ func Run(short bool) (*Report, error) {
 		return nil, err
 	}
 	if err := CheckParallelEquivalence(); err != nil {
+		return nil, err
+	}
+	if err := CheckStreamEquivalence(); err != nil {
+		return nil, err
+	}
+	if err := CheckMultiResEquivalence(); err != nil {
 		return nil, err
 	}
 	report := &Report{GOMAXPROCS: runtime.GOMAXPROCS(0), Short: short}
@@ -253,6 +340,90 @@ func Run(short bool) (*Report, error) {
 	})
 	pair(report, "grid_serial_fig6", serial, "grid_parallel_fig6", parallel,
 		fmt.Sprintf("striped rows across %d workers, bit-identical merge", report.GOMAXPROCS))
+	serialNs := float64(serial.T.Nanoseconds()) / float64(serial.N)
+
+	// Worker sweep over the striped scan: the scaling curve at fixed
+	// worker counts, each bit-identical to the serial row above.
+	for _, workers := range []int{2, 4, 8} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		wres := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := loc.Localize(meas, traj, wcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		wr := row(fmt.Sprintf("grid_workers%d_fig6", workers), wres)
+		if wr.NsPerOp > 0 {
+			wr.SpeedupVsDirect = serialNs / wr.NsPerOp
+		}
+		wr.Note = "vs grid_serial_fig6; workers beyond GOMAXPROCS only queue"
+		report.Results = append(report.Results, wr)
+	}
+
+	// Coarse-to-fine scan: the super-grid pass plus top-K basin fill,
+	// same final argmax as the exhaustive grid (gated above).
+	mcfg := cfg
+	mcfg.MultiRes = true
+	multires := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := loc.Localize(meas, traj, mcfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mr := row("grid_multires_fig6", multires)
+	if mr.NsPerOp > 0 {
+		mr.SpeedupVsDirect = serialNs / mr.NsPerOp
+	}
+	mr.Note = "4x super-grid coarse pass + top-K basin fill vs the exhaustive serial scan, same refined argmax"
+	report.Results = append(report.Results, mr)
+
+	// Streaming accumulator: the amortized cost of folding one capture
+	// into the per-cell partial sums (grid allocation included), and the
+	// end-of-mission finalize over the pre-accumulated grid — the row the
+	// live-estimate path pays per sortie instead of a full batch solve.
+	scfg := cfg
+	scfg.Workers = 0
+	add := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := loc.NewStreamSolver(scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.AddBatch(context.Background(), meas)
+		}
+	})
+	ar := row("stream_add_per_capture", add)
+	ar.NsPerOp /= float64(len(meas))
+	ar.AllocsPerOp /= int64(len(meas))
+	ar.BytesPerOp /= int64(len(meas))
+	ar.Note = fmt.Sprintf("full %d-capture aperture folded into a fresh grid, amortized per capture", len(meas))
+	report.Results = append(report.Results, ar)
+
+	solver, err := loc.NewStreamSolver(scfg)
+	if err != nil {
+		return nil, err
+	}
+	solver.AddBatch(context.Background(), meas)
+	finalize := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.Snapshot(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fr := row("stream_finalize_fig6", finalize)
+	if fr.NsPerOp > 0 {
+		fr.SpeedupVsDirect = serialNs / fr.NsPerOp
+	}
+	fr.Note = "argmax + refinement + error bars over pre-accumulated sums vs the full batch solve; target >=5x"
+	report.Results = append(report.Results, fr)
+	if fr.SpeedupVsDirect > 0 && fr.SpeedupVsDirect < 5 {
+		report.Notes = append(report.Notes, fmt.Sprintf(
+			"stream_finalize_fig6 speedup %.1fx is below the 5x target on this host", fr.SpeedupVsDirect))
+	}
 
 	// Relay forwarding: the sortie tick path whose allocs/op the buffer
 	// pool exists to cut.

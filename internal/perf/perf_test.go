@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,6 +17,18 @@ func TestConvolutionEquivalence(t *testing.T) {
 
 func TestParallelEquivalence(t *testing.T) {
 	if err := CheckParallelEquivalence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamEquivalence(t *testing.T) {
+	if err := CheckStreamEquivalence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiResEquivalence(t *testing.T) {
+	if err := CheckMultiResEquivalence(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -93,6 +106,59 @@ func BenchmarkGridSearch(b *testing.B) {
 		cfg.Workers = workers
 		cfg := cfg
 		b.Run(name("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := loc.Localize(meas, traj, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStream(b *testing.B) {
+	meas, _, err := testbed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gridConfig()
+	b.Run("add_aperture", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := loc.NewStreamSolver(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.AddBatch(context.Background(), meas)
+		}
+	})
+	s, err := loc.NewStreamSolver(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.AddBatch(context.Background(), meas)
+	b.Run("finalize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Snapshot(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMultiRes(b *testing.B) {
+	meas, traj, err := testbed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gridConfig()
+	cfg.Workers = 1
+	for _, multires := range []bool{false, true} {
+		cfg.MultiRes = multires
+		cfg := cfg
+		label := "exhaustive"
+		if multires {
+			label = "coarse_to_fine"
+		}
+		b.Run(label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := loc.Localize(meas, traj, cfg); err != nil {
 					b.Fatal(err)

@@ -31,9 +31,15 @@ import (
 //	    per-sortie election/promotion counters plus handoff records. The
 //	    blocks are written unconditionally (empty for non-swarm missions)
 //	    so the codec keeps exactly one canonical form per version.
+//	3 — appends the streaming SAR accumulator block: the coarse grid's
+//	    per-cell complex partial sums (hasStream = false for missions
+//	    without SAR). Information-wise the block is derivable from the
+//	    sar buffer, but carrying it keeps resume O(cells) instead of
+//	    re-projecting every buffered capture, and its dims double as a
+//	    structural cross-check against the mission's configured lattice.
 const (
 	ckptMagic   = "RFC1"
-	ckptVersion = uint16(2)
+	ckptVersion = uint16(3)
 )
 
 // Typed rejection classes. Every Restore failure wraps
@@ -267,6 +273,22 @@ func (e *Engine) SnapshotCtx(ctx context.Context) []byte {
 		w.boolean(m.Unlocked)
 	}
 
+	// Streaming SAR accumulator block (v3): grid dims plus per-cell
+	// complex partial sums. The grid is installed verbatim on Restore —
+	// never re-accumulated — so a resumed mission's estimates are
+	// bit-identical to the uninterrupted ones.
+	hasStream := e.solver != nil
+	w.boolean(hasStream)
+	if hasStream {
+		_, _, _, cols, rows, sum := e.solver.Grid()
+		w.u32(uint32(cols))
+		w.u32(uint32(rows))
+		for _, z := range sum {
+			w.f64(real(z))
+			w.f64(imag(z))
+		}
+	}
+
 	w.u32(crc32.ChecksumIEEE(w.buf))
 	return w.buf
 }
@@ -425,6 +447,37 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		sar = append(sar, m)
 	}
 
+	// Streaming SAR accumulator block. Its presence must agree with the
+	// config (a SAR mission always builds a solver, a non-SAR mission
+	// never does), and its dims must match the config-derived lattice —
+	// both are config mismatches, not corruption, since the CRC already
+	// passed. Dims are validated before the cell loop so a forged header
+	// cannot size the allocation.
+	var streamSum []complex128
+	if hasStream := r.boolean(); r.err == nil {
+		if hasStream != (e.solver != nil) {
+			return nil, fmt.Errorf("runtime: checkpoint stream block present=%t but mission SAR config present=%t: %w",
+				hasStream, e.solver != nil, ErrCheckpointConfigMismatch)
+		}
+		if hasStream {
+			cols := int(r.u32())
+			rows := int(r.u32())
+			_, _, _, wantCols, wantRows, _ := e.solver.Grid()
+			if r.err == nil && (cols != wantCols || rows != wantRows) {
+				return nil, fmt.Errorf("runtime: checkpoint stream grid %d×%d does not match configured lattice %d×%d: %w",
+					cols, rows, wantCols, wantRows, ErrCheckpointConfigMismatch)
+			}
+			if r.err == nil {
+				streamSum = make([]complex128, 0, cols*rows)
+				for i := 0; i < cols*rows && r.err == nil; i++ {
+					re := r.f64()
+					im := r.f64()
+					streamSum = append(streamSum, complex(re, im))
+				}
+			}
+		}
+	}
+
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -446,5 +499,14 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 	e.tagReads = tagReads
 	e.results = results
 	e.sar = sar
+	if e.solver != nil {
+		// Install the checkpointed grid verbatim and replay the buffer
+		// through the solver's bookkeeping filters (trajectory, robust
+		// rejection accounting) — the grid cells themselves are never
+		// re-accumulated, which is what keeps resumed estimates bit-exact.
+		if err := e.solver.Restore(streamSum, sar); err != nil {
+			return nil, fmt.Errorf("runtime: checkpoint stream grid: %v: %w", err, ErrInvalidCheckpoint)
+		}
+	}
 	return e, nil
 }

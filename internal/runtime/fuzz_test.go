@@ -27,6 +27,37 @@ func corruptFlipCRC(ckpt []byte) []byte {
 	return out
 }
 
+// streamBlockLen is the encoded size of a present v3 stream block for
+// cfg's lattice: flag + cols + rows + cells×(re, im).
+func streamBlockLen(cfg Config) int {
+	e, err := New(cfg)
+	if err != nil || e.solver == nil {
+		return 0
+	}
+	_, _, _, cols, rows, _ := e.solver.Grid()
+	return 1 + 4 + 4 + 16*cols*rows
+}
+
+// corruptStreamFlag drops the stream accumulator block entirely and
+// clears its presence flag, re-sealing the CRC: an intact-looking frame
+// whose grid is missing for a config that demands one.
+func corruptStreamFlag(cfg Config, ckpt []byte) []byte {
+	body := append([]byte(nil), ckpt[:len(ckpt)-4]...)
+	body = body[:len(body)-streamBlockLen(cfg)]
+	body = append(body, 0)
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+// corruptStreamDims bumps the stream grid's column count and re-seals
+// the CRC: a valid frame whose lattice disagrees with the config.
+func corruptStreamDims(cfg Config, ckpt []byte) []byte {
+	body := append([]byte(nil), ckpt[:len(ckpt)-4]...)
+	pos := len(body) - streamBlockLen(cfg) + 1 // skip the presence flag
+	cols := binary.LittleEndian.Uint32(body[pos:])
+	binary.LittleEndian.PutUint32(body[pos:], cols+1)
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
 // FuzzCheckpointDecode: Restore faces bytes from disk (and, since the
 // federation tier, bytes from a replica peer), which a crash, a torn
 // write, or a hostile filesystem can have mangled arbitrarily. It must
@@ -57,6 +88,11 @@ func FuzzCheckpointDecode(f *testing.F) {
 	// offered to a fleetless mission config.
 	f.Add(corruptTruncateFrame(e.Snapshot()))
 	f.Add(corruptFlipCRC(e.Snapshot()))
+	// Adversarial v3 stream-block frames: the accumulator dropped from a
+	// SAR mission's frame, and a grid whose dims disagree with the
+	// config-derived lattice.
+	f.Add(corruptStreamFlag(cfg, e.Snapshot()))
+	f.Add(corruptStreamDims(cfg, e.Snapshot()))
 	se, err := New(swarmConfig(5))
 	if err != nil {
 		f.Fatal(err)
@@ -102,6 +138,8 @@ func TestRestoreTypedErrors(t *testing.T) {
 		{"truncated-frame", corruptTruncateFrame(ckpt), ErrCheckpointTruncated},
 		{"too-short", ckpt[:8], ErrCheckpointTruncated},
 		{"flipped-crc", corruptFlipCRC(ckpt), ErrCheckpointCRC},
+		{"stream-block-missing", corruptStreamFlag(cfg, ckpt), ErrCheckpointConfigMismatch},
+		{"stream-dims-mismatch", corruptStreamDims(cfg, ckpt), ErrCheckpointConfigMismatch},
 	}
 	for _, tc := range cases {
 		_, err := Restore(cfg, tc.data)

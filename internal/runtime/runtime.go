@@ -300,6 +300,16 @@ type Engine struct {
 	tagReads []uint32 // cumulative per-tag inventory
 	sar      []loc.Measurement
 
+	// solver is the streaming SAR accumulator: each sortie's disentangled
+	// captures are integrated into the coarse grid at commit time, so the
+	// end-of-mission solve is an argmax + refinement over an
+	// already-populated grid instead of a full re-projection. Built once
+	// in New for SAR missions (the search region derives from the relay
+	// station, not post-hoc trajectory bounds, so it exists before the
+	// first capture); nil otherwise. Feeding happens only at the sortie
+	// commit — a rolled-back sortie must leave no trace in the grid.
+	solver *loc.StreamSolver
+
 	// src is the mission-level RNG stream; each sortie draws its build
 	// seed from it, which is why its state must be checkpointed.
 	src *rng.Source
@@ -316,6 +326,26 @@ type Engine struct {
 	// does not participate in determinism (encoding a snapshot reads, but
 	// never advances, the mission streams).
 	CheckpointSink func(sortiesDone int, ckpt []byte)
+
+	// EstimateSink, when set, receives a live position estimate after
+	// every sortie commit (following CheckpointSink). It fires only once
+	// the accumulated aperture supports a solve — early sorties with too
+	// few captures are silently skipped. Like Observer it does not
+	// participate in determinism: the snapshot reads the accumulator
+	// without consuming it.
+	EstimateSink func(LiveEstimate)
+}
+
+// LiveEstimate is a mid-mission localization estimate published from the
+// streaming accumulator at a sortie boundary.
+type LiveEstimate struct {
+	SortiesDone    int
+	X, Y           float64
+	SigmaX, SigmaY float64
+	Peak           float64
+	// Total/Kept account the aperture: captures integrated vs captures
+	// surviving the robust lock rejection.
+	Total, Kept int
 }
 
 // New validates cfg and builds an engine at the mission's start.
@@ -323,7 +353,7 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		src:      rng.New(cfg.Seed).Split("mission"),
 		tagReads: make([]uint32, len(cfg.Tags)),
@@ -331,7 +361,30 @@ func New(cfg Config) (*Engine, error) {
 			RelayPowered: true,
 			RelayPos:     cfg.RelayPos,
 		},
-	}, nil
+	}
+	if cfg.SARPointsPerSortie > 0 {
+		solver, err := loc.NewRobustStreamSolver(cfg.locConfig())
+		if err != nil {
+			return nil, fmt.Errorf("runtime: SAR accumulator: %w", err)
+		}
+		e.solver = solver
+	}
+	return e, nil
+}
+
+// locConfig is the mission's localizer configuration. The search region
+// is fixed from the relay station — the aperture is a ±1 m line through
+// the plan position (sarFlight), so the station bounds the trajectory
+// the way the old post-hoc traj.Bounds() margins did — which lets the
+// streaming accumulator allocate its grid before the first capture and
+// keeps the lattice independent of OptiTrack noise in the flown points.
+func (c Config) locConfig() loc.Config {
+	lcfg := loc.DefaultConfig(c.ChannelHz)
+	lcfg.Region = &loc.Region{
+		X0: c.RelayPos.X - 5, Y0: c.RelayPos.Y - 4,
+		X1: c.RelayPos.X + 5, Y1: c.RelayPos.Y + 6,
+	}
+	return lcfg
 }
 
 // Config returns the engine's (defaulted) mission config.
@@ -459,7 +512,44 @@ func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
 	if err == nil && e.CheckpointSink != nil {
 		e.CheckpointSink(e.cur, e.SnapshotCtx(ctx))
 	}
+	if err == nil && e.EstimateSink != nil {
+		if est, ok := e.LiveEstimateCtx(ctx); ok {
+			e.EstimateSink(est)
+		}
+	}
 	return res, err
+}
+
+// LiveEstimateCtx snapshots the streaming accumulator into a mid-mission
+// position estimate. ok is false when the mission carries no SAR
+// accumulator or the aperture committed so far cannot support a solve
+// (too few captures, everything rejected, no peak). The snapshot reads
+// the grid without consuming it, so calling this any number of times —
+// or never — leaves the mission bits unchanged.
+func (e *Engine) LiveEstimateCtx(ctx context.Context) (LiveEstimate, bool) {
+	if e.solver == nil {
+		return LiveEstimate{}, false
+	}
+	snap, err := e.solver.Snapshot(ctx)
+	if err != nil {
+		return LiveEstimate{}, false
+	}
+	// A solve without finite confidence is not an estimate (and ±Inf
+	// would poison JSON consumers downstream).
+	if math.IsInf(snap.SigmaX, 0) || math.IsNaN(snap.SigmaX) ||
+		math.IsInf(snap.SigmaY, 0) || math.IsNaN(snap.SigmaY) {
+		return LiveEstimate{}, false
+	}
+	return LiveEstimate{
+		SortiesDone: e.cur,
+		X:           snap.Location.X,
+		Y:           snap.Location.Y,
+		SigmaX:      snap.SigmaX,
+		SigmaY:      snap.SigmaY,
+		Peak:        snap.Peak,
+		Total:       snap.Total,
+		Kept:        snap.Kept,
+	}, true
 }
 
 func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
@@ -686,6 +776,15 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 		e.tagReads[i] += n
 	}
 	e.sar = append(e.sar, newSAR...)
+	if e.solver != nil && len(newSAR) > 0 {
+		// Integrate the committed captures into the streaming grid. Batch
+		// boundaries do not affect the bits (cells accumulate in
+		// measurement order either way), so the grid always equals a
+		// single batch solve over e.sar — the invariant the checkpoint
+		// codec and ResultCtx rely on. AddBatch integrates whole even on a
+		// cancelled ctx, so a commit can never be half-applied.
+		e.solver.AddBatch(ctx, newSAR)
+	}
 	e.results = append(e.results, res)
 	e.cur++
 	return res, nil
@@ -760,7 +859,21 @@ func (e *Engine) Result() MissionResult {
 // assembled regardless, because they are bookkeeping, not compute.
 func (e *Engine) ResultCtx(ctx context.Context) MissionResult {
 	res := MissionResult{Sorties: append([]SortieResult(nil), e.results...)}
-	if len(e.sar) >= 3 && len(e.cfg.Tags) > 0 {
+	switch {
+	case e.solver != nil && len(e.cfg.Tags) > 0:
+		// Streaming path: the grid already integrates every committed
+		// capture, so the end-of-mission solve is argmax + refinement —
+		// the per-measurement projection cost was paid sortie by sortie.
+		obs.Labeled(ctx, func(ctx context.Context) {
+			if lr, err := e.solver.Snapshot(ctx); err == nil {
+				res.LocX, res.LocY = lr.Location.X, lr.Location.Y
+				res.LocOK = true
+			}
+		}, "rfly_stage", "sar-solve")
+	case len(e.sar) >= 3 && len(e.cfg.Tags) > 0:
+		// Legacy batch path, kept for engines restored without an
+		// accumulator (none exist today — SAR missions always build one —
+		// but the fallback keeps Result total for hand-built states).
 		traj := geom.Trajectory{}
 		for _, m := range e.sar {
 			traj.Points = append(traj.Points, m.Pos)

@@ -76,24 +76,36 @@ func assertTraceInvariants(t *testing.T, tree *obs.Tree) {
 		}
 	}
 
-	// No SAR stripe outlives its solve: every loc.stripe has a loc.solve
-	// (or loc.solve3d) ancestor and ends no later than it does.
+	// No SAR stripe outlives its enclosing grid pass: every loc.stripe
+	// has a solve ancestor (loc.solve / loc.solve3d) or a streaming
+	// integration ancestor (loc.stream.add) and ends no later than it.
 	stripes := tree.Find("loc.stripe")
 	if len(stripes) == 0 {
 		t.Fatal("trace has no loc.stripe spans")
 	}
 	for _, n := range stripes {
-		solve := tree.Ancestor(n, "loc.solve")
-		if solve == nil {
-			solve = tree.Ancestor(n, "loc.solve3d")
+		var solve *obs.Node
+		for _, name := range []string{"loc.solve", "loc.solve3d", "loc.stream.add"} {
+			if solve = tree.Ancestor(n, name); solve != nil {
+				break
+			}
 		}
 		if solve == nil {
-			t.Errorf("loc.stripe span %d has no solve ancestor", n.ID)
+			t.Errorf("loc.stripe span %d has no solve or stream ancestor", n.ID)
 			continue
 		}
 		if n.EndNs() > solve.EndNs() {
 			t.Errorf("loc.stripe span %d ends %dns after its solve", n.ID, n.EndNs()-solve.EndNs())
 		}
+	}
+	// The streaming accumulator leaves its own fingerprints: every sortie
+	// commit integrates under loc.stream.add, and the end-of-mission solve
+	// snapshots under loc.stream.snapshot.
+	if len(tree.Find("loc.stream.add")) == 0 {
+		t.Error("trace has no loc.stream.add spans; the accumulator was never fed")
+	}
+	if len(tree.Find("loc.stream.snapshot")) == 0 {
+		t.Error("trace has no loc.stream.snapshot spans; the mission never snapshotted the stream")
 	}
 
 	// Checkpoint spans bracket supervisor escalations: a checkpoint is

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/cmplx"
 
 	"rfly/internal/drone"
 	"rfly/internal/geom"
@@ -50,6 +51,20 @@ func (d *Deployment) CollectSARSteps(f drone.Flight, target *tag.Tag, onPoint fu
 // A cancelled flight returns ctx's error — never a partial capture, since
 // a truncated aperture would localize with silently degraded accuracy.
 func (d *Deployment) CollectSARStepsCtx(ctx context.Context, f drone.Flight, target *tag.Tag, onPoint func(i int)) (*SARCapture, error) {
+	return d.CollectSARStreamCtx(ctx, f, target, onPoint, nil)
+}
+
+// CollectSARStreamCtx is CollectSARStepsCtx with a live measurement sink:
+// every usable point is disentangled the moment it is captured and handed
+// to sink before the relay moves on. The disentangle divide (Eq. 10) is
+// element-wise, so the per-point stream carries exactly the values the
+// batch pass computes — a streaming localizer fed through sink finalizes
+// bit-identically to one handed the returned capture whole. A nil sink
+// degenerates to CollectSARStepsCtx. On a cancelled flight measurements
+// already sunk stay sunk; callers that must not observe a partial
+// aperture stage the stream and commit it only on a nil error, exactly
+// as they would the returned capture.
+func (d *Deployment) CollectSARStreamCtx(ctx context.Context, f drone.Flight, target *tag.Tag, onPoint func(i int), sink func(loc.Measurement)) (*SARCapture, error) {
 	if d.Relay == nil {
 		return nil, fmt.Errorf("sim: SAR collection requires a relay")
 	}
@@ -75,18 +90,30 @@ func (d *Deployment) CollectSARStepsCtx(ctx context.Context, f drone.Flight, tar
 		}
 		cap.Target = append(cap.Target, mT)
 		cap.Embedded = append(cap.Embedded, mE)
+		m := disentangleOne(mT, mE)
+		cap.Disentangled = append(cap.Disentangled, m)
+		if sink != nil {
+			sink(m)
+		}
 		snrSum += snr
 	}
 	if len(cap.Target) == 0 {
 		return nil, fmt.Errorf("sim: no usable captures along the flight")
 	}
-	dis, err := DisentangleCapture(cap.Target, cap.Embedded)
-	if err != nil {
-		return nil, err
-	}
-	cap.Disentangled = dis
 	cap.MeanSNRdB = snrSum / float64(len(cap.Target))
 	return cap, nil
+}
+
+// disentangleOne divides one target capture by its paired embedded-tag
+// reference — the per-element body of loc.Disentangle, including its
+// dead-reference guard, so a point-at-a-time stream and the batch pass
+// produce identical bits.
+func disentangleOne(mT, mE loc.Measurement) loc.Measurement {
+	var h complex128
+	if cmplx.Abs(mE.H) >= 1e-15 {
+		h = mT.H / mE.H
+	}
+	return loc.Measurement{Pos: mT.Pos, H: h, Unlocked: mT.Unlocked}
 }
 
 // CaptureSARPoint attempts one synthetic-aperture capture of target at

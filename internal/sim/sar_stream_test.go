@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"rfly/internal/drone"
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/loc"
+)
+
+// TestCollectSARStreamMatchesBatch is the sim-layer half of the streaming
+// invariant: a StreamSolver fed point-by-point through the collection
+// sink — while the flight is still in progress — must finalize to the
+// exact bits the batch localizer computes from the completed capture.
+// This holds because per-point disentanglement is the element-wise body
+// of the batch divide, and the solver integrates cells in arrival order.
+func TestCollectSARStreamMatchesBatch(t *testing.T) {
+	d := openDeployment(true, geom.P2(-15, 1), geom.P2(0, 0), 8)
+	d.ShadowSigmaDB = 0
+	tagPos := geom.P(1.5, 2.0, 0)
+	tg := d.AddTag(epc.NewEPC96(9, 0, 0, 0, 0, 0), tagPos)
+
+	plan := geom.Line(geom.P(0, 0, 0.8), geom.P(3, 0, 0.8), 40)
+	flight := drone.Bebop2().Fly(plan, drone.DefaultOptiTrack(), d.src.Split("flight"))
+
+	cfg := loc.DefaultConfig(d.Model.Freq)
+	cfg.Region = &loc.Region{X0: -2, Y0: 0.3, X1: 5, Y1: 5}
+	solver, err := loc.NewStreamSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := d.CollectSARStreamCtx(context.Background(), flight, tg, nil,
+		func(m loc.Measurement) { solver.Add(m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solver.Total() != len(cap.Disentangled) {
+		t.Fatalf("sink saw %d measurements, capture holds %d", solver.Total(), len(cap.Disentangled))
+	}
+
+	batch, err := loc.LocalizeCtx(context.Background(), cap.Disentangled, flight.MeasuredTrajectory(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := solver.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Location != batch.Location {
+		t.Fatalf("streamed solve %v != batch %v", snap.Location, batch.Location)
+	}
+	if snap.Peak != batch.Peak {
+		t.Fatalf("streamed peak %.17g != batch %.17g", snap.Peak, batch.Peak)
+	}
+	for i, v := range snap.Heatmap.Data {
+		if v != batch.Heatmap.Data[i] {
+			t.Fatalf("heatmap cell %d: stream %.17g != batch %.17g", i, v, batch.Heatmap.Data[i])
+		}
+	}
+	if e := snap.Location.Dist2D(tagPos); e > 0.4 {
+		t.Fatalf("streamed localization error = %v m", e)
+	}
+}
+
+// TestDisentangleOneMatchesBatch pins the element-wise equivalence the
+// streaming path rests on, including the dead-reference guard.
+func TestDisentangleOneMatchesBatch(t *testing.T) {
+	target := []loc.Measurement{
+		{Pos: geom.P2(0, 0), H: complex(2, 1)},
+		{Pos: geom.P2(1, 0), H: complex(-3, 0.5), Unlocked: true},
+		{Pos: geom.P2(2, 0), H: complex(0.1, -0.2)},
+	}
+	embedded := []loc.Measurement{
+		{Pos: geom.P2(0, 0), H: complex(1, -1)},
+		{Pos: geom.P2(1, 0), H: complex(0.5, 2), Unlocked: true},
+		{Pos: geom.P2(2, 0), H: 0}, // dead reference: guard must zero it
+	}
+	batch, err := DisentangleCapture(target, embedded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range target {
+		one := disentangleOne(target[i], embedded[i])
+		if one != batch[i] {
+			t.Fatalf("point %d: disentangleOne %+v != batch %+v", i, one, batch[i])
+		}
+	}
+}
