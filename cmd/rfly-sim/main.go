@@ -5,13 +5,19 @@
 // Usage:
 //
 //	rfly-sim [-scene open|corridor|warehouse|facility] [-tags N]
-//	         [-seed N] [-norelay] [-mission] [-faults] [-v]
-//	rfly-sim -checkpoint FILE [-seed N]   # supervised mission, resumable
-//	rfly-sim -trace FILE [-seed N]        # supervised mission, Chrome trace JSON
-//	rfly-sim -chaos N [-seed N]           # chaos invariant campaign
-//	rfly-sim -swarm N [-kill-relay-at T]  # N-drone relay fleet; optionally
-//	                                      # destroy the primary at tick T and
-//	                                      # fail over to a hot shadow mid-sortie
+//	         [-seed N] [-norelay] [-mission] [-faults] [-map] [-v]
+//	rfly-sim -checkpoint FILE [-seed N]    # supervised mission, resumable
+//	rfly-sim -trace FILE [-seed N]         # supervised mission, Chrome trace JSON
+//	rfly-sim -capture-log FILE [-seed N]   # supervised mission, columnar capture
+//	                                       # log for rfly-replay re-solves
+//	rfly-sim -chaos N [-seed N]            # chaos invariant campaign
+//	rfly-sim -swarm N [-kill-relay-at T]   # N-drone relay fleet; optionally
+//	                                       # kill the serving primary at tick T
+//	                                       # and promote a hot shadow mid-sortie
+//
+// Any supervised-mission flag (-checkpoint, -trace, -capture-log, -swarm)
+// selects the supervised mission; they compose freely. -pprof host:port
+// exposes net/http/pprof on a side listener in every mode.
 package main
 
 import (
@@ -43,10 +49,11 @@ func main() {
 	mission := flag.Bool("mission", false, "print the coverage/battery plan for the scene before flying")
 	faults := flag.Bool("faults", false, "inject a seeded fault schedule and compare a recovery-enabled survey against a nominal one")
 	chaosSeeds := flag.Int("chaos", 0, "run a chaos campaign over N randomized fault schedules and kill/resume points")
-	swarmRelays := flag.Int("swarm", 0, "fly the supervised mission with an N-drone relay fleet (leader election + hot-spare shadows)")
-	killRelayAt := flag.Int("kill-relay-at", -1, "destroy the serving primary at this absolute mission tick (requires -swarm)")
+	swarmRelays := flag.Int("swarm", 0, "fly the supervised mission with an N-drone relay fleet: one elected primary, hot pre-locked shadows")
+	killRelayAt := flag.Int("kill-relay-at", -1, "kill the serving primary at this absolute mission tick and promote a shadow mid-sortie (requires -swarm)")
 	ckptPath := flag.String("checkpoint", "", "run the supervised mission, persisting (and resuming from) this checkpoint file")
 	tracePath := flag.String("trace", "", "run the supervised mission under a flight recorder and write Chrome trace_event JSON here (Perfetto / chrome://tracing)")
+	captureLog := flag.String("capture-log", "", "run the supervised mission and write its columnar capture log here (re-solve it with rfly-replay -log FILE)")
 	pprofAddr := flag.String("pprof", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
@@ -75,8 +82,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-kill-relay-at needs a fleet: pass -swarm N")
 		os.Exit(2)
 	}
-	if *ckptPath != "" || *tracePath != "" || *swarmRelays > 0 {
-		os.Exit(runMission(ctx, *seed, *ckptPath, *tracePath, *swarmRelays, *killRelayAt))
+	if *ckptPath != "" || *tracePath != "" || *captureLog != "" || *swarmRelays > 0 {
+		os.Exit(runMission(ctx, *seed, *ckptPath, *tracePath, *captureLog, *swarmRelays, *killRelayAt))
 	}
 
 	var scene *rfly.Scene

@@ -30,7 +30,9 @@ import (
 // swarmRelays > 0 flies the mission with an N-drone fleet under the
 // swarm coordinator; killRelayAt >= 0 additionally destroys the serving
 // primary at that absolute tick, demonstrating mid-sortie failover.
-func runMission(ctx context.Context, seed uint64, ckptPath, tracePath string, swarmRelays, killRelayAt int) int {
+// A non-empty capPath writes the mission's columnar capture log at the
+// end — the input to rfly-replay's sim-free re-solves.
+func runMission(ctx context.Context, seed uint64, ckptPath, tracePath, capPath string, swarmRelays, killRelayAt int) int {
 	cfg := experiments.DefaultMissionConfig(seed)
 	if swarmRelays > 0 {
 		cfg.Swarm = swarm.Config{Relays: swarmRelays}
@@ -95,6 +97,22 @@ func runMission(ctx context.Context, seed uint64, ckptPath, tracePath string, sw
 	// back to the last sortie boundary, so what we write is exactly the
 	// state a later run resumes from.
 	flush()
+
+	// The capture log holds exactly the committed sorties' segments, so
+	// writing it after an interruption still yields a replayable log —
+	// same contract as the checkpoint flush above.
+	if capPath != "" {
+		if log := e.CaptureLog(); len(log) > 0 {
+			if err := os.WriteFile(capPath, log, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "capture log write: %v\n", err)
+			} else {
+				fmt.Printf("capture log: %d bytes (%d sorties) written to %s\n",
+					len(log), e.SortiesDone(), capPath)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "capture log empty: no SAR sortie committed")
+		}
+	}
 
 	// ResultCtx so the end-of-mission SAR solve lands in the trace too.
 	res := e.ResultCtx(ctx)

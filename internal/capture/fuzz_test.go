@@ -1,0 +1,105 @@
+package capture
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"rfly/internal/geom"
+)
+
+// fuzzSegment builds one sealed segment frame for seeding.
+func fuzzSegment(sortie int, baseSeq uint64, n int) []byte {
+	recs := synthRecords(n, sortie, geom.P(0.5, 1.5, 0))
+	if n > 2 {
+		recs[1].Unlocked = true
+	}
+	return appendSegment(nil, sortie, baseSeq, recs)
+}
+
+// corruptSegTruncate cuts the frame inside the record area and re-seals
+// the CRC, so the truncation (not the checksum) must be what rejects it.
+func corruptSegTruncate(seg []byte) []byte {
+	cut := seg[:len(seg)-4-RecordSize/2]
+	return binary.LittleEndian.AppendUint32(cut, 0) // CRC of nothing useful
+}
+
+// corruptSegCRC flips one bit in the trailer.
+func corruptSegCRC(seg []byte) []byte {
+	out := append([]byte(nil), seg...)
+	out[len(out)-1] ^= 0x01
+	return out
+}
+
+// corruptSegVersion bumps the version and re-seals, so the version check
+// (not the CRC) must reject it.
+func corruptSegVersion(seg []byte) []byte {
+	out := append([]byte(nil), seg[:len(seg)-4]...)
+	binary.LittleEndian.PutUint16(out[4:], Version+1)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// corruptSegCount forges an absurd record count and re-seals — the dims
+// bound must reject it before any allocation sized by it.
+func corruptSegCount(seg []byte) []byte {
+	out := append([]byte(nil), seg[:len(seg)-4]...)
+	binary.LittleEndian.PutUint32(out[12:], maxSegRecords+1)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// FuzzCaptureSegmentDecode holds the segment codec's contract against
+// arbitrary bytes: every acceptance is canonical (re-encoding the
+// decoded fields and records reproduces the input frame byte for byte,
+// and decoding is idempotent), and every rejection is typed
+// (ErrInvalidLog or a sentinel wrapping it) — never a panic, never an
+// allocation sized by forged dims.
+func FuzzCaptureSegmentDecode(f *testing.F) {
+	valid := fuzzSegment(1, 0, 6)
+	f.Add(valid)
+	f.Add(fuzzSegment(3, 40, 1))
+	f.Add(corruptSegTruncate(valid))
+	f.Add(corruptSegCRC(valid))
+	f.Add(corruptSegVersion(valid))
+	f.Add(corruptSegCount(valid))
+	f.Add([]byte(segMagic))
+	f.Add(append(valid, fuzzSegment(2, 6, 3)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, rest, err := DecodeSegment(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidLog) {
+				t.Fatalf("rejection not typed: %v", err)
+			}
+			return
+		}
+		if len(seg)+len(rest) != len(data) || !bytes.Equal(seg.Bytes(), data[:len(seg)]) {
+			t.Fatal("accepted view is not a prefix of the input")
+		}
+		// Canonical form: re-encode the decoded fields and records and
+		// require byte equality with the accepted frame.
+		recs := make([]Record, seg.Count())
+		for i := range recs {
+			v := seg.Record(i)
+			recs[i] = Record{T: v.T(), Pos: v.Pos(), H: v.H(), SNRdB: v.SNRdB(), Unlocked: v.Unlocked()}
+		}
+		re := appendSegment(nil, seg.Sortie(), seg.BaseSeq(), recs)
+		if !bytes.Equal(re, seg.Bytes()) {
+			t.Fatalf("accepted frame not canonical: re-encode differs (%d vs %d bytes)", len(re), len(seg))
+		}
+		// Idempotence: the accepted frame decodes again to itself.
+		seg2, rest2, err := DecodeSegment(seg.Bytes())
+		if err != nil || len(rest2) != 0 || !bytes.Equal(seg2.Bytes(), seg.Bytes()) {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		// An accepted frame must also survive the log-level path when
+		// framed behind a fresh header with a continuous sequence.
+		l := NewLog(testHeader())
+		l.AppendSegmentCtx(context.Background(), seg.Sortie(), recs)
+		if _, err := OpenLog(l.Snapshot()); err != nil {
+			t.Fatalf("re-logged accepted records rejected: %v", err)
+		}
+	})
+}

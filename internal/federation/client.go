@@ -198,6 +198,42 @@ func (c *Client) Checkpoint(ctx context.Context, id string) (fleet.CheckpointRes
 	return out, err
 }
 
+// Capture fetches a mission's capture log. after < 0 asks for the
+// complete log; after >= 0 asks only for the segment tail past that
+// sortie (the incremental replication feed — empty capture_b64 when the
+// log is already current at `after`). A mission with no committed log
+// yet returns ErrStatus 404.
+func (c *Client) Capture(ctx context.Context, id string, after int) (fleet.CaptureResponse, error) {
+	path := "/v1/missions/" + id + "/capture"
+	if after >= 0 {
+		path += fmt.Sprintf("?after=%d", after)
+	}
+	var out fleet.CaptureResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// PutCaptureReplica asks the node to hold (after == 0) or extend
+// (after > 0, raw segment-tail append) a peer mission's capture log. A
+// 409 means the node's replica is not at `after` — the caller's cue to
+// re-sync the full log.
+func (c *Client) PutCaptureReplica(ctx context.Context, id string, after, sortie int, capB64 string) error {
+	return c.do(ctx, http.MethodPut, "/v1/capture-replicas/"+id,
+		fleet.CaptureReplicaPut{After: after, Sortie: sortie, CaptureB64: capB64}, nil)
+}
+
+// GetCaptureReplica fetches a held capture-log replica back.
+func (c *Client) GetCaptureReplica(ctx context.Context, id string) (fleet.CaptureResponse, error) {
+	var out fleet.CaptureResponse
+	err := c.do(ctx, http.MethodGet, "/v1/capture-replicas/"+id, nil, &out)
+	return out, err
+}
+
+// DropCaptureReplica discards a held capture replica (best-effort).
+func (c *Client) DropCaptureReplica(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/capture-replicas/"+id, nil, nil)
+}
+
 // PutReplica asks the node to hold a peer mission's checkpoint.
 func (c *Client) PutReplica(ctx context.Context, id string, sortie int, ckptB64 string) error {
 	return c.do(ctx, http.MethodPut, "/v1/replicas/"+id,

@@ -26,6 +26,10 @@ type fedMission struct {
 	remoteID string // primary's mission id
 
 	lastSortie int // latest sortie replicated to succ
+	// lastCapSortie is the latest sortie whose capture segments the
+	// successor holds; zero means the successor has no capture replica
+	// yet, so the next push ships the whole log.
+	lastCapSortie int
 
 	status    fleet.Status
 	outcome   *fleet.Outcome
@@ -47,6 +51,9 @@ type MissionView struct {
 	Failovers int            `json:"failovers"`
 	// ReplicatedSortie is the newest boundary held by the successor.
 	ReplicatedSortie int `json:"replicated_sortie"`
+	// ReplicatedCapSortie is the newest sortie whose capture segments
+	// the successor holds (SAR missions only; zero otherwise).
+	ReplicatedCapSortie int `json:"replicated_cap_sortie,omitempty"`
 }
 
 // Coordinator fronts the node fleet. Build with New, Start it, Submit
@@ -289,6 +296,7 @@ func (c *Coordinator) viewLocked(m *fedMission) MissionView {
 		ID: m.id, Region: m.region, Node: m.node, RemoteID: m.remoteID,
 		Status: m.status, Outcome: m.outcome, Err: m.errMsg,
 		Failovers: m.failovers, ReplicatedSortie: m.lastSortie,
+		ReplicatedCapSortie: m.lastCapSortie,
 	}
 }
 
@@ -359,22 +367,72 @@ func (c *Coordinator) tick(m *fedMission) bool {
 
 	// Replicate any newly committed boundary.
 	ck, err := c.clients[node].Checkpoint(c.ctx, remoteID)
-	if err != nil || ck.Sortie <= lastSortie {
-		return false
-	}
-	_, span := obs.StartSpan(c.ctx, "fed.replicate")
-	span.Str("mission", m.id).Str("to", succ).Int("sortie", int64(ck.Sortie))
-	perr := c.clients[succ].PutReplica(c.ctx, m.id, ck.Sortie, ck.CheckpointB64)
-	span.Bool("failed", perr != nil).End()
-	if perr == nil {
-		c.m.replicated.Add(1)
-		c.mu.Lock()
-		if ck.Sortie > m.lastSortie {
-			m.lastSortie = ck.Sortie
+	if err == nil && ck.Sortie > lastSortie {
+		_, span := obs.StartSpan(c.ctx, "fed.replicate")
+		span.Str("mission", m.id).Str("to", succ).Int("sortie", int64(ck.Sortie))
+		perr := c.clients[succ].PutReplica(c.ctx, m.id, ck.Sortie, ck.CheckpointB64)
+		span.Bool("failed", perr != nil).End()
+		if perr == nil {
+			c.m.replicated.Add(1)
+			c.mu.Lock()
+			if ck.Sortie > m.lastSortie {
+				m.lastSortie = ck.Sortie
+			}
+			c.mu.Unlock()
 		}
-		c.mu.Unlock()
 	}
+	c.replicateCapture(m, node, remoteID, succ)
 	return false
+}
+
+// replicateCapture ships a SAR mission's newly committed capture
+// segments to the successor. Unlike checkpoints — each push a complete
+// snapshot — the capture log is append-only, so only the first push (or
+// one following a successor-side mismatch) carries the whole log;
+// steady state ships just the segment tail past the successor's copy.
+// A missing log (404: no SAR, or nothing committed yet) is simply not
+// replicated this tick.
+func (c *Coordinator) replicateCapture(m *fedMission, node, remoteID, succ string) {
+	c.mu.Lock()
+	last := m.lastCapSortie
+	c.mu.Unlock()
+
+	// last == 0 → no replica yet: fetch the complete log (after=-1).
+	// Otherwise fetch only the tail past the replicated boundary.
+	after := last
+	if last == 0 {
+		after = -1
+	}
+	cap, err := c.clients[node].Capture(c.ctx, remoteID, after)
+	if err != nil || cap.Sortie <= last || cap.CaptureB64 == "" {
+		return
+	}
+	_, span := obs.StartSpan(c.ctx, "fed.replicate.capture")
+	span.Str("mission", m.id).Str("to", succ).
+		Int("sortie", int64(cap.Sortie)).Bool("full", last == 0)
+	perr := c.clients[succ].PutCaptureReplica(c.ctx, m.id, last, cap.Sortie, cap.CaptureB64)
+	span.Bool("failed", perr != nil).End()
+	if perr != nil {
+		// A 4xx means the successor's replica is not where we thought
+		// (dropped, budget-evicted, or a post-failover fresh successor):
+		// forget the boundary so the next tick ships the whole log.
+		var st ErrStatus
+		if errors.As(perr, &st) && st.Code < 500 {
+			c.mu.Lock()
+			m.lastCapSortie = 0
+			c.mu.Unlock()
+		}
+		return
+	}
+	c.m.capReplicated.Add(1)
+	if last == 0 {
+		c.m.capFullSyncs.Add(1)
+	}
+	c.mu.Lock()
+	if cap.Sortie > m.lastCapSortie {
+		m.lastCapSortie = cap.Sortie
+	}
+	c.mu.Unlock()
 }
 
 // finish records a terminal node-side status and closes the mission.
@@ -391,8 +449,9 @@ func (c *Coordinator) finish(m *fedMission, mr fleet.MissionResponse) bool {
 	} else {
 		c.m.failed.Add(1)
 	}
-	// The replica outlived its purpose; reclaim the successor's budget.
+	// The replicas outlived their purpose; reclaim the successor's budget.
 	_ = c.clients[succ].DropReplica(c.ctx, m.id)
+	_ = c.clients[succ].DropCaptureReplica(c.ctx, m.id)
 	close(m.done)
 	return true
 }
@@ -447,5 +506,8 @@ func (c *Coordinator) failover(m *fedMission) {
 	m.remoteID = remoteID
 	m.failovers++
 	m.succ = c.successorLocked(m.region, node)
+	// The new successor holds no capture replica; start it from a full
+	// sync rather than a tail it would reject.
+	m.lastCapSortie = 0
 	c.mu.Unlock()
 }

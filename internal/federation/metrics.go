@@ -13,6 +13,12 @@ type Metrics struct {
 
 	// replicated counts checkpoint pushes to a successor.
 	replicated atomic.Int64
+	// capReplicated counts capture-log pushes to a successor;
+	// capFullSyncs counts the subset that shipped the whole log (first
+	// push, or an incremental tail the successor rejected) rather than
+	// just the new segments.
+	capReplicated atomic.Int64
+	capFullSyncs  atomic.Int64
 	// failovers counts node-death re-leases; resumed of those restored a
 	// replicated checkpoint, reran flew from scratch under the same seed.
 	failovers atomic.Int64
@@ -25,28 +31,32 @@ type Metrics struct {
 
 // MetricsSnapshot is the JSON rendering.
 type MetricsSnapshot struct {
-	Routed           int64 `json:"routed"`
-	Spilled          int64 `json:"spilled"`
-	ReadOnlyRejected int64 `json:"read_only_rejected"`
-	Replicated       int64 `json:"replicated"`
-	Failovers        int64 `json:"failovers"`
-	Resumed          int64 `json:"resumed"`
-	Reran            int64 `json:"reran"`
-	Completed        int64 `json:"completed"`
-	Failed           int64 `json:"failed"`
+	Routed            int64 `json:"routed"`
+	Spilled           int64 `json:"spilled"`
+	ReadOnlyRejected  int64 `json:"read_only_rejected"`
+	Replicated        int64 `json:"replicated"`
+	CaptureReplicated int64 `json:"capture_replicated"`
+	CaptureFullSyncs  int64 `json:"capture_full_syncs"`
+	Failovers         int64 `json:"failovers"`
+	Resumed           int64 `json:"resumed"`
+	Reran             int64 `json:"reran"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
 }
 
 // Snapshot renders the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Routed:           m.routed.Load(),
-		Spilled:          m.spilled.Load(),
-		ReadOnlyRejected: m.readOnlyRejected.Load(),
-		Replicated:       m.replicated.Load(),
-		Failovers:        m.failovers.Load(),
-		Resumed:          m.resumed.Load(),
-		Reran:            m.reran.Load(),
-		Completed:        m.completed.Load(),
-		Failed:           m.failed.Load(),
+		Routed:            m.routed.Load(),
+		Spilled:           m.spilled.Load(),
+		ReadOnlyRejected:  m.readOnlyRejected.Load(),
+		Replicated:        m.replicated.Load(),
+		CaptureReplicated: m.capReplicated.Load(),
+		CaptureFullSyncs:  m.capFullSyncs.Load(),
+		Failovers:         m.failovers.Load(),
+		Resumed:           m.resumed.Load(),
+		Reran:             m.reran.Load(),
+		Completed:         m.completed.Load(),
+		Failed:            m.failed.Load(),
 	}
 }

@@ -186,6 +186,20 @@ func (s *Scheduler) runBatch(shard int, batch []*mission) {
 			}
 			s.mu.Unlock()
 		}
+		// Capture-log publication rides the same commit boundary: the
+		// mission's columnar capture log, whole, feeding download
+		// (GET /v1/missions/{id}/capture), replay solves, and the
+		// federation tier's incremental segment replication. The engine
+		// only fires this for SAR missions.
+		lease.Engine().CaptureSink = func(done int, log []byte) {
+			s.m.capturePubs.Add(1)
+			s.mu.Lock()
+			for _, m := range batch {
+				m.capture = log
+				m.capSortie = done
+			}
+			s.mu.Unlock()
+		}
 		// Live mid-flight estimates ride the same commit boundary. The
 		// solve localizes the batch's lead tag, so the estimate belongs
 		// to the head record alone (mirroring demux's Loc ownership).

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
+	"rfly/internal/capture"
 	"rfly/internal/obs"
 	"rfly/internal/runtime"
 )
@@ -25,10 +27,22 @@ import (
 //	                                    sortie that served the mission
 //	GET    /v1/missions/{id}/checkpoint latest committed sortie-boundary
 //	                                    checkpoint (the replication source)
+//	GET    /v1/missions/{id}/capture    latest committed capture log
+//	                                    (?after=N returns only the segment
+//	                                    tail past sortie N — the federation
+//	                                    tier's incremental replication feed)
+//	POST   /v1/missions/{id}/replay     re-solve the mission from its capture
+//	                                    log under caller-chosen grid /
+//	                                    robustness settings (milliseconds; no
+//	                                    engine, no sim)
 //	DELETE /v1/missions/{id}            cancel
 //	PUT    /v1/replicas/{id}            hold a peer mission's checkpoint
 //	GET    /v1/replicas/{id}            fetch a held replica
 //	DELETE /v1/replicas/{id}            discard a held replica
+//	PUT    /v1/capture-replicas/{id}    hold (or extend, segment-append) a
+//	                                    peer mission's capture log
+//	GET    /v1/capture-replicas/{id}    fetch a held capture replica
+//	DELETE /v1/capture-replicas/{id}    discard a held capture replica
 //	GET    /healthz                     liveness + drain state
 //	GET    /metrics                     counter snapshot (queue depth, shard
 //	                                    utilization, batch + latency histograms,
@@ -138,8 +152,35 @@ func NewHandler(s *Scheduler) http.Handler {
 	mux.HandleFunc("GET /v1/missions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		handleCheckpoint(s, w, r)
 	})
+	mux.HandleFunc("GET /v1/missions/{id}/capture", func(w http.ResponseWriter, r *http.Request) {
+		handleCapture(s, w, r)
+	})
+	mux.HandleFunc("POST /v1/missions/{id}/replay", func(w http.ResponseWriter, r *http.Request) {
+		handleReplay(s, w, r)
+	})
 	mux.HandleFunc("DELETE /v1/missions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleCancel(s, w, r)
+	})
+	mux.HandleFunc("PUT /v1/capture-replicas/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleCaptureReplicaPut(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/capture-replicas/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		sortie, data, ok := s.GetCaptureReplica(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no capture replica held for that id"})
+			return
+		}
+		writeJSON(w, http.StatusOK, CaptureResponse{
+			ID: id, Sortie: sortie, CaptureB64: base64.StdEncoding.EncodeToString(data),
+		})
+	})
+	mux.HandleFunc("DELETE /v1/capture-replicas/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !s.DropCaptureReplica(r.PathValue("id")) {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no capture replica held for that id"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dropped": true})
 	})
 	mux.HandleFunc("PUT /v1/replicas/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleReplicaPut(s, w, r)
@@ -292,6 +333,154 @@ func handleReplicaPut(s *Scheduler, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.PutReplica(r.PathValue("id"), in.Sortie, blob); err != nil {
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"held": true, "sortie": in.Sortie})
+}
+
+// CaptureResponse is the GET /v1/missions/{id}/capture body (and the
+// capture-replica GET body). A tail request (?after=N) that finds the
+// peer already current returns sortie == N and an empty capture_b64.
+type CaptureResponse struct {
+	ID string `json:"id"`
+	// Sortie is how many sorties the capture log covers.
+	Sortie     int    `json:"sortie"`
+	CaptureB64 string `json:"capture_b64"`
+	// Tail marks a ?after=N response: capture_b64 holds only the
+	// header-less segment bytes past sortie N, not a standalone log.
+	Tail bool `json:"tail,omitempty"`
+}
+
+// ReplayRequest is the POST /v1/missions/{id}/replay body. Zero-valued
+// fields keep the live solve's settings; robust defaults to true (the
+// live solver) and must be set to false explicitly to integrate
+// unlocked captures.
+type ReplayRequest struct {
+	Grid    float64 `json:"grid,omitempty"`
+	Fine    float64 `json:"fine,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	Robust  *bool   `json:"robust,omitempty"`
+}
+
+// ReplayResponse is the replay solve's result.
+type ReplayResponse struct {
+	ID       string  `json:"id"`
+	Sortie   int     `json:"sortie"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Peak     float64 `json:"peak"`
+	SigmaX   float64 `json:"sigma_x"`
+	SigmaY   float64 `json:"sigma_y"`
+	Total    int     `json:"total"`
+	Kept     int     `json:"kept"`
+	Segments int     `json:"segments"`
+	Records  uint64  `json:"records"`
+}
+
+// CaptureReplicaPut is the PUT /v1/capture-replicas/{id} body. After is
+// the sortie the receiver is expected to hold already: zero installs
+// capture_b64 as a complete log; non-zero appends it (raw segment tail
+// bytes) to a replica at exactly that sortie, and mismatch is a 409 —
+// the sender's cue to fall back to a full sync.
+type CaptureReplicaPut struct {
+	After      int    `json:"after,omitempty"`
+	Sortie     int    `json:"sortie"`
+	CaptureB64 string `json:"capture_b64"`
+}
+
+func handleCapture(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown mission id"})
+		return
+	}
+	if q := r.URL.Query().Get("after"); q != "" {
+		after, err := strconv.Atoi(q)
+		if err != nil || after < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "after must be a non-negative integer"})
+			return
+		}
+		tail, sortie, ok := s.CaptureTail(id, after)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "mission has no committed capture log yet"})
+			return
+		}
+		writeJSON(w, http.StatusOK, CaptureResponse{
+			ID: id, Sortie: sortie, CaptureB64: base64.StdEncoding.EncodeToString(tail), Tail: true,
+		})
+		return
+	}
+	data, sortie, ok := s.Capture(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "mission has no committed capture log yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, CaptureResponse{
+		ID: id, Sortie: sortie, CaptureB64: base64.StdEncoding.EncodeToString(data),
+	})
+}
+
+func handleReplay(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown mission id"})
+		return
+	}
+	var in ReplayRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	data, sortie, ok := s.Capture(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "mission has no committed capture log yet"})
+		return
+	}
+	opts := capture.LiveOptions()
+	opts.CoarseRes = in.Grid
+	opts.FineRes = in.Fine
+	opts.Workers = in.Workers
+	if in.Robust != nil {
+		opts.Robust = *in.Robust
+	}
+	res, err := capture.Replay(r.Context(), data, opts)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.m.replays.Add(1)
+	writeJSON(w, http.StatusOK, ReplayResponse{
+		ID:       id,
+		Sortie:   sortie,
+		X:        res.Location.X,
+		Y:        res.Location.Y,
+		Peak:     res.Peak,
+		SigmaX:   res.SigmaX,
+		SigmaY:   res.SigmaY,
+		Total:    res.Total,
+		Kept:     res.Kept,
+		Segments: res.Segments,
+		Records:  res.Records,
+	})
+}
+
+func handleCaptureReplicaPut(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	var in CaptureReplicaPut
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	blob, err := base64.StdEncoding.DecodeString(in.CaptureB64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad capture_b64: " + err.Error()})
+		return
+	}
+	if err := s.PutCaptureReplica(r.PathValue("id"), in.After, in.Sortie, blob); err != nil {
 		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
 		return
 	}

@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rfly/internal/capture"
+)
+
+// sarServer runs a two-sortie SAR mission to completion and returns the
+// test server, scheduler, and the finished mission's id and view.
+func sarServer(t *testing.T) (*httptest.Server, *Scheduler, string, View) {
+	t.Helper()
+	cfg := fastConfig(1)
+	cfg.Sorties = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() { s.Stop(context.Background()) })
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(ts.Close)
+
+	resp := postMission(t, ts, SubmitRequest{
+		Region: "dock", Tags: []TagInput{{ID: 4, X: 9, Y: 2.0, Z: 1.0}},
+		Seed: 77, SARPoints: 6, Exclusive: true,
+	})
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	<-s.Done(sub.ID)
+	v, _ := s.Get(sub.ID)
+	if v.Status != StatusDone {
+		t.Fatalf("mission ended %s: %s", v.Status, v.Err)
+	}
+	return ts, s, sub.ID, v
+}
+
+// TestHTTPCaptureDownloadAndTail: a finished SAR mission serves its full
+// capture log, a ?after= segment tail, and an empty tail once current.
+func TestHTTPCaptureDownloadAndTail(t *testing.T) {
+	ts, _, id, _ := sarServer(t)
+
+	get := func(url string, wantStatus int) CaptureResponse {
+		t.Helper()
+		resp, err := ts.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+		}
+		var cr CaptureResponse
+		if wantStatus == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return cr
+	}
+
+	full := get(ts.URL+"/v1/missions/"+id+"/capture", http.StatusOK)
+	if full.Sortie != 2 || full.CaptureB64 == "" || full.Tail {
+		t.Fatalf("full capture response %+v", full)
+	}
+	blob, err := base64.StdEncoding.DecodeString(full.CaptureB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := capture.OpenLog(blob)
+	if err != nil {
+		t.Fatalf("served capture log does not decode: %v", err)
+	}
+	if rd.NumSegments() != 2 {
+		t.Fatalf("served log has %d segments, want 2", rd.NumSegments())
+	}
+
+	// Tail past sortie 1: exactly the second segment's bytes, and
+	// appending them to a sortie-1 prefix must re-decode.
+	tail := get(ts.URL+"/v1/missions/"+id+"/capture?after=1", http.StatusOK)
+	if !tail.Tail || tail.Sortie != 2 || tail.CaptureB64 == "" {
+		t.Fatalf("tail response %+v", tail)
+	}
+	tb, err := base64.StdEncoding.DecodeString(tail.CaptureB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(blob, tb) || len(tb) >= len(blob) {
+		t.Fatal("tail bytes are not a proper suffix of the full log")
+	}
+	if _, err := capture.OpenLog(blob[:len(blob)-len(tb)]); err != nil {
+		t.Fatalf("full log minus tail is not a sealed sortie-1 log: %v", err)
+	}
+
+	// Already current: empty tail.
+	cur := get(ts.URL+"/v1/missions/"+id+"/capture?after=2", http.StatusOK)
+	if !cur.Tail || cur.Sortie != 2 || cur.CaptureB64 != "" {
+		t.Fatalf("current-tail response %+v", cur)
+	}
+
+	get(ts.URL+"/v1/missions/"+id+"/capture?after=-1", http.StatusBadRequest)
+	get(ts.URL+"/v1/missions/nope/capture", http.StatusNotFound)
+}
+
+// TestHTTPReplay: the replay endpoint re-solves a finished mission from
+// its capture log — bit-identical to the live solve at defaults, and
+// still sane under a caller-chosen grid.
+func TestHTTPReplay(t *testing.T) {
+	ts, s, id, v := sarServer(t)
+	if v.Outcome == nil || !v.Outcome.LocOK {
+		t.Fatal("mission produced no localization")
+	}
+
+	replay := func(body string, wantStatus int) ReplayResponse {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/v1/missions/"+id+"/replay",
+			"application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("replay status %d, want %d", resp.StatusCode, wantStatus)
+		}
+		var rr ReplayResponse
+		if wantStatus == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rr
+	}
+
+	// Empty body → live settings → bit-identical to the mission solve.
+	live := replay("", http.StatusOK)
+	if math.Float64bits(live.X) != math.Float64bits(v.Outcome.LocX) ||
+		math.Float64bits(live.Y) != math.Float64bits(v.Outcome.LocY) {
+		t.Fatalf("live replay (%v,%v) != mission solve (%v,%v)",
+			live.X, live.Y, v.Outcome.LocX, v.Outcome.LocY)
+	}
+	if live.Segments != 2 || live.Records != 12 || live.Sortie != 2 {
+		t.Fatalf("replay provenance %+v, want 2 segments / 12 records / sortie 2", live)
+	}
+
+	// Changed grid, robustness off: every capture integrates.
+	wide := replay(`{"grid":0.5,"fine":0.2,"workers":2,"robust":false}`, http.StatusOK)
+	if wide.Kept != wide.Total {
+		t.Fatalf("non-robust replay rejected %d of %d", wide.Total-wide.Kept, wide.Total)
+	}
+	if math.Abs(wide.X-live.X) > 2 || math.Abs(wide.Y-live.Y) > 2 {
+		t.Fatalf("coarse replay (%v,%v) far from live (%v,%v)", wide.X, wide.Y, live.X, live.Y)
+	}
+
+	if got := s.Metrics().Snapshot().Replays; got != 2 {
+		t.Fatalf("replays counter %d, want 2", got)
+	}
+
+	// Unknown mission and malformed body.
+	resp, err := ts.Client().Post(ts.URL+"/v1/missions/nope/replay", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown-mission replay status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	replay(`{"grid":"tiny"}`, http.StatusBadRequest)
+}
+
+// TestHTTPCaptureReplica: the capture-replica store over HTTP — full
+// install, segment-tail extension, conflict on a mismatched base, and
+// the GET/DELETE pair.
+func TestHTTPCaptureReplica(t *testing.T) {
+	ts, s, id, _ := sarServer(t)
+
+	var full CaptureResponse
+	resp, err := ts.Client().Get(ts.URL + "/v1/missions/" + id + "/capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	blob, _ := base64.StdEncoding.DecodeString(full.CaptureB64)
+
+	// Split the served log at the sortie-1 boundary using the reader's
+	// own tail computation.
+	rd, err := capture.OpenLog(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := rd.Tail(1)
+	prefix := blob[:len(blob)-len(tail)]
+
+	put := func(id string, body CaptureReplicaPut, wantStatus int) {
+		t.Helper()
+		payload, _ := json.Marshal(body)
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/capture-replicas/"+id, bytes.NewReader(payload))
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("capture-replica put: status %d, want %d", resp.StatusCode, wantStatus)
+		}
+	}
+
+	// Full install at sortie 1, then the incremental tail to sortie 2.
+	put("fed-cap", CaptureReplicaPut{Sortie: 1,
+		CaptureB64: base64.StdEncoding.EncodeToString(prefix)}, http.StatusOK)
+	put("fed-cap", CaptureReplicaPut{After: 1, Sortie: 2,
+		CaptureB64: base64.StdEncoding.EncodeToString(tail)}, http.StatusOK)
+
+	// A second tail claiming the same base must conflict (replica is at
+	// sortie 2 now) — the sender's cue to full-sync.
+	put("fed-cap", CaptureReplicaPut{After: 1, Sortie: 2,
+		CaptureB64: base64.StdEncoding.EncodeToString(tail)}, http.StatusConflict)
+
+	// The held replica is byte-identical to the source log and decodes.
+	gresp, err := ts.Client().Get(ts.URL + "/v1/capture-replicas/fed-cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held CaptureResponse
+	if err := json.NewDecoder(gresp.Body).Decode(&held); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	hb, _ := base64.StdEncoding.DecodeString(held.CaptureB64)
+	if held.Sortie != 2 || !bytes.Equal(hb, blob) {
+		t.Fatalf("held replica sortie %d, bytes equal %v", held.Sortie, bytes.Equal(hb, blob))
+	}
+	if _, err := capture.OpenLog(hb); err != nil {
+		t.Fatalf("reassembled replica does not decode: %v", err)
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap.CaptureReplicaPuts != 2 || snap.CaptureReplicasHeld != 1 || snap.CaptureReplicaBytes != int64(len(blob)) {
+		t.Fatalf("capture replica metrics %+v", snap)
+	}
+
+	dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/capture-replicas/fed-cap", nil)
+	dresp, err := ts.Client().Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("capture-replica delete status %d", dresp.StatusCode)
+	}
+	dresp2, err := ts.Client().Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete status %d, want 404", dresp2.StatusCode)
+	}
+	if got := s.Metrics().Snapshot().CaptureReplicasHeld; got != 0 {
+		t.Fatalf("capture_replicas_held %d after drop, want 0", got)
+	}
+}

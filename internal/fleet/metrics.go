@@ -79,6 +79,16 @@ type Metrics struct {
 	replicasHeld atomic.Int64
 	replicaBytes atomic.Int64
 
+	// capturePubs counts capture-log publications at sortie commits;
+	// replays counts replay solves served from held logs; the
+	// capReplica* trio mirrors the checkpoint replica gauges for the
+	// capture-segment replica store.
+	capturePubs     atomic.Int64
+	replays         atomic.Int64
+	capReplicaPuts  atomic.Int64
+	capReplicasHeld atomic.Int64
+	capReplicaBytes atomic.Int64
+
 	shardBusyNs []atomic.Int64
 
 	wait *obs.Histogram // admission → sortie start
@@ -121,6 +131,12 @@ type Snapshot struct {
 	ReplicasHeld int64 `json:"replicas_held"`
 	ReplicaBytes int64 `json:"replica_bytes"`
 
+	CapturePublications int64 `json:"capture_publications"`
+	Replays             int64 `json:"replays"`
+	CaptureReplicaPuts  int64 `json:"capture_replica_puts"`
+	CaptureReplicasHeld int64 `json:"capture_replicas_held"`
+	CaptureReplicaBytes int64 `json:"capture_replica_bytes"`
+
 	// ShardBusyPct is the fraction of the fleet's shard-seconds spent
 	// flying sorties since start.
 	ShardBusyPct float64   `json:"shard_busy_pct"`
@@ -153,9 +169,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		ReplicaPuts:      m.replicaPuts.Load(),
 		ReplicasHeld:     m.replicasHeld.Load(),
 		ReplicaBytes:     m.replicaBytes.Load(),
-		WaitLatency:      histSnap(m.wait),
-		RunLatency:       histSnap(m.run),
-		E2ELatency:       histSnap(m.e2e),
+
+		CapturePublications: m.capturePubs.Load(),
+		Replays:             m.replays.Load(),
+		CaptureReplicaPuts:  m.capReplicaPuts.Load(),
+		CaptureReplicasHeld: m.capReplicasHeld.Load(),
+		CaptureReplicaBytes: m.capReplicaBytes.Load(),
+		WaitLatency:         histSnap(m.wait),
+		RunLatency:          histSnap(m.run),
+		E2ELatency:          histSnap(m.e2e),
 	}
 	if s.Batches > 0 {
 		s.MeanBatchSize = float64(m.batchSizeSum.Load()) / float64(s.Batches)

@@ -204,6 +204,13 @@ type mission struct {
 	ckpt       []byte
 	ckptSortie int
 
+	// capture is the mission's columnar capture log, published whole at
+	// the same commit boundary (SAR missions only). capSortie is how many
+	// sorties it covers. It feeds download, replay solves, and
+	// incremental segment replication.
+	capture   []byte
+	capSortie int
+
 	// est is the engine's latest live localization estimate, published
 	// after each sortie commit while the batch flies. Like the outcome's
 	// Loc fields it localizes the batch's lead tag, so only the batch

@@ -264,6 +264,9 @@ func Run(short bool) (*Report, error) {
 	if err := CheckMultiResEquivalence(); err != nil {
 		return nil, err
 	}
+	if err := CheckReplayEquivalence(); err != nil {
+		return nil, err
+	}
 	report := &Report{GOMAXPROCS: runtime.GOMAXPROCS(0), Short: short}
 	if report.GOMAXPROCS == 1 {
 		report.Notes = append(report.Notes,
@@ -440,6 +443,12 @@ func Run(short bool) (*Report, error) {
 	fwdRow := row("relay_forward_downlink_n4096", fwd)
 	fwdRow.Note = "pooled scratch buffers; allocs/op is the output buffer plus chain state only"
 	report.Results = append(report.Results, fwdRow)
+
+	// Capture plane: replay-from-log vs full sim re-run, and the
+	// per-record append cost of the columnar log writer.
+	if err := captureRows(report, short); err != nil {
+		return nil, err
+	}
 
 	return report, nil
 }

@@ -33,6 +33,12 @@ func TestMultiResEquivalence(t *testing.T) {
 	}
 }
 
+func TestReplayEquivalence(t *testing.T) {
+	if err := CheckReplayEquivalence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNaiveBinMatchesGoertzel(t *testing.T) {
 	x := randomIQ(2048, 17)
 	for _, freq := range []float64{0, 120e3, 300e3, -450e3} {

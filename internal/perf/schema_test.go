@@ -65,6 +65,32 @@ func TestBenchDSPSchemaRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBenchDSPCaptureRows pins the capture-plane rows into the
+// committed artifact: CI greps for them by name, and the replay row
+// must carry a measured speedup against the full mission re-run.
+func TestBenchDSPCaptureRows(t *testing.T) {
+	var rep Report
+	decodeStrict(t, "BENCH_dsp.json", &rep)
+	rows := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		rows[r.Name] = r
+	}
+	for _, name := range []string{"mission_rerun_fig6", "replay_solve_fig6", "capture_append_per_record"} {
+		if _, ok := rows[name]; !ok {
+			t.Fatalf("BENCH_dsp.json missing capture-plane row %q", name)
+		}
+	}
+	if rp := rows["replay_solve_fig6"]; rp.SpeedupVsDirect <= 1 {
+		t.Fatalf("replay_solve_fig6 carries no speedup vs the mission re-run: %+v", rp)
+	} else if rp.NsPerOp >= rows["mission_rerun_fig6"].NsPerOp {
+		t.Fatalf("replay row (%v ns) is not faster than the re-run row (%v ns)",
+			rp.NsPerOp, rows["mission_rerun_fig6"].NsPerOp)
+	}
+	if ap := rows["capture_append_per_record"]; ap.NsPerOp > 10_000 {
+		t.Fatalf("per-record append cost %v ns is not amortized (expected sub-microsecond scale)", ap.NsPerOp)
+	}
+}
+
 func TestBenchServeSchemaRoundTrip(t *testing.T) {
 	var rep ServeReport
 	decodeStrict(t, "BENCH_serve.json", &rep)

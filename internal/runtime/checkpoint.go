@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"math"
 
+	"rfly/internal/capture"
 	"rfly/internal/geom"
 	"rfly/internal/loc"
 	"rfly/internal/obs"
@@ -37,9 +38,18 @@ import (
 //	    sar buffer, but carrying it keeps resume O(cells) instead of
 //	    re-projecting every buffered capture, and its dims double as a
 //	    structural cross-check against the mission's configured lattice.
+//	4 — replaces the v3 sar-buffer block with the mission's capture log,
+//	    embedded verbatim: the log's CRC-sealed columnar segments ARE the
+//	    SAR buffer (per-record capture time, pose, IQ phase, SNR, lock
+//	    flag), so the checkpoint references them zero-decode instead of
+//	    re-encoding the measurements. Restore still reads v3 frames,
+//	    reconstructing their log deterministically from the sortie
+//	    results (landing-window capture times, NaN SNR — v3 never stored
+//	    per-point SNR); their next Snapshot writes v4.
 const (
-	ckptMagic   = "RFC1"
-	ckptVersion = uint16(3)
+	ckptMagic       = "RFC1"
+	ckptVersion     = uint16(4)
+	ckptVersionSAR3 = uint16(3) // oldest version Restore still reads
 )
 
 // Typed rejection classes. Every Restore failure wraps
@@ -139,6 +149,11 @@ func (r *ckptReader) boolean() bool { return r.u8() != 0 }
 // ckptMaxSlice bounds decoded slice lengths so a corrupted length prefix
 // cannot balloon an allocation (fuzzing finds this in minutes otherwise).
 const ckptMaxSlice = 1 << 20
+
+// ckptMaxLog bounds the embedded capture-log block (64 records/sortie ×
+// 64 B over any plausible mission is far below this; the bound only
+// exists so a forged length cannot size an allocation).
+const ckptMaxLog = 64 << 20
 
 func (r *ckptReader) length(what string) int {
 	n := int(r.u32())
@@ -263,14 +278,17 @@ func (e *Engine) SnapshotCtx(ctx context.Context) []byte {
 		}
 	}
 
-	w.u32(uint32(len(e.sar)))
-	for _, m := range e.sar {
-		w.f64(m.Pos.X)
-		w.f64(m.Pos.Y)
-		w.f64(m.Pos.Z)
-		w.f64(real(m.H))
-		w.f64(imag(m.H))
-		w.boolean(m.Unlocked)
+	// Capture log block (v4): the mission's capture log bytes, whole. The
+	// log is self-framing (versioned header, CRC-sealed segments), so the
+	// checkpoint neither re-encodes nor decodes it — Snapshot appends a
+	// snapshot of the bytes, Restore validates them with the capture
+	// codec and installs them verbatim.
+	hasLog := e.capLog != nil
+	w.boolean(hasLog)
+	if hasLog {
+		lb := e.capLog.Snapshot()
+		w.u32(uint32(len(lb)))
+		w.buf = append(w.buf, lb...)
 	}
 
 	// Streaming SAR accumulator block (v3): grid dims plus per-cell
@@ -314,8 +332,9 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 	if r.err == nil && string(magic) != ckptMagic {
 		return nil, fmt.Errorf("runtime: bad checkpoint magic %q: %w", magic, ErrInvalidCheckpoint)
 	}
-	if v := r.u16(); r.err == nil && v != ckptVersion {
-		return nil, fmt.Errorf("runtime: unsupported checkpoint version %d: %w", v, ErrInvalidCheckpoint)
+	ver := r.u16()
+	if r.err == nil && (ver < ckptVersionSAR3 || ver > ckptVersion) {
+		return nil, fmt.Errorf("runtime: unsupported checkpoint version %d: %w", ver, ErrInvalidCheckpoint)
 	}
 
 	e, err := New(cfg)
@@ -437,14 +456,41 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		results = append(results, s)
 	}
 
-	nSAR := r.length("sar buffer")
-	sar := make([]loc.Measurement, 0, min(nSAR, 4096))
-	for i := 0; i < nSAR && r.err == nil; i++ {
-		var m loc.Measurement
-		m.Pos = geom.P(r.f64(), r.f64(), r.f64())
-		m.H = complex(r.f64(), r.f64())
-		m.Unlocked = r.boolean()
-		sar = append(sar, m)
+	// SAR block: v3 frames carry a flat measurement buffer; v4 frames
+	// carry the capture log verbatim. Both paths land in sar (the flat
+	// buffer the solver's bookkeeping replays); the v4 path additionally
+	// keeps the raw log bytes to install after validation.
+	var sar []loc.Measurement
+	var capLogBytes []byte
+	if ver == ckptVersionSAR3 {
+		nSAR := r.length("sar buffer")
+		sar = make([]loc.Measurement, 0, min(nSAR, 4096))
+		for i := 0; i < nSAR && r.err == nil; i++ {
+			var m loc.Measurement
+			m.Pos = geom.P(r.f64(), r.f64(), r.f64())
+			m.H = complex(r.f64(), r.f64())
+			m.Unlocked = r.boolean()
+			sar = append(sar, m)
+		}
+		if r.err == nil && len(sar) > 0 && e.capLog == nil {
+			return nil, fmt.Errorf("runtime: checkpoint carries %d SAR captures but the mission config has no aperture: %w",
+				len(sar), ErrCheckpointConfigMismatch)
+		}
+	} else if hasLog := r.boolean(); r.err == nil {
+		if hasLog != (e.capLog != nil) {
+			return nil, fmt.Errorf("runtime: checkpoint capture log present=%t but mission SAR config present=%t: %w",
+				hasLog, e.capLog != nil, ErrCheckpointConfigMismatch)
+		}
+		if hasLog {
+			n := int(r.u32())
+			if r.err == nil && n > ckptMaxLog {
+				return nil, fmt.Errorf("runtime: checkpoint capture log length %d exceeds limit: %w", n, ErrInvalidCheckpoint)
+			}
+			if r.need(n) {
+				capLogBytes = append([]byte(nil), r.buf[r.off:r.off+n]...)
+				r.off += n
+			}
+		}
 	}
 
 	// Streaming SAR accumulator block. Its presence must agree with the
@@ -489,6 +535,39 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 			cur, len(results), e.cfg.Sorties, ErrInvalidCheckpoint)
 	}
 
+	// v4: validate the embedded capture log with its own codec, check its
+	// provenance header against the mission config, and cross-check its
+	// segments against the sortie results — one segment per SAR-bearing
+	// sortie, counts matching — before flattening its records into the
+	// solver's measurement buffer.
+	if capLogBytes != nil {
+		rd, err := capture.OpenLog(capLogBytes)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: checkpoint capture log: %v: %w", err, ErrInvalidCheckpoint)
+		}
+		if rd.Header() != e.cfg.captureHeader() {
+			return nil, fmt.Errorf("runtime: checkpoint capture log header does not match mission config: %w",
+				ErrCheckpointConfigMismatch)
+		}
+		segIdx := 0
+		for _, s := range results {
+			if s.SARPoints == 0 {
+				continue
+			}
+			if segIdx >= rd.NumSegments() || rd.Segment(segIdx).Sortie() != s.Sortie+1 ||
+				rd.Segment(segIdx).Count() != s.SARPoints {
+				return nil, fmt.Errorf("runtime: checkpoint capture log segments disagree with sortie results: %w",
+					ErrInvalidCheckpoint)
+			}
+			segIdx++
+		}
+		if segIdx != rd.NumSegments() {
+			return nil, fmt.Errorf("runtime: checkpoint capture log has %d orphan segments: %w",
+				rd.NumSegments()-segIdx, ErrInvalidCheckpoint)
+		}
+		sar = rd.Measurements()
+	}
+
 	src, err := rng.Restore(st)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: checkpoint RNG state: %v: %w", err, ErrInvalidCheckpoint)
@@ -506,6 +585,46 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		// re-accumulated, which is what keeps resumed estimates bit-exact.
 		if err := e.solver.Restore(streamSum, sar); err != nil {
 			return nil, fmt.Errorf("runtime: checkpoint stream grid: %v: %w", err, ErrInvalidCheckpoint)
+		}
+	}
+	switch {
+	case capLogBytes != nil:
+		// Install the validated log verbatim; its append counters resume
+		// from the embedded segments.
+		lg, err := capture.Resume(capLogBytes)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: checkpoint capture log resume: %v: %w", err, ErrInvalidCheckpoint)
+		}
+		e.capLog = lg
+	case ver == ckptVersionSAR3 && e.capLog != nil:
+		// v3 upgrade: rebuild the log deterministically from the sortie
+		// results and the flat buffer. Capture times use the same
+		// landing-window formula the live non-swarm path records; SNR is
+		// NaN because v3 frames never stored it per point.
+		off := 0
+		for _, s := range results {
+			if s.SARPoints == 0 {
+				continue
+			}
+			if off+s.SARPoints > len(sar) {
+				return nil, fmt.Errorf("runtime: checkpoint sortie SAR counts exceed the %d-capture buffer: %w",
+					len(sar), ErrInvalidCheckpoint)
+			}
+			recs := make([]capture.Record, s.SARPoints)
+			n := e.cfg.SARPointsPerSortie
+			for j := range recs {
+				m := sar[off+j]
+				recs[j] = capture.Record{
+					T:   float64(s.StartTick) + float64(e.cfg.TicksPerSortie) + float64(j)/float64(n+1),
+					Pos: m.Pos, H: m.H, SNRdB: math.NaN(), Unlocked: m.Unlocked,
+				}
+			}
+			e.capLog.AppendSegmentCtx(context.Background(), s.Sortie+1, recs)
+			off += s.SARPoints
+		}
+		if off != len(sar) {
+			return nil, fmt.Errorf("runtime: checkpoint sortie SAR counts cover %d of %d buffered captures: %w",
+				off, len(sar), ErrInvalidCheckpoint)
 		}
 	}
 	return e, nil

@@ -6,7 +6,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"math"
 	"testing"
+
+	"rfly/internal/capture"
 )
 
 // corruptTruncateFrame cuts a checkpoint mid-frame but re-seals it with
@@ -25,6 +28,41 @@ func corruptFlipCRC(ckpt []byte) []byte {
 	out := append([]byte(nil), ckpt...)
 	out[len(out)-2] ^= 0x40
 	return out
+}
+
+// v3Frame re-encodes a live engine's state as a version-3 checkpoint:
+// the v4 capture-log block spliced out, the legacy flat sar buffer
+// spliced in, version field patched, CRC re-sealed. It is what a
+// checkpoint written by the previous release looks like, byte for byte,
+// and is white-box on purpose — the engine no longer writes v3.
+func v3Frame(e *Engine) []byte {
+	v4 := e.Snapshot()
+	body := v4[:len(v4)-4]
+	sLen := 0
+	if e.solver != nil {
+		_, _, _, cols, rows, _ := e.solver.Grid()
+		sLen = 1 + 4 + 4 + 16*cols*rows
+	}
+	stream := body[len(body)-sLen:]
+	logLen := 1 // hasLog flag
+	if e.capLog != nil {
+		logLen += 4 + len(e.capLog.Snapshot())
+	}
+	out := append([]byte(nil), body[:len(body)-sLen-logLen]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.sar)))
+	for _, m := range e.sar {
+		for _, f := range []float64{m.Pos.X, m.Pos.Y, m.Pos.Z, real(m.H), imag(m.H)} {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f))
+		}
+		if m.Unlocked {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	out = append(out, stream...)
+	binary.LittleEndian.PutUint16(out[4:6], 3)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 }
 
 // streamBlockLen is the encoded size of a present v3 stream block for
@@ -63,8 +101,10 @@ func corruptStreamDims(cfg Config, ckpt []byte) []byte {
 // write, or a hostile filesystem can have mangled arbitrarily. It must
 // never panic, never over-allocate on a corrupt length prefix, reject
 // every mangled frame with a typed error (errors.Is
-// ErrInvalidCheckpoint), and anything it does accept must re-encode to
-// the identical bytes (the codec has one canonical form).
+// ErrInvalidCheckpoint), and anything it does accept must re-encode
+// canonically: a v4 frame to its identical bytes (one canonical form
+// per current version), an accepted legacy v3 frame to a v4 frame that
+// is itself a fixed point of restore→snapshot.
 func FuzzCheckpointDecode(f *testing.F) {
 	cfg := testConfig(5)
 	e, err := New(cfg)
@@ -101,6 +141,11 @@ func FuzzCheckpointDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(se.Snapshot())
+	// Legacy v3 frames: the previous release's encoding, which Restore
+	// must keep reading (and upgrading) without loosening the rejection
+	// contract for mangled ones.
+	f.Add(v3Frame(e))
+	f.Add(corruptTruncateFrame(v3Frame(e)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e2, err := Restore(cfg, data)
 		if err != nil {
@@ -109,11 +154,93 @@ func FuzzCheckpointDecode(f *testing.F) {
 			}
 			return
 		}
-		if got := e2.Snapshot(); !bytes.Equal(got, data) {
-			t.Fatalf("accepted checkpoint is not canonical: re-encoded %d bytes from %d",
-				len(got), len(data))
+		re := e2.Snapshot()
+		if ver := binary.LittleEndian.Uint16(data[4:6]); ver == ckptVersion {
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted v%d checkpoint is not canonical: re-encoded %d bytes from %d",
+					ver, len(re), len(data))
+			}
+			return
+		}
+		// Accepted legacy frame: its upgrade must be a fixed point.
+		e3, err := Restore(cfg, re)
+		if err != nil {
+			t.Fatalf("upgraded legacy checkpoint rejected: %v", err)
+		}
+		if got := e3.Snapshot(); !bytes.Equal(got, re) {
+			t.Fatalf("legacy upgrade is not a fixed point: %d bytes then %d", len(re), len(got))
 		}
 	})
+}
+
+// TestRestoreV3Compat: a checkpoint written by the previous release (flat
+// sar buffer, no capture log) restores, reconstructs a capture log that
+// agrees with its sortie results, and finishes the mission with the same
+// committed rows as the uninterrupted engine. The reconstructed log
+// carries NaN SNR (v3 never stored per-point SNR), so the upgraded frame
+// is a new fixed point rather than the live engine's bytes.
+func TestRestoreV3Compat(t *testing.T) {
+	cfg := testConfig(11)
+	live, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.RunSorties(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	v3 := v3Frame(live)
+
+	r, err := Restore(cfg, v3)
+	if err != nil {
+		t.Fatalf("v3 checkpoint rejected: %v", err)
+	}
+	rLog := r.CaptureLog()
+	if rLog == nil {
+		t.Fatal("v3 restore reconstructed no capture log")
+	}
+	rd, err := capture.OpenLog(rLog)
+	if err != nil {
+		t.Fatalf("reconstructed log unreadable: %v", err)
+	}
+	wantRecs := 0
+	for _, s := range r.results {
+		wantRecs += s.SARPoints
+	}
+	if int(rd.Records()) != wantRecs {
+		t.Fatalf("reconstructed log has %d records, results claim %d", rd.Records(), wantRecs)
+	}
+	for i := 0; i < rd.NumSegments(); i++ {
+		seg := rd.Segment(i)
+		for j := 0; j < seg.Count(); j++ {
+			if !math.IsNaN(seg.Record(j).SNRdB()) {
+				t.Fatalf("reconstructed record %d/%d SNR is %v, want NaN", i, j, seg.Record(j).SNRdB())
+			}
+		}
+	}
+
+	// The upgraded frame is version 4 and a fixed point.
+	up := r.Snapshot()
+	if ver := binary.LittleEndian.Uint16(up[4:6]); ver != uint16(ckptVersion) {
+		t.Fatalf("upgraded checkpoint is version %d, want %d", ver, ckptVersion)
+	}
+	r2, err := Restore(cfg, up)
+	if err != nil {
+		t.Fatalf("upgraded checkpoint rejected: %v", err)
+	}
+	if !bytes.Equal(r2.Snapshot(), up) {
+		t.Fatal("upgraded checkpoint is not a fixed point")
+	}
+
+	// The mission's committed rows are unaffected by the upgrade.
+	if err := live.RunSorties(context.Background(), cfg.Sorties-2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunSorties(context.Background(), cfg.Sorties-2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Result().CSV(), live.Result().CSV(); got != want {
+		t.Fatalf("v3-resumed mission diverged:\n%s\nvs live:\n%s", got, want)
+	}
 }
 
 // TestRestoreTypedErrors pins the rejection taxonomy: truncation,

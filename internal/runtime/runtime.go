@@ -23,6 +23,7 @@ import (
 	"math"
 	"strings"
 
+	"rfly/internal/capture"
 	"rfly/internal/drone"
 	"rfly/internal/epc"
 	"rfly/internal/fault"
@@ -310,6 +311,16 @@ type Engine struct {
 	// commit — a rolled-back sortie must leave no trace in the grid.
 	solver *loc.StreamSolver
 
+	// capLog is the mission's columnar capture log: one CRC-sealed
+	// segment per committed sortie that contributed SAR captures, each
+	// record carrying the capture time, pose, disentangled IQ phase, SNR,
+	// and lock flag. Sealed only at the sortie commit (a rolled-back
+	// sortie stages records locally and discards them), so the log's
+	// segments are exactly the batches the solver integrated — which is
+	// what makes capture.Replay bit-identical to the live solve. Built
+	// once in New for SAR missions; nil otherwise.
+	capLog *capture.Log
+
 	// src is the mission-level RNG stream; each sortie draws its build
 	// seed from it, which is why its state must be checkpointed.
 	src *rng.Source
@@ -326,6 +337,15 @@ type Engine struct {
 	// does not participate in determinism (encoding a snapshot reads, but
 	// never advances, the mission streams).
 	CheckpointSink func(sortiesDone int, ckpt []byte)
+
+	// CaptureSink, when set, receives a capture log snapshot after every
+	// sortie commit (following CheckpointSink): sortiesDone is the
+	// committed count and log the exact bytes CaptureLog would return at
+	// that boundary. The fleet scheduler uses it to publish mission
+	// capture logs for download and incremental segment replication. Never
+	// set for missions without SAR; like Observer it does not participate
+	// in determinism.
+	CaptureSink func(sortiesDone int, log []byte)
 
 	// EstimateSink, when set, receives a live position estimate after
 	// every sortie commit (following CheckpointSink). It fires only once
@@ -368,6 +388,7 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("runtime: SAR accumulator: %w", err)
 		}
 		e.solver = solver
+		e.capLog = capture.NewLog(cfg.captureHeader())
 	}
 	return e, nil
 }
@@ -387,8 +408,30 @@ func (c Config) locConfig() loc.Config {
 	return lcfg
 }
 
+// captureHeader is the capture log's provenance header: the carrier and
+// search region the live solve uses, plus the seed and config hash, so a
+// replay rebuilds the exact localizer configuration from the log alone.
+func (c Config) captureHeader() capture.Header {
+	return capture.Header{
+		ChannelHz:  c.ChannelHz,
+		Region:     *c.locConfig().Region,
+		Seed:       c.Seed,
+		ConfigHash: c.hash(),
+	}
+}
+
 // Config returns the engine's (defaulted) mission config.
 func (e *Engine) Config() Config { return e.cfg }
+
+// CaptureLog returns a snapshot of the mission's capture log bytes —
+// self-describing, replayable with capture.Replay — or nil for missions
+// without SAR.
+func (e *Engine) CaptureLog() []byte {
+	if e.capLog == nil {
+		return nil
+	}
+	return e.capLog.Snapshot()
+}
 
 // SortiesDone returns how many sorties have committed.
 func (e *Engine) SortiesDone() int { return e.cur }
@@ -512,6 +555,9 @@ func (e *Engine) RunSortie(ctx context.Context) (SortieResult, error) {
 	if err == nil && e.CheckpointSink != nil {
 		e.CheckpointSink(e.cur, e.SnapshotCtx(ctx))
 	}
+	if err == nil && e.CaptureSink != nil && e.capLog != nil {
+		e.CaptureSink(e.cur, e.capLog.Snapshot())
+	}
 	if err == nil && e.EstimateSink != nil {
 		if est, ok := e.LiveEstimateCtx(ctx); ok {
 			e.EstimateSink(est)
@@ -611,6 +657,7 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 	sarStart := e.cfg.TicksPerSortie + 1
 	var flight drone.Flight
 	var capTgt, capEmb []loc.Measurement
+	var capSNR, capTick []float64
 	if coord != nil && e.cfg.SARPointsPerSortie > 0 {
 		sarStart = e.cfg.TicksPerSortie - e.cfg.SARPointsPerSortie
 		flight, err = e.sarFlight(ctx, sortieSeed)
@@ -679,9 +726,11 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 		}
 		lockForReads := d.RelayLockHealthy()
 		if sarIdx >= 0 {
-			if mT, mE, _, ok := d.CaptureSARPoint(tags[0], flight.Measured[sarIdx]); ok {
+			if mT, mE, snr, ok := d.CaptureSARPoint(tags[0], flight.Measured[sarIdx]); ok {
 				capTgt = append(capTgt, mT)
 				capEmb = append(capEmb, mE)
+				capSNR = append(capSNR, snr)
+				capTick = append(capTick, float64(base+tick))
 			}
 		}
 		reads := 0
@@ -720,11 +769,18 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 	// End-of-sortie SAR pass (skipped for an aborted sortie: the drone
 	// went straight home). Swarm missions already captured in-loop; they
 	// disentangle whatever the (possibly handed-off) buffer holds.
+	// Capture records are STAGED here and sealed into the log only at the
+	// commit below: a rolled-back or error'd sortie leaves no trace in the
+	// capture log, mirroring the solver-grid invariant.
 	var newSAR []loc.Measurement
+	var pending []capture.Record
 	switch {
 	case coord == nil && e.cfg.SARPointsPerSortie > 0 && !res.Aborted:
-		cap, err := e.sarPass(ctx, d, tags[0], sortieSeed)
+		cap, err := e.sarPass(ctx, d, tags[0], sortieSeed, func(m loc.Measurement) {
+			pending = append(pending, capture.Record{Pos: m.Pos, H: m.H, Unlocked: m.Unlocked})
+		})
 		if err != nil {
+			pending = nil
 			if ctx.Err() != nil {
 				rollback()
 				return SortieResult{}, err
@@ -733,12 +789,31 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 		} else {
 			newSAR = cap.Disentangled
 			res.SARPoints = len(newSAR)
+			// The end-of-sortie pass flies in the landing window after the
+			// last tick; the stream sink sees no per-point budget, so the
+			// records carry fractional landing-window times and the pass's
+			// mean SNR (the same values the v3→v4 checkpoint upgrade
+			// reconstructs, minus the SNR, which v3 never stored).
+			n := e.cfg.SARPointsPerSortie
+			for j := range pending {
+				pending[j].T = float64(base+e.cfg.TicksPerSortie) + float64(j)/float64(n+1)
+				pending[j].SNRdB = cap.MeanSNRdB
+			}
 		}
 	case coord != nil && len(capTgt) > 0 && !res.Aborted:
 		dis, err := sim.DisentangleCapture(capTgt, capEmb)
 		if err == nil {
 			newSAR = dis
 			res.SARPoints = len(newSAR)
+			// In-loop aperture ticks know their exact capture tick and
+			// per-point SNR; the record carries both.
+			pending = make([]capture.Record, len(dis))
+			for j, m := range dis {
+				pending[j] = capture.Record{
+					T: capTick[j], Pos: m.Pos, H: m.H,
+					SNRdB: capSNR[j], Unlocked: m.Unlocked,
+				}
+			}
 		}
 	}
 
@@ -785,21 +860,30 @@ func (e *Engine) runSortie(ctx context.Context) (SortieResult, error) {
 		// cancelled ctx, so a commit can never be half-applied.
 		e.solver.AddBatch(ctx, newSAR)
 	}
+	if e.capLog != nil && len(pending) > 0 {
+		// Seal the sortie's capture segment. The segment boundary IS the
+		// solver's batch boundary, so a replay of the log re-feeds the
+		// stream exactly as the live mission did.
+		e.capLog.AppendSegmentCtx(ctx, e.cur+1, pending)
+	}
 	e.results = append(e.results, res)
 	e.cur++
 	return res, nil
 }
 
 // sarPass flies a short aperture line through the relay's plan position
-// and captures the first tag's disentangled channels.
-func (e *Engine) sarPass(ctx context.Context, d *sim.Deployment, tg *tag.Tag, sortieSeed uint64) (*sim.SARCapture, error) {
+// and captures the first tag's disentangled channels. sink, when
+// non-nil, receives each usable point's disentangled measurement the
+// moment it is captured (the capture-log staging path); the stream
+// carries the same bits as the returned capture.
+func (e *Engine) sarPass(ctx context.Context, d *sim.Deployment, tg *tag.Tag, sortieSeed uint64, sink func(loc.Measurement)) (*sim.SARCapture, error) {
 	ctx, span := obs.StartSpan(ctx, "runtime.sar_pass")
 	defer span.End()
 	flight, err := e.sarFlight(ctx, sortieSeed)
 	if err != nil {
 		return nil, err
 	}
-	return d.CollectSARStepsCtx(ctx, flight, tg, nil)
+	return d.CollectSARStreamCtx(ctx, flight, tg, nil, sink)
 }
 
 // sarFlight plans and flies the sortie's aperture line (a ±1 m pass

@@ -88,3 +88,45 @@ func TestDisentangleOneMatchesBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestDisentangleCaptureErrorPaths pins the batch divide's edge
+// contract: misaligned or empty captures are errors (a half-logged
+// flight must not silently localize), while a dead embedded reference —
+// the relay's own tag unpowered at one aperture point — zeroes that
+// element instead of dividing by nothing.
+func TestDisentangleCaptureErrorPaths(t *testing.T) {
+	m := func(h complex128) loc.Measurement {
+		return loc.Measurement{Pos: geom.P(0, 0, 0.8), H: h}
+	}
+
+	if _, err := DisentangleCapture(nil, nil); err == nil {
+		t.Fatal("empty capture disentangled without error")
+	}
+	if _, err := DisentangleCapture(
+		[]loc.Measurement{m(1), m(2)},
+		[]loc.Measurement{m(1)},
+	); err == nil {
+		t.Fatal("misaligned target/embedded capture disentangled without error")
+	}
+
+	// A zero-amplitude (and a sub-threshold 1e-16) embedded reference
+	// trips the dead-reference guard: the element comes back zeroed, the
+	// batch succeeds, and the live elements are untouched.
+	tgt := []loc.Measurement{m(complex(2, 2)), m(complex(1, 0)), m(complex(4, 0))}
+	tgt[2].Unlocked = true
+	emb := []loc.Measurement{m(0), m(complex(1e-16, 0)), m(complex(2, 0))}
+	dis, err := DisentangleCapture(tgt, emb)
+	if err != nil {
+		t.Fatalf("dead-reference capture errored: %v", err)
+	}
+	if dis[0].H != 0 || dis[1].H != 0 {
+		t.Fatalf("dead references not zeroed: %v, %v", dis[0].H, dis[1].H)
+	}
+	if dis[2].H != complex(2, 0) {
+		t.Fatalf("live element %v, want (2+0i)", dis[2].H)
+	}
+	// Pose and lock provenance ride from the target capture.
+	if dis[2].Pos != tgt[2].Pos || !dis[2].Unlocked || dis[0].Unlocked {
+		t.Fatal("disentangled measurements lost pose/lock provenance")
+	}
+}
