@@ -10,6 +10,8 @@
 //	rfly-sim -trace FILE [-seed N]         # supervised mission, Chrome trace JSON
 //	rfly-sim -capture-log FILE [-seed N]   # supervised mission, columnar capture
 //	                                       # log for rfly-replay re-solves
+//	rfly-sim -plan greedy|coverage         # supervised mission flying a
+//	                                       # planner-solved relay tour
 //	rfly-sim -chaos N [-seed N]            # chaos invariant campaign
 //	rfly-sim -swarm N [-kill-relay-at T]   # N-drone relay fleet; optionally
 //	                                       # kill the serving primary at tick T
@@ -51,6 +53,7 @@ func main() {
 	chaosSeeds := flag.Int("chaos", 0, "run a chaos campaign over N randomized fault schedules and kill/resume points")
 	swarmRelays := flag.Int("swarm", 0, "fly the supervised mission with an N-drone relay fleet: one elected primary, hot pre-locked shadows")
 	killRelayAt := flag.Int("kill-relay-at", -1, "kill the serving primary at this absolute mission tick and promote a shadow mid-sortie (requires -swarm)")
+	planName := flag.String("plan", "", "fly the supervised mission on a planner-solved relay tour (greedy or coverage) instead of the fixed relay position")
 	ckptPath := flag.String("checkpoint", "", "run the supervised mission, persisting (and resuming from) this checkpoint file")
 	tracePath := flag.String("trace", "", "run the supervised mission under a flight recorder and write Chrome trace_event JSON here (Perfetto / chrome://tracing)")
 	captureLog := flag.String("capture-log", "", "run the supervised mission and write its columnar capture log here (re-solve it with rfly-replay -log FILE)")
@@ -82,8 +85,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-kill-relay-at needs a fleet: pass -swarm N")
 		os.Exit(2)
 	}
-	if *ckptPath != "" || *tracePath != "" || *captureLog != "" || *swarmRelays > 0 {
-		os.Exit(runMission(ctx, *seed, *ckptPath, *tracePath, *captureLog, *swarmRelays, *killRelayAt))
+	if *ckptPath != "" || *tracePath != "" || *captureLog != "" || *swarmRelays > 0 || *planName != "" {
+		os.Exit(runMission(ctx, *seed, *planName, *ckptPath, *tracePath, *captureLog, *swarmRelays, *killRelayAt))
 	}
 
 	var scene *rfly.Scene

@@ -8,10 +8,13 @@ import (
 
 	"rfly/internal/experiments"
 	"rfly/internal/fault"
+	"rfly/internal/geom"
 	"rfly/internal/obs"
+	"rfly/internal/plan"
 	"rfly/internal/runtime"
 	"rfly/internal/runtime/chaos"
 	"rfly/internal/swarm"
+	"rfly/internal/world"
 )
 
 // Supervised-mission and chaos modes. Both run under the signal-aware
@@ -32,8 +35,19 @@ import (
 // primary at that absolute tick, demonstrating mid-sortie failover.
 // A non-empty capPath writes the mission's columnar capture log at the
 // end — the input to rfly-replay's sim-free re-solves.
-func runMission(ctx context.Context, seed uint64, ckptPath, tracePath, capPath string, swarmRelays, killRelayAt int) int {
+// A non-empty planName first solves a relay tour over the corridor with
+// the named planner and flies the mission station to station, carrying
+// the plan's provenance in every checkpoint.
+func runMission(ctx context.Context, seed uint64, planName, ckptPath, tracePath, capPath string, swarmRelays, killRelayAt int) int {
 	cfg := experiments.DefaultMissionConfig(seed)
+	if planName != "" {
+		planned, err := solveMissionPlan(ctx, planName, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cfg = planned
+	}
 	if swarmRelays > 0 {
 		cfg.Swarm = swarm.Config{Relays: swarmRelays}
 	}
@@ -154,6 +168,49 @@ func runMission(ctx context.Context, seed uint64, ckptPath, tracePath, capPath s
 		fmt.Printf("mission complete: %d sorties\n", e.SortiesDone())
 	}
 	return 0
+}
+
+// solveMissionPlan runs the named planner over the mission's corridor —
+// the hover region spans the far half where the tags sit — and returns
+// the config flying the solved tour: sortie k station-keeps at
+// stations[k % len], and every checkpoint carries the plan's name, hash,
+// and stations as provenance.
+func solveMissionPlan(ctx context.Context, planName string, cfg runtime.Config) (runtime.Config, error) {
+	p, err := plan.ByName(planName)
+	if err != nil {
+		return cfg, err
+	}
+	tags := make([]geom.Point, len(cfg.Tags))
+	for i, t := range cfg.Tags {
+		tags[i] = geom.P(t.X, t.Y, t.Z)
+	}
+	s := plan.Scenario{
+		Scene:     world.Corridor(cfg.CorridorLengthM, cfg.CorridorWidthM),
+		ReaderPos: cfg.ReaderPos,
+		Tags:      tags,
+		Start:     geom.P(cfg.ReaderPos.X, cfg.ReaderPos.Y, 0),
+		Constraints: plan.Constraints{
+			X0: 20, Y0: 1, X1: 36, Y1: 2,
+			AltitudeM:   1.2,
+			SpacingM:    2,
+			MaxStations: 4,
+			MinTagSNRdB: 3,
+			TagReadHz:   200,
+		},
+		Seed: cfg.Seed,
+	}
+	res, err := p.Plan(ctx, s)
+	if err != nil {
+		return cfg, fmt.Errorf("planner %s: %w", planName, err)
+	}
+	if len(res.Stations) == 0 {
+		return cfg, fmt.Errorf("planner %s found no station covering any tag", planName)
+	}
+	fmt.Printf("%v\n", res)
+	cfg.PlanName = res.Planner
+	cfg.PlanHash = res.Hash()
+	cfg.PlanStations = res.StationPoints()
+	return cfg, nil
 }
 
 // runChaos fuzzes the mission runtime with randomized fault schedules

@@ -1,0 +1,24 @@
+package drone
+
+// PowerModel converts airtime to electrical energy so planners can score
+// candidate flight plans in joules rather than seconds. Hover draw
+// dominates a multirotor's budget; the relay payload adds its own rail
+// (§6.2's 5.8 W measured draw) plus the lift cost of its mass.
+type PowerModel struct {
+	// HoverW is the airframe's hover/translate draw, watts.
+	HoverW float64
+	// PayloadW is the payload's electrical + lift draw, watts.
+	PayloadW float64
+}
+
+// Bebop2Power returns the survey platform's measured numbers: a ~30 Wh
+// pack over its 25-minute unloaded endurance gives ~72 W of hover draw.
+func Bebop2Power() PowerModel {
+	return PowerModel{HoverW: 72, PayloadW: 9.5}
+}
+
+// TotalW is the combined in-flight draw.
+func (p PowerModel) TotalW() float64 { return p.HoverW + p.PayloadW }
+
+// EnergyJ converts seconds of airtime at full draw to joules.
+func (p PowerModel) EnergyJ(airtimeS float64) float64 { return p.TotalW() * airtimeS }

@@ -1,0 +1,20 @@
+package drone
+
+import "testing"
+
+func TestPowerModel(t *testing.T) {
+	p := Bebop2Power()
+	if p.TotalW() <= p.HoverW {
+		t.Fatalf("payload draw must add to hover draw: total %g, hover %g", p.TotalW(), p.HoverW)
+	}
+	if got := p.EnergyJ(60); got != p.TotalW()*60 {
+		t.Fatalf("EnergyJ(60) = %g, want %g", got, p.TotalW()*60)
+	}
+	// The pack sanity check: one full Bebop 2 endurance at hover draw
+	// should be on the order of its ~30 Wh pack (108 kJ), not wildly off.
+	e := Bebop2Endurance()
+	j := p.HoverW * e.FlightTime.Seconds()
+	if j < 50e3 || j > 200e3 {
+		t.Fatalf("endurance × hover draw = %g J, implausible for a ~30 Wh pack", j)
+	}
+}

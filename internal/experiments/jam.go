@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/sim"
+	"rfly/internal/world"
+)
+
+// Adversarial-RF jamming matrix: inventory completion versus shelf
+// density × jammer power. Each cell builds a single-rack slice of the
+// dense warehouse — one relay station's coverage cell, so the un-jammed
+// baseline actually completes — rings it with cooperating reader cells
+// on adjacent channels (the reader-dense multi-cell floor), plants a
+// seeded barrage jammer beside the rack, and runs a fixed budget of
+// Gen2 inventory rounds with the jammer's duty cycle gated on the round
+// clock. The readout is the adversarial layer's acceptance property,
+// asserted in tests and CI: completion degrades monotonically (never
+// increases) as jammer power sweeps up, at every density.
+
+// JamMatrixConfig shapes the sweep.
+type JamMatrixConfig struct {
+	// Densities are the shelf tag densities (tags per meter of face) to
+	// sweep.
+	Densities []float64
+	// JamTxDBm are the jammer transmit powers to sweep, in ascending
+	// order.
+	JamTxDBm []float64
+	// Rounds is the fixed inventory-round budget per cell.
+	Rounds int
+	// ExtraCells rings the floor with cooperating reader cells at
+	// CellPitchM spacing (sim.ComposeReaderCells).
+	ExtraCells int
+	CellPitchM float64
+	// JamPos places the jammer; BandArea/DutyCycle/PeriodTicks shape it
+	// (world.Jammer semantics: area 0 is barrage).
+	JamPos      geom.Point
+	BandArea    int
+	DutyCycle   float64
+	PeriodTicks int
+}
+
+// DefaultJamMatrixConfig is the acceptance sweep: three densities up to
+// the thousand-tag generator's full 7.5 tags/m, five widely spaced
+// powers from inert (−90 dBm) to overwhelming (+5 dBm), a barrage
+// jammer parked beside the rack.
+func DefaultJamMatrixConfig() JamMatrixConfig {
+	return JamMatrixConfig{
+		Densities:   []float64{2, 4, 7.5},
+		JamTxDBm:    []float64{-90, -40, -25, -10, 5},
+		Rounds:      8,
+		ExtraCells:  2,
+		CellPitchM:  14,
+		JamPos:      geom.P(6, 3, 1.5),
+		BandArea:    0,
+		DutyCycle:   1,
+		PeriodTicks: 1,
+	}
+}
+
+// jamCellOpts is one relay station's coverage cell: an 8×6 m single-rack
+// slice of the warehouse with the relay hovering over the rack, so the
+// baseline (un-jammed) inventory is dominated by MAC dynamics rather
+// than relay placement — placement is the planner matrix's axis.
+func jamCellOpts(density float64, seed uint64) sim.WarehouseOpts {
+	return sim.WarehouseOpts{
+		WidthM:       8,
+		DepthM:       6,
+		Rows:         1,
+		TagsPerMeter: density,
+		Seed:         seed,
+		ReaderPos:    geom.P(0.5, 0.5, 1.2),
+		UseRelay:     true,
+		RelayPos:     geom.P(4, 3, 1.5),
+	}
+}
+
+// JamRow is one (density, power) cell's outcome.
+type JamRow struct {
+	DensityPerM float64
+	Tags        int
+	JamDBm      float64
+	// CompletionPct is the share of warehouse tags read at least once
+	// within the round budget.
+	CompletionPct float64
+	// FinalQ is where the Gen2 Q-adaptation settled.
+	FinalQ int
+	Rounds int
+	Reads  int
+}
+
+// JamMatrixResult is the full sweep.
+type JamMatrixResult struct {
+	Rows []JamRow
+}
+
+// CSV renders the matrix deterministically.
+func (r JamMatrixResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("density_per_m,tags,jam_dbm,completion_pct,final_q,rounds,reads\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%g,%d,%g,%.1f,%d,%d,%d\n",
+			row.DensityPerM, row.Tags, row.JamDBm, row.CompletionPct,
+			row.FinalQ, row.Rounds, row.Reads)
+	}
+	return b.String()
+}
+
+// JamMatrix runs the sweep. Every cell rebuilds the deployment from the
+// same seed, so the tag lattice, the reader-cell ring, and every RNG
+// stream are aligned across the power sweep — the jammer's power is the
+// only thing that varies along a row.
+func JamMatrix(ctx context.Context, cfg JamMatrixConfig, seed uint64) (JamMatrixResult, error) {
+	if len(cfg.Densities) == 0 || len(cfg.JamTxDBm) == 0 {
+		cfg = DefaultJamMatrixConfig()
+	}
+	var out JamMatrixResult
+	for _, density := range cfg.Densities {
+		for _, txDBm := range cfg.JamTxDBm {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			d, tags := sim.NewWarehouse(jamCellOpts(density, seed))
+			d.ComposeReaderCells(cfg.ExtraCells, cfg.CellPitchM, d.Reader.Cfg.TxPowerDBm)
+			jam := world.Jammer{
+				Pos:           cfg.JamPos,
+				TxPowerDBm:    txDBm,
+				AntennaGainDB: 2,
+				BandArea:      cfg.BandArea,
+				DutyCycle:     cfg.DutyCycle,
+				PeriodTicks:   cfg.PeriodTicks,
+			}
+			if err := d.AddJammerCtx(ctx, jam); err != nil {
+				return out, fmt.Errorf("experiments: jam matrix: %w", err)
+			}
+			q0 := 0
+			for 1<<q0 < len(tags) {
+				q0++
+			}
+			qalg := epc.NewQAlgorithm(q0, 0.3)
+			row := JamRow{DensityPerM: density, Tags: len(tags), JamDBm: txDBm, Rounds: cfg.Rounds}
+			seen := map[string]bool{}
+			for round := 0; round < cfg.Rounds; round++ {
+				d.SetJamTick(round)
+				stats := d.Reader.RunInventoryRound(d, epc.S0, epc.TargetA, qalg)
+				for _, rd := range stats.Reads {
+					if rd.EPC.Words[0] == 0xE280 { // skip the relay's embedded tag
+						seen[rd.EPC.String()] = true
+						row.Reads++
+					}
+				}
+			}
+			if len(tags) > 0 {
+				row.CompletionPct = 100 * float64(len(seen)) / float64(len(tags))
+			}
+			row.FinalQ = qalg.Q()
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}

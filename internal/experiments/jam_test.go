@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestJamMatrixMonotoneDegradation is the adversarial layer's acceptance
+// property: at every shelf density, inventory completion is monotone
+// non-increasing as jammer power sweeps up — more interference never
+// reads more tags — and the sweep spans the full dynamic range, from a
+// healthy un-jammed baseline to a blackout at the top power.
+func TestJamMatrixMonotoneDegradation(t *testing.T) {
+	cfg := DefaultJamMatrixConfig()
+	res, err := JamMatrix(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Densities) * len(cfg.JamTxDBm); len(res.Rows) != want {
+		t.Fatalf("matrix has %d rows, want %d", len(res.Rows), want)
+	}
+	byDensity := map[float64][]JamRow{}
+	for _, row := range res.Rows {
+		byDensity[row.DensityPerM] = append(byDensity[row.DensityPerM], row)
+	}
+	if len(byDensity) < 3 {
+		t.Fatalf("property must hold at >=3 densities, matrix has %d", len(byDensity))
+	}
+	for density, rows := range byDensity {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].JamDBm <= rows[i-1].JamDBm {
+				t.Fatalf("density %g rows are not in ascending jammer power", density)
+			}
+			if rows[i].CompletionPct > rows[i-1].CompletionPct {
+				t.Errorf("density %g: completion ROSE from %.1f%% to %.1f%% as jammer power rose %g→%g dBm",
+					density, rows[i-1].CompletionPct, rows[i].CompletionPct,
+					rows[i-1].JamDBm, rows[i].JamDBm)
+			}
+		}
+		if base := rows[0]; base.CompletionPct < 40 {
+			t.Errorf("density %g: un-jammed baseline completed only %.1f%% — degradation would be degenerate",
+				density, base.CompletionPct)
+		}
+		if top := rows[len(rows)-1]; top.CompletionPct > 20 {
+			t.Errorf("density %g: %g dBm barrage still completed %.1f%% — sweep does not reach blackout",
+				density, top.JamDBm, top.CompletionPct)
+		}
+	}
+}
+
+// TestJamMatrixCSV pins the header the CLI arm and CI smoke grep for,
+// and the sweep's determinism for a fixed seed.
+func TestJamMatrixCSV(t *testing.T) {
+	const header = "density_per_m,tags,jam_dbm,completion_pct,final_q,rounds,reads"
+	cfg := JamMatrixConfig{
+		Densities:   []float64{2},
+		JamTxDBm:    []float64{-90, 5},
+		Rounds:      4,
+		ExtraCells:  2,
+		CellPitchM:  14,
+		JamPos:      DefaultJamMatrixConfig().JamPos,
+		DutyCycle:   1,
+		PeriodTicks: 1,
+	}
+	a, err := JamMatrix(context.Background(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := a.CSV()
+	if !strings.HasPrefix(csv, header+"\n") {
+		t.Fatalf("CSV header drifted:\n%s", strings.SplitN(csv, "\n", 2)[0])
+	}
+	b, err := JamMatrix(context.Background(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv != b.CSV() {
+		t.Fatalf("same seed, different matrix:\n%s\nvs\n%s", csv, b.CSV())
+	}
+}

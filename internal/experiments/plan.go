@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"rfly/internal/epc"
+	"rfly/internal/geom"
+	"rfly/internal/plan"
+	"rfly/internal/sim"
+	"rfly/internal/world"
+)
+
+// Relay-positioning planner matrix: both planners solve the Fig. 6
+// warehouse fixture, then each solved tour is FLOWN — the relay moved
+// station to station through the full deployment while the Gen2 MAC
+// inventories — so the matrix reports predicted coverage and energy
+// alongside the inventory the tour actually delivers. The pinned
+// regression (asserted in tests and CI) is the planner tentpole's value
+// proposition: the coverage-aware set-cover tour never pays more energy
+// per inventoried tag than the nearest-uncovered baseline.
+
+// PlanMatrixConfig shapes the planner comparison.
+type PlanMatrixConfig struct {
+	// TagsPerMeter is the warehouse shelf density the fixture is built at.
+	TagsPerMeter float64
+	// MaxStations caps each planner's tour.
+	MaxStations int
+	// RoundsPerStation is how many Gen2 inventory rounds the executed tour
+	// spends hovering at each station.
+	RoundsPerStation int
+}
+
+// DefaultPlanMatrixConfig is the fixture the regression is pinned on.
+func DefaultPlanMatrixConfig() PlanMatrixConfig {
+	return PlanMatrixConfig{
+		TagsPerMeter:     1.0,
+		MaxStations:      40,
+		RoundsPerStation: 4,
+	}
+}
+
+// PlanRow is one planner's predicted plan plus its executed inventory.
+type PlanRow struct {
+	Planner  string
+	Stations int
+	Tags     int
+	// Covered is the predicted link-budget coverage; InventoriedPct the
+	// share of tags the executed tour actually read.
+	Covered        int
+	PathM          float64
+	FlightS        float64
+	LostAirS       float64
+	EnergyJ        float64
+	EnergyPerTagJ  float64
+	InventoriedPct float64
+}
+
+// PlanMatrixResult is the full comparison.
+type PlanMatrixResult struct {
+	Rows []PlanRow
+}
+
+// CSV renders the matrix deterministically.
+func (r PlanMatrixResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("planner,stations,tags,covered,coverage_pct,path_m,flight_s,lost_air_s,energy_j,energy_per_tag_j,inventoried_pct\n")
+	for _, row := range r.Rows {
+		cov := 0.0
+		if row.Tags > 0 {
+			cov = 100 * float64(row.Covered) / float64(row.Tags)
+		}
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.1f,%.2f,%.2f,%.2f,%.1f,%.3f,%.1f\n",
+			row.Planner, row.Stations, row.Tags, row.Covered, cov,
+			row.PathM, row.FlightS, row.LostAirS, row.EnergyJ, row.EnergyPerTagJ,
+			row.InventoriedPct)
+	}
+	return b.String()
+}
+
+// planFixtureOpts is the warehouse the planners are compared on: the
+// Fig. 6 fixture placement (seed 6), density from the config.
+func planFixtureOpts(cfg PlanMatrixConfig) sim.WarehouseOpts {
+	opts := sim.DefaultWarehouseOpts(6)
+	opts.TagsPerMeter = cfg.TagsPerMeter
+	return opts
+}
+
+// planScenario is the planner input for the fixture: the warehouse scene
+// and tag lattice with the hover region spanning the aisles.
+func planScenario(cfg PlanMatrixConfig, seed uint64) plan.Scenario {
+	opts := planFixtureOpts(cfg)
+	return plan.Scenario{
+		Scene:     world.Warehouse(opts.WidthM, opts.DepthM, opts.Rows),
+		ReaderPos: opts.ReaderPos,
+		Tags:      opts.TagPositions(),
+		Start:     geom.P(1.5, 1.0, 0),
+		Constraints: plan.Constraints{
+			X0: 3, Y0: 2, X1: 27, Y1: 18,
+			AltitudeM:   2.5,
+			SpacingM:    3,
+			MaxStations: cfg.MaxStations,
+			MinTagSNRdB: 3,
+			TagReadHz:   40,
+		},
+		Seed: seed,
+	}
+}
+
+// executeTour flies a solved tour through a fresh fixture deployment:
+// the relay hovers at each station for RoundsPerStation Gen2 rounds, and
+// the unique warehouse EPCs read across the whole tour are the delivered
+// inventory.
+func executeTour(cfg PlanMatrixConfig, res plan.Result) float64 {
+	d, tags := sim.NewWarehouse(planFixtureOpts(cfg))
+	q0 := 0
+	for 1<<q0 < len(tags) {
+		q0++
+	}
+	qalg := epc.NewQAlgorithm(q0, 0.3)
+	seen := map[string]bool{}
+	for _, st := range res.Stations {
+		d.MoveRelay(st.Pos)
+		for round := 0; round < cfg.RoundsPerStation; round++ {
+			stats := d.Reader.RunInventoryRound(d, epc.S0, epc.TargetA, qalg)
+			for _, rd := range stats.Reads {
+				if rd.EPC.Words[0] == 0xE280 { // skip the relay's embedded tag
+					seen[rd.EPC.String()] = true
+				}
+			}
+		}
+	}
+	if len(tags) == 0 {
+		return 0
+	}
+	return 100 * float64(len(seen)) / float64(len(tags))
+}
+
+// PlanMatrix solves and flies both planners over the fixture.
+// Deterministic for a fixed seed: the planners are seed-invariant by
+// construction and the executed tour replays a fixed deployment stream.
+func PlanMatrix(ctx context.Context, cfg PlanMatrixConfig, seed uint64) (PlanMatrixResult, error) {
+	if cfg.TagsPerMeter <= 0 {
+		cfg = DefaultPlanMatrixConfig()
+	}
+	var out PlanMatrixResult
+	s := planScenario(cfg, seed)
+	for _, p := range plan.Planners() {
+		res, err := p.Plan(ctx, s)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", p.Name(), err)
+		}
+		out.Rows = append(out.Rows, PlanRow{
+			Planner:        res.Planner,
+			Stations:       len(res.Stations),
+			Tags:           res.Total,
+			Covered:        res.Covered,
+			PathM:          res.PathLengthM,
+			FlightS:        res.FlightS,
+			LostAirS:       res.LostAirtimeS,
+			EnergyJ:        res.EnergyJ,
+			EnergyPerTagJ:  res.EnergyPerTagJ,
+			InventoriedPct: executeTour(cfg, res),
+		})
+	}
+	return out, nil
+}

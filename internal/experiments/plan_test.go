@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPlanMatrixRegression pins the planner tentpole's acceptance
+// criterion on the Fig. 6 warehouse fixture: the coverage-aware
+// set-cover tour never pays more energy per inventoried tag than the
+// nearest-uncovered greedy baseline, at equal-or-better coverage.
+func TestPlanMatrixRegression(t *testing.T) {
+	res, err := PlanMatrix(context.Background(), DefaultPlanMatrixConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]PlanRow{}
+	for _, row := range res.Rows {
+		rows[row.Planner] = row
+	}
+	greedy, ok := rows["greedy"]
+	if !ok {
+		t.Fatal("matrix is missing the greedy baseline row")
+	}
+	ca, ok := rows["coverage-aware"]
+	if !ok {
+		t.Fatal("matrix is missing the coverage-aware row")
+	}
+
+	if ca.EnergyPerTagJ > greedy.EnergyPerTagJ {
+		t.Errorf("coverage-aware pays %.3f J/tag, greedy %.3f J/tag — the set-cover tour must not cost more",
+			ca.EnergyPerTagJ, greedy.EnergyPerTagJ)
+	}
+	if ca.Covered < greedy.Covered {
+		t.Errorf("coverage-aware covers %d tags, greedy %d — cheaper must not mean less coverage",
+			ca.Covered, greedy.Covered)
+	}
+	if ca.Stations > greedy.Stations {
+		t.Errorf("coverage-aware plans %d stations, greedy %d — the set-cover tour should be tighter",
+			ca.Stations, greedy.Stations)
+	}
+
+	// The executed tours must actually deliver inventory, not just
+	// predict coverage: both planners' flown tours read a majority of the
+	// warehouse.
+	for name, row := range rows {
+		if row.InventoriedPct < 50 {
+			t.Errorf("%s executed tour inventoried only %.1f%% of the warehouse", name, row.InventoriedPct)
+		}
+	}
+}
+
+// TestPlanMatrixCSV pins the header the CLI arm and CI smoke grep for,
+// and the matrix's determinism for a fixed seed.
+func TestPlanMatrixCSV(t *testing.T) {
+	const header = "planner,stations,tags,covered,coverage_pct,path_m,flight_s,lost_air_s,energy_j,energy_per_tag_j,inventoried_pct"
+	a, err := PlanMatrix(context.Background(), DefaultPlanMatrixConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := a.CSV()
+	if !strings.HasPrefix(csv, header+"\n") {
+		t.Fatalf("CSV header drifted:\n%s", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if got := strings.Count(csv, "\n"); got != 3 {
+		t.Fatalf("want header + one row per planner, got %d lines:\n%s", got, csv)
+	}
+	b, err := PlanMatrix(context.Background(), DefaultPlanMatrixConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv != b.CSV() {
+		t.Fatalf("same seed, different matrix:\n%s\nvs\n%s", csv, b.CSV())
+	}
+}

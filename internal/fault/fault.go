@@ -88,6 +88,15 @@ const (
 	// while the partition holds. Reverting heals the mesh.
 	MeshPartition
 
+	// Jamming switches on a hostile broadband emitter (world.Jammer) near
+	// the reader↔relay link for the event window. Param selects the band
+	// area (0 = barrage over the full 902–928 MHz band, 1..4 = one
+	// quarter); Severity scales its transmit power. Reverting switches
+	// the emitter off. Unlike BurstInterference's single cooperating
+	// carrier, a barrage jammer gets no channel-filter rejection and can
+	// steal the relay's carrier lock outright.
+	Jamming
+
 	numClasses
 )
 
@@ -140,6 +149,8 @@ func (c Class) String() string {
 		return "relay-brownout"
 	case MeshPartition:
 		return "mesh-partition"
+	case Jamming:
+		return "jamming"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

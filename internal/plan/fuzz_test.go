@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"rfly/internal/geom"
+	"rfly/internal/world"
+)
+
+// FuzzScenarioConfig throws arbitrary scenario knobs — plan constraints
+// on one side, jammer parameters on the other — at the two validation
+// surfaces the scenario engine trusts. The oracle is one-sided, like
+// FuzzDaisyChainPlan's: anything provably uninterpretable (non-finite
+// fields, inverted regions, empty duty cycles, out-of-range band areas,
+// runaway lattices) must be rejected with an error, never a panic; and
+// anything accepted must behave: the lattice is non-empty, bounded, and
+// inside the region; the jammer's band is a non-empty slice of
+// 902–928 MHz and its duty gating is periodic.
+func FuzzScenarioConfig(f *testing.F) {
+	// The warehouse-fixture constraints and the default jammer shapes.
+	f.Add(3.0, 2.0, 27.0, 18.0, 3.0, 2.5, 3.0, 40.0, uint8(12), 10.0, 0.5, uint8(0), uint8(4))
+	f.Add(0.0, 0.0, 10.0, 10.0, 1.0, 1.5, 0.0, 100.0, uint8(4), -20.0, 1.0, uint8(3), uint8(1))
+	f.Add(5.0, 5.0, 4.0, 6.0, 1.0, 1.5, 0.0, 10.0, uint8(2), 0.0, 0.5, uint8(1), uint8(8)) // inverted region
+	f.Add(0.0, 0.0, 500.0, 500.0, 0.2, 2.0, 0.0, 10.0, uint8(8), 0.0, 0.0, uint8(5), uint8(0))
+	f.Add(math.Inf(1), 0.0, 10.0, 10.0, 1.0, 1.0, 0.0, 10.0, uint8(1), math.NaN(), 2.0, uint8(9), uint8(3))
+	f.Fuzz(func(t *testing.T, x0, y0, x1, y1, spacing, alt, minSNR, readHz float64,
+		maxStations uint8, jamTx, jamDuty float64, jamArea, jamPeriod uint8) {
+
+		c := Constraints{
+			X0: x0, Y0: y0, X1: x1, Y1: y1,
+			SpacingM:    spacing,
+			AltitudeM:   alt,
+			MinTagSNRdB: minSNR,
+			TagReadHz:   readHz,
+			MaxStations: int(maxStations),
+		}
+		err := c.Validate()
+		nonFinite := false
+		for _, v := range []float64{x0, y0, x1, y1, spacing, alt, minSNR, readHz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				nonFinite = true
+			}
+		}
+		switch {
+		case nonFinite, x1 <= x0, y1 <= y0, spacing < 0.1, maxStations == 0,
+			readHz <= 0, minSNR < -30, minSNR > 60:
+			if err == nil {
+				t.Fatalf("provably invalid constraints accepted: %+v", c)
+			}
+		}
+		if err == nil {
+			cands := c.Candidates()
+			if len(cands) == 0 || len(cands) > maxCandidates {
+				t.Fatalf("accepted constraints produced lattice of %d", len(cands))
+			}
+			if len(cands) != c.latticeSize() {
+				t.Fatalf("lattice %d != latticeSize %d", len(cands), c.latticeSize())
+			}
+			for _, p := range cands {
+				if p.X < c.X0-1e-9 || p.X > c.X1+1e-9 || p.Y < c.Y0-1e-9 || p.Y > c.Y1+1e-9 {
+					t.Fatalf("candidate %v escapes region %+v", p, c)
+				}
+			}
+		}
+
+		j := world.Jammer{
+			Pos:         geom.P(x0, y0, alt),
+			TxPowerDBm:  jamTx,
+			BandArea:    int(jamArea),
+			DutyCycle:   jamDuty,
+			PeriodTicks: int(jamPeriod),
+		}
+		jerr := j.Validate()
+		switch {
+		case math.IsNaN(jamTx) || math.IsInf(jamTx, 0), nonFiniteP(j.Pos),
+			int(jamArea) > world.NumBandAreas, jamDuty <= 0, jamDuty > 1,
+			jamPeriod == 0, jamTx > 60:
+			if jerr == nil {
+				t.Fatalf("provably invalid jammer accepted: %+v", j)
+			}
+		}
+		if jerr == nil {
+			lo, hi := j.Band()
+			if !(lo < hi) || lo < world.BandLowHz || hi > world.BandHighHz {
+				t.Fatalf("accepted jammer has band [%g, %g)", lo, hi)
+			}
+			mid := (lo + hi) / 2
+			if !j.CoversHz(mid) || j.OffsetFromHz(mid) != 0 {
+				t.Fatalf("jammer does not cover its own band center")
+			}
+			if j.CoversHz(lo-1) || j.CoversHz(hi) {
+				t.Fatalf("jammer covers outside its band")
+			}
+			for tick := -3; tick < 3*j.PeriodTicks; tick++ {
+				if j.ActiveAt(tick) != j.ActiveAt(tick+j.PeriodTicks) {
+					t.Fatalf("duty gating not periodic at tick %d: %+v", tick, j)
+				}
+			}
+			on := 0
+			for tick := 0; tick < j.PeriodTicks; tick++ {
+				if j.ActiveAt(tick) {
+					on++
+				}
+			}
+			if on == 0 {
+				t.Fatalf("accepted jammer never radiates: %+v", j)
+			}
+		}
+	})
+}
+
+func nonFiniteP(p geom.Point) bool {
+	for _, v := range []float64{p.X, p.Y, p.Z} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package plan
+
+import (
+	"context"
+)
+
+// Greedy is the nearest-uncovered baseline: repeatedly fly toward the
+// nearest tag not yet inventoried and hover at the closest lattice
+// candidate that covers it. It chases proximity, not efficiency — the
+// tour it produces is the yardstick the coverage-aware planner must beat
+// on energy per tag.
+type Greedy struct{}
+
+// Name implements Planner.
+func (Greedy) Name() string { return "greedy" }
+
+// Plan implements Planner.
+func (Greedy) Plan(ctx context.Context, s Scenario) (Result, error) {
+	return solve(ctx, "greedy", s, greedyTour)
+}
+
+func greedyTour(s Scenario, cov *coverage) []Station {
+	covered := make([]bool, len(cov.tagCovers))
+	dead := make([]bool, len(cov.tagCovers)) // provably unservable
+	cur := s.Start
+	var stations []Station
+	for len(stations) < s.Constraints.MaxStations {
+		// Nearest tag still wanting coverage (ties → lowest index).
+		bt, btDist := -1, 0.0
+		for ti, p := range s.Tags {
+			if covered[ti] || dead[ti] {
+				continue
+			}
+			if d := cur.Dist(p); bt == -1 || d < btDist {
+				bt, btDist = ti, d
+			}
+		}
+		if bt == -1 {
+			break
+		}
+		// Closest candidate that covers it (ties → lowest index).
+		bc, bcDist := -1, 0.0
+		for _, ci := range cov.tagCovers[bt] {
+			if d := cur.Dist(cov.cands[ci]); bc == -1 || d < bcDist {
+				bc, bcDist = ci, d
+			}
+		}
+		if bc == -1 {
+			// No lattice point serves this tag; stop chasing it.
+			dead[bt] = true
+			continue
+		}
+		newTags := 0
+		for _, ti := range cov.covers[bc] {
+			if !covered[ti] {
+				covered[ti] = true
+				newTags++
+			}
+		}
+		stations = append(stations, Station{
+			Pos:     cov.cands[bc],
+			NewTags: newTags,
+			DwellS:  float64(newTags) / s.Constraints.TagReadHz,
+		})
+		cur = cov.cands[bc]
+	}
+	return stations
+}

@@ -1,0 +1,65 @@
+package plan
+
+import (
+	"context"
+)
+
+// CoverageAware is the weighted set-cover planner: each step it hovers
+// at the lattice candidate minimizing marginal energy per newly covered
+// tag — the energy being the transit from the current position plus the
+// hover dwell those new tags cost, at the platform's power draw. This is
+// the classic greedy approximation to weighted set cover with the
+// arXiv:2007.12284 objective as the weight.
+type CoverageAware struct{}
+
+// Name implements Planner.
+func (CoverageAware) Name() string { return "coverage-aware" }
+
+// Plan implements Planner.
+func (CoverageAware) Plan(ctx context.Context, s Scenario) (Result, error) {
+	return solve(ctx, "coverage-aware", s, coverageAwareTour)
+}
+
+func coverageAwareTour(s Scenario, cov *coverage) []Station {
+	covered := make([]bool, len(cov.tagCovers))
+	cur := s.Start
+	powerW := s.Power.TotalW()
+	var stations []Station
+	for len(stations) < s.Constraints.MaxStations {
+		best, bestScore := -1, 0.0
+		for ci := range cov.cands {
+			gain := 0
+			for _, ti := range cov.covers[ci] {
+				if !covered[ti] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			travelS := cur.Dist(cov.cands[ci]) / s.Platform.SpeedMS
+			dwellS := float64(gain) / s.Constraints.TagReadHz
+			score := powerW * (travelS + dwellS) / float64(gain)
+			if best == -1 || score < bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		if best == -1 {
+			break
+		}
+		newTags := 0
+		for _, ti := range cov.covers[best] {
+			if !covered[ti] {
+				covered[ti] = true
+				newTags++
+			}
+		}
+		stations = append(stations, Station{
+			Pos:     cov.cands[best],
+			NewTags: newTags,
+			DwellS:  float64(newTags) / s.Constraints.TagReadHz,
+		})
+		cur = cov.cands[best]
+	}
+	return stations
+}

@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPlanProvenanceCampaign is the scenario-engine acceptance campaign:
+// randomized fault schedules (jamming included) over a planned mission,
+// a random mid-sortie kill, and a resume that must hold the plan
+// provenance bit-identical — every post-resume boundary checkpoint
+// equals the uninterrupted twin's, and every checkpoint decodes to
+// exactly the mission's plan.
+func TestPlanProvenanceCampaign(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 6
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := RunPlanCampaign(ctx, PlanCampaignConfig{
+		Seeds:    seeds,
+		BaseSeed: 2017,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.Runs != seeds {
+		t.Fatalf("campaign ran %d/%d seeds", res.Runs, seeds)
+	}
+	if res.Resumes != seeds {
+		t.Fatalf("want one resume per seed, got %d/%d", res.Resumes, seeds)
+	}
+	if res.Boundaries == 0 {
+		t.Fatal("campaign cross-checked no boundary checkpoints")
+	}
+}

@@ -46,9 +46,15 @@ import (
 //	    reconstructing their log deterministically from the sortie
 //	    results (landing-window capture times, NaN SNR — v3 never stored
 //	    per-point SNR); their next Snapshot writes v4.
+//	5 — inserts the plan-provenance block right after the cursor: which
+//	    relay plan (planner name, plan hash, station tour) the mission is
+//	    flying, so a resumed mission can prove it holds the same plan it
+//	    started with. The flag byte is written unconditionally (false for
+//	    unplanned missions) to keep one canonical form per version; v3/v4
+//	    frames restore as before and re-snapshot as v5.
 const (
 	ckptMagic       = "RFC1"
-	ckptVersion     = uint16(4)
+	ckptVersion     = uint16(5)
 	ckptVersionSAR3 = uint16(3) // oldest version Restore still reads
 )
 
@@ -188,6 +194,25 @@ func (e *Engine) SnapshotCtx(ctx context.Context) []byte {
 	w.u16(ckptVersion)
 	w.u64(e.cfg.hash())
 	w.u32(uint32(e.cur))
+
+	// Plan-provenance block (v5): the relay plan the mission flies.
+	// Redundant with the config hash by construction, but carried
+	// explicitly so checkpoint holders (the chaos harness, federation
+	// replicas) can audit WHICH plan without the config in hand.
+	hasPlan := len(e.cfg.PlanStations) > 0
+	w.boolean(hasPlan)
+	if hasPlan {
+		name := []byte(e.cfg.PlanName)
+		w.u32(uint32(len(name)))
+		w.buf = append(w.buf, name...)
+		w.u64(e.cfg.PlanHash)
+		w.u32(uint32(len(e.cfg.PlanStations)))
+		for _, st := range e.cfg.PlanStations {
+			w.f64(st.X)
+			w.f64(st.Y)
+			w.f64(st.Z)
+		}
+	}
 
 	st := e.src.Snapshot()
 	w.u64(st.State)
@@ -346,6 +371,15 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 			h, e.cfg.hash(), ErrCheckpointConfigMismatch)
 	}
 	cur := int(r.u32())
+
+	// Plan-provenance block (v5+). The config hash already pinned the
+	// plan, so any disagreement here is a forged or cross-wired frame —
+	// rejected as a config mismatch, the same class as a wrong fleet.
+	if ver >= ckptVersion {
+		if err := readPlanBlock(r, e.cfg); err != nil {
+			return nil, err
+		}
+	}
 
 	var st rng.State
 	st.State = r.u64()
@@ -628,4 +662,114 @@ func Restore(cfg Config, data []byte) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// ckptMaxPlanName bounds the provenance name so a forged length cannot
+// size an allocation.
+const ckptMaxPlanName = 256
+
+// readPlanBlock parses and cross-validates the v5 plan-provenance block
+// against the mission config.
+func readPlanBlock(r *ckptReader, cfg Config) error {
+	hasPlan := r.boolean()
+	if r.err != nil {
+		return r.err
+	}
+	if hasPlan != (len(cfg.PlanStations) > 0) {
+		return fmt.Errorf("runtime: checkpoint plan present=%t but mission config planned=%t: %w",
+			hasPlan, len(cfg.PlanStations) > 0, ErrCheckpointConfigMismatch)
+	}
+	if !hasPlan {
+		return nil
+	}
+	p, err := parsePlanProvenance(r)
+	if err != nil {
+		return err
+	}
+	if p.Name != cfg.PlanName || p.Hash != cfg.PlanHash || len(p.Stations) != len(cfg.PlanStations) {
+		return fmt.Errorf("runtime: checkpoint plan %q/%016x/%d stations does not match mission plan %q/%016x/%d: %w",
+			p.Name, p.Hash, len(p.Stations), cfg.PlanName, cfg.PlanHash, len(cfg.PlanStations),
+			ErrCheckpointConfigMismatch)
+	}
+	for i, st := range p.Stations {
+		if st != cfg.PlanStations[i] {
+			return fmt.Errorf("runtime: checkpoint plan station %d at %v, mission plan at %v: %w",
+				i, st, cfg.PlanStations[i], ErrCheckpointConfigMismatch)
+		}
+	}
+	return nil
+}
+
+// parsePlanProvenance reads the provenance payload (after the hasPlan
+// flag) from r.
+func parsePlanProvenance(r *ckptReader) (PlanProvenance, error) {
+	var p PlanProvenance
+	n := int(r.u32())
+	if r.err == nil && (n == 0 || n > ckptMaxPlanName) {
+		r.err = fmt.Errorf("runtime: checkpoint plan name length %d outside [1, %d]: %w",
+			n, ckptMaxPlanName, ErrInvalidCheckpoint)
+	}
+	if r.need(n) {
+		p.Name = string(r.buf[r.off : r.off+n])
+		r.off += n
+	}
+	p.Hash = r.u64()
+	nSt := r.length("plan stations")
+	if r.err == nil && nSt == 0 {
+		r.err = fmt.Errorf("runtime: checkpoint plan has no stations: %w", ErrInvalidCheckpoint)
+	}
+	for i := 0; i < nSt && r.err == nil; i++ {
+		p.Stations = append(p.Stations, geom.P(r.f64(), r.f64(), r.f64()))
+	}
+	return p, r.err
+}
+
+// PlanProvenance is the relay plan a checkpoint proves its mission flies:
+// the emitting planner's name, the plan's fingerprint (plan.Result.Hash),
+// and the station tour.
+type PlanProvenance struct {
+	Name     string
+	Hash     uint64
+	Stations []geom.Point
+}
+
+// DecodePlanProvenance extracts the plan-provenance block from a raw
+// checkpoint frame without a mission config: the audit entry point for
+// checkpoint holders (chaos harness, federation replicas). Returns
+// ok=false — with no error — for intact frames that carry no plan
+// (unplanned missions and pre-v5 versions); an error for frames that are
+// not valid checkpoints at all.
+func DecodePlanProvenance(data []byte) (PlanProvenance, bool, error) {
+	if len(data) < len(ckptMagic)+2+8+4+4 {
+		return PlanProvenance{}, false, fmt.Errorf("runtime: checkpoint too short (%d bytes): %w",
+			len(data), ErrCheckpointTruncated)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
+		return PlanProvenance{}, false, fmt.Errorf("runtime: checkpoint CRC %08x != computed %08x: %w",
+			got, want, ErrCheckpointCRC)
+	}
+	r := &ckptReader{buf: body}
+	if string(r.buf[:len(ckptMagic)]) != ckptMagic {
+		return PlanProvenance{}, false, fmt.Errorf("runtime: bad checkpoint magic: %w", ErrInvalidCheckpoint)
+	}
+	r.off = len(ckptMagic)
+	ver := r.u16()
+	if ver < ckptVersionSAR3 || ver > ckptVersion {
+		return PlanProvenance{}, false, fmt.Errorf("runtime: unsupported checkpoint version %d: %w",
+			ver, ErrInvalidCheckpoint)
+	}
+	if ver < ckptVersion {
+		return PlanProvenance{}, false, nil // pre-plan frame
+	}
+	r.u64() // config hash — not validated without a config
+	r.u32() // cursor
+	if !r.boolean() {
+		return PlanProvenance{}, false, r.err
+	}
+	p, err := parsePlanProvenance(r)
+	if err != nil {
+		return PlanProvenance{}, false, err
+	}
+	return p, true, nil
 }

@@ -31,13 +31,18 @@ func corruptFlipCRC(ckpt []byte) []byte {
 }
 
 // v3Frame re-encodes a live engine's state as a version-3 checkpoint:
-// the v4 capture-log block spliced out, the legacy flat sar buffer
-// spliced in, version field patched, CRC re-sealed. It is what a
-// checkpoint written by the previous release looks like, byte for byte,
-// and is white-box on purpose — the engine no longer writes v3.
+// the v5 plan-provenance flag and the v4 capture-log block spliced out,
+// the legacy flat sar buffer spliced in, version field patched, CRC
+// re-sealed. It is what a checkpoint written by the previous releases
+// looks like, byte for byte, and is white-box on purpose — the engine no
+// longer writes v3.
 func v3Frame(e *Engine) []byte {
-	v4 := e.Snapshot()
-	body := v4[:len(v4)-4]
+	v5 := e.Snapshot()
+	body := v5[:len(v5)-4]
+	// Drop the plan flag at offset 18 (magic + version + config hash +
+	// cursor); v3 frames predate the provenance block. The test engines fly
+	// no plan, so the flag byte is the whole block.
+	body = append(append([]byte(nil), body[:18]...), body[19:]...)
 	sLen := 0
 	if e.solver != nil {
 		_, _, _, cols, rows, _ := e.solver.Grid()

@@ -90,6 +90,17 @@ type Config struct {
 	// aperture.
 	SARPointsPerSortie int
 
+	// PlanName/PlanHash/PlanStations carry the relay plan the mission
+	// flies, when one was solved (internal/plan): the emitting planner's
+	// name, the plan fingerprint (plan.Result.Hash), and the station tour.
+	// Sortie k station-keeps at PlanStations[k % len] instead of RelayPos,
+	// and every checkpoint embeds the provenance so a resumed mission can
+	// prove it holds the plan it started with. Empty means an unplanned
+	// mission — bit-identical to pre-plan behavior.
+	PlanName     string
+	PlanHash     uint64
+	PlanStations []geom.Point
+
 	// Swarm, when enabled (Relays > 0), flies a coordinated relay fleet
 	// instead of a single airframe: per-cell leader election, hot-spare
 	// shadows pre-locked on the frequency plan, and mid-sortie failover.
@@ -139,6 +150,24 @@ func (c *Config) defaults() error {
 	if c.ChannelHz <= 0 {
 		c.ChannelHz = 915e6
 	}
+	if len(c.PlanStations) > 0 {
+		if c.PlanName == "" {
+			return fmt.Errorf("runtime: plan stations without a planner name")
+		}
+		if len(c.PlanName) > 256 || len(c.PlanStations) > 256 {
+			return fmt.Errorf("runtime: plan provenance oversized (%d-byte name, %d stations)",
+				len(c.PlanName), len(c.PlanStations))
+		}
+		for i, st := range c.PlanStations {
+			for _, v := range []float64{st.X, st.Y, st.Z} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("runtime: plan station %d is not finite: %v", i, st)
+				}
+			}
+		}
+	} else if c.PlanName != "" || c.PlanHash != 0 {
+		return fmt.Errorf("runtime: plan provenance (%q/%016x) without stations", c.PlanName, c.PlanHash)
+	}
 	c.Supervisor.defaults()
 	if c.Swarm.Enabled() {
 		c.Swarm.Defaults()
@@ -168,6 +197,13 @@ func (c Config) hash() uint64 {
 	for _, e := range c.Schedule.Sorted() {
 		fmt.Fprintf(h, "e%d:%d:%d:%g:%g|", int(e.Class), e.Start, e.Duration, e.Severity, e.Param)
 	}
+	if len(c.PlanStations) > 0 {
+		fmt.Fprintf(h, "p%s:%016x", c.PlanName, c.PlanHash)
+		for _, st := range c.PlanStations {
+			fmt.Fprintf(h, ":%g,%g,%g", st.X, st.Y, st.Z)
+		}
+		fmt.Fprint(h, "|")
+	}
 	fmt.Fprintf(h, "r%d:%d:%d:%d|s%d:%d:%d:%d", c.Retry.MaxRetries, c.Retry.BackoffSlots,
 		c.Retry.MaxBackoffSlots, c.Retry.JitterSlots, c.Supervisor.RelockTicks,
 		c.Supervisor.MaxRecoveryFailures, c.Supervisor.CooldownTicks, c.Supervisor.MaxBreakerTrips)
@@ -176,6 +212,16 @@ func (c Config) hash() uint64 {
 			int(c.Swarm.Topology), c.Swarm.ColdSpares, c.Swarm.CellSpacingM)
 	}
 	return h.Sum64()
+}
+
+// station is sortie s's relay station: the planned tour position when
+// the mission flies a plan (wrapping if the tour is shorter than the
+// mission), the fixed RelayPos otherwise.
+func (c Config) station(s int) geom.Point {
+	if len(c.PlanStations) == 0 {
+		return c.RelayPos
+	}
+	return c.PlanStations[s%len(c.PlanStations)]
 }
 
 // Carryover is the state that outlives a sortie's deployment: persistent
@@ -379,7 +425,7 @@ func New(cfg Config) (*Engine, error) {
 		tagReads: make([]uint32, len(cfg.Tags)),
 		carry: Carryover{
 			RelayPowered: true,
-			RelayPos:     cfg.RelayPos,
+			RelayPos:     cfg.station(0),
 		},
 	}
 	if cfg.SARPointsPerSortie > 0 {
@@ -394,17 +440,22 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // locConfig is the mission's localizer configuration. The search region
-// is fixed from the relay station — the aperture is a ±1 m line through
-// the plan position (sarFlight), so the station bounds the trajectory
-// the way the old post-hoc traj.Bounds() margins did — which lets the
-// streaming accumulator allocate its grid before the first capture and
-// keeps the lattice independent of OptiTrack noise in the flown points.
+// is fixed from the relay stations — each sortie's aperture is a ±1 m
+// line through its station (sarFlight), so the stations bound the
+// trajectory the way the old post-hoc traj.Bounds() margins did — which
+// lets the streaming accumulator allocate its grid before the first
+// capture and keeps the lattice independent of OptiTrack noise in the
+// flown points. Planned missions widen the box to every tour station;
+// unplanned missions keep the single-station region bit-identical.
 func (c Config) locConfig() loc.Config {
 	lcfg := loc.DefaultConfig(c.ChannelHz)
-	lcfg.Region = &loc.Region{
-		X0: c.RelayPos.X - 5, Y0: c.RelayPos.Y - 4,
-		X1: c.RelayPos.X + 5, Y1: c.RelayPos.Y + 6,
+	x0, y0 := c.station(0).X, c.station(0).Y
+	x1, y1 := x0, y0
+	for _, st := range c.PlanStations {
+		x0, x1 = math.Min(x0, st.X), math.Max(x1, st.X)
+		y0, y1 = math.Min(y0, st.Y), math.Max(y1, st.Y)
 	}
+	lcfg.Region = &loc.Region{X0: x0 - 5, Y0: y0 - 4, X1: x1 + 5, Y1: y1 + 6}
 	return lcfg
 }
 
@@ -446,7 +497,7 @@ func (e *Engine) buildDeployment(seed uint64) (*sim.Deployment, []*tag.Tag) {
 		Scene:         world.Corridor(e.cfg.CorridorLengthM, e.cfg.CorridorWidthM),
 		ReaderPos:     e.cfg.ReaderPos,
 		UseRelay:      true,
-		RelayPos:      e.cfg.RelayPos,
+		RelayPos:      e.cfg.station(e.cur),
 		ShadowSigmaDB: e.cfg.ShadowSigmaDB,
 	}, seed)
 	tags := make([]*tag.Tag, len(e.cfg.Tags))
@@ -479,12 +530,13 @@ func (e *Engine) applyCarryover(d *sim.Deployment) {
 	// the brown-out semantics for a relay that ended its sortie dark.
 	d.SetRelayPowered(c.RelayPowered)
 	// Launch from where the last sortie left the airframe, but keep the
-	// plan position as the station-keeping target.
+	// plan position — this sortie's station, for planned missions — as the
+	// station-keeping target.
 	d.RelayPos = c.RelayPos
 	if d.EmbeddedTag != nil {
 		d.EmbeddedTag.Pos = c.RelayPos
 	}
-	d.RelayPlanPos = e.cfg.RelayPos
+	d.RelayPlanPos = e.cfg.station(e.cur)
 }
 
 // extractCarryover captures the persistent state at sortie end.
@@ -887,13 +939,15 @@ func (e *Engine) sarPass(ctx context.Context, d *sim.Deployment, tg *tag.Tag, so
 }
 
 // sarFlight plans and flies the sortie's aperture line (a ±1 m pass
-// through the relay station). The flight draws from the same named split
-// of the sortie seed whether the capture happens end-of-sortie or
-// in-loop, so both capture paths see identical trajectories.
+// through the sortie's relay station). The flight draws from the same
+// named split of the sortie seed whether the capture happens
+// end-of-sortie or in-loop, so both capture paths see identical
+// trajectories.
 func (e *Engine) sarFlight(ctx context.Context, sortieSeed uint64) (drone.Flight, error) {
 	n := e.cfg.SARPointsPerSortie
-	p0 := geom.P(e.cfg.RelayPos.X-1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
-	p1 := geom.P(e.cfg.RelayPos.X+1.0, e.cfg.RelayPos.Y, e.cfg.RelayPos.Z)
+	st := e.cfg.station(e.cur)
+	p0 := geom.P(st.X-1.0, st.Y, st.Z)
+	p1 := geom.P(st.X+1.0, st.Y, st.Z)
 	plan := geom.Line(p0, p1, n)
 	fsrc := rng.New(sortieSeed).Split("sar-flight")
 	return drone.Bebop2().FlyCtx(ctx, plan, drone.DefaultOptiTrack(), fsrc)

@@ -6,6 +6,7 @@ import (
 
 	"rfly/internal/fault"
 	"rfly/internal/geom"
+	"rfly/internal/world"
 )
 
 // Fault-injection hooks: Deployment implements fault.Target, mapping each
@@ -45,6 +46,13 @@ const (
 	// its lock and only the reader-side SINR suffers.
 	burstBaseTxDBm = -38
 	burstSevTxDB   = 15
+	// jamBaseTxDBm anchors the injected jammer's transmit power at
+	// severity 0 (severity adds up to 40 dB). The jammer parks on the
+	// reader↔relay midpoint, barrage unless the event's Param narrows it,
+	// so full severity both drowns the reader-side SINR and threatens the
+	// relay's carrier lock.
+	jamBaseTxDBm = -30
+	jamSevTxDB   = 40
 )
 
 // ApplyFault implements fault.Target: perturb the live deployment state
@@ -119,6 +127,31 @@ func (d *Deployment) ApplyFault(ev fault.Event) error {
 		}
 		d.faultIntf[ev] = intf
 		d.AddInterferer(intf)
+	case fault.Jamming:
+		pos := geom.P(d.ReaderPos.X+3, d.ReaderPos.Y+1, d.ReaderPos.Z)
+		if d.Relay != nil {
+			pos = geom.P((d.ReaderPos.X+d.RelayPlanPos.X)/2,
+				(d.ReaderPos.Y+d.RelayPlanPos.Y)/2, d.ReaderPos.Z)
+		}
+		area := int(ev.Param)
+		if area < 0 || area > world.NumBandAreas {
+			area = 0
+		}
+		jam := world.Jammer{
+			Pos:           pos,
+			TxPowerDBm:    jamBaseTxDBm + ev.Severity*jamSevTxDB,
+			AntennaGainDB: 2,
+			BandArea:      area,
+			DutyCycle:     1,
+			PeriodTicks:   1,
+		}
+		if err := d.AddJammer(jam); err != nil {
+			return err
+		}
+		if d.faultJam == nil {
+			d.faultJam = map[fault.Event]world.Jammer{}
+		}
+		d.faultJam[ev] = jam
 	case fault.RelayDeath, fault.RelayBrownOut, fault.MeshPartition:
 		// Swarm-directed classes target a fleet, not a single deployment:
 		// with nothing to fail over to, a lone relay cannot absorb them.
@@ -159,6 +192,13 @@ func (d *Deployment) RevertFault(ev fault.Event) error {
 				break
 			}
 		}
+	case fault.Jamming:
+		jam, ok := d.faultJam[ev]
+		if !ok {
+			return nil
+		}
+		delete(d.faultJam, ev)
+		d.RemoveJammer(jam)
 	case fault.SynthDrift, fault.IsolationCollapse, fault.BatterySag, fault.CarrierHop:
 		// persistent damage: no-op
 	case fault.RelayDeath, fault.RelayBrownOut, fault.MeshPartition:

@@ -28,7 +28,10 @@ func (d *Deployment) AddInterferer(i Interferer) {
 
 // RelayLockOK reports whether the relay's Eq. 5 strongest-carrier rule
 // locks onto OUR reader at the current relay position: true when our
-// reader's received power at the relay beats every interferer's.
+// reader's received power at the relay beats every interferer's and
+// every active in-band jammer's — a barrage jammer that out-powers the
+// reader at the relay's front end captures the sweep and the relay
+// forwards noise instead of our carrier.
 func (d *Deployment) RelayLockOK() bool {
 	if d.Relay == nil {
 		return true
@@ -42,8 +45,23 @@ func (d *Deployment) RelayLockOK() bool {
 			return false
 		}
 	}
+	for _, j := range d.Jammers {
+		if !j.ActiveAt(d.jamTick) {
+			continue
+		}
+		theirs := d.Model.ReceivedPowerDBm(j.Pos, d.RelayPos, j.TxPowerDBm, j.AntennaGainDB, 2)
+		if theirs > ours {
+			return false
+		}
+	}
 	return true
 }
+
+// readerRxRejectionDB is how much the reader's RX channelization
+// suppresses off-channel carriers: the chip-matched filter integrates
+// over 1 MHz around its own carrier, and an adjacent-channel CW lands
+// deep in its stop band.
+const readerRxRejectionDB = 75
 
 // filterRejectionDB returns how much the relay's baseband filtering
 // attenuates an interferer at the given carrier offset: the measured FIR
@@ -70,10 +88,6 @@ func (d *Deployment) interferenceAtReaderW() float64 {
 	if len(d.Interferers) == 0 {
 		return 0
 	}
-	// The reader's RX channelization suppresses off-channel carriers: the
-	// chip-matched filter integrates over 1 MHz around its own carrier,
-	// and an adjacent-channel CW lands deep in its stop band.
-	const readerRxRejectionDB = 75
 	rcfg := d.Reader.Cfg
 	var total float64
 	for _, i := range d.Interferers {
@@ -99,10 +113,11 @@ func (d *Deployment) interferenceAtReaderW() float64 {
 	return total
 }
 
-// applyInterference degrades an SNR to an SINR given the interference at
-// the reader and the signal power there.
+// applyInterference degrades an SNR to an SINR given the interference
+// (cooperating readers plus active jammers) at the reader and the signal
+// power there.
 func (d *Deployment) applyInterference(b Budget) Budget {
-	iw := d.interferenceAtReaderW()
+	iw := d.interferenceAtReaderW() + d.jammerAtReaderW()
 	if iw <= 0 || math.IsInf(b.SNRdB, -1) || math.IsInf(b.ReaderRxDBm, -1) {
 		return b
 	}

@@ -62,6 +62,11 @@ type Deployment struct {
 	// Interferers are other readers in the band (§4.3).
 	Interferers []Interferer
 
+	// Jammers are hostile emitters (see world.Jammer); jamTick is the
+	// scenario tick their duty cycles are gated against.
+	Jammers []world.Jammer
+	jamTick int
+
 	// ShadowSigmaDB is log-normal shadowing per link per trial.
 	ShadowSigmaDB float64
 	// PhaseJitterDeg is the mirrored relay's residual phase error (§7.1b:
@@ -77,6 +82,7 @@ type Deployment struct {
 	readerHopHz float64
 	faultDroop  map[fault.Event]float64
 	faultIntf   map[fault.Event]Interferer
+	faultJam    map[fault.Event]world.Jammer
 	// wasPowered tracks per-tag power state between Send calls so that a
 	// powered→unpowered transition triggers the chip's brown-out reset
 	// (PowerCycle: S0 flag and state machine clear, §6.3.2.2).

@@ -1,0 +1,128 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"rfly/internal/geom"
+	"rfly/internal/rng"
+)
+
+// The US UHF RFID band the reader hops within (FCC part 15.247). A
+// jammer either blankets the whole band or concentrates its power in one
+// of NumBandAreas equal slices of it — the classic EW trade between
+// barrage and spot jamming.
+const (
+	BandLowHz    = 902e6
+	BandHighHz   = 928e6
+	NumBandAreas = 4
+)
+
+// Jammer is a hostile transmitter parked in the scene (the adversarial-RF
+// counterpart of sim.Interferer, which models other *cooperating*
+// readers). A jammer does not run Gen2: it radiates noise across a band
+// area on a duty cycle, degrading reader-side SINR and — when strong
+// enough at the relay — stealing the relay's strongest-carrier lock.
+//
+// The struct is a plain comparable value so fault bookkeeping can remove
+// an injected jammer by equality, the same way burst interferers work.
+type Jammer struct {
+	Pos           geom.Point
+	TxPowerDBm    float64
+	AntennaGainDB float64
+	// BandArea selects where the power goes: 0 is barrage (the full
+	// 902–928 MHz band), 1..NumBandAreas is one equal slice of it.
+	BandArea int
+	// DutyCycle in (0, 1] is the fraction of each period the jammer
+	// radiates; 1 is continuous.
+	DutyCycle float64
+	// PeriodTicks is the gating period in scenario ticks (≥ 1). With
+	// DutyCycle 1 the period is irrelevant but must still be positive.
+	PeriodTicks int
+}
+
+// Validate rejects jammers the scenario engine cannot interpret.
+func (j Jammer) Validate() error {
+	for _, v := range []float64{j.Pos.X, j.Pos.Y, j.Pos.Z, j.TxPowerDBm, j.AntennaGainDB, j.DutyCycle} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("world: jammer has non-finite field")
+		}
+	}
+	if j.TxPowerDBm > 60 {
+		return fmt.Errorf("world: jammer tx power %.1f dBm is beyond any credible emitter", j.TxPowerDBm)
+	}
+	if j.BandArea < 0 || j.BandArea > NumBandAreas {
+		return fmt.Errorf("world: jammer band area %d outside [0, %d]", j.BandArea, NumBandAreas)
+	}
+	if !(j.DutyCycle > 0 && j.DutyCycle <= 1) {
+		return fmt.Errorf("world: jammer duty cycle %g outside (0, 1]", j.DutyCycle)
+	}
+	if j.PeriodTicks < 1 {
+		return fmt.Errorf("world: jammer period %d ticks, want ≥ 1", j.PeriodTicks)
+	}
+	return nil
+}
+
+// Band returns the jammed frequency range [lo, hi) in Hz.
+func (j Jammer) Band() (lo, hi float64) {
+	if j.BandArea == 0 {
+		return BandLowHz, BandHighHz
+	}
+	slice := (BandHighHz - BandLowHz) / NumBandAreas
+	lo = BandLowHz + float64(j.BandArea-1)*slice
+	return lo, lo + slice
+}
+
+// CoversHz reports whether the jammed band contains the carrier f.
+func (j Jammer) CoversHz(f float64) bool {
+	lo, hi := j.Band()
+	return f >= lo && f < hi
+}
+
+// OffsetFromHz returns how far f sits outside the jammed band (0 when
+// covered) — the offset a victim's channel filters get to reject.
+func (j Jammer) OffsetFromHz(f float64) float64 {
+	lo, hi := j.Band()
+	switch {
+	case f < lo:
+		return lo - f
+	case f >= hi:
+		return f - hi
+	default:
+		return 0
+	}
+}
+
+// ActiveAt reports whether the duty-cycled jammer is radiating at the
+// given scenario tick: on for the first round(duty×period) ticks of each
+// period. Deterministic in the tick; negative ticks wrap.
+func (j Jammer) ActiveAt(tick int) bool {
+	p := j.PeriodTicks
+	if p <= 1 || j.DutyCycle >= 1 {
+		return true
+	}
+	on := int(math.Round(j.DutyCycle * float64(p)))
+	if on < 1 {
+		on = 1
+	}
+	phase := tick % p
+	if phase < 0 {
+		phase += p
+	}
+	return phase < on
+}
+
+// DrawJammer draws a random jammer inside the rectangle [x0,x1]×[y0,y1]
+// at altitude z, from a named split of src — the seeded entity the
+// adversarial campaigns scatter into scenes.
+func DrawJammer(x0, y0, x1, y1, z float64, src *rng.Source) Jammer {
+	draw := src.Split("jammer")
+	return Jammer{
+		Pos:           geom.P(draw.Uniform(x0, x1), draw.Uniform(y0, y1), z),
+		TxPowerDBm:    draw.Uniform(-20, 25),
+		AntennaGainDB: 2,
+		BandArea:      draw.Intn(NumBandAreas + 1),
+		DutyCycle:     draw.Uniform(0.25, 1.0),
+		PeriodTicks:   4 + draw.Intn(12),
+	}
+}

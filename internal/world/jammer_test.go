@@ -1,0 +1,112 @@
+package world
+
+import (
+	"testing"
+
+	"rfly/internal/rng"
+)
+
+func TestJammerValidate(t *testing.T) {
+	good := Jammer{TxPowerDBm: 10, BandArea: 2, DutyCycle: 0.5, PeriodTicks: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid jammer rejected: %v", err)
+	}
+	bad := []Jammer{
+		{TxPowerDBm: 10, BandArea: NumBandAreas + 1, DutyCycle: 0.5, PeriodTicks: 4},
+		{TxPowerDBm: 10, BandArea: -1, DutyCycle: 0.5, PeriodTicks: 4},
+		{TxPowerDBm: 10, BandArea: 0, DutyCycle: 0, PeriodTicks: 4},
+		{TxPowerDBm: 10, BandArea: 0, DutyCycle: 1.5, PeriodTicks: 4},
+		{TxPowerDBm: 10, BandArea: 0, DutyCycle: 0.5, PeriodTicks: 0},
+		{TxPowerDBm: 90, BandArea: 0, DutyCycle: 0.5, PeriodTicks: 4},
+	}
+	for i, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("bad jammer %d accepted: %+v", i, j)
+		}
+	}
+}
+
+func TestJammerBandAreas(t *testing.T) {
+	full := Jammer{BandArea: 0, DutyCycle: 1, PeriodTicks: 1}
+	if lo, hi := full.Band(); lo != BandLowHz || hi != BandHighHz {
+		t.Fatalf("barrage band [%g, %g)", lo, hi)
+	}
+	if !full.CoversHz(915e6) {
+		t.Fatal("barrage jammer must cover 915 MHz")
+	}
+	// The four slices must tile the band exactly.
+	prev := BandLowHz
+	for a := 1; a <= NumBandAreas; a++ {
+		j := Jammer{BandArea: a, DutyCycle: 1, PeriodTicks: 1}
+		lo, hi := j.Band()
+		if lo != prev {
+			t.Fatalf("area %d starts at %g, want %g", a, lo, prev)
+		}
+		if hi <= lo {
+			t.Fatalf("area %d empty [%g, %g)", a, lo, hi)
+		}
+		prev = hi
+	}
+	if prev != BandHighHz {
+		t.Fatalf("areas end at %g, want %g", prev, BandHighHz)
+	}
+	// 915 MHz sits exactly at the start of slice 3 ([915, 921.5) MHz).
+	j3 := Jammer{BandArea: 3, DutyCycle: 1, PeriodTicks: 1}
+	if !j3.CoversHz(915e6) {
+		t.Fatal("area 3 must cover 915 MHz")
+	}
+	j1 := Jammer{BandArea: 1, DutyCycle: 1, PeriodTicks: 1}
+	if j1.CoversHz(915e6) {
+		t.Fatal("area 1 must not cover 915 MHz")
+	}
+	if off := j1.OffsetFromHz(915e6); off <= 0 {
+		t.Fatalf("offset from uncovered carrier %g, want > 0", off)
+	}
+	if off := j3.OffsetFromHz(915e6); off != 0 {
+		t.Fatalf("offset from covered carrier %g, want 0", off)
+	}
+}
+
+func TestJammerDutyCycle(t *testing.T) {
+	j := Jammer{BandArea: 0, DutyCycle: 0.5, PeriodTicks: 4}
+	// round(0.5·4) = 2 on-ticks per period of 4.
+	on := 0
+	for tick := 0; tick < 8; tick++ {
+		if j.ActiveAt(tick) {
+			on++
+		}
+	}
+	if on != 4 {
+		t.Fatalf("on-ticks over two periods = %d, want 4", on)
+	}
+	// Periodic and defined for negative ticks.
+	for tick := -8; tick < 8; tick++ {
+		if j.ActiveAt(tick) != j.ActiveAt(tick+j.PeriodTicks) {
+			t.Fatalf("duty gating not periodic at tick %d", tick)
+		}
+	}
+	cw := Jammer{BandArea: 0, DutyCycle: 1, PeriodTicks: 7}
+	for tick := 0; tick < 14; tick++ {
+		if !cw.ActiveAt(tick) {
+			t.Fatalf("continuous jammer off at tick %d", tick)
+		}
+	}
+}
+
+func TestDrawJammerSeeded(t *testing.T) {
+	a := DrawJammer(0, 0, 30, 20, 2, rng.New(42))
+	b := DrawJammer(0, 0, 30, 20, 2, rng.New(42))
+	if a != b {
+		t.Fatalf("same seed drew different jammers:\n%+v\n%+v", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("drawn jammer invalid: %v", err)
+	}
+	if a.Pos.X < 0 || a.Pos.X > 30 || a.Pos.Y < 0 || a.Pos.Y > 20 || a.Pos.Z != 2 {
+		t.Fatalf("drawn jammer outside region: %v", a.Pos)
+	}
+	c := DrawJammer(0, 0, 30, 20, 2, rng.New(43))
+	if a == c {
+		t.Fatal("different seeds drew identical jammers")
+	}
+}
